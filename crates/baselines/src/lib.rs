@@ -1,0 +1,14 @@
+//! # lina-baselines
+//!
+//! The comparison systems and ablations of the evaluation: the
+//! DeepSpeed-like fair-share baseline, a Tutel-like variant, the fixed
+//! and naive-priority strawmen of §4.1/Figure 14, and the named scheme
+//! roster (training and inference) the benchmark harness sweeps.
+
+#![warn(missing_docs)]
+
+pub mod policies;
+pub mod schemes;
+
+pub use policies::{FairSharePolicy, FixedSchedulePolicy, NaivePriorityPolicy};
+pub use schemes::{InferScheme, TrainScheme};

@@ -1,0 +1,195 @@
+//! Baseline and ablation communication policies.
+//!
+//! * [`FairSharePolicy`] — the DeepSpeed/Tutel behaviour: expert- and
+//!   data-parallel process groups launch on independent streams with no
+//!   coordination, so all-to-all and allreduce overlap and fair-share
+//!   bandwidth (the Figure 5 pathology).
+//! * [`NaivePriorityPolicy`] — strict priority without tensor
+//!   partitioning (§4.1's strawman and Figure 14's "priority" bar):
+//!   allreduce is only admitted when no all-to-all is pending or
+//!   ongoing, but since gradients stay fused in large buckets, an
+//!   admitted allreduce cannot be preempted when an all-to-all arrives.
+//! * [`FixedSchedulePolicy`] — Figure 14's fixed heuristic: allreduce
+//!   may only launch between *pairs* of backward all-to-all operations
+//!   (i.e. at MoE-layer boundaries), with default tensor fusion.
+
+use lina_core::{CommPolicy, CommView};
+use lina_model::{CommClass, CommMeta};
+
+/// Uncoordinated streams: launch anything whose class stream is free.
+#[derive(Clone, Debug, Default)]
+pub struct FairSharePolicy;
+
+impl CommPolicy for FairSharePolicy {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn select(&mut self, view: &CommView<'_>) -> Vec<usize> {
+        let mut launch = Vec::new();
+        if view.a2a_stream_free {
+            if let Some(p) = view.pending_of(CommClass::AllToAll).next() {
+                launch.push(p.handle);
+            }
+        }
+        if view.allreduce_stream_free {
+            if let Some(p) = view.pending_of(CommClass::Allreduce).next() {
+                launch.push(p.handle);
+            }
+        }
+        for p in view.pending_of(CommClass::Control) {
+            launch.push(p.handle);
+        }
+        launch
+    }
+}
+
+/// Strict priority without partitioning.
+#[derive(Clone, Debug, Default)]
+pub struct NaivePriorityPolicy;
+
+impl CommPolicy for NaivePriorityPolicy {
+    fn name(&self) -> &'static str {
+        "naive-priority"
+    }
+
+    fn select(&mut self, view: &CommView<'_>) -> Vec<usize> {
+        let mut launch = Vec::new();
+        if view.a2a_stream_free {
+            if let Some(p) = view.pending_of(CommClass::AllToAll).next() {
+                launch.push(p.handle);
+            }
+        }
+        if view.allreduce_stream_free && !view.a2a_present() {
+            if let Some(p) = view.pending_of(CommClass::Allreduce).next() {
+                launch.push(p.handle);
+            }
+        }
+        for p in view.pending_of(CommClass::Control) {
+            launch.push(p.handle);
+        }
+        launch
+    }
+}
+
+/// Fixed heuristic: allreduce between pairs of backward all-to-alls.
+#[derive(Clone, Debug, Default)]
+pub struct FixedSchedulePolicy {
+    backward_a2a_done: usize,
+}
+
+impl CommPolicy for FixedSchedulePolicy {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn select(&mut self, view: &CommView<'_>) -> Vec<usize> {
+        let mut launch = Vec::new();
+        if view.a2a_stream_free {
+            if let Some(p) = view.pending_of(CommClass::AllToAll).next() {
+                launch.push(p.handle);
+            }
+        }
+        // Allreduce only at an MoE-layer boundary in the backward pass
+        // (an even number of backward all-to-alls completed) and only
+        // while no all-to-all is running.
+        let at_boundary = self.backward_a2a_done > 0 && self.backward_a2a_done % 2 == 0;
+        if view.allreduce_stream_free && at_boundary && !view.a2a_present() {
+            if let Some(p) = view.pending_of(CommClass::Allreduce).next() {
+                launch.push(p.handle);
+            }
+        }
+        for p in view.pending_of(CommClass::Control) {
+            launch.push(p.handle);
+        }
+        launch
+    }
+
+    fn on_complete(&mut self, meta: &CommMeta) {
+        if meta.class == CommClass::AllToAll && meta.backward {
+            self.backward_a2a_done += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lina_core::{ActiveComm, PendingComm};
+
+    fn meta(class: CommClass, backward: bool) -> CommMeta {
+        CommMeta {
+            class,
+            layer: 1,
+            chunk: 0,
+            nchunks: 1,
+            bytes_per_device: 1.0,
+            backward,
+            op_index: 0,
+        }
+    }
+
+    fn pend(handle: usize, class: CommClass) -> PendingComm {
+        PendingComm { handle, meta: meta(class, true), ready_at_ns: handle as u64 }
+    }
+
+    fn view<'a>(
+        pending: &'a [PendingComm],
+        active: &'a [ActiveComm],
+        a2a_free: bool,
+        ar_free: bool,
+    ) -> CommView<'a> {
+        CommView {
+            pending,
+            active,
+            a2a_imminent: false,
+            a2a_stream_free: a2a_free,
+            allreduce_stream_free: ar_free,
+        }
+    }
+
+    #[test]
+    fn fair_share_launches_both() {
+        let pending = [pend(0, CommClass::AllToAll), pend(1, CommClass::Allreduce)];
+        let mut p = FairSharePolicy;
+        let got = p.select(&view(&pending, &[], true, true));
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn fair_share_respects_busy_streams() {
+        let pending = [pend(0, CommClass::AllToAll), pend(1, CommClass::Allreduce)];
+        let active = [ActiveComm { meta: meta(CommClass::AllToAll, true) }];
+        let mut p = FairSharePolicy;
+        let got = p.select(&view(&pending, &active, false, true));
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn naive_priority_defers_allreduce() {
+        let pending = [pend(0, CommClass::AllToAll), pend(1, CommClass::Allreduce)];
+        let mut p = NaivePriorityPolicy;
+        let got = p.select(&view(&pending, &[], true, true));
+        assert_eq!(got, vec![0]);
+        // Once the all-to-all is gone, allreduce launches.
+        let only_ar = [pend(1, CommClass::Allreduce)];
+        let got = p.select(&view(&only_ar, &[], true, true));
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn fixed_waits_for_layer_boundary() {
+        let pending = [pend(0, CommClass::Allreduce)];
+        let mut p = FixedSchedulePolicy::default();
+        assert!(p.select(&view(&pending, &[], true, true)).is_empty());
+        p.on_complete(&meta(CommClass::AllToAll, true));
+        assert!(p.select(&view(&pending, &[], true, true)).is_empty());
+        p.on_complete(&meta(CommClass::AllToAll, true));
+        assert_eq!(p.select(&view(&pending, &[], true, true)), vec![0]);
+        // Forward all-to-alls do not count.
+        let mut q = FixedSchedulePolicy::default();
+        q.on_complete(&meta(CommClass::AllToAll, false));
+        q.on_complete(&meta(CommClass::AllToAll, false));
+        assert!(q.select(&view(&pending, &[], true, true)).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Runs the entire evaluation — every table and figure binary — in
+//! paper order. Useful for regenerating `EXPERIMENTS.md`'s measured
+//! column in one go:
+//!
+//! ```text
+//! cargo run --release -p lina-bench --bin reproduce
+//! ```
+//!
+//! Scale knobs: `LINA_STEPS`, `LINA_BATCHES`, `LINA_TOKENS`.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table1",
+    "fig2_timeline",
+    "fig3_slowdown_cdf",
+    "fig4_expert_sweep",
+    "fig5_backward_timeline",
+    "fig6_popularity",
+    "fig7_schedules",
+    "fig8_microops",
+    "fig9_pattern",
+    "table2",
+    "fig10_step_speedup",
+    "fig11_12_layer_speedup",
+    "fig13_a2a_speedup",
+    "table3",
+    "table4",
+    "fig14_ablation",
+    "fig15_partition_size",
+    "fig16_inference",
+    "fig17_layer_time",
+    "fig18_a2a_tail",
+    "fig19_accuracy",
+    "table5",
+    "table6",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe directory").to_path_buf();
+    let start = std::time::Instant::now();
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!(
+            "all {} experiments completed in {:.0?}",
+            BINARIES.len(),
+            start.elapsed()
+        );
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Expert-popularity estimation from token-level selection patterns (§5.2).
+//!
+//! In a profiling stage (run on training-distribution data once the
+//! load-balancing loss has stabilized), Lina groups tokens by the
+//! sample path of experts they traversed over the last `l` layers and
+//! records, for each path, the empirical distribution `Ψ_j^{i+1}` of the
+//! next layer's selection. At inference, each token's observed path is
+//! looked up; its top-k next-layer experts and their probabilities feed
+//! Eq. (1) to estimate per-expert device demand before the gate runs.
+
+use std::collections::BTreeMap;
+
+use lina_workload::{TokenBatch, TokenPath};
+
+/// Profiled `Ψ` tables and lookup logic.
+#[derive(Clone, Debug)]
+pub struct PopularityEstimator {
+    /// Sample-path length `l`.
+    path_length: usize,
+    experts: usize,
+    layers: usize,
+    /// `tables[len-1][i]` maps a path of primary experts for layers
+    /// `i-len+1 ..= i` to the selection distribution at layer `i+1`.
+    /// Lengths 1..=l are all profiled so lookups can back off from the
+    /// full path to shorter suffixes when a path was never observed.
+    tables: Vec<Vec<BTreeMap<Vec<u16>, Vec<f64>>>>,
+    /// Fallback per-layer marginal distribution for unseen paths.
+    marginals: Vec<Vec<f64>>,
+}
+
+impl PopularityEstimator {
+    /// Profiles the estimator from training-distribution batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_length` is zero, no batches are given, or the
+    /// batches are empty.
+    pub fn profile(batches: &[TokenBatch], path_length: usize) -> Self {
+        assert!(path_length > 0, "profile: zero path length");
+        assert!(!batches.is_empty(), "profile: no batches");
+        let experts = batches[0].experts;
+        let layers = batches[0].tokens[0].selections.len();
+        let mut counts: Vec<Vec<BTreeMap<Vec<u16>, Vec<f64>>>> = (0..path_length)
+            .map(|_| (0..layers.saturating_sub(1)).map(|_| BTreeMap::new()).collect())
+            .collect();
+        let mut marginal_counts = vec![vec![0.0f64; experts]; layers];
+        for batch in batches {
+            for tok in &batch.tokens {
+                for layer in 0..layers {
+                    marginal_counts[layer][tok.primary(layer) as usize] += 1.0;
+                    if layer + 1 < layers {
+                        for len in 1..=path_length {
+                            let key = tok.path_suffix(layer, len);
+                            let dist = counts[len - 1][layer]
+                                .entry(key)
+                                .or_insert_with(|| vec![0.0; experts]);
+                            dist[tok.primary(layer + 1) as usize] += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        let tables = counts
+            .into_iter()
+            .map(|per_layer| {
+                per_layer
+                    .into_iter()
+                    .map(|m| {
+                        m.into_iter()
+                            .map(|(k, mut dist)| {
+                                let total: f64 = dist.iter().sum();
+                                if total > 0.0 {
+                                    for v in &mut dist {
+                                        *v /= total;
+                                    }
+                                }
+                                (k, dist)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let marginals = marginal_counts
+            .into_iter()
+            .map(|mut dist| {
+                let total: f64 = dist.iter().sum();
+                if total > 0.0 {
+                    for v in &mut dist {
+                        *v /= total;
+                    }
+                }
+                dist
+            })
+            .collect();
+        PopularityEstimator { path_length, experts, layers, tables, marginals }
+    }
+
+    /// The profiled path length `l`.
+    pub fn path_length(&self) -> usize {
+        self.path_length
+    }
+
+    /// Experts per layer.
+    pub fn experts(&self) -> usize {
+        self.experts
+    }
+
+    /// Layers profiled.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Number of distinct full-length profiled paths ending at `layer`.
+    pub fn paths_at(&self, layer: usize) -> usize {
+        self.tables[self.path_length - 1].get(layer).map_or(0, BTreeMap::len)
+    }
+
+    /// `Ψ_j^{layer+1}` for the token's observed path up to `layer`.
+    /// Unseen full-length paths back off to progressively shorter
+    /// suffixes, and finally to the layer marginal.
+    pub fn next_layer_distribution(&self, token: &TokenPath, layer: usize) -> &[f64] {
+        for len in (1..=self.path_length).rev() {
+            let key = token.path_suffix(layer, len);
+            if let Some(dist) =
+                self.tables[len - 1].get(layer).and_then(|t| t.get(&key))
+            {
+                return dist;
+            }
+        }
+        &self.marginals[(layer + 1).min(self.layers - 1)]
+    }
+
+    /// Eq. (1)'s aggregate: estimated popularity of each expert at
+    /// `layer + 1`, averaging each token's top-k probabilities from its
+    /// `Ψ` distribution. The result is an (unnormalized, <= 1 per
+    /// entry) fraction-of-demand vector.
+    pub fn estimate_popularity(
+        &self,
+        tokens: &[TokenPath],
+        layer: usize,
+        top_k: usize,
+    ) -> Vec<f64> {
+        let mut agg = vec![0.0f64; self.experts];
+        if tokens.is_empty() {
+            return agg;
+        }
+        for tok in tokens {
+            let dist = self.next_layer_distribution(tok, layer);
+            for &e in top_indices(dist, top_k).iter() {
+                agg[e] += dist[e];
+            }
+        }
+        for v in &mut agg {
+            *v /= tokens.len() as f64;
+        }
+        agg
+    }
+
+    /// True if the estimate's top-`2k` experts match the actual
+    /// popularity's top-`2k` (the paper's phase-two deviation check and
+    /// its accuracy definition).
+    pub fn estimate_matches(estimated: &[f64], actual: &[f64], two_k: usize) -> bool {
+        Self::deviates_too_far(estimated, actual, two_k, 0.0).is_none()
+    }
+
+    /// The paper's phase-two check asks whether the actual selection
+    /// "deviates too far" from the estimate: a top-`2k` set mismatch
+    /// only matters when a missed expert is *meaningfully* more popular
+    /// than a kept one — the paper itself observes that estimation
+    /// errors usually swap experts of similar popularity, which leaves
+    /// the packing decision intact. Returns the worst relative excess
+    /// when the deviation exceeds `tolerance`, else `None`.
+    pub fn deviates_too_far(
+        estimated: &[f64],
+        actual: &[f64],
+        two_k: usize,
+        tolerance: f64,
+    ) -> Option<f64> {
+        let est_top = top_indices(estimated, two_k);
+        let act_top = top_indices(actual, two_k);
+        let missed: Vec<usize> =
+            act_top.iter().copied().filter(|e| !est_top.contains(e)).collect();
+        if missed.is_empty() {
+            return None;
+        }
+        // The least actually-popular expert we kept in the estimate's
+        // top set.
+        let kept_min = est_top
+            .iter()
+            .map(|&e| actual[e])
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
+        let worst_missed =
+            missed.iter().map(|&e| actual[e]).fold(0.0, f64::max);
+        let excess = worst_missed / kept_min - 1.0;
+        if excess > tolerance {
+            Some(excess)
+        } else {
+            None
+        }
+    }
+}
+
+/// Indices of the `k` largest entries (ties broken by lower index),
+/// ordered by descending value.
+pub fn top_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b].partial_cmp(&values[a]).expect("finite popularity").then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lina_workload::{Mode, TokenSource, WorkloadSpec};
+
+    fn profiled(l: usize) -> (PopularityEstimator, TokenSource) {
+        let spec = WorkloadSpec::enwik8(16, 12);
+        let mut src = TokenSource::new(&spec, 1, 7);
+        let batches: Vec<TokenBatch> =
+            (0..8).map(|_| src.sample_batch(16, 512, Mode::Train)).collect();
+        (PopularityEstimator::profile(&batches, l), src)
+    }
+
+    #[test]
+    fn top_indices_basics() {
+        assert_eq!(top_indices(&[0.1, 0.5, 0.3], 2), vec![1, 2]);
+        assert_eq!(top_indices(&[0.5, 0.5], 1), vec![0]);
+        assert_eq!(top_indices(&[1.0], 5), vec![0]);
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let (est, _) = profiled(3);
+        for per_layer in &est.tables {
+            for layer_tables in per_layer {
+                for dist in layer_tables.values() {
+                    let total: f64 = dist.iter().sum();
+                    assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+                }
+            }
+        }
+        for m in &est.marginals {
+            let total: f64 = m.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn longer_paths_give_more_tables() {
+        let (e1, _) = profiled(1);
+        let (e3, _) = profiled(3);
+        assert!(e3.paths_at(6) > e1.paths_at(6), "l=3 should distinguish more paths");
+        // l=1 at layer 6 has at most `experts` paths.
+        assert!(e1.paths_at(6) <= 16);
+    }
+
+    #[test]
+    fn estimate_tracks_actual_popularity() {
+        let (est, mut src) = profiled(3);
+        let batch = src.sample_batch(16, 512, Mode::Inference);
+        let layer = 6;
+        let estimated = est.estimate_popularity(&batch.tokens, layer, 1);
+        let actual = lina_workload::popularity(&batch, layer + 1);
+        // Rank correlation proxy: the estimated top-4 should share most
+        // members with the actual top-4.
+        let est_top = top_indices(&estimated, 4);
+        let act_top = top_indices(&actual, 4);
+        let overlap = est_top.iter().filter(|e| act_top.contains(e)).count();
+        assert!(overlap >= 2, "top-4 overlap only {overlap} (est {est_top:?}, act {act_top:?})");
+    }
+
+    #[test]
+    fn accuracy_improves_with_path_length() {
+        let spec = WorkloadSpec::enwik8(16, 12);
+        let mut accuracies = Vec::new();
+        for l in [1usize, 3, 6] {
+            let mut src = TokenSource::new(&spec, 1, 7);
+            let batches: Vec<TokenBatch> =
+                (0..12).map(|_| src.sample_batch(16, 1024, Mode::Train)).collect();
+            let est = PopularityEstimator::profile(&batches, l);
+            let mut hits = 0;
+            let mut total = 0;
+            let mut infer = TokenSource::new(&spec, 1, 99);
+            for _ in 0..24 {
+                let batch = infer.sample_batch(16, 512, Mode::Inference);
+                for layer in 3..11 {
+                    let estimated = est.estimate_popularity(&batch.tokens, layer, 1);
+                    let actual = lina_workload::popularity(&batch, layer + 1);
+                    if PopularityEstimator::estimate_matches(&estimated, &actual, 2) {
+                        hits += 1;
+                    }
+                    total += 1;
+                }
+            }
+            accuracies.push(hits as f64 / total as f64);
+        }
+        assert!(
+            accuracies[1] > accuracies[0],
+            "l=3 accuracy {} not above l=1 {}",
+            accuracies[1],
+            accuracies[0]
+        );
+        assert!(
+            accuracies[2] >= accuracies[1] * 0.9,
+            "l=6 accuracy {} collapsed vs l=3 {}",
+            accuracies[2],
+            accuracies[1]
+        );
+    }
+
+    #[test]
+    fn deviation_tolerance_forgives_near_ties() {
+        let est = [0.30, 0.28, 0.22, 0.20];
+        // Actual swaps the #2 and #3 experts, but their popularity is
+        // close: no significant deviation.
+        let act = [0.30, 0.24, 0.26, 0.20];
+        assert!(!PopularityEstimator::estimate_matches(&est, &act, 2));
+        assert!(PopularityEstimator::deviates_too_far(&est, &act, 2, 0.25).is_none());
+        // A genuinely hot missed expert is flagged.
+        let act_hot = [0.30, 0.10, 0.50, 0.10];
+        let excess = PopularityEstimator::deviates_too_far(&est, &act_hot, 2, 0.25);
+        assert!(excess.is_some());
+        assert!(excess.expect("deviates") > 0.25);
+    }
+
+    #[test]
+    fn zero_tolerance_equals_strict_matching() {
+        let est = [0.4, 0.3, 0.2, 0.1];
+        let act = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(
+            PopularityEstimator::estimate_matches(&est, &act, 2),
+            PopularityEstimator::deviates_too_far(&est, &act, 2, 0.0).is_none()
+        );
+    }
+
+    #[test]
+    fn estimate_matches_requires_same_sets() {
+        let est = [0.5, 0.3, 0.1, 0.1];
+        let act_same = [0.4, 0.4, 0.1, 0.1];
+        let act_diff = [0.1, 0.1, 0.4, 0.4];
+        assert!(PopularityEstimator::estimate_matches(&est, &act_same, 2));
+        assert!(!PopularityEstimator::estimate_matches(&est, &act_diff, 2));
+    }
+
+    #[test]
+    fn unseen_path_falls_back_to_marginal() {
+        let (est, _) = profiled(3);
+        let tok = TokenPath {
+            class: 0,
+            // An implausible path unlikely to be profiled.
+            selections: (0..12).map(|i| vec![(i % 16) as u16]).collect(),
+        };
+        // Must not panic and must return a normalized distribution.
+        let d = est.next_layer_distribution(&tok, 6);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tokens_give_zero_estimate() {
+        let (est, _) = profiled(3);
+        let e = est.estimate_popularity(&[], 5, 1);
+        assert!(e.iter().all(|&v| v == 0.0));
+    }
+}

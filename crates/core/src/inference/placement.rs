@@ -1,0 +1,302 @@
+//! Popularity-driven expert placement (§5.2, Eq. (1)).
+//!
+//! Given an (estimated or actual) popularity vector, the scheduler
+//! computes each expert's device demand `n_e = N x popularity(e)`,
+//! gives popular experts `floor(n_e)` dedicated replica devices, and
+//! packs the fractional remainders onto shared devices with the
+//! first-fit-decreasing heuristic so the number of devices used is
+//! minimized. Experts with no estimate spread over the remaining free
+//! devices, or land on the least-loaded device when none are free.
+
+use lina_model::ExpertPlacement;
+use lina_netsim::DeviceId;
+
+/// Configuration of the placement computation.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementConfig {
+    /// Devices available (`N` in Eq. (1)).
+    pub devices: usize,
+    /// Maximum experts packed on one device (§6.2 bounds weight-swap
+    /// overhead; the paper uses 4).
+    pub max_experts_per_device: usize,
+}
+
+/// Computes a placement from a popularity vector.
+///
+/// `popularity[e]` is the fraction of demand expected for expert `e`
+/// (entries may sum to less than 1 after the estimator's top-k
+/// truncation; zero entries mean "no estimate").
+///
+/// # Examples
+///
+/// ```
+/// use lina_core::{popularity_placement, PlacementConfig};
+///
+/// // One hot expert and three cold ones on four devices: the hot one
+/// // is replicated, the cold ones share.
+/// let pop = [0.7, 0.1, 0.1, 0.1];
+/// let p = popularity_placement(&pop, PlacementConfig {
+///     devices: 4,
+///     max_experts_per_device: 4,
+/// });
+/// assert!(p.hosts[0].len() >= 2);
+/// assert!(p.is_complete());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `devices` or `max_experts_per_device` is zero, or if the
+/// popularity vector is empty.
+pub fn popularity_placement(popularity: &[f64], config: PlacementConfig) -> ExpertPlacement {
+    assert!(config.devices > 0, "popularity_placement: zero devices");
+    assert!(config.max_experts_per_device > 0, "popularity_placement: zero cap");
+    assert!(!popularity.is_empty(), "popularity_placement: no experts");
+    let n = config.devices as f64;
+    let experts = popularity.len();
+    // The estimator's top-k truncation drops probability mass, so the
+    // vector may sum well below 1; demand must still account for the
+    // whole cluster, so normalize (zero entries stay "no estimate").
+    let mass: f64 = popularity.iter().sum();
+    let popularity: Vec<f64> = if mass > 0.0 {
+        popularity.iter().map(|&p| p / mass).collect()
+    } else {
+        popularity.to_vec()
+    };
+
+    // Per-device load bins. Each bin is (load, expert list).
+    let mut bins: Vec<(f64, Vec<usize>)> = Vec::new();
+    let mut hosts: Vec<Vec<usize>> = vec![Vec::new(); experts];
+
+    // Demand in device units, processed in decreasing order (FFD).
+    let mut order: Vec<usize> = (0..experts).collect();
+    order.sort_by(|&a, &b| {
+        popularity[b].partial_cmp(&popularity[a]).expect("finite popularity").then(a.cmp(&b))
+    });
+
+    let mut remainders: Vec<(usize, f64)> = Vec::new();
+    let mut dedicated_used = 0usize;
+    for &e in &order {
+        let n_e = n * popularity[e];
+        if n_e <= 0.0 {
+            continue;
+        }
+        // Dedicated replica devices for the integral part, bounded so
+        // dedicated devices never exhaust the cluster.
+        let full = (n_e.floor() as usize).min(config.devices.saturating_sub(dedicated_used + 1));
+        for _ in 0..full {
+            bins.push((1.0, vec![e]));
+            hosts[e].push(usize::MAX); // Device ids assigned later.
+            dedicated_used += 1;
+        }
+        let rem = n_e - full as f64;
+        if rem > 1e-9 || full == 0 {
+            remainders.push((e, rem.max(1e-9)));
+        }
+    }
+
+    // Decreasing-order packing of the remainders over the fixed device
+    // budget: each item goes to the least-loaded eligible bin,
+    // creating a new bin while devices remain. (Plain FFD with a merge
+    // step minimizes devices but can overload the merged ones; packing
+    // against the known device count keeps loads near the mean while
+    // still giving unpopular experts shared devices.)
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    for (e, rem) in remainders {
+        let can_open = bins.len() < config.devices;
+        let best = bins
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, list))| {
+                list.len() < config.max_experts_per_device && !list.contains(&e)
+            })
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+            .map(|(i, (load, _))| (i, *load));
+        match best {
+            // Open a fresh device rather than push a bin past unit load.
+            Some((_, load)) if can_open && load + rem > 1.0 + 1e-9 => {
+                bins.push((rem, vec![e]));
+            }
+            Some((i, _)) => {
+                bins[i].0 += rem;
+                bins[i].1.push(e);
+            }
+            None if can_open => bins.push((rem, vec![e])),
+            None => {
+                // Every bin is at the expert cap: relax the cap on the
+                // least-loaded bin rather than fail.
+                let i = bins
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, list))| !list.contains(&e))
+                    .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("an expert cannot already be on every device");
+                bins[i].0 += rem;
+                bins[i].1.push(e);
+            }
+        }
+        hosts[e].push(usize::MAX);
+    }
+
+    // Experts with no estimate: spread over free devices if any,
+    // otherwise join the least-loaded bin (respecting the cap when
+    // possible).
+    let unplaced: Vec<usize> = (0..experts).filter(|&e| hosts[e].is_empty()).collect();
+    for e in unplaced {
+        if bins.len() < config.devices {
+            bins.push((0.0, vec![e]));
+        } else {
+            let bin = bins
+                .iter_mut()
+                .filter(|(_, list)| list.len() < config.max_experts_per_device)
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                .unwrap_or_else(|| panic!("no device can host expert {e} under the cap"));
+            bin.0 += 1e-9;
+            bin.1.push(e);
+        }
+        hosts[e].push(usize::MAX);
+    }
+
+    // Materialize device ids in bin order, with each replica's share
+    // equal to the load the bin allocation gave it.
+    let mut hosts: Vec<Vec<DeviceId>> = vec![Vec::new(); experts];
+    let mut shares: Vec<Vec<f64>> = vec![Vec::new(); experts];
+    for (d, (_, list)) in bins.iter().enumerate() {
+        for &e in list {
+            let dev = DeviceId(d as u32);
+            if !hosts[e].contains(&dev) {
+                hosts[e].push(dev);
+                shares[e].push(0.0);
+            }
+        }
+    }
+    // Dedicated bins carry one unit; shared bins carry the remainder.
+    // Recover each replica's share from the bin structure: a replica in
+    // a single-expert bin of load ~1 is dedicated; otherwise it holds
+    // the expert's fractional remainder.
+    for e in 0..experts {
+        let n_e = n * popularity[e];
+        let replicas = hosts[e].len();
+        for (r, share) in shares[e].iter_mut().enumerate() {
+            let dedicated = replicas > 1 && r < replicas - 1;
+            *share = if replicas == 1 {
+                1.0
+            } else if dedicated {
+                1.0
+            } else {
+                // Last replica takes the fractional remainder (at
+                // least a sliver so it participates).
+                (n_e - (replicas - 1) as f64).max(0.05)
+            };
+        }
+    }
+    let placement = ExpertPlacement { hosts, shares };
+    assert!(placement.is_complete(), "popularity_placement: expert left unhosted");
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(devices: usize) -> PlacementConfig {
+        PlacementConfig { devices, max_experts_per_device: 4 }
+    }
+
+    #[test]
+    fn uniform_popularity_keeps_one_expert_per_device() {
+        let pop = vec![1.0 / 16.0; 16];
+        let p = popularity_placement(&pop, config(16));
+        assert!(p.is_complete());
+        assert_eq!(p.total_replicas(), 16);
+        assert!(p.max_per_device(16) <= 2);
+    }
+
+    #[test]
+    fn popular_expert_gets_replicas() {
+        // Expert 0 wants half the cluster.
+        let mut pop = vec![0.5f64 / 15.0; 16];
+        pop[0] = 0.5;
+        let p = popularity_placement(&pop, config(16));
+        assert!(p.is_complete());
+        assert!(
+            p.hosts[0].len() >= 7,
+            "popular expert got {} replicas: {:?}",
+            p.hosts[0].len(),
+            p.hosts[0]
+        );
+    }
+
+    #[test]
+    fn unpopular_experts_pack_together() {
+        // Two hot experts, fourteen cold ones.
+        let mut pop = vec![0.02f64; 16];
+        pop[3] = 0.36;
+        pop[9] = 0.36;
+        let p = popularity_placement(&pop, config(16));
+        assert!(p.is_complete());
+        assert!(p.hosts[3].len() >= 4, "hot expert 3: {:?}", p.hosts[3]);
+        assert!(p.hosts[9].len() >= 4, "hot expert 9: {:?}", p.hosts[9]);
+        // Cold experts share devices.
+        let mut device_experts = vec![0usize; 16];
+        for (e, hs) in p.hosts.iter().enumerate() {
+            if e != 3 && e != 9 {
+                for d in hs {
+                    device_experts[d.0 as usize] += 1;
+                }
+            }
+        }
+        assert!(
+            device_experts.iter().any(|&c| c >= 2),
+            "no device packs multiple cold experts: {device_experts:?}"
+        );
+    }
+
+    #[test]
+    fn respects_max_per_device_under_normal_load() {
+        let pop = vec![1.0 / 16.0; 16];
+        let p = popularity_placement(&pop, PlacementConfig { devices: 8, max_experts_per_device: 4 });
+        assert!(p.is_complete());
+        assert!(p.max_per_device(8) <= 4);
+    }
+
+    #[test]
+    fn experts_without_estimate_fill_free_devices() {
+        // Only expert 0 has an estimate and a modest one; the rest must
+        // still be hosted somewhere.
+        let mut pop = vec![0.0f64; 8];
+        pop[0] = 0.3;
+        let p = popularity_placement(&pop, config(8));
+        assert!(p.is_complete());
+        for hs in &p.hosts {
+            assert!(!hs.is_empty());
+        }
+    }
+
+    #[test]
+    fn never_uses_more_devices_than_available() {
+        let pop: Vec<f64> = (0..16).map(|e| 1.0 / (e + 1) as f64).collect();
+        for devices in [4usize, 8, 16] {
+            let p = popularity_placement(&pop, config(devices));
+            for hs in &p.hosts {
+                for d in hs {
+                    assert!((d.0 as usize) < devices, "device {d:?} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let pop: Vec<f64> = (0..16).map(|e| ((e * 7) % 5 + 1) as f64 / 48.0).collect();
+        let a = popularity_placement(&pop, config(16));
+        let b = popularity_placement(&pop, config(16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero devices")]
+    fn zero_devices_panics() {
+        popularity_placement(&[1.0], PlacementConfig { devices: 0, max_experts_per_device: 1 });
+    }
+}

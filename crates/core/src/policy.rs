@@ -1,0 +1,136 @@
+//! The communication-scheduling policy interface.
+//!
+//! The execution engine maintains NCCL-like stream semantics: at most
+//! one collective of each class (all-to-all / allreduce) is in flight,
+//! and a launched collective cannot be preempted — precisely the
+//! constraint §4.1 identifies. A policy is consulted whenever a stream
+//! could launch something (an op became ready, or a collective
+//! finished) and picks which pending op, if any, to admit.
+//!
+//! This narrow interface is deliberately all the control a real
+//! scheduler has; every scheme in the paper (baseline fair-share, naive
+//! priority, fixed, and Lina's micro-op priority scheduler) is a policy
+//! plus a choice of graph-construction options.
+
+use lina_model::CommMeta;
+
+/// A communication op whose dependencies are met, awaiting launch.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingComm {
+    /// Engine handle; return this from [`CommPolicy::select`] to launch.
+    pub handle: usize,
+    /// The op's metadata.
+    pub meta: CommMeta,
+    /// Instant the op became ready, in nanoseconds (FIFO tie-breaking).
+    pub ready_at_ns: u64,
+}
+
+/// A collective currently in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveComm {
+    /// The op's metadata.
+    pub meta: CommMeta,
+}
+
+/// Snapshot of the communication state at a decision point.
+#[derive(Clone, Debug)]
+pub struct CommView<'a> {
+    /// Ready-to-launch ops, in readiness order.
+    pub pending: &'a [PendingComm],
+    /// Collectives in flight.
+    pub active: &'a [ActiveComm],
+    /// True if some all-to-all op is *about to* become ready: all of
+    /// its unmet dependencies are currently executing. Lina's scheduler
+    /// uses this as the "combine in backward has started" signal
+    /// (§6.1) to stop admitting allreduce micro-ops.
+    pub a2a_imminent: bool,
+    /// True if an all-to-all class stream is free (no all-to-all in
+    /// flight).
+    pub a2a_stream_free: bool,
+    /// True if the allreduce class stream is free.
+    pub allreduce_stream_free: bool,
+}
+
+impl CommView<'_> {
+    /// Pending ops of a class, in readiness order.
+    pub fn pending_of(
+        &self,
+        class: lina_model::CommClass,
+    ) -> impl Iterator<Item = &PendingComm> + '_ {
+        self.pending.iter().filter(move |p| p.meta.class == class)
+    }
+
+    /// True if any all-to-all is pending or in flight.
+    pub fn a2a_present(&self) -> bool {
+        use lina_model::CommClass::AllToAll;
+        self.pending.iter().any(|p| p.meta.class == AllToAll)
+            || self.active.iter().any(|a| a.meta.class == AllToAll)
+    }
+}
+
+/// A communication scheduling policy.
+pub trait CommPolicy {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses which pending ops to launch now (handles from
+    /// [`PendingComm::handle`]). The engine launches them in the
+    /// returned order, still subject to one-in-flight-per-class; ops
+    /// that cannot launch are silently skipped and the policy will be
+    /// consulted again at the next event.
+    fn select(&mut self, view: &CommView<'_>) -> Vec<usize>;
+
+    /// Notification that a collective completed (for policies keeping
+    /// internal state, e.g. fixed scheduling counting all-to-alls).
+    fn on_complete(&mut self, _meta: &CommMeta) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lina_model::{CommClass, CommMeta};
+
+    fn meta(class: CommClass) -> CommMeta {
+        CommMeta {
+            class,
+            layer: 0,
+            chunk: 0,
+            nchunks: 1,
+            bytes_per_device: 1.0,
+            backward: true,
+            op_index: 0,
+        }
+    }
+
+    #[test]
+    fn view_helpers() {
+        let pending = vec![
+            PendingComm { handle: 0, meta: meta(CommClass::AllToAll), ready_at_ns: 0 },
+            PendingComm { handle: 1, meta: meta(CommClass::Allreduce), ready_at_ns: 1 },
+        ];
+        let active = vec![ActiveComm { meta: meta(CommClass::Allreduce) }];
+        let view = CommView {
+            pending: &pending,
+            active: &active,
+            a2a_imminent: false,
+            a2a_stream_free: true,
+            allreduce_stream_free: false,
+        };
+        assert!(view.a2a_present());
+        assert_eq!(view.pending_of(CommClass::AllToAll).count(), 1);
+        assert_eq!(view.pending_of(CommClass::Allreduce).count(), 1);
+    }
+
+    #[test]
+    fn a2a_present_via_active() {
+        let active = vec![ActiveComm { meta: meta(CommClass::AllToAll) }];
+        let view = CommView {
+            pending: &[],
+            active: &active,
+            a2a_imminent: false,
+            a2a_stream_free: false,
+            allreduce_stream_free: true,
+        };
+        assert!(view.a2a_present());
+    }
+}

@@ -1,0 +1,8 @@
+//! Lina's training-side contribution: the priority micro-op
+//! communication scheduler and the expert-packing controller.
+
+pub mod packing;
+pub mod scheduler;
+
+pub use packing::{PackingController, PackingDecision, PackingObservation, PackingPlan};
+pub use scheduler::LinaTrainScheduler;

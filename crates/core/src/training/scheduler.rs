@@ -1,0 +1,180 @@
+//! Lina's priority-based micro-op communication scheduler (§4.2, §6.1).
+//!
+//! The rules, verbatim from the paper:
+//!
+//! * all-to-all is launched as soon as it is ready (it blocks the
+//!   compute stream, so every nanosecond counts);
+//! * an allreduce micro-op is admitted only when **no all-to-all is
+//!   waiting or ongoing**, so all-to-all always gets the full network
+//!   bandwidth during its lifetime;
+//! * the scheduler additionally **stops admitting allreduce micro-ops
+//!   once an all-to-all is imminent** (the combine computation of the
+//!   next MoE layer's backward has started), because a micro-op
+//!   launched now would collide with it — this is the "combining
+//!   computation implies all-to-all is imminent" rule of §6.1.
+//!
+//! Because tensors are partitioned into equal micro-ops at graph
+//! construction, deferring allreduce never wastes much work: micro-ops
+//! slot into the gaps between all-to-all operations (Figure 8a).
+
+use lina_model::CommClass;
+
+use crate::policy::{CommPolicy, CommView};
+
+/// Lina's training-time communication scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct LinaTrainScheduler {
+    /// When false, the imminence rule is disabled (ablation).
+    pub use_imminence: bool,
+}
+
+impl LinaTrainScheduler {
+    /// Creates the full scheduler (imminence rule enabled).
+    pub fn new() -> Self {
+        LinaTrainScheduler { use_imminence: true }
+    }
+}
+
+impl CommPolicy for LinaTrainScheduler {
+    fn name(&self) -> &'static str {
+        "lina"
+    }
+
+    fn select(&mut self, view: &CommView<'_>) -> Vec<usize> {
+        let mut launch = Vec::new();
+        // All-to-all: admit the head of the queue whenever the stream
+        // is free.
+        if view.a2a_stream_free {
+            if let Some(p) = view.pending_of(CommClass::AllToAll).next() {
+                launch.push(p.handle);
+            }
+        }
+        // Allreduce: one micro-op, only when no all-to-all exists or
+        // looms.
+        let a2a_soon = view.a2a_present() || (self.use_imminence && view.a2a_imminent);
+        if view.allreduce_stream_free && !a2a_soon {
+            if let Some(p) = view.pending_of(CommClass::Allreduce).next() {
+                launch.push(p.handle);
+            }
+        }
+        // Control traffic is never deferred.
+        for p in view.pending_of(CommClass::Control) {
+            launch.push(p.handle);
+        }
+        launch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ActiveComm, PendingComm};
+    use lina_model::CommMeta;
+
+    fn meta(class: CommClass, chunk: usize) -> CommMeta {
+        CommMeta {
+            class,
+            layer: 3,
+            chunk,
+            nchunks: 4,
+            bytes_per_device: 1e6,
+            backward: true,
+            op_index: 0,
+        }
+    }
+
+    fn pend(handle: usize, class: CommClass) -> PendingComm {
+        PendingComm { handle, meta: meta(class, handle % 4), ready_at_ns: handle as u64 }
+    }
+
+    #[test]
+    fn a2a_launches_immediately() {
+        let mut s = LinaTrainScheduler::new();
+        let pending = vec![pend(0, CommClass::AllToAll)];
+        let view = CommView {
+            pending: &pending,
+            active: &[],
+            a2a_imminent: false,
+            a2a_stream_free: true,
+            allreduce_stream_free: true,
+        };
+        assert_eq!(s.select(&view), vec![0]);
+    }
+
+    #[test]
+    fn allreduce_deferred_while_a2a_pending() {
+        let mut s = LinaTrainScheduler::new();
+        let pending = vec![pend(0, CommClass::Allreduce), pend(1, CommClass::AllToAll)];
+        let view = CommView {
+            pending: &pending,
+            active: &[],
+            a2a_imminent: false,
+            a2a_stream_free: true,
+            allreduce_stream_free: true,
+        };
+        // Only the all-to-all is admitted.
+        assert_eq!(s.select(&view), vec![1]);
+    }
+
+    #[test]
+    fn allreduce_deferred_while_a2a_active() {
+        let mut s = LinaTrainScheduler::new();
+        let pending = vec![pend(0, CommClass::Allreduce)];
+        let active = vec![ActiveComm { meta: meta(CommClass::AllToAll, 0) }];
+        let view = CommView {
+            pending: &pending,
+            active: &active,
+            a2a_imminent: false,
+            a2a_stream_free: false,
+            allreduce_stream_free: true,
+        };
+        assert!(s.select(&view).is_empty());
+    }
+
+    #[test]
+    fn allreduce_deferred_when_a2a_imminent() {
+        let mut s = LinaTrainScheduler::new();
+        let pending = vec![pend(0, CommClass::Allreduce)];
+        let view = CommView {
+            pending: &pending,
+            active: &[],
+            a2a_imminent: true,
+            a2a_stream_free: true,
+            allreduce_stream_free: true,
+        };
+        assert!(s.select(&view).is_empty());
+        // Ablated scheduler ignores imminence.
+        let mut ablated = LinaTrainScheduler { use_imminence: false };
+        assert_eq!(ablated.select(&view), vec![0]);
+    }
+
+    #[test]
+    fn allreduce_runs_in_gaps() {
+        let mut s = LinaTrainScheduler::new();
+        let pending = vec![pend(0, CommClass::Allreduce), pend(1, CommClass::Allreduce)];
+        let view = CommView {
+            pending: &pending,
+            active: &[],
+            a2a_imminent: false,
+            a2a_stream_free: true,
+            allreduce_stream_free: true,
+        };
+        // Exactly one micro-op at a time.
+        assert_eq!(s.select(&view), vec![0]);
+    }
+
+    #[test]
+    fn one_allreduce_in_flight_blocks_more() {
+        let mut s = LinaTrainScheduler::new();
+        let pending = vec![pend(1, CommClass::Allreduce)];
+        let active = vec![ActiveComm { meta: meta(CommClass::Allreduce, 0) }];
+        let view = CommView {
+            pending: &pending,
+            active: &active,
+            a2a_imminent: false,
+            a2a_stream_free: true,
+            allreduce_stream_free: false,
+        };
+        assert!(s.select(&view).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Device memory accounting.
+//!
+//! Table 4 of the paper reports peak GPU memory usage and whether
+//! DRAM-offloading kicked in. We track allocations per device in named
+//! categories (parameters, gradients, activations, packed experts) and
+//! record the peak. When an allocation would exceed capacity, the caller
+//! can consult [`MemoryTracker::would_overflow`] and charge the PCIe swap
+//! time that offloading costs instead.
+
+use std::collections::BTreeMap;
+
+use crate::topology::DeviceId;
+
+/// Allocation category, for reporting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemClass {
+    /// Model parameters resident on the device.
+    Params,
+    /// Gradient buffers.
+    Grads,
+    /// Optimizer state.
+    OptState,
+    /// Activations / workspace.
+    Activations,
+    /// Additional experts packed onto this device.
+    PackedExperts,
+}
+
+/// Per-cluster device memory tracker.
+#[derive(Clone, Debug)]
+pub struct MemoryTracker {
+    capacity: f64,
+    used: Vec<BTreeMap<MemClass, f64>>,
+    peak: Vec<f64>,
+    offloaded: Vec<bool>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker for `devices` devices of `capacity` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn new(devices: usize, capacity: f64) -> Self {
+        assert!(capacity > 0.0, "MemoryTracker::new: bad capacity");
+        MemoryTracker {
+            capacity,
+            used: vec![BTreeMap::new(); devices],
+            peak: vec![0.0; devices],
+            offloaded: vec![false; devices],
+        }
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    fn idx(&self, d: DeviceId) -> usize {
+        let i = d.0 as usize;
+        assert!(i < self.used.len(), "MemoryTracker: device {} out of range", d.0);
+        i
+    }
+
+    /// Adds `bytes` to a device's usage in the given class.
+    pub fn alloc(&mut self, d: DeviceId, class: MemClass, bytes: f64) {
+        assert!(bytes >= 0.0, "alloc: negative bytes");
+        let i = self.idx(d);
+        *self.used[i].entry(class).or_insert(0.0) += bytes;
+        let total = self.used_bytes(d);
+        if total > self.peak[i] {
+            self.peak[i] = total;
+        }
+    }
+
+    /// Releases `bytes` from a device's usage in the given class,
+    /// clamping at zero.
+    pub fn free(&mut self, d: DeviceId, class: MemClass, bytes: f64) {
+        let i = self.idx(d);
+        let entry = self.used[i].entry(class).or_insert(0.0);
+        *entry = (*entry - bytes).max(0.0);
+    }
+
+    /// Current usage of a device across all classes.
+    pub fn used_bytes(&self, d: DeviceId) -> f64 {
+        self.used[self.idx(d)].values().sum()
+    }
+
+    /// Current usage of a device in one class.
+    pub fn used_in_class(&self, d: DeviceId, class: MemClass) -> f64 {
+        self.used[self.idx(d)].get(&class).copied().unwrap_or(0.0)
+    }
+
+    /// Peak usage seen on a device.
+    pub fn peak_bytes(&self, d: DeviceId) -> f64 {
+        self.peak[self.idx(d)]
+    }
+
+    /// Peak usage as a fraction of capacity, over all devices — the
+    /// "GPU Memory Peak Usage (%)" column of Table 4.
+    pub fn peak_fraction(&self) -> f64 {
+        let max_peak = self.peak.iter().copied().fold(0.0, f64::max);
+        (max_peak / self.capacity).min(1.0)
+    }
+
+    /// True if allocating `bytes` more on `d` would exceed capacity.
+    pub fn would_overflow(&self, d: DeviceId, bytes: f64) -> bool {
+        self.used_bytes(d) + bytes > self.capacity
+    }
+
+    /// Marks that a device resorted to DRAM offloading.
+    pub fn mark_offloaded(&mut self, d: DeviceId) {
+        let i = self.idx(d);
+        self.offloaded[i] = true;
+        // Offloading means the device ran at its memory ceiling.
+        self.peak[i] = self.peak[i].max(self.capacity);
+    }
+
+    /// True if any device offloaded to DRAM.
+    pub fn any_offloaded(&self) -> bool {
+        self.offloaded.iter().any(|&o| o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = MemoryTracker::new(2, 100.0);
+        m.alloc(d(0), MemClass::Params, 30.0);
+        m.alloc(d(0), MemClass::Grads, 20.0);
+        assert_eq!(m.used_bytes(d(0)), 50.0);
+        assert_eq!(m.used_in_class(d(0), MemClass::Params), 30.0);
+        m.free(d(0), MemClass::Grads, 20.0);
+        assert_eq!(m.used_bytes(d(0)), 30.0);
+        assert_eq!(m.used_bytes(d(1)), 0.0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new(1, 100.0);
+        m.alloc(d(0), MemClass::Activations, 80.0);
+        m.free(d(0), MemClass::Activations, 80.0);
+        m.alloc(d(0), MemClass::Activations, 10.0);
+        assert_eq!(m.peak_bytes(d(0)), 80.0);
+        assert!((m.peak_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_clamps_at_zero() {
+        let mut m = MemoryTracker::new(1, 100.0);
+        m.alloc(d(0), MemClass::Params, 5.0);
+        m.free(d(0), MemClass::Params, 50.0);
+        assert_eq!(m.used_bytes(d(0)), 0.0);
+    }
+
+    #[test]
+    fn overflow_detection_and_offload() {
+        let mut m = MemoryTracker::new(1, 100.0);
+        m.alloc(d(0), MemClass::Params, 90.0);
+        assert!(m.would_overflow(d(0), 20.0));
+        assert!(!m.would_overflow(d(0), 5.0));
+        assert!(!m.any_offloaded());
+        m.mark_offloaded(d(0));
+        assert!(m.any_offloaded());
+        assert!((m.peak_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_device_panics() {
+        let m = MemoryTracker::new(1, 100.0);
+        m.used_bytes(d(5));
+    }
+}

@@ -1,0 +1,514 @@
+//! Inference-batch driver.
+//!
+//! Simulates one batch through every MoE layer of a model under a
+//! scheme from Figure 16 (Baseline, Ideal, Lina, and the two Lina
+//! ablations). Inference is synchronous layer by layer — attention,
+//! gate, (scheduling), dispatch all-to-all, per-device expert compute,
+//! combine all-to-all, combine — so the driver walks a scalar clock
+//! and uses the collective engine for each (unequal-split) all-to-all.
+//!
+//! Lina's phase one runs overlapped with the previous layer's expert
+//! computation; only the part of the scheduling time that exceeds the
+//! overlap window blocks. Phase two blocks for the resume broadcast or,
+//! on a fine-tune, the full scheduling time (§6.2, §7.3.1).
+
+use lina_baselines::InferScheme;
+use lina_core::{PhaseOne, PhaseTwo, TwoPhaseScheduler};
+use lina_model::{assign_replicas, CostModel, ExpertPlacement, LayerRouting};
+use lina_netsim::{AllToAllAlgo, CollectiveSpec, DeviceId, Topology};
+use lina_simcore::{Samples, SimDuration};
+use lina_workload::TokenBatch;
+
+use crate::train::solo_collective_time;
+
+/// Per-batch measurements.
+#[derive(Clone, Debug)]
+pub struct InferenceReport {
+    /// End-to-end batch time.
+    pub total: SimDuration,
+    /// Per-layer MoE time (gate through combine, including scheduling).
+    pub layer_times: Vec<SimDuration>,
+    /// Per-layer all-to-all time (dispatch plus combine).
+    pub a2a_times: Vec<SimDuration>,
+    /// Layers where phase two fine-tuned the placement.
+    pub finetunes: usize,
+    /// Layers where an estimate was produced.
+    pub estimates: usize,
+    /// Layers where the estimate matched the actual top-2k.
+    pub accurate: usize,
+    /// Largest per-layer idle fraction of the least-loaded device
+    /// (the §2.2 straggler measurement).
+    pub max_idle_frac: f64,
+}
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct InferenceConfig {
+    /// Scheme under test.
+    pub scheme: InferScheme,
+    /// Gate fan-out (1 in the paper's inference).
+    pub top_k: usize,
+}
+
+fn a2a_duration(
+    topo: &Topology,
+    sizes: &[Vec<usize>],
+    bytes_per_token: f64,
+) -> SimDuration {
+    let devices = sizes.len();
+    let any_remote = sizes
+        .iter()
+        .enumerate()
+        .any(|(i, row)| row.iter().enumerate().any(|(j, &c)| i != j && c > 0));
+    if !any_remote {
+        return SimDuration::ZERO;
+    }
+    let participants: Vec<DeviceId> = topo.device_ids().collect();
+    let byte_sizes: Vec<Vec<f64>> = sizes
+        .iter()
+        .map(|row| row.iter().map(|&c| c as f64 * bytes_per_token).collect())
+        .collect();
+    debug_assert_eq!(devices, participants.len());
+    let spec = CollectiveSpec::AllToAll {
+        participants,
+        sizes: byte_sizes,
+        algo: AllToAllAlgo::Flat,
+    };
+    solo_collective_time(topo, &spec)
+}
+
+fn transpose_counts(m: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = m.len();
+    let mut out = vec![vec![0usize; n]; n];
+    for (i, row) in m.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v;
+        }
+    }
+    out
+}
+
+/// Runs one batch under the scheme; `scheduler` is required for the
+/// Lina schemes and ignored by Baseline/Ideal.
+///
+/// # Panics
+///
+/// Panics if a Lina scheme is requested without a scheduler.
+pub fn run_inference_batch(
+    cost: &CostModel,
+    topo: &Topology,
+    config: &InferenceConfig,
+    scheduler: Option<&TwoPhaseScheduler>,
+    batch: &TokenBatch,
+) -> InferenceReport {
+    let model = &cost.model;
+    let devices = topo.devices();
+    let layers = model.layers;
+    let tokens_per_device = batch.len() / devices;
+    let needs_scheduler = matches!(
+        config.scheme,
+        InferScheme::Lina | InferScheme::LinaNoEstimation | InferScheme::LinaNoFinetune
+    );
+    assert!(
+        !needs_scheduler || scheduler.is_some(),
+        "run_inference_batch: {:?} requires a scheduler",
+        config.scheme
+    );
+
+    let static_placement = ExpertPlacement::one_per_device(model.experts, devices);
+    let mut total = SimDuration::ZERO;
+    let mut layer_times = Vec::with_capacity(layers);
+    let mut a2a_times = Vec::with_capacity(layers);
+    let mut finetunes = 0;
+    let mut estimates = 0;
+    let mut accurate = 0;
+    let mut max_idle_frac: f64 = 0.0;
+    // Phase-one result computed during the previous layer, and the
+    // scheduling time still to absorb (overlap accounting).
+    let mut pending_phase_one: Option<PhaseOne> = None;
+    let mut unabsorbed_sched = SimDuration::ZERO;
+
+    for layer in 0..layers {
+        let mut layer_time = SimDuration::ZERO;
+        // Attention is outside the MoE layer but advances the clock.
+        total += cost.attention_fwd(tokens_per_device);
+        // Gate.
+        let gate = cost.gate_fwd(tokens_per_device);
+        layer_time += gate;
+
+        // Actual routing (Ideal forces a balanced gate).
+        let routing = match config.scheme {
+            InferScheme::Ideal => LayerRouting::balanced(
+                devices,
+                model.experts,
+                tokens_per_device,
+                config.top_k,
+            ),
+            _ => batch.routing_for_layer(layer),
+        };
+
+        // Scheduling: decide this layer's placement and its blocking
+        // cost.
+        let mut placement = static_placement.clone();
+        let mut swapped_late = false;
+        match config.scheme {
+            InferScheme::Baseline | InferScheme::Ideal => {}
+            InferScheme::LinaNoEstimation => {
+                let s = scheduler.expect("checked above");
+                placement = s.schedule_from_actual(&routing);
+                // Reactive scheduling blocks the layer entirely.
+                layer_time += s.config().schedule_time;
+                swapped_late = true;
+            }
+            InferScheme::Lina | InferScheme::LinaNoFinetune => {
+                let s = scheduler.expect("checked above");
+                // Any phase-one time the previous layer could not
+                // absorb blocks now.
+                layer_time += unabsorbed_sched;
+                unabsorbed_sched = SimDuration::ZERO;
+                if let Some(p1) = pending_phase_one.take() {
+                    estimates += 1;
+                    let actual_pop = routing.popularity();
+                    let two_k = 2 * config.top_k;
+                    if lina_core::PopularityEstimator::estimate_matches(
+                        &p1.estimate,
+                        &actual_pop,
+                        two_k.min(model.experts),
+                    ) {
+                        accurate += 1;
+                    }
+                    if config.scheme == InferScheme::Lina {
+                        match s.phase_two(&p1, &routing) {
+                            PhaseTwo::Resume => {
+                                layer_time += s.config().resume_time;
+                                placement = p1.placement;
+                            }
+                            PhaseTwo::Finetune(p) => {
+                                layer_time += s.config().schedule_time;
+                                finetunes += 1;
+                                placement = p;
+                                swapped_late = true;
+                            }
+                        }
+                    } else {
+                        // w/o fine-tuning: trust the estimate blindly.
+                        placement = p1.placement;
+                    }
+                }
+            }
+        }
+
+        // Dispatch.
+        let plan = assign_replicas(&routing, &placement, topo);
+        let d1 = a2a_duration(topo, &plan.sizes, model.token_bytes());
+        layer_time += d1;
+
+        // Expert computation per device: sequential over hosted
+        // experts, plus weight-swap overhead for packed/late-changed
+        // experts.
+        let swap = cost.expert_swap(topo.spec().pcie_bw);
+        let mut compute_times: Vec<SimDuration> = Vec::with_capacity(devices);
+        for d in 0..devices {
+            // Packed experts compute one at a time (§6.2); the next
+            // expert's weights stream in from host DRAM behind the
+            // current expert's computation (double buffering), so only
+            // the un-hidden part of each load costs time.
+            let mut t = SimDuration::ZERO;
+            let mut computed = 0;
+            let mut prev_compute = SimDuration::ZERO;
+            for e in 0..model.experts {
+                let tok = plan.compute[d][e];
+                if tok > 0 {
+                    if computed > 0 {
+                        t += swap.saturating_sub(prev_compute);
+                    }
+                    let c = cost.expert_fwd(tok);
+                    t += c;
+                    prev_compute = c;
+                    computed += 1;
+                }
+            }
+            if swapped_late && computed > 0 {
+                // A post-gate placement change cannot prefetch the
+                // first expert's weights.
+                t += swap;
+            }
+            compute_times.push(t);
+        }
+        let slowest = compute_times.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        if slowest > SimDuration::ZERO {
+            let fastest =
+                compute_times.iter().copied().min().unwrap_or(SimDuration::ZERO);
+            let idle = (slowest - fastest).ratio(slowest);
+            max_idle_frac = max_idle_frac.max(idle);
+        }
+        layer_time += slowest;
+
+        // Combine all-to-all back to the token owners.
+        let d2 = a2a_duration(topo, &transpose_counts(&plan.sizes), model.token_bytes());
+        layer_time += d2;
+        let combine = cost.combine(tokens_per_device);
+        layer_time += combine;
+
+        // Phase one for the next layer starts as soon as this layer's
+        // gate fixed the token paths, and overlaps everything up to the
+        // next layer's gate output: dispatch, expert compute, combine,
+        // and the next attention + gate. Whatever does not fit in that
+        // window blocks the next layer (§6.2: "largely overlapped").
+        if layer + 1 < layers
+            && matches!(config.scheme, InferScheme::Lina | InferScheme::LinaNoFinetune)
+        {
+            let s = scheduler.expect("checked above");
+            // Tokens' observed paths now include this layer.
+            pending_phase_one = s.phase_one(&batch.tokens, layer + 1);
+            if pending_phase_one.is_some() {
+                let window = d1
+                    + slowest
+                    + d2
+                    + combine
+                    + cost.attention_fwd(tokens_per_device)
+                    + gate;
+                unabsorbed_sched = s.config().schedule_time.saturating_sub(window);
+            }
+        }
+
+        a2a_times.push(d1 + d2);
+        layer_times.push(layer_time);
+        total += layer_time;
+    }
+
+    InferenceReport {
+        total,
+        layer_times,
+        a2a_times,
+        finetunes,
+        estimates,
+        accurate,
+        max_idle_frac,
+    }
+}
+
+/// Aggregated inference statistics over many batches.
+pub struct InferenceSummary {
+    /// End-to-end batch times (seconds).
+    pub totals: Samples,
+    /// All per-layer MoE times pooled.
+    pub layer_times: Samples,
+    /// All per-layer all-to-all times pooled.
+    pub a2a_times: Samples,
+    /// Fraction of estimated layers that were fine-tuned.
+    pub finetune_rate: f64,
+    /// Fraction of estimated layers whose estimate matched.
+    pub accuracy: f64,
+}
+
+/// Runs many batches and aggregates.
+pub fn run_inference_batches(
+    cost: &CostModel,
+    topo: &Topology,
+    config: &InferenceConfig,
+    scheduler: Option<&TwoPhaseScheduler>,
+    batches: &[TokenBatch],
+) -> InferenceSummary {
+    let mut totals = Samples::new();
+    let mut layer_times = Samples::new();
+    let mut a2a_times = Samples::new();
+    let mut finetunes = 0usize;
+    let mut estimates = 0usize;
+    let mut accurate = 0usize;
+    for batch in batches {
+        let r = run_inference_batch(cost, topo, config, scheduler, batch);
+        totals.push_duration(r.total);
+        for &t in &r.layer_times {
+            layer_times.push_duration(t);
+        }
+        for &t in &r.a2a_times {
+            a2a_times.push_duration(t);
+        }
+        finetunes += r.finetunes;
+        estimates += r.estimates;
+        accurate += r.accurate;
+    }
+    InferenceSummary {
+        totals,
+        layer_times,
+        a2a_times,
+        finetune_rate: if estimates == 0 { 0.0 } else { finetunes as f64 / estimates as f64 },
+        accuracy: if estimates == 0 { 0.0 } else { accurate as f64 / estimates as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lina_core::{PopularityEstimator, TwoPhaseConfig};
+    use lina_model::{DeviceSpec, MoeModelConfig};
+    use lina_netsim::ClusterSpec;
+    use lina_workload::{Mode, TokenSource, WorkloadSpec};
+
+    fn setup() -> (CostModel, Topology, TwoPhaseScheduler, Vec<TokenBatch>) {
+        let model = MoeModelConfig::transformer_xl(12, 16).for_inference();
+        let topo = Topology::new(ClusterSpec::with_total_gpus(16));
+        let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+        let spec = WorkloadSpec::enwik8(16, 12);
+        let mut src = TokenSource::new(&spec, 1, 7);
+        let profile: Vec<TokenBatch> =
+            (0..8).map(|_| src.sample_batch(16, 1024, Mode::Train)).collect();
+        let estimator = PopularityEstimator::profile(&profile, 3);
+        // Tests run a quarter of the paper's batch (4k tokens/device),
+        // so the fixed scheduling overheads scale down accordingly.
+        let mut cfg = TwoPhaseConfig::paper_defaults(16);
+        cfg.schedule_time = SimDuration::from_micros(1550);
+        cfg.resume_time = SimDuration::from_micros(360);
+        let scheduler = TwoPhaseScheduler::new(cfg, estimator);
+        let mut infer = TokenSource::new(&spec, 1, 1234);
+        let batches: Vec<TokenBatch> =
+            (0..6).map(|_| infer.sample_batch(16, 4096, Mode::Inference)).collect();
+        (cost, topo, scheduler, batches)
+    }
+
+    #[test]
+    fn ideal_beats_baseline() {
+        let (cost, topo, _, batches) = setup();
+        let base = run_inference_batch(
+            &cost,
+            &topo,
+            &InferenceConfig { scheme: InferScheme::Baseline, top_k: 1 },
+            None,
+            &batches[0],
+        );
+        let ideal = run_inference_batch(
+            &cost,
+            &topo,
+            &InferenceConfig { scheme: InferScheme::Ideal, top_k: 1 },
+            None,
+            &batches[0],
+        );
+        assert!(
+            ideal.total < base.total,
+            "ideal {} >= baseline {}",
+            ideal.total,
+            base.total
+        );
+        assert!(base.max_idle_frac > 0.2, "skew should idle devices");
+        assert!(ideal.max_idle_frac < 0.05, "ideal is balanced");
+    }
+
+    #[test]
+    fn lina_between_ideal_and_baseline() {
+        let (cost, topo, sched, batches) = setup();
+        let run = |scheme| {
+            run_inference_batches(
+                &cost,
+                &topo,
+                &InferenceConfig { scheme, top_k: 1 },
+                Some(&sched),
+                &batches,
+            )
+        };
+        let mut base = run(InferScheme::Baseline);
+        let mut ideal = run(InferScheme::Ideal);
+        let mut lina = run(InferScheme::Lina);
+        let (b, i, l) = (base.totals.median(), ideal.totals.median(), lina.totals.median());
+        assert!(l < b, "lina {l} >= baseline {b}");
+        assert!(i <= l * 1.01, "ideal {i} > lina {l}");
+    }
+
+    #[test]
+    fn lina_estimates_and_sometimes_finetunes() {
+        let (cost, topo, sched, batches) = setup();
+        let s = run_inference_batches(
+            &cost,
+            &topo,
+            &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+            Some(&sched),
+            &batches,
+        );
+        assert!(s.accuracy > 0.3, "accuracy {}", s.accuracy);
+        assert!(s.finetune_rate < 0.9, "finetune rate {}", s.finetune_rate);
+        // Fine-tuning triggers on *significant* deviations only, so it
+        // fires at most as often as the strict accuracy metric misses.
+        assert!(
+            s.finetune_rate <= (1.0 - s.accuracy) + 1e-9,
+            "ft rate {} vs inaccuracy {}",
+            s.finetune_rate,
+            1.0 - s.accuracy
+        );
+    }
+
+    #[test]
+    fn no_estimation_is_slower_than_lina() {
+        let (cost, topo, sched, batches) = setup();
+        let run = |scheme| {
+            run_inference_batches(
+                &cost,
+                &topo,
+                &InferenceConfig { scheme, top_k: 1 },
+                Some(&sched),
+                &batches,
+            )
+        };
+        let mut lina = run(InferScheme::Lina);
+        let mut noest = run(InferScheme::LinaNoEstimation);
+        assert!(
+            noest.totals.median() > lina.totals.median(),
+            "w/o estimation {} <= lina {}",
+            noest.totals.median(),
+            lina.totals.median()
+        );
+    }
+
+    #[test]
+    fn no_finetune_hurts_tail_more_than_median() {
+        let (cost, topo, sched, batches) = setup();
+        let run = |scheme| {
+            run_inference_batches(
+                &cost,
+                &topo,
+                &InferenceConfig { scheme, top_k: 1 },
+                Some(&sched),
+                &batches,
+            )
+        };
+        let lina = run(InferScheme::Lina);
+        let noft = run(InferScheme::LinaNoFinetune);
+        // Without the check there is no resume cost, so the median can
+        // even improve; but unchecked misestimates make the *relative*
+        // per-layer tail worse than Lina's.
+        let rel = |mut s: lina_simcore::Samples| s.p95() / s.median().max(1e-12);
+        assert!(
+            rel(noft.layer_times) >= rel(lina.layer_times) * 0.95,
+            "w/o ft relative tail unexpectedly better than lina's"
+        );
+    }
+
+    #[test]
+    fn report_shapes() {
+        let (cost, topo, sched, batches) = setup();
+        let r = run_inference_batch(
+            &cost,
+            &topo,
+            &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+            Some(&sched),
+            &batches[0],
+        );
+        assert_eq!(r.layer_times.len(), 12);
+        assert_eq!(r.a2a_times.len(), 12);
+        // Estimation covers layers l..layers-1 = 3..=11.
+        assert_eq!(r.estimates, 9);
+        assert!(r.total > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a scheduler")]
+    fn lina_without_scheduler_panics() {
+        let (cost, topo, _, batches) = setup();
+        run_inference_batch(
+            &cost,
+            &topo,
+            &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+            None,
+            &batches[0],
+        );
+    }
+}

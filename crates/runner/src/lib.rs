@@ -1,0 +1,26 @@
+//! # lina-runner
+//!
+//! Execution drivers tying the model, workload, schedulers, and network
+//! simulator together: the op-graph engine, the training-step and
+//! inference-batch drivers with metric extraction, and the parallel
+//! sweep harness used by the benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod inference;
+pub mod session;
+pub mod sweep;
+pub mod train;
+
+pub use engine::{execute, ExecResult};
+pub use session::{run_lina_session, SessionConfig, SessionReport};
+pub use sweep::{default_threads, parallel_map};
+pub use inference::{
+    run_inference_batch, run_inference_batches, InferenceConfig, InferenceReport,
+    InferenceSummary,
+};
+pub use train::{
+    run_train_step, run_train_steps, solo_collective_time, summarize_steps, StepMetrics,
+    StepRun, TrainSummary,
+};

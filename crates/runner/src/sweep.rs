@@ -1,0 +1,93 @@
+//! Parallel experiment execution.
+//!
+//! Benchmark binaries sweep many (model, scheme, seed) configurations;
+//! each simulation is independent and deterministic, so they fan out
+//! over threads. Work items are generated up front (deterministically)
+//! and results return in input order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` using up to `threads` worker threads,
+/// preserving input order in the output. With `threads <= 1` this
+/// degenerates to a plain serial map.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn serial_path_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            parallel_map(&items, 1, |&x| x + 1),
+            parallel_map(&items, 4, |&x| x + 1)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        let out: Vec<u32> = parallel_map(&items, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![1, 2];
+        let out = parallel_map(&items, 64, |&x| x * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # lina-workload
+//!
+//! Synthetic token workloads with the two statistical properties the
+//! paper's inference analysis rests on: skewed, layer-specific expert
+//! popularity in inference (near-uniform in training), and a
+//! cross-layer expert-selection pattern whose strength grows with
+//! depth. Includes the generative gating model, token/batch sampling,
+//! dataset presets, and the pattern/popularity analyses of Figures 6
+//! and 9 and Table 2.
+
+#![warn(missing_docs)]
+
+pub mod gating;
+pub mod patterns;
+pub mod spec;
+pub mod tokens;
+
+pub use gating::{GatingModel, Mode};
+pub use patterns::{mean_pattern_ratio, pattern_ratio, popularity, popularity_skew, top_experts};
+pub use spec::WorkloadSpec;
+pub use tokens::{TokenBatch, TokenPath, TokenSource};

@@ -1,0 +1,215 @@
+//! Workload specifications and dataset presets.
+//!
+//! The paper's inference workloads are real request streams (Enwik8 text
+//! generation, WMT translation, IMDB/Twitter sentiment). We replace them
+//! with a generative model whose two tunables reproduce the statistical
+//! properties every inference result rests on:
+//!
+//! * a Zipf distribution over latent *semantic classes* of tokens, which
+//!   produces the skewed expert popularity of Figure 6 (training uses a
+//!   uniform class distribution, matching the balanced popularity the
+//!   auxiliary loss produces);
+//! * per-layer *persistence* — the probability that a token follows its
+//!   class's canonical expert rather than a background draw — which
+//!   produces the cross-layer selection pattern of Figure 9 and rises
+//!   with depth like the paper observes.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic token workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Dataset label, e.g. `"enwik8"`.
+    pub name: String,
+    /// Number of latent semantic classes (more classes = smoother
+    /// popularity).
+    pub classes: usize,
+    /// Experts per MoE layer.
+    pub experts: usize,
+    /// MoE layers in the model.
+    pub layers: usize,
+    /// Zipf exponent of the *inference* class distribution. Zero makes
+    /// inference as balanced as training.
+    pub inference_class_skew: f64,
+    /// Persistence at layer 0: probability a token selects its class's
+    /// canonical expert.
+    pub persistence_base: f64,
+    /// Additional persistence per layer (deeper layers are more
+    /// specialized, per Figure 9).
+    pub persistence_slope: f64,
+    /// Target max/min ratio of the per-layer background expert
+    /// distribution in inference (residual skew not explained by
+    /// classes). Converted internally to a Zipf exponent for the
+    /// layer's expert count, so the skew is comparable across widths.
+    pub background_max_min: f64,
+    /// Probability a class keeps its grouping from one layer to the
+    /// next (classes that share an expert at layer `i` move together to
+    /// a — possibly different — expert at `i+1`). This is what gives
+    /// sample paths predictive power.
+    pub map_correlation: f64,
+    /// Number of "topic" classes boosted per inference batch (request
+    /// streams are bursty: consecutive requests share subject matter).
+    pub burst_topics: usize,
+    /// Fraction of inference tokens drawn from the batch's topics
+    /// instead of the global class distribution.
+    pub burst_strength: f64,
+    /// Seed identifying the "trained model" (class-to-expert maps).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Persistence at a layer, clamped to `[0, 0.97]`.
+    pub fn persistence(&self, layer: usize) -> f64 {
+        (self.persistence_base + self.persistence_slope * layer as f64).clamp(0.0, 0.97)
+    }
+
+    /// Enwik8 text generation (Transformer-XL's inference task).
+    pub fn enwik8(experts: usize, layers: usize) -> Self {
+        WorkloadSpec {
+            name: "enwik8".into(),
+            classes: if experts > 8 { 2 * experts } else { experts + 2 },
+            experts,
+            layers,
+            inference_class_skew: 0.8,
+            persistence_base: 0.52,
+            persistence_slope: 0.025,
+            background_max_min: 4.0,
+            map_correlation: 0.4,
+            burst_topics: 2,
+            burst_strength: 0.4,
+            seed: 0xE119_08,
+        }
+    }
+
+    /// WMT English-German translation (BERT-Large's inference task).
+    pub fn wmt_en_de(experts: usize, layers: usize) -> Self {
+        WorkloadSpec {
+            name: "wmt-en-de".into(),
+            classes: if experts > 8 { 2 * experts + 4 } else { experts + 2 },
+            experts,
+            layers,
+            inference_class_skew: 0.75,
+            persistence_base: 0.5,
+            persistence_slope: 0.025,
+            background_max_min: 4.0,
+            map_correlation: 0.4,
+            burst_topics: 2,
+            burst_strength: 0.4,
+            seed: 0x37A1_DE,
+        }
+    }
+
+    /// IMDB reviews sentiment analysis (Table 6).
+    pub fn imdb(experts: usize, layers: usize) -> Self {
+        WorkloadSpec {
+            name: "imdb".into(),
+            classes: if experts > 8 { 2 * experts } else { experts + 2 },
+            experts,
+            layers,
+            inference_class_skew: 0.85,
+            persistence_base: 0.54,
+            persistence_slope: 0.022,
+            background_max_min: 4.5,
+            map_correlation: 0.38,
+            burst_topics: 2,
+            burst_strength: 0.42,
+            seed: 0x1_4DB,
+        }
+    }
+
+    /// Twitter sentiment analysis (Table 6).
+    pub fn twitter(experts: usize, layers: usize) -> Self {
+        WorkloadSpec {
+            name: "twitter".into(),
+            classes: if experts > 8 { 2 * experts - 4 } else { experts + 2 },
+            experts,
+            layers,
+            inference_class_skew: 0.9,
+            persistence_base: 0.5,
+            persistence_slope: 0.022,
+            background_max_min: 5.0,
+            map_correlation: 0.42,
+            burst_topics: 2,
+            burst_strength: 0.45,
+            seed: 0x7817_7E4,
+        }
+    }
+
+    /// WMT French-English translation (Table 6).
+    pub fn wmt_fr(experts: usize, layers: usize) -> Self {
+        WorkloadSpec {
+            name: "wmt-fr".into(),
+            classes: if experts > 8 { 2 * experts + 4 } else { experts + 2 },
+            experts,
+            layers,
+            inference_class_skew: 0.7,
+            persistence_base: 0.55,
+            persistence_slope: 0.025,
+            background_max_min: 3.5,
+            map_correlation: 0.35,
+            burst_topics: 2,
+            burst_strength: 0.35,
+            seed: 0xF4_ED,
+        }
+    }
+
+    /// WMT Russian-English translation (Table 6).
+    pub fn wmt_ru(experts: usize, layers: usize) -> Self {
+        WorkloadSpec {
+            name: "wmt-ru".into(),
+            classes: if experts > 8 { 2 * experts + 4 } else { experts + 2 },
+            experts,
+            layers,
+            inference_class_skew: 0.75,
+            persistence_base: 0.51,
+            persistence_slope: 0.025,
+            background_max_min: 4.0,
+            map_correlation: 0.4,
+            burst_topics: 2,
+            burst_strength: 0.4,
+            seed: 0x16_55_1A,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_increases_with_depth_and_clamps() {
+        let spec = WorkloadSpec::enwik8(16, 12);
+        assert!(spec.persistence(5) > spec.persistence(0));
+        let mut extreme = spec;
+        extreme.persistence_base = 0.9;
+        extreme.persistence_slope = 0.2;
+        assert!(extreme.persistence(11) <= 0.97);
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let specs = [
+            WorkloadSpec::enwik8(16, 12),
+            WorkloadSpec::wmt_en_de(16, 12),
+            WorkloadSpec::imdb(16, 12),
+            WorkloadSpec::twitter(16, 12),
+            WorkloadSpec::wmt_fr(16, 12),
+            WorkloadSpec::wmt_ru(16, 12),
+        ];
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), specs.len());
+    }
+
+    #[test]
+    fn presets_respect_requested_shape() {
+        let s = WorkloadSpec::wmt_en_de(8, 24);
+        assert_eq!(s.experts, 8);
+        assert_eq!(s.layers, 24);
+    }
+}

@@ -1,0 +1,80 @@
+//! Workload exploration: the two statistical properties Lina's
+//! inference side is built on — skewed per-layer expert popularity and
+//! the cross-layer expert-selection pattern — plus how estimation
+//! accuracy responds to the sample-path length.
+//!
+//! ```text
+//! cargo run --release --example explore_patterns
+//! ```
+
+use lina::core::PopularityEstimator;
+use lina::simcore::{format_pct, Table};
+use lina::workload::{
+    mean_pattern_ratio, popularity, popularity_skew, top_experts, Mode, TokenBatch,
+    TokenSource, WorkloadSpec,
+};
+
+fn main() {
+    let experts = 16;
+    let layers = 12;
+    let spec = WorkloadSpec::enwik8(experts, layers);
+    let mut src = TokenSource::new(&spec, 1, 7);
+
+    // Property 1: training looks balanced, inference does not.
+    let train = src.sample_batch(experts, 4096, Mode::Train);
+    let infer = src.sample_batch(experts, 4096, Mode::Inference);
+    println!("expert popularity at layer 6:");
+    let mut table = Table::new("", &["expert", "training", "inference"]);
+    let tp = popularity(&train, 6);
+    let ip = popularity(&infer, 6);
+    for e in 0..experts {
+        table.row(&[e.to_string(), format!("{:.3}", tp[e]), format!("{:.3}", ip[e])]);
+    }
+    println!("{}", table.render());
+    println!(
+        "skew (max/min): training {:.2}x vs inference {:.2}x",
+        popularity_skew(&train, 6),
+        popularity_skew(&infer, 6)
+    );
+    println!("inference top-4 experts per layer (they differ layer to layer):");
+    for layer in [3, 6, 9] {
+        println!("  layer {layer}: {:?}", top_experts(&infer, layer, 4));
+    }
+
+    // Property 2: tokens that co-selected an expert keep co-selecting.
+    println!("\ncross-layer selection pattern (fraction following the group):");
+    for k in 1..=3 {
+        println!("  top-{k}: {}", format_pct(mean_pattern_ratio(&infer, k)));
+    }
+
+    // Consequence: sample paths predict the next layer's popularity.
+    println!("\nestimation accuracy vs sample-path length:");
+    for l in [1usize, 3, 6] {
+        let mut profile_src = TokenSource::new(&spec, 1, 21);
+        let profile: Vec<TokenBatch> = (0..10)
+            .map(|_| profile_src.sample_batch(experts, 1024, Mode::Train))
+            .collect();
+        let est = PopularityEstimator::profile(&profile, l);
+        let mut eval = TokenSource::new(&spec, 1, 99);
+        let mut hits = 0;
+        let mut total = 0;
+        for _ in 0..12 {
+            let batch = eval.sample_batch(experts, 2048, Mode::Inference);
+            for layer in l.max(3)..layers - 1 {
+                let estimated = est.estimate_popularity(&batch.tokens, layer, 1);
+                let actual = popularity(&batch, layer + 1);
+                if PopularityEstimator::estimate_matches(&estimated, &actual, 2) {
+                    hits += 1;
+                }
+                total += 1;
+            }
+        }
+        println!("  l = {l}: {}", format_pct(hits as f64 / total as f64));
+    }
+    println!(
+        "\nLonger paths identify a token's latent behaviour class more\n\
+         precisely, which is exactly why the paper's Table 5 finds l = 3\n\
+         a sweet spot (l = 6 estimates marginally better but starts\n\
+         scheduling three layers later)."
+    );
+}

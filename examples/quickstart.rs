@@ -1,0 +1,68 @@
+//! Quickstart: simulate one MoE training step under the DeepSpeed-like
+//! baseline and under Lina, and show where the time went.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lina::baselines::TrainScheme;
+use lina::model::{BatchShape, CostModel, DeviceSpec, MoeModelConfig};
+use lina::netsim::{ClusterSpec, Topology};
+use lina::runner::train::run_train_step;
+use lina::simcore::{format_pct, format_speedup};
+
+fn main() {
+    // A 16-expert MoE Transformer on the paper's testbed: 16 A100s over
+    // four nodes, 100 Gbps per-GPU InfiniBand, NVLink inside a node.
+    let experts = 16;
+    let model = MoeModelConfig::transformer_xl(12, experts);
+    let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
+    let cost = CostModel::new(DeviceSpec::a100(), model.clone());
+    let batch = BatchShape { seqs_per_device: 64, seq_len: model.seq_len };
+
+    println!(
+        "model: {} ({} layers, {} experts, {:.0}M params)",
+        model.name,
+        model.layers,
+        model.experts,
+        model.total_params() as f64 / 1e6
+    );
+    println!(
+        "batch: {} tokens/device over {} GPUs\n",
+        batch.tokens_per_device(),
+        topo.devices()
+    );
+
+    let base = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 42);
+    let lina = run_train_step(
+        &cost,
+        &topo,
+        batch,
+        TrainScheme::Lina { experts_per_device: 4 },
+        42,
+    );
+
+    for (name, run) in [("baseline (DeepSpeed-like)", &base), ("lina", &lina)] {
+        let m = &run.metrics;
+        println!("{name}:");
+        println!("  step time        {}", m.step_time);
+        println!(
+            "  all-to-all total {} ({} of the step)",
+            m.a2a_total,
+            format_pct(m.a2a_total.ratio(m.step_time))
+        );
+        println!("  GPU utilization  {}", format_pct(m.compute_util));
+        println!(
+            "  pipelining eff.  {}\n",
+            format_pct(m.pipelining_efficiency)
+        );
+    }
+    println!(
+        "Lina speedup: {} — priority micro-op scheduling keeps allreduce out\n\
+         of all-to-all's way, pipelining hides the rest, and packing 4\n\
+         experts per device turns inter-node all-to-all into NVLink traffic.",
+        format_speedup(
+            base.metrics.step_time.as_secs_f64() / lina.metrics.step_time.as_secs_f64()
+        )
+    );
+}

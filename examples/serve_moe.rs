@@ -1,0 +1,81 @@
+//! Inference scenario: serve skewed, bursty request batches through a
+//! 16-expert Transformer-XL and compare Baseline, Lina, the two
+//! ablations, and the balanced Ideal — the paper's Figure 16 setting.
+//!
+//! ```text
+//! cargo run --release --example serve_moe [batches]
+//! ```
+
+use lina::baselines::InferScheme;
+use lina::core::{PopularityEstimator, TwoPhaseConfig, TwoPhaseScheduler};
+use lina::model::{CostModel, DeviceSpec, MoeModelConfig};
+use lina::netsim::{ClusterSpec, Topology};
+use lina::runner::inference::{run_inference_batches, InferenceConfig};
+use lina::simcore::Table;
+use lina::workload::{Mode, TokenBatch, TokenSource, WorkloadSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_batches: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let experts = 16;
+    let model = MoeModelConfig::transformer_xl(12, experts).for_inference();
+    let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
+    let cost = CostModel::new(DeviceSpec::a100_inference(), model.clone());
+    let spec = WorkloadSpec::enwik8(experts, model.layers);
+
+    // Profiling stage: collect expert-selection paths on
+    // training-distribution data and build the Ψ tables (path length 3).
+    println!("profiling the popularity estimator (l = 3)...");
+    let mut profile_src = TokenSource::new(&spec, 1, 1);
+    let profile: Vec<TokenBatch> =
+        (0..12).map(|_| profile_src.sample_batch(experts, 2048, Mode::Train)).collect();
+    let estimator = PopularityEstimator::profile(&profile, 3);
+    println!(
+        "  {} distinct sample paths at layer 6\n",
+        estimator.paths_at(6)
+    );
+    let scheduler = TwoPhaseScheduler::new(TwoPhaseConfig::paper_defaults(experts), estimator);
+
+    // Serving stage: skewed, bursty request batches.
+    let mut infer_src = TokenSource::new(&spec, 1, 2);
+    let batches: Vec<TokenBatch> = (0..n_batches)
+        .map(|_| infer_src.sample_batch(experts, 16_384, Mode::Inference))
+        .collect();
+
+    let mut table = Table::new(
+        format!("{n_batches} batches of 16384 tokens/device"),
+        &["scheme", "median", "p95", "fine-tune rate", "estimation acc"],
+    );
+    for scheme in InferScheme::all() {
+        let mut s = run_inference_batches(
+            &cost,
+            &topo,
+            &InferenceConfig { scheme, top_k: 1 },
+            Some(&scheduler),
+            &batches,
+        );
+        table.row(&[
+            scheme.name().into(),
+            lina::simcore::format_secs(s.totals.median()),
+            lina::simcore::format_secs(s.totals.p95()),
+            if s.finetune_rate > 0.0 {
+                format!("{:.0}%", s.finetune_rate * 100.0)
+            } else {
+                "-".into()
+            },
+            if s.accuracy > 0.0 {
+                format!("{:.0}%", s.accuracy * 100.0)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Lina estimates each layer's expert popularity from the tokens'\n\
+         observed paths, replicates hot experts and packs cold ones before\n\
+         the gate even runs, then fine-tunes only when the gate's output\n\
+         deviates too far from the estimate."
+    );
+}

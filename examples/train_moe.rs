@@ -1,0 +1,70 @@
+//! Training scenario: compare every scheduling scheme on a GPT-2 MoE
+//! model — the workload the paper's Figure 14 ablates — and report
+//! step time, all-to-all time, and backward-pass contention.
+//!
+//! ```text
+//! cargo run --release --example train_moe [experts] [steps]
+//! ```
+
+use lina::baselines::TrainScheme;
+use lina::model::{BatchShape, CostModel, DeviceSpec, MoeModelConfig};
+use lina::netsim::{ClusterSpec, Topology};
+use lina::runner::train::{run_train_steps, summarize_steps};
+use lina::simcore::{format_pct, format_secs, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let experts: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let steps: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    let model = MoeModelConfig::gpt2(experts);
+    let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
+    let cost = CostModel::new(DeviceSpec::a100(), model.clone());
+    let batch = BatchShape { seqs_per_device: 64, seq_len: model.seq_len };
+
+    println!(
+        "GPT-2 MoE: {} experts on {} GPUs, {} tokens/device, {} steps/scheme\n",
+        experts,
+        topo.devices(),
+        batch.tokens_per_device(),
+        steps
+    );
+
+    let schemes = [
+        TrainScheme::Baseline,
+        TrainScheme::Tutel,
+        TrainScheme::Fixed,
+        TrainScheme::PriorityOnly,
+        TrainScheme::PriorityPartition,
+        TrainScheme::LinaNoPack,
+        TrainScheme::Lina { experts_per_device: 2.min(experts) },
+    ];
+    let mut table = Table::new(
+        "scheduling schemes",
+        &["scheme", "step time", "a2a total", "a2a share", "bwd slowdown", "util"],
+    );
+    for scheme in schemes {
+        let metrics = run_train_steps(&cost, &topo, batch, scheme, steps, 2024);
+        let mut summary = summarize_steps(&metrics);
+        let step = summary.step_time.mean();
+        let a2a = summary.a2a_total.mean();
+        table.row(&[
+            scheme.name().into(),
+            format_secs(step),
+            format_secs(a2a),
+            format_pct(a2a / step),
+            if summary.slowdowns.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.2}x", summary.slowdowns.mean())
+            },
+            format_pct(summary.util.mean()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading the table: the fair-share baseline lets allreduce prolong\n\
+         backward all-to-all; priority+partitioning removes the contention;\n\
+         pipelining and packing then shrink the blocking period itself."
+    );
+}

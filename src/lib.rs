@@ -1,0 +1,10 @@
+//! # lina
+//!
+//! Meta-crate re-exporting the whole Lina reproduction workspace.
+pub use lina_baselines as baselines;
+pub use lina_core as core;
+pub use lina_model as model;
+pub use lina_netsim as netsim;
+pub use lina_runner as runner;
+pub use lina_simcore as simcore;
+pub use lina_workload as workload;

@@ -1,0 +1,143 @@
+//! End-to-end inference integration tests: estimator profiling,
+//! two-phase scheduling, and the inference driver must compose into
+//! the Figure 16 ordering.
+
+use lina::baselines::InferScheme;
+use lina::core::{PopularityEstimator, TwoPhaseConfig, TwoPhaseScheduler};
+use lina::model::{CostModel, DeviceSpec, MoeModelConfig};
+use lina::netsim::{ClusterSpec, Topology};
+use lina::runner::inference::{run_inference_batch, run_inference_batches, InferenceConfig};
+use lina::workload::{Mode, TokenBatch, TokenSource, WorkloadSpec};
+
+struct World {
+    cost: CostModel,
+    topo: Topology,
+    scheduler: TwoPhaseScheduler,
+    batches: Vec<TokenBatch>,
+}
+
+fn world(experts: usize) -> World {
+    let model = MoeModelConfig::transformer_xl(12, experts).for_inference();
+    let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
+    let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+    let spec = WorkloadSpec::enwik8(experts, 12);
+    let mut profile_src = TokenSource::new(&spec, 1, 31);
+    let profile: Vec<TokenBatch> =
+        (0..8).map(|_| profile_src.sample_batch(experts, 1024, Mode::Train)).collect();
+    let estimator = PopularityEstimator::profile(&profile, 3);
+    let scheduler =
+        TwoPhaseScheduler::new(TwoPhaseConfig::paper_defaults(experts), estimator);
+    let mut infer_src = TokenSource::new(&spec, 1, 41);
+    let batches = (0..5)
+        .map(|_| infer_src.sample_batch(experts, 8192, Mode::Inference))
+        .collect();
+    World { cost, topo, scheduler, batches }
+}
+
+fn run(w: &World, scheme: InferScheme) -> lina::runner::inference::InferenceSummary {
+    run_inference_batches(
+        &w.cost,
+        &w.topo,
+        &InferenceConfig { scheme, top_k: 1 },
+        Some(&w.scheduler),
+        &w.batches,
+    )
+}
+
+#[test]
+fn figure16_ordering_holds_at_16_experts() {
+    let w = world(16);
+    let mut ideal = run(&w, InferScheme::Ideal);
+    let mut baseline = run(&w, InferScheme::Baseline);
+    let mut lina = run(&w, InferScheme::Lina);
+    let mut noest = run(&w, InferScheme::LinaNoEstimation);
+    let (i, b, l, ne) = (
+        ideal.totals.median(),
+        baseline.totals.median(),
+        lina.totals.median(),
+        noest.totals.median(),
+    );
+    assert!(i < l, "ideal {i} must beat lina {l}");
+    assert!(l < b, "lina {l} must beat baseline {b}");
+    assert!(l < ne, "lina {l} must beat reactive scheduling {ne}");
+}
+
+#[test]
+fn lina_tail_gains_exceed_median_gains() {
+    let w = world(16);
+    let mut baseline = run(&w, InferScheme::Baseline);
+    let mut lina = run(&w, InferScheme::Lina);
+    let median_gain = baseline.totals.median() / lina.totals.median();
+    let tail_gain = baseline.totals.p95() / lina.totals.p95();
+    assert!(
+        tail_gain >= median_gain * 0.95,
+        "tail gain {tail_gain} collapsed vs median gain {median_gain}"
+    );
+}
+
+#[test]
+fn estimation_accuracy_is_substantial() {
+    let w = world(16);
+    let s = run(&w, InferScheme::Lina);
+    assert!(
+        s.accuracy > 0.4,
+        "estimation accuracy {} too low to be useful",
+        s.accuracy
+    );
+    assert!(s.finetune_rate < 0.6, "fine-tuning {} too frequent", s.finetune_rate);
+}
+
+#[test]
+fn per_layer_shapes_are_consistent() {
+    let w = world(16);
+    let r = run_inference_batch(
+        &w.cost,
+        &w.topo,
+        &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+        Some(&w.scheduler),
+        &w.batches[0],
+    );
+    assert_eq!(r.layer_times.len(), 12);
+    assert_eq!(r.a2a_times.len(), 12);
+    // Scheduling starts at layer l = 3: 9 estimated layers.
+    assert_eq!(r.estimates, 9);
+    assert!(r.finetunes <= r.estimates);
+    assert!(r.accurate <= r.estimates);
+    let sum: f64 = r.layer_times.iter().map(|d| d.as_secs_f64()).sum();
+    assert!(
+        sum <= r.total.as_secs_f64() + 1e-9,
+        "layer times exceed the batch total"
+    );
+}
+
+#[test]
+fn inference_is_deterministic() {
+    let w = world(4);
+    let a = run(&w, InferScheme::Lina);
+    let b = run(&w, InferScheme::Lina);
+    let mut at = a.totals;
+    let mut bt = b.totals;
+    assert_eq!(at.median(), bt.median());
+    assert_eq!(at.p95(), bt.p95());
+}
+
+#[test]
+fn baseline_straggles_ideal_does_not() {
+    let w = world(16);
+    let base = run_inference_batch(
+        &w.cost,
+        &w.topo,
+        &InferenceConfig { scheme: InferScheme::Baseline, top_k: 1 },
+        None,
+        &w.batches[0],
+    );
+    let ideal = run_inference_batch(
+        &w.cost,
+        &w.topo,
+        &InferenceConfig { scheme: InferScheme::Ideal, top_k: 1 },
+        None,
+        &w.batches[0],
+    );
+    assert!(base.max_idle_frac > 0.3, "skew must idle devices: {}", base.max_idle_frac);
+    assert!(ideal.max_idle_frac < 0.05, "ideal must not idle: {}", ideal.max_idle_frac);
+}

@@ -1,0 +1,130 @@
+//! End-to-end training integration tests spanning all crates: workload
+//! generation, op-graph compilation, scheduling policies, and the
+//! network simulation must compose into the paper's qualitative
+//! results.
+
+use lina::baselines::TrainScheme;
+use lina::model::{BatchShape, CostModel, DeviceSpec, MoeModelConfig};
+use lina::netsim::{ClusterSpec, Topology};
+use lina::runner::train::{run_train_step, run_train_steps};
+use lina::simcore::SimDuration;
+
+fn setup(model: MoeModelConfig) -> (CostModel, Topology, BatchShape) {
+    let topo = Topology::new(ClusterSpec::with_total_gpus(model.experts));
+    let batch = BatchShape { seqs_per_device: 16, seq_len: model.seq_len };
+    (CostModel::new(DeviceSpec::a100(), model), topo, batch)
+}
+
+#[test]
+fn every_scheme_completes_on_every_roster_model() {
+    for experts in [2usize, 4, 8, 16] {
+        for model in [
+            MoeModelConfig::transformer_xl(4, experts),
+            MoeModelConfig::gpt2(experts),
+        ] {
+            let mut small = model.clone();
+            small.layers = small.layers.min(4);
+            let (cost, topo, batch) = setup(small);
+            for scheme in [
+                TrainScheme::Baseline,
+                TrainScheme::Tutel,
+                TrainScheme::Fixed,
+                TrainScheme::PriorityOnly,
+                TrainScheme::PriorityPartition,
+                TrainScheme::LinaNoPack,
+                TrainScheme::Lina { experts_per_device: 2.min(experts) },
+            ] {
+                let run = run_train_step(&cost, &topo, batch, scheme, 1);
+                assert!(
+                    run.metrics.step_time > SimDuration::ZERO,
+                    "{} x {} experts produced a zero-length step",
+                    scheme.name(),
+                    experts
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lina_never_loses_to_baseline_across_roster() {
+    for experts in [4usize, 16] {
+        for model in [MoeModelConfig::transformer_xl(8, experts), MoeModelConfig::gpt2(experts)] {
+            let (cost, topo, batch) = setup(model.clone());
+            let packing = if model.name == "Transformer-XL" && experts == 16 { 4 } else { 2 };
+            let base = run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, 3, 9);
+            let lina = run_train_steps(
+                &cost,
+                &topo,
+                batch,
+                TrainScheme::Lina { experts_per_device: packing },
+                3,
+                9,
+            );
+            let mean = |ms: &[lina::runner::train::StepMetrics]| {
+                ms.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>() / ms.len() as f64
+            };
+            assert!(
+                mean(&lina) < mean(&base) * 1.02,
+                "{} @ {experts} experts: lina {} vs baseline {}",
+                model.name,
+                mean(&lina),
+                mean(&base)
+            );
+        }
+    }
+}
+
+#[test]
+fn priority_scheduling_never_slows_the_backward_a2a() {
+    let (cost, topo, batch) = setup(MoeModelConfig::gpt2(16));
+    let base = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 77).metrics;
+    let lina = run_train_step(&cost, &topo, batch, TrainScheme::PriorityPartition, 77).metrics;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&lina.a2a_bwd_slowdowns) <= mean(&base.a2a_bwd_slowdowns) + 1e-9,
+        "priority+partitioning increased contention: {} vs {}",
+        mean(&lina.a2a_bwd_slowdowns),
+        mean(&base.a2a_bwd_slowdowns)
+    );
+    assert!(
+        mean(&lina.a2a_bwd_slowdowns) < 1.05,
+        "lina's backward all-to-all should be nearly contention-free"
+    );
+}
+
+#[test]
+fn two_expert_packing_eliminates_all_to_all() {
+    let (cost, topo, batch) = setup(MoeModelConfig::transformer_xl(4, 2));
+    let run = run_train_step(
+        &cost,
+        &topo,
+        batch,
+        TrainScheme::Lina { experts_per_device: 2 },
+        1,
+    );
+    assert_eq!(
+        run.metrics.a2a_total,
+        SimDuration::ZERO,
+        "2 experts x 2 per device must be pure data parallelism"
+    );
+}
+
+#[test]
+fn training_is_deterministic_end_to_end() {
+    let (cost, topo, batch) = setup(MoeModelConfig::bert2gpt2(4));
+    let a = run_train_step(&cost, &topo, batch, TrainScheme::LinaNoPack, 5).metrics;
+    let b = run_train_step(&cost, &topo, batch, TrainScheme::LinaNoPack, 5).metrics;
+    assert_eq!(a.step_time, b.step_time);
+    assert_eq!(a.a2a_bwd_times, b.a2a_bwd_times);
+}
+
+#[test]
+fn different_seeds_jitter_the_step() {
+    let (cost, topo, batch) = setup(MoeModelConfig::gpt2(4));
+    let a = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 1).metrics;
+    let b = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 2).metrics;
+    assert_ne!(a.step_time, b.step_time, "jitter should vary across seeds");
+    let ratio = a.step_time.as_secs_f64() / b.step_time.as_secs_f64();
+    assert!((0.9..1.1).contains(&ratio), "jitter too strong: {ratio}");
+}
