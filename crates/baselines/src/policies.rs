@@ -93,7 +93,7 @@ impl CommPolicy for FixedSchedulePolicy {
         // Allreduce only at an MoE-layer boundary in the backward pass
         // (an even number of backward all-to-alls completed) and only
         // while no all-to-all is running.
-        let at_boundary = self.backward_a2a_done > 0 && self.backward_a2a_done % 2 == 0;
+        let at_boundary = self.backward_a2a_done > 0 && self.backward_a2a_done.is_multiple_of(2);
         if view.allreduce_stream_free && at_boundary && !view.a2a_present() {
             if let Some(p) = view.pending_of(CommClass::Allreduce).next() {
                 launch.push(p.handle);
@@ -130,7 +130,11 @@ mod tests {
     }
 
     fn pend(handle: usize, class: CommClass) -> PendingComm {
-        PendingComm { handle, meta: meta(class, true), ready_at_ns: handle as u64 }
+        PendingComm {
+            handle,
+            meta: meta(class, true),
+            ready_at_ns: handle as u64,
+        }
     }
 
     fn view<'a>(
@@ -159,7 +163,9 @@ mod tests {
     #[test]
     fn fair_share_respects_busy_streams() {
         let pending = [pend(0, CommClass::AllToAll), pend(1, CommClass::Allreduce)];
-        let active = [ActiveComm { meta: meta(CommClass::AllToAll, true) }];
+        let active = [ActiveComm {
+            meta: meta(CommClass::AllToAll, true),
+        }];
         let mut p = FairSharePolicy;
         let got = p.select(&view(&pending, &active, false, true));
         assert_eq!(got, vec![1]);

@@ -59,9 +59,9 @@ impl TrainScheme {
             TrainScheme::Baseline | TrainScheme::Tutel => Box::new(FairSharePolicy),
             TrainScheme::Fixed => Box::new(FixedSchedulePolicy::default()),
             TrainScheme::PriorityOnly => Box::new(NaivePriorityPolicy),
-            TrainScheme::PriorityPartition
-            | TrainScheme::LinaNoPack
-            | TrainScheme::Lina { .. } => Box::new(LinaTrainScheduler::new()),
+            TrainScheme::PriorityPartition | TrainScheme::LinaNoPack | TrainScheme::Lina { .. } => {
+                Box::new(LinaTrainScheduler::new())
+            }
         }
     }
 
@@ -71,13 +71,11 @@ impl TrainScheme {
     /// # Panics
     ///
     /// Panics if a Lina packing degree is zero.
-    pub fn step_options(
-        &self,
-        experts: usize,
-        topo: &lina_netsim::Topology,
-    ) -> TrainStepOptions {
+    pub fn step_options(&self, experts: usize, topo: &lina_netsim::Topology) -> TrainStepOptions {
         let devices = topo.devices();
-        let bucketed = GradCommMode::Bucketed { bucket_bytes: 25.0 * 1024.0 * 1024.0 };
+        let bucketed = GradCommMode::Bucketed {
+            bucket_bytes: 25.0 * 1024.0 * 1024.0,
+        };
         let partitioned = GradCommMode::Partitioned { chunk_bytes: 30e6 };
         let one_per = ExpertPlacement::one_per_device(experts, devices);
         match self {
@@ -124,11 +122,7 @@ impl TrainScheme {
             }
             TrainScheme::Lina { experts_per_device } => {
                 assert!(*experts_per_device > 0, "Lina scheme: zero packing");
-                TrainStepOptions::lina(ExpertPlacement::packed(
-                    experts,
-                    topo,
-                    *experts_per_device,
-                ))
+                TrainStepOptions::lina(ExpertPlacement::packed(experts, topo, *experts_per_device))
             }
         }
     }
@@ -190,7 +184,9 @@ mod tests {
             TrainScheme::PriorityOnly,
             TrainScheme::PriorityPartition,
             TrainScheme::LinaNoPack,
-            TrainScheme::Lina { experts_per_device: 2 },
+            TrainScheme::Lina {
+                experts_per_device: 2,
+            },
         ] {
             let opts = scheme.step_options(16, &topo);
             assert!(opts.placement.is_complete(), "{}", scheme.name());
@@ -204,7 +200,10 @@ mod tests {
         let b = TrainScheme::Baseline.step_options(16, &topo);
         assert!(matches!(b.grad_comm, GradCommMode::Bucketed { .. }));
         assert!(matches!(b.a2a_chunking, A2aChunking::Whole));
-        let l = TrainScheme::Lina { experts_per_device: 2 }.step_options(16, &topo);
+        let l = TrainScheme::Lina {
+            experts_per_device: 2,
+        }
+        .step_options(16, &topo);
         assert!(matches!(l.grad_comm, GradCommMode::Partitioned { .. }));
         assert!(matches!(l.a2a_chunking, A2aChunking::FixedBytes(_)));
         assert!(l.pipeline_ffn);
@@ -213,7 +212,10 @@ mod tests {
     #[test]
     fn lina_packing_replicates() {
         let topo = Topology::new(ClusterSpec::paper_testbed());
-        let l = TrainScheme::Lina { experts_per_device: 2 }.step_options(16, &topo);
+        let l = TrainScheme::Lina {
+            experts_per_device: 2,
+        }
+        .step_options(16, &topo);
         assert_eq!(l.placement.total_replicas(), 32);
     }
 
@@ -223,7 +225,11 @@ mod tests {
         assert_eq!(TrainScheme::PriorityOnly.policy().name(), "naive-priority");
         assert_eq!(TrainScheme::Fixed.policy().name(), "fixed");
         assert_eq!(
-            TrainScheme::Lina { experts_per_device: 2 }.policy().name(),
+            TrainScheme::Lina {
+                experts_per_device: 2
+            }
+            .policy()
+            .name(),
             "lina"
         );
     }

@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks of the simulator and scheduler hot
-//! paths: these quantify the cost of the reproduction's own machinery
-//! (as opposed to the table/figure binaries, which report *simulated*
-//! time).
+//! Micro-benchmarks of the simulator and scheduler hot paths: these
+//! quantify the cost of the reproduction's own machinery (as opposed to
+//! the table/figure binaries, which report *simulated* time).
+//!
+//! The harness is self-contained (`harness = false`): each case is
+//! warmed up, then timed over enough iterations to fill a ~200 ms
+//! window, reporting mean wall-clock time per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use lina_baselines::TrainScheme;
 use lina_core::{popularity_placement, PlacementConfig, PopularityEstimator};
@@ -15,8 +18,27 @@ use lina_netsim::{max_min_rates, AllToAllAlgo, ClusterSpec, CollectiveSpec, Flow
 use lina_runner::{execute, train::solo_collective_time};
 use lina_workload::{Mode, TokenBatch, TokenSource, WorkloadSpec};
 
-fn bench_fairshare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fairshare");
+/// Times `f` and prints one result line. Returns-value of `f` is
+/// black-boxed through `std::hint::black_box` to stop the optimizer
+/// from deleting the work.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and per-iteration estimate.
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.2 / once) as u64).clamp(1, 100_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<40} {:>12} / iter  ({iters} iters)",
+        lina_simcore::format_secs(per)
+    );
+}
+
+fn bench_fairshare() {
     for &flows in &[16usize, 64, 240] {
         let capacities = vec![12e9; 64];
         let paths: Vec<Vec<u32>> = (0..flows)
@@ -24,104 +46,110 @@ fn bench_fairshare(c: &mut Criterion) {
             .collect();
         let demands: Vec<FlowDemand<'_>> = paths
             .iter()
-            .map(|p| FlowDemand { weight: 1.0, links: p })
+            .map(|p| FlowDemand {
+                weight: 1.0,
+                links: p,
+            })
             .collect();
-        group.bench_with_input(BenchmarkId::new("max_min_rates", flows), &flows, |b, _| {
-            b.iter(|| max_min_rates(&capacities, &demands))
+        bench(&format!("fairshare/max_min_rates/{flows}"), || {
+            max_min_rates(&capacities, &demands)
         });
     }
-    group.finish();
 }
 
-fn bench_collectives(c: &mut Criterion) {
+fn bench_collectives() {
     let topo = Topology::new(ClusterSpec::paper_testbed());
-    let mut group = c.benchmark_group("collectives");
-    for (name, algo) in [("flat", AllToAllAlgo::Flat), ("hierarchical", AllToAllAlgo::Hierarchical)]
-    {
-        let spec =
-            CollectiveSpec::uniform_all_to_all(topo.device_ids().collect(), 2e6, algo);
-        group.bench_function(BenchmarkId::new("a2a_16dev", name), |b| {
-            b.iter(|| solo_collective_time(&topo, &spec))
+    for (name, algo) in [
+        ("flat", AllToAllAlgo::Flat),
+        ("hierarchical", AllToAllAlgo::Hierarchical),
+    ] {
+        let spec = CollectiveSpec::uniform_all_to_all(topo.device_ids().collect(), 2e6, algo);
+        bench(&format!("collectives/a2a_16dev/{name}"), || {
+            solo_collective_time(&topo, &spec)
         });
     }
-    group.finish();
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement() {
     let topo = Topology::new(ClusterSpec::paper_testbed());
     let pop: Vec<f64> = (0..16).map(|e| 1.0 / (e + 1) as f64).collect();
-    let config = PlacementConfig { devices: 16, max_experts_per_device: 4 };
-    c.bench_function("popularity_placement_16", |b| {
-        b.iter(|| popularity_placement(&pop, config))
+    let config = PlacementConfig {
+        devices: 16,
+        max_experts_per_device: 4,
+    };
+    bench("popularity_placement_16", || {
+        popularity_placement(&pop, config)
     });
     let placement = popularity_placement(&pop, config);
     let routing = LayerRouting::balanced(16, 16, 16_384, 1);
-    c.bench_function("assign_replicas_16", |b| {
-        b.iter(|| assign_replicas(&routing, &placement, &topo))
+    bench("assign_replicas_16", || {
+        assign_replicas(&routing, &placement, &topo)
     });
 }
 
-fn bench_estimator(c: &mut Criterion) {
+fn bench_estimator() {
     let spec = WorkloadSpec::enwik8(16, 12);
     let mut src = TokenSource::new(&spec, 1, 1);
-    let profile: Vec<TokenBatch> =
-        (0..4).map(|_| src.sample_batch(16, 1024, Mode::Train)).collect();
-    c.bench_function("estimator_profile_l3", |b| {
-        b.iter(|| PopularityEstimator::profile(&profile, 3))
+    let profile: Vec<TokenBatch> = (0..4)
+        .map(|_| src.sample_batch(16, 1024, Mode::Train))
+        .collect();
+    bench("estimator_profile_l3", || {
+        PopularityEstimator::profile(&profile, 3)
     });
     let est = PopularityEstimator::profile(&profile, 3);
     let batch = src.sample_batch(16, 1024, Mode::Inference);
-    c.bench_function("estimate_popularity_16k_tokens", |b| {
-        b.iter(|| est.estimate_popularity(&batch.tokens, 6, 1))
+    bench("estimate_popularity_16k_tokens", || {
+        est.estimate_popularity(&batch.tokens, 6, 1)
     });
 }
 
-fn bench_step_simulation(c: &mut Criterion) {
+fn bench_step_simulation() {
     let model = MoeModelConfig::transformer_xl(4, 16);
     let topo = Topology::new(ClusterSpec::with_total_gpus(16));
     let cost = CostModel::new(DeviceSpec::a100(), model.clone());
-    let batch = BatchShape { seqs_per_device: 32, seq_len: model.seq_len };
+    let batch = BatchShape {
+        seqs_per_device: 32,
+        seq_len: model.seq_len,
+    };
     let routing = balanced_routing(&model, 16, batch);
-    let mut group = c.benchmark_group("step_simulation");
-    group.sample_size(20);
     for scheme in [TrainScheme::Baseline, TrainScheme::LinaNoPack] {
         let opts = scheme.step_options(16, &topo);
-        group.bench_function(BenchmarkId::new("4layer_16dev", scheme.name()), |b| {
-            b.iter(|| {
+        bench(
+            &format!("step_simulation/4layer_16dev/{}", scheme.name()),
+            || {
                 let graph = build_train_step(&cost, &topo, batch, &routing, &opts);
                 let mut policy = scheme.policy();
                 execute(&graph, &topo, policy.as_mut())
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
+fn bench_workload() {
     let spec = WorkloadSpec::enwik8(16, 12);
-    c.bench_function("sample_batch_8k_tokens", |b| {
-        let mut src = TokenSource::new(&spec, 1, 9);
-        b.iter(|| src.sample_batch(16, 512, Mode::Inference))
+    let mut src = TokenSource::new(&spec, 1, 9);
+    bench("sample_batch_8k_tokens", move || {
+        src.sample_batch(16, 512, Mode::Inference)
     });
 }
 
-fn bench_packed_dispatch(c: &mut Criterion) {
+fn bench_packed_dispatch() {
     let topo = Topology::new(ClusterSpec::paper_testbed());
     let placement = ExpertPlacement::packed(16, &topo, 4);
     let routing = LayerRouting::balanced(16, 16, 16_384, 2);
-    c.bench_function("assign_replicas_packed4", |b| {
-        b.iter(|| assign_replicas(&routing, &placement, &topo))
+    bench("assign_replicas_packed4", || {
+        assign_replicas(&routing, &placement, &topo)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fairshare,
-    bench_collectives,
-    bench_placement,
-    bench_estimator,
-    bench_step_simulation,
-    bench_workload,
-    bench_packed_dispatch
-);
-criterion_main!(benches);
+fn main() {
+    println!("lina micro-benchmarks (wall-clock cost of the simulator itself)");
+    println!("----------------------------------------------------------------");
+    bench_fairshare();
+    bench_collectives();
+    bench_placement();
+    bench_estimator();
+    bench_step_simulation();
+    bench_workload();
+    bench_packed_dispatch();
+}

@@ -13,7 +13,9 @@ fn main() {
     let steps = bench::steps();
     let mut table = Table::new(
         "step time and speedup (vs Baseline / vs Tutel)",
-        &["model", "experts", "baseline", "tutel", "lina", "vs base", "vs tutel"],
+        &[
+            "model", "experts", "baseline", "tutel", "lina", "vs base", "vs tutel",
+        ],
     );
     let mut per_experts: Vec<(usize, Vec<f64>)> = Vec::new();
     for experts in [2usize, 4, 8, 16] {
@@ -43,7 +45,10 @@ fn main() {
         per_experts.push((experts, speedups));
     }
     println!("{}", table.render());
-    let mut avg = Table::new("average speedup over Baseline", &["experts", "measured", "paper"]);
+    let mut avg = Table::new(
+        "average speedup over Baseline",
+        &["experts", "measured", "paper"],
+    );
     let paper = [(2, "1.71x"), (4, "1.37x"), (8, "1.73x"), (16, "1.47x")];
     for ((experts, speedups), (_, p)) in per_experts.iter().zip(paper) {
         avg.row(&[

@@ -13,7 +13,9 @@ fn main() {
     let steps = bench::steps();
     let mut table = Table::new(
         "mean MoE-layer time (gate..combine) and Lina's speedup",
-        &["model", "experts", "fwd base", "fwd lina", "fwd x", "bwd base", "bwd lina", "bwd x"],
+        &[
+            "model", "experts", "fwd base", "fwd lina", "fwd x", "bwd base", "bwd lina", "bwd x",
+        ],
     );
     let mut fwd_by_e: Vec<(usize, Vec<f64>)> = Vec::new();
     let mut bwd_by_e: Vec<(usize, Vec<f64>)> = Vec::new();
@@ -26,9 +28,15 @@ fn main() {
             let batch = bench::train_batch(&model);
             let layer_means = |scheme| {
                 let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 121);
-                let f = ms.iter().map(|m| m.fwd_layer_time.as_secs_f64()).sum::<f64>()
+                let f = ms
+                    .iter()
+                    .map(|m| m.fwd_layer_time.as_secs_f64())
+                    .sum::<f64>()
                     / ms.len() as f64;
-                let b = ms.iter().map(|m| m.bwd_layer_time.as_secs_f64()).sum::<f64>()
+                let b = ms
+                    .iter()
+                    .map(|m| m.bwd_layer_time.as_secs_f64())
+                    .sum::<f64>()
                     / ms.len() as f64;
                 (f, b)
             };
@@ -51,9 +59,16 @@ fn main() {
         bwd_by_e.push((experts, bwd_speedups));
     }
     println!("{}", table.render());
-    let mut avg = Table::new("average MoE-layer speedup", &["experts", "forward", "backward"]);
+    let mut avg = Table::new(
+        "average MoE-layer speedup",
+        &["experts", "forward", "backward"],
+    );
     for ((e, f), (_, b)) in fwd_by_e.iter().zip(&bwd_by_e) {
-        avg.row(&[e.to_string(), format_speedup(geomean(f)), format_speedup(geomean(b))]);
+        avg.row(&[
+            e.to_string(),
+            format_speedup(geomean(f)),
+            format_speedup(geomean(b)),
+        ]);
     }
     println!("{}", avg.render());
     println!(

@@ -40,12 +40,20 @@ fn main() {
             };
             let base = mean_bwd_a2a(TrainScheme::Baseline);
             let lina = mean_bwd_a2a(bench::lina_scheme(&model));
-            let speedup = if lina > 0.0 { base / lina } else { f64::INFINITY };
+            let speedup = if lina > 0.0 {
+                base / lina
+            } else {
+                f64::INFINITY
+            };
             table.row(&[
                 model.name.clone(),
                 experts.to_string(),
                 format_secs(base),
-                if lina > 0.0 { format_secs(lina) } else { "none".into() },
+                if lina > 0.0 {
+                    format_secs(lina)
+                } else {
+                    "none".into()
+                },
                 format_speedup(speedup.min(99.0)),
             ]);
             if lina > 0.0 {
@@ -58,7 +66,11 @@ fn main() {
     let mut avg = Table::new("average speedup", &["experts", "measured", "paper"]);
     let paper = ["2.21x", "2.39x", "2.31x"];
     for ((e, s), p) in by_e.iter().zip(paper) {
-        let g = if s.is_empty() { f64::INFINITY } else { geomean(s) };
+        let g = if s.is_empty() {
+            f64::INFINITY
+        } else {
+            geomean(s)
+        };
         avg.row(&[e.to_string(), format_speedup(g.min(99.0)), p.into()]);
     }
     println!("{}", avg.render());

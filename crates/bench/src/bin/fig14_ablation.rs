@@ -15,7 +15,14 @@ fn main() {
     let steps = bench::steps();
     let mut table = Table::new(
         "step-time speedup over Baseline (no expert packing anywhere)",
-        &["model", "experts", "fixed", "priority", "+partition", "+pipeline (Lina)"],
+        &[
+            "model",
+            "experts",
+            "fixed",
+            "priority",
+            "+partition",
+            "+pipeline (Lina)",
+        ],
     );
     for experts in [2usize, 4, 8, 16] {
         for model in bench::training_models(experts) {

@@ -34,8 +34,7 @@ fn main() {
                 opts.a2a_chunking = A2aChunking::FixedBytes(bytes);
                 opts.seed = 171 + seed;
                 let routing = lina_model::balanced_routing(&cost.model, 16, batch);
-                let graph =
-                    lina_model::build_train_step(&cost, &topo, batch, &routing, &opts);
+                let graph = lina_model::build_train_step(&cost, &topo, batch, &routing, &opts);
                 let mut policy = scheme.policy();
                 let exec = lina_runner::execute(&graph, &topo, policy.as_mut());
                 steps.push(StepMetrics {
@@ -50,8 +49,8 @@ fn main() {
                     compute_util: 0.0,
                 });
             }
-            let mean = steps.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>()
-                / steps.len() as f64;
+            let mean =
+                steps.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>() / steps.len() as f64;
             cells.push(format_secs(mean));
         }
         table.row(&cells);

@@ -14,8 +14,14 @@ fn main() {
         "median/95%ile inference time normalized to Ideal",
     );
     for (model_ctor, label) in [
-        (MoeModelConfig::transformer_xl as fn(usize, usize) -> MoeModelConfig, "Transformer-XL / enwik8"),
-        (|_l, e| MoeModelConfig::bert_large(e), "BERT-Large / WMT En-De"),
+        (
+            MoeModelConfig::transformer_xl as fn(usize, usize) -> MoeModelConfig,
+            "Transformer-XL / enwik8",
+        ),
+        (
+            |_l, e| MoeModelConfig::bert_large(e),
+            "BERT-Large / WMT En-De",
+        ),
     ] {
         for experts in [4usize, 16] {
             let model = model_ctor(12, experts);
@@ -47,7 +53,7 @@ fn main() {
                     ideal_median = med;
                     ideal_p95 = p95;
                 }
-                results.push((scheme, med, p95, s.finetune_rate, s.accuracy));
+                results.push((scheme, med, p95, s.finetune_rate(), s.accuracy()));
             }
             let mut table = Table::new(
                 format!("{label}, {experts} experts (normalized to Ideal)"),
@@ -58,8 +64,8 @@ fn main() {
                     scheme.name().into(),
                     format!("{:.2}", med / ideal_median),
                     format!("{:.2}", p95 / ideal_p95),
-                    if *ft > 0.0 { format!("{:.0}%", ft * 100.0) } else { "-".into() },
-                    if *acc > 0.0 { format!("{:.0}%", acc * 100.0) } else { "-".into() },
+                    bench::format_rate(*ft),
+                    bench::format_rate(*acc),
                 ]);
             }
             println!("{}", table.render());

@@ -12,7 +12,14 @@ fn main() {
     bench::banner("Figure 17", "95%ile MoE-layer time, Baseline vs Lina");
     let mut table = Table::new(
         "per-layer (gate..combine) p95 across batches",
-        &["model", "experts", "baseline p95", "lina p95", "reduction", "paper"],
+        &[
+            "model",
+            "experts",
+            "baseline p95",
+            "lina p95",
+            "reduction",
+            "paper",
+        ],
     );
     let paper = [
         ("Transformer-XL", 8, "1.87x"),

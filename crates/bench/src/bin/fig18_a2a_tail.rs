@@ -10,7 +10,10 @@ use lina_simcore::{format_secs, format_speedup, Samples, Table};
 
 fn main() {
     bench::banner("Figure 18", "tail all-to-all time per layer (16-expert)");
-    for model in [MoeModelConfig::transformer_xl(12, 16), MoeModelConfig::bert_large(16)] {
+    for model in [
+        MoeModelConfig::transformer_xl(12, 16),
+        MoeModelConfig::bert_large(16),
+    ] {
         let experts = 16;
         let topo = bench::topo(experts);
         let cost = bench::infer_cost(model.clone());
@@ -24,8 +27,7 @@ fn main() {
         );
         // Per-layer p95 across batches.
         let layer_p95 = |scheme| -> Vec<f64> {
-            let mut per_layer: Vec<Samples> =
-                (0..model.layers).map(|_| Samples::new()).collect();
+            let mut per_layer: Vec<Samples> = (0..model.layers).map(|_| Samples::new()).collect();
             for batch in &setup.batches {
                 let r = run_inference_batch(
                     &cost,
@@ -48,7 +50,11 @@ fn main() {
         );
         let mut ratios = Vec::new();
         for l in 0..model.layers {
-            let r = if lina[l] > 0.0 { base[l] / lina[l] } else { f64::INFINITY };
+            let r = if lina[l] > 0.0 {
+                base[l] / lina[l]
+            } else {
+                f64::INFINITY
+            };
             ratios.push(r);
             table.row(&[
                 l.to_string(),

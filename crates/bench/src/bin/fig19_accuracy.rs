@@ -10,7 +10,10 @@ use lina_workload::popularity;
 
 fn main() {
     bench::banner("Figure 19", "estimation accuracy per layer (16-expert)");
-    for model in [MoeModelConfig::transformer_xl(12, 16), MoeModelConfig::bert_large(16)] {
+    for model in [
+        MoeModelConfig::transformer_xl(12, 16),
+        MoeModelConfig::bert_large(16),
+    ] {
         let experts = 16;
         let spec = bench::workload_for(&model, experts, model.layers);
         let setup = bench::inference_setup(
@@ -31,8 +34,7 @@ fn main() {
             let mut hits = 0usize;
             let mut n = 0usize;
             for batch in &setup.batches {
-                let estimated =
-                    est.estimate_popularity(&batch.tokens, next_layer - 1, 1);
+                let estimated = est.estimate_popularity(&batch.tokens, next_layer - 1, 1);
                 let actual = popularity(batch, next_layer);
                 if PopularityEstimator::estimate_matches(&estimated, &actual, 2) {
                     hits += 1;

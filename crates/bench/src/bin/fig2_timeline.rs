@@ -8,7 +8,10 @@ use lina_runner::train::run_train_step;
 use lina_simcore::{format_pct, SimDuration, SimTime, SpanKind};
 
 fn main() {
-    bench::banner("Figure 2", "forward-pass timeline of one MoE layer (419M model)");
+    bench::banner(
+        "Figure 2",
+        "forward-pass timeline of one MoE layer (419M model)",
+    );
     let model = MoeModelConfig::transformer_xl(12, 16);
     let topo = bench::topo(16);
     let cost = bench::train_cost(model.clone());
@@ -26,7 +29,10 @@ fn main() {
         }
         let in_moe = match &op.kind {
             OpKind::Compute { span, .. } => {
-                matches!(span, SpanKind::Gate | SpanKind::ExpertFfn | SpanKind::Combine)
+                matches!(
+                    span,
+                    SpanKind::Gate | SpanKind::ExpertFfn | SpanKind::Combine
+                )
             }
             OpKind::Comm { meta, .. } => meta.class == CommClass::AllToAll,
         };

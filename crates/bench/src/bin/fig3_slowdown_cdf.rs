@@ -45,9 +45,15 @@ fn main() {
         overlapped_count,
         100.0 * overlapped_count as f64 / total_count.max(1) as f64
     );
-    let mut table = Table::new("slowdown CDF (conditioned on overlap)", &["percentile", "slowdown"]);
+    let mut table = Table::new(
+        "slowdown CDF (conditioned on overlap)",
+        &["percentile", "slowdown"],
+    );
     for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
-        table.row(&[format!("p{p:.0}"), format!("{:.2}x", slowdowns.percentile(p))]);
+        table.row(&[
+            format!("p{p:.0}"),
+            format!("{:.2}x", slowdowns.percentile(p)),
+        ]);
     }
     println!("{}", table.render());
     println!(

@@ -9,7 +9,10 @@ use lina_runner::train::run_train_steps;
 use lina_simcore::{format_bytes, format_pct, Table};
 
 fn main() {
-    bench::banner("Figure 4", "all-to-all share of step time vs number of experts");
+    bench::banner(
+        "Figure 4",
+        "all-to-all share of step time vs number of experts",
+    );
     let mut table = Table::new(
         "Transformer-XL 12L, baseline",
         &["experts", "a2a share", "a2a data/device", "step time"],
@@ -27,9 +30,15 @@ fn main() {
             bench::steps().min(5),
             31,
         );
-        let a2a: f64 = metrics.iter().map(|m| m.a2a_total.as_secs_f64()).sum::<f64>()
+        let a2a: f64 = metrics
+            .iter()
+            .map(|m| m.a2a_total.as_secs_f64())
+            .sum::<f64>()
             / metrics.len() as f64;
-        let step: f64 = metrics.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>()
+        let step: f64 = metrics
+            .iter()
+            .map(|m| m.step_time.as_secs_f64())
+            .sum::<f64>()
             / metrics.len() as f64;
         let data = model.a2a_bytes_per_device(batch.tokens_per_device());
         table.row(&[

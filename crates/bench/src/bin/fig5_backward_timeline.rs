@@ -6,7 +6,7 @@ use lina_baselines::TrainScheme;
 use lina_bench as bench;
 use lina_model::{CommClass, MoeModelConfig, OpKind};
 use lina_runner::train::run_train_step;
-use lina_simcore::{SimTime, format_speedup};
+use lina_simcore::{format_speedup, SimTime};
 
 fn main() {
     bench::banner(
@@ -25,7 +25,12 @@ fn main() {
     // window around it.
     let m = &run.metrics;
     let mut worst: Option<(usize, f64)> = None;
-    for (i, (&s, &o)) in m.a2a_bwd_slowdowns.iter().zip(&m.a2a_bwd_overlapped).enumerate() {
+    for (i, (&s, &o)) in m
+        .a2a_bwd_slowdowns
+        .iter()
+        .zip(&m.a2a_bwd_overlapped)
+        .enumerate()
+    {
         if o {
             match worst {
                 Some((_, best)) if best >= s => {}
@@ -37,7 +42,10 @@ fn main() {
         println!("no overlap occurred in this step (try more steps)");
         return;
     };
-    println!("worst overlapped backward all-to-all slowdown: {}", format_speedup(slowdown));
+    println!(
+        "worst overlapped backward all-to-all slowdown: {}",
+        format_speedup(slowdown)
+    );
 
     // Render the window around an allreduce that overlaps an
     // all-to-all (the Figure 5 situation).
@@ -54,9 +62,8 @@ fn main() {
         if let OpKind::Comm { meta, .. } = &op.kind {
             if meta.class == CommClass::Allreduce {
                 let (s, e) = run.exec.window(lina_model::OpId(i as u32));
-                let overlaps =
-                    a2a_windows.iter().any(|&(as_, ae)| as_ < e && ae > s);
-                if overlaps && window.map_or(true, |(ws, we)| (e - s) > (we - ws)) {
+                let overlaps = a2a_windows.iter().any(|&(as_, ae)| as_ < e && ae > s);
+                if overlaps && window.is_none_or(|(ws, we)| (e - s) > (we - ws)) {
                     window = Some((s, e));
                 }
             }

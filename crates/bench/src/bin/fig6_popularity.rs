@@ -7,7 +7,10 @@ use lina_simcore::Table;
 use lina_workload::{popularity, popularity_skew, Mode, TokenSource, WorkloadSpec};
 
 fn main() {
-    bench::banner("Figure 6", "expert popularity: training vs inference (enwik8)");
+    bench::banner(
+        "Figure 6",
+        "expert popularity: training vs inference (enwik8)",
+    );
     for experts in [4usize, 16] {
         let spec = WorkloadSpec::enwik8(experts, 12);
         let mut src = TokenSource::new(&spec, 1, 606);
@@ -28,10 +31,8 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
-        let tskew: f64 =
-            (0..12).map(|l| popularity_skew(&train, l)).sum::<f64>() / 12.0;
-        let iskew: f64 =
-            (0..12).map(|l| popularity_skew(&infer, l)).sum::<f64>() / 12.0;
+        let tskew: f64 = (0..12).map(|l| popularity_skew(&train, l)).sum::<f64>() / 12.0;
+        let iskew: f64 = (0..12).map(|l| popularity_skew(&infer, l)).sum::<f64>() / 12.0;
         let max_mean: f64 = (0..12)
             .map(|l| {
                 let p = popularity(&infer, l);
@@ -39,12 +40,8 @@ fn main() {
             })
             .sum::<f64>()
             / 12.0;
-        println!(
-            "mean max/min over layers: training {tskew:.2}x, inference {iskew:.2}x"
-        );
-        println!(
-            "inference max/mean (straggler factor): {max_mean:.2}x\n"
-        );
+        println!("mean max/min over layers: training {tskew:.2}x, inference {iskew:.2}x");
+        println!("inference max/mean (straggler factor): {max_mean:.2}x\n");
     }
     println!("paper: inference max/min is 4.02x (4 experts) and 5.56x (16 experts);");
     println!("       training is nearly uniform thanks to the load-balancing loss.");

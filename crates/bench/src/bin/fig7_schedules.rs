@@ -26,14 +26,13 @@ fn main() {
         (TrainScheme::Baseline, "(a) baseline fair-share"),
         (TrainScheme::PriorityOnly, "(b) naive priority"),
         (TrainScheme::Fixed, "(c) fixed deferral"),
-        (TrainScheme::PriorityPartition, "(d) priority + partitioning"),
+        (
+            TrainScheme::PriorityPartition,
+            "(d) priority + partitioning",
+        ),
     ] {
         let m = run_train_step(&cost, &topo, batch, scheme, 5).metrics;
-        let mean_a2a: f64 = m
-            .a2a_bwd_times
-            .iter()
-            .map(|d| d.as_secs_f64())
-            .sum::<f64>()
+        let mean_a2a: f64 = m.a2a_bwd_times.iter().map(|d| d.as_secs_f64()).sum::<f64>()
             / m.a2a_bwd_times.len().max(1) as f64;
         let mean_slow: f64 =
             m.a2a_bwd_slowdowns.iter().sum::<f64>() / m.a2a_bwd_slowdowns.len().max(1) as f64;

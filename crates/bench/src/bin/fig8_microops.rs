@@ -9,7 +9,10 @@ use lina_runner::train::run_train_step;
 use lina_simcore::{format_pct, format_secs, SimTime};
 
 fn main() {
-    bench::banner("Figure 8", "tensor partitioning and pipelined micro-ops (Lina)");
+    bench::banner(
+        "Figure 8",
+        "tensor partitioning and pipelined micro-ops (Lina)",
+    );
     let model = MoeModelConfig::gpt2(16);
     let topo = bench::topo(16);
     let cost = bench::train_cost(model.clone());
@@ -46,7 +49,10 @@ fn main() {
     }
     let pad = (hi - lo) / 3;
     println!("\nLina backward pass around layer 6 (micro-ops visible):");
-    println!("{}", lina.exec.timeline.render_ascii(lo - pad, hi + pad, 110));
+    println!(
+        "{}",
+        lina.exec.timeline.render_ascii(lo - pad, hi + pad, 110)
+    );
     println!("glyphs: A attention, G gate, # all-to-all, F expert FFN, C combine, = allreduce");
     println!(
         "\npaper (Figure 8a): with 30 MB partitions, allreduce micro-ops run in\n\

@@ -8,7 +8,10 @@ use lina_simcore::{format_pct, Table};
 use lina_workload::{mean_pattern_ratio, pattern_ratio, Mode, TokenSource, WorkloadSpec};
 
 fn main() {
-    bench::banner("Figure 9", "token-level expert-selection pattern across layers");
+    bench::banner(
+        "Figure 9",
+        "token-level expert-selection pattern across layers",
+    );
     for (name, spec) in [
         ("Transformer-XL / enwik8", WorkloadSpec::enwik8(12, 12)),
         ("BERT-Large / WMT En-De", WorkloadSpec::wmt_en_de(12, 12)),

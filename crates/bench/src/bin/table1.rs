@@ -44,11 +44,16 @@ fn main() {
             // Training.
             let cost = bench::train_cost(model.clone());
             let batch = bench::train_batch(&model);
-            let metrics =
-                run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, steps, 7);
-            let a2a: f64 = metrics.iter().map(|m| m.a2a_total.as_secs_f64()).sum::<f64>()
+            let metrics = run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, steps, 7);
+            let a2a: f64 = metrics
+                .iter()
+                .map(|m| m.a2a_total.as_secs_f64())
+                .sum::<f64>()
                 / metrics.len() as f64;
-            let step: f64 = metrics.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>()
+            let step: f64 = metrics
+                .iter()
+                .map(|m| m.step_time.as_secs_f64())
+                .sum::<f64>()
                 / metrics.len() as f64;
 
             // Inference (same batch size, per the paper's note).
@@ -64,7 +69,10 @@ fn main() {
             let mut summary = run_inference_batches(
                 &icost,
                 &topo,
-                &InferenceConfig { scheme: InferScheme::Baseline, top_k: 1 },
+                &InferenceConfig {
+                    scheme: InferScheme::Baseline,
+                    top_k: 1,
+                },
                 None,
                 &setup.batches,
             );
@@ -87,7 +95,14 @@ fn main() {
 
     let mut ptable = Table::new(
         "paper-reported values",
-        &["experts", "layers", "train a2a", "ratio", "infer a2a", "ratio"],
+        &[
+            "experts",
+            "layers",
+            "train a2a",
+            "ratio",
+            "infer a2a",
+            "ratio",
+        ],
     );
     for (e, l, ta, tr, ia, ir) in paper {
         ptable.row(&[

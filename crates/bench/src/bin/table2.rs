@@ -6,10 +6,19 @@ use lina_simcore::Table;
 use lina_workload::{top_experts, Mode, TokenSource, WorkloadSpec};
 
 fn main() {
-    bench::banner("Table 2", "top-4 popular experts per layer (12-expert inference)");
+    bench::banner(
+        "Table 2",
+        "top-4 popular experts per layer (12-expert inference)",
+    );
     for (name, spec) in [
-        ("Transformer-XL & enwik8 (text generation)", WorkloadSpec::enwik8(12, 12)),
-        ("BERT-Large & WMT En-De (translation)", WorkloadSpec::wmt_en_de(12, 12)),
+        (
+            "Transformer-XL & enwik8 (text generation)",
+            WorkloadSpec::enwik8(12, 12),
+        ),
+        (
+            "BERT-Large & WMT En-De (translation)",
+            WorkloadSpec::wmt_en_de(12, 12),
+        ),
     ] {
         let mut src = TokenSource::new(&spec, 1, 22);
         let batch = src.sample_batch(12, 4096, Mode::Inference);

@@ -7,14 +7,28 @@ use lina_runner::train::run_train_steps;
 use lina_simcore::{format_pct, Table};
 
 fn main() {
-    bench::banner("Table 3", "pipelining efficiency with/without expert packing");
+    bench::banner(
+        "Table 3",
+        "pipelining efficiency with/without expert packing",
+    );
     let experts = 16usize;
     let steps = bench::steps().min(5);
     let mut table = Table::new(
         "16-expert models",
-        &["model", "w/o packing", "w/ packing", "experts/device", "paper w/o", "paper w/"],
+        &[
+            "model",
+            "w/o packing",
+            "w/ packing",
+            "experts/device",
+            "paper w/o",
+            "paper w/",
+        ],
     );
-    let paper = [("Transformer-XL", "33%", "86%"), ("GPT-2", "36%", "85%"), ("BERT2GPT2", "34%", "79%")];
+    let paper = [
+        ("Transformer-XL", "33%", "86%"),
+        ("GPT-2", "36%", "85%"),
+        ("BERT2GPT2", "34%", "79%"),
+    ];
     for (model, (_, pwo, pw)) in bench::training_models(experts).into_iter().zip(paper) {
         let topo = bench::topo(experts);
         let cost = bench::train_cost(model.clone());
@@ -25,7 +39,9 @@ fn main() {
         };
         let without = pipeline_eff(TrainScheme::LinaNoPack);
         let packing = bench::paper_packing(&model);
-        let with = pipeline_eff(TrainScheme::Lina { experts_per_device: packing });
+        let with = pipeline_eff(TrainScheme::Lina {
+            experts_per_device: packing,
+        });
         table.row(&[
             model.name.clone(),
             format_pct(without),

@@ -12,7 +12,12 @@ use lina_simcore::{format_pct, Table};
 
 /// Analytic peak memory: parameters + gradients + optimizer state for
 /// everything resident, plus activation working set for the batch.
-fn peak_memory_fraction(model: &MoeModelConfig, experts_per_device: usize, tokens: usize, capacity: f64) -> f64 {
+fn peak_memory_fraction(
+    model: &MoeModelConfig,
+    experts_per_device: usize,
+    tokens: usize,
+    capacity: f64,
+) -> f64 {
     let resident_params = (model.non_expert_params()
         + model.layers * model.expert_params() * experts_per_device)
         as f64
@@ -21,13 +26,15 @@ fn peak_memory_fraction(model: &MoeModelConfig, experts_per_device: usize, token
     let states = 3.0 * resident_params;
     // Activations: ~20 tensors of (tokens x hidden) per layer retained
     // for backward.
-    let activations =
-        (tokens * model.hidden * model.dtype_bytes * 20 * model.layers) as f64;
+    let activations = (tokens * model.hidden * model.dtype_bytes * 20 * model.layers) as f64;
     ((states + activations) / capacity).min(1.0)
 }
 
 fn main() {
-    bench::banner("Table 4", "GPU utilization and peak memory (16-expert models)");
+    bench::banner(
+        "Table 4",
+        "GPU utilization and peak memory (16-expert models)",
+    );
     let experts = 16usize;
     let steps = bench::steps().min(5);
     let paper = [
@@ -37,11 +44,25 @@ fn main() {
     ];
     let mut table = Table::new(
         "measured",
-        &["model", "util base", "util lina", "mem base", "mem lina", "offload"],
+        &[
+            "model",
+            "util base",
+            "util lina",
+            "mem base",
+            "mem lina",
+            "offload",
+        ],
     );
     let mut ptable = Table::new(
         "paper",
-        &["model", "util base", "util lina", "mem base", "mem lina", "offload"],
+        &[
+            "model",
+            "util base",
+            "util lina",
+            "mem base",
+            "mem lina",
+            "offload",
+        ],
     );
     for (model, p) in bench::training_models(experts).into_iter().zip(paper) {
         let topo = bench::topo(experts);
@@ -53,7 +74,9 @@ fn main() {
         };
         let base_util = util(TrainScheme::Baseline);
         let packing = bench::paper_packing(&model);
-        let lina_util = util(TrainScheme::Lina { experts_per_device: packing });
+        let lina_util = util(TrainScheme::Lina {
+            experts_per_device: packing,
+        });
         let cap = topo.spec().device_memory;
         let tokens = batch.tokens_per_device();
         let mem_base = peak_memory_fraction(&model, 1, tokens, cap);
@@ -73,7 +96,11 @@ fn main() {
             format_pct(lina_util),
             format_pct(mem_base),
             format_pct(mem_lina),
-            if plan.dram_offloading || mem_lina >= 1.0 { "yes".into() } else { "no".into() },
+            if plan.dram_offloading || mem_lina >= 1.0 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
         ptable.row(&[
             p.0.into(),

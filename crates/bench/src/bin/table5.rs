@@ -11,14 +11,23 @@ use lina_simcore::Table;
 
 fn main() {
     bench::banner("Table 5", "sample-path length sweep (16-expert models)");
-    for model in [MoeModelConfig::transformer_xl(12, 16), MoeModelConfig::bert_large(16)] {
+    for model in [
+        MoeModelConfig::transformer_xl(12, 16),
+        MoeModelConfig::bert_large(16),
+    ] {
         let experts = 16;
         let topo = bench::topo(experts);
         let cost = bench::infer_cost(model.clone());
         let spec = bench::workload_for(&model, experts, model.layers);
         let mut table = Table::new(
             model.name.clone(),
-            &["path len", "norm median", "norm p95", "fine-tune", "accuracy"],
+            &[
+                "path len",
+                "norm median",
+                "norm p95",
+                "fine-tune",
+                "accuracy",
+            ],
         );
         for l in [1usize, 3, 6] {
             let setup = bench::inference_setup(
@@ -43,8 +52,8 @@ fn main() {
                 l.to_string(),
                 format!("{:.2}", lina.totals.median() / ideal.totals.median()),
                 format!("{:.2}", lina.totals.p95() / ideal.totals.p95()),
-                format!("{:.1}%", lina.finetune_rate * 100.0),
-                format!("{:.1}%", lina.accuracy * 100.0),
+                bench::format_rate(lina.finetune_rate()),
+                bench::format_rate(lina.accuracy()),
             ]);
         }
         println!("{}", table.render());

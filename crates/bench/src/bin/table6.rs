@@ -10,7 +10,10 @@ use lina_simcore::Table;
 use lina_workload::WorkloadSpec;
 
 fn main() {
-    bench::banner("Table 6", "generalizability across tasks and datasets (l = 3)");
+    bench::banner(
+        "Table 6",
+        "generalizability across tasks and datasets (l = 3)",
+    );
     let experts = 16usize;
     let cases: [(&str, &str, WorkloadSpec, MoeModelConfig); 4] = [
         (
@@ -38,10 +41,23 @@ fn main() {
             MoeModelConfig::t5(experts),
         ),
     ];
-    let paper = [("1.08", "64.4%"), ("1.11", "62.3%"), ("1.04", "68.8%"), ("1.08", "62.5%")];
+    let paper = [
+        ("1.08", "64.4%"),
+        ("1.11", "62.3%"),
+        ("1.04", "68.8%"),
+        ("1.08", "62.5%"),
+    ];
     let mut table = Table::new(
         "Lina vs Ideal per task",
-        &["task", "dataset", "model", "norm p95", "accuracy", "paper p95", "paper acc"],
+        &[
+            "task",
+            "dataset",
+            "model",
+            "norm p95",
+            "accuracy",
+            "paper p95",
+            "paper acc",
+        ],
     );
     for ((task, dataset, spec, model), (pp, pa)) in cases.into_iter().zip(paper) {
         let topo = bench::topo(experts);
@@ -69,7 +85,7 @@ fn main() {
             dataset.into(),
             model.name.clone(),
             format!("{:.2}", lina.totals.p95() / ideal.totals.p95()),
-            format!("{:.1}%", lina.accuracy * 100.0),
+            bench::format_rate(lina.accuracy()),
             pp.into(),
             pa.into(),
         ]);

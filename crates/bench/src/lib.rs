@@ -10,7 +10,8 @@
 //!
 //! * `LINA_STEPS` — training steps per configuration (default 8),
 //! * `LINA_BATCHES` — inference batches per configuration (default 12),
-//! * `LINA_TOKENS` — inference tokens per device (default 16384).
+//! * `LINA_TOKENS` — inference tokens per device (default 16384),
+//! * `LINA_REQUESTS` — requests per serving run (default 256).
 
 #![warn(missing_docs)]
 
@@ -35,8 +36,16 @@ pub fn tokens_per_device() -> usize {
     env_usize("LINA_TOKENS", 16_384)
 }
 
+/// Requests per serving run (`serve_load_sweep`).
+pub fn requests() -> usize {
+    env_usize("LINA_REQUESTS", 256)
+}
+
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The benchmark batch shape used throughout training experiments
@@ -44,7 +53,10 @@ fn env_usize(key: &str, default: usize) -> usize {
 /// the paper's ~37% all-to-all step-time share and several 30 MB
 /// micro-ops per tensor).
 pub fn train_batch(model: &MoeModelConfig) -> BatchShape {
-    BatchShape { seqs_per_device: 64, seq_len: model.seq_len }
+    BatchShape {
+        seqs_per_device: 64,
+        seq_len: model.seq_len,
+    }
 }
 
 /// Training cost model for a model preset.
@@ -86,7 +98,9 @@ pub fn paper_packing(model: &MoeModelConfig) -> usize {
 
 /// The full Lina training scheme for a model.
 pub fn lina_scheme(model: &MoeModelConfig) -> TrainScheme {
-    TrainScheme::Lina { experts_per_device: paper_packing(model) }
+    TrainScheme::Lina {
+        experts_per_device: paper_packing(model),
+    }
 }
 
 /// Workload spec for an inference model preset.
@@ -129,6 +143,17 @@ pub fn inference_setup(
         .map(|_| infer_src.sample_batch(devices, tokens_per_dev, Mode::Inference))
         .collect();
     InferenceSetup { scheduler, batches }
+}
+
+/// Formats an optional rate (e.g. [`InferenceSummary::accuracy`]) as a
+/// percentage, or `-` when the scheme never produced an estimate.
+///
+/// [`InferenceSummary::accuracy`]: lina_runner::inference::InferenceSummary::accuracy
+pub fn format_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "-".into(),
+    }
 }
 
 /// Prints a standard header for a benchmark binary.

@@ -41,7 +41,11 @@ impl PopularityEstimator {
         let experts = batches[0].experts;
         let layers = batches[0].tokens[0].selections.len();
         let mut counts: Vec<Vec<BTreeMap<Vec<u16>, Vec<f64>>>> = (0..path_length)
-            .map(|_| (0..layers.saturating_sub(1)).map(|_| BTreeMap::new()).collect())
+            .map(|_| {
+                (0..layers.saturating_sub(1))
+                    .map(|_| BTreeMap::new())
+                    .collect()
+            })
             .collect();
         let mut marginal_counts = vec![vec![0.0f64; experts]; layers];
         for batch in batches {
@@ -93,7 +97,13 @@ impl PopularityEstimator {
                 dist
             })
             .collect();
-        PopularityEstimator { path_length, experts, layers, tables, marginals }
+        PopularityEstimator {
+            path_length,
+            experts,
+            layers,
+            tables,
+            marginals,
+        }
     }
 
     /// The profiled path length `l`.
@@ -113,7 +123,9 @@ impl PopularityEstimator {
 
     /// Number of distinct full-length profiled paths ending at `layer`.
     pub fn paths_at(&self, layer: usize) -> usize {
-        self.tables[self.path_length - 1].get(layer).map_or(0, BTreeMap::len)
+        self.tables[self.path_length - 1]
+            .get(layer)
+            .map_or(0, BTreeMap::len)
     }
 
     /// `Ψ_j^{layer+1}` for the token's observed path up to `layer`.
@@ -122,9 +134,7 @@ impl PopularityEstimator {
     pub fn next_layer_distribution(&self, token: &TokenPath, layer: usize) -> &[f64] {
         for len in (1..=self.path_length).rev() {
             let key = token.path_suffix(layer, len);
-            if let Some(dist) =
-                self.tables[len - 1].get(layer).and_then(|t| t.get(&key))
-            {
+            if let Some(dist) = self.tables[len - 1].get(layer).and_then(|t| t.get(&key)) {
                 return dist;
             }
         }
@@ -179,8 +189,11 @@ impl PopularityEstimator {
     ) -> Option<f64> {
         let est_top = top_indices(estimated, two_k);
         let act_top = top_indices(actual, two_k);
-        let missed: Vec<usize> =
-            act_top.iter().copied().filter(|e| !est_top.contains(e)).collect();
+        let missed: Vec<usize> = act_top
+            .iter()
+            .copied()
+            .filter(|e| !est_top.contains(e))
+            .collect();
         if missed.is_empty() {
             return None;
         }
@@ -191,8 +204,7 @@ impl PopularityEstimator {
             .map(|&e| actual[e])
             .fold(f64::INFINITY, f64::min)
             .max(1e-12);
-        let worst_missed =
-            missed.iter().map(|&e| actual[e]).fold(0.0, f64::max);
+        let worst_missed = missed.iter().map(|&e| actual[e]).fold(0.0, f64::max);
         let excess = worst_missed / kept_min - 1.0;
         if excess > tolerance {
             Some(excess)
@@ -207,7 +219,10 @@ impl PopularityEstimator {
 pub fn top_indices(values: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| {
-        values[b].partial_cmp(&values[a]).expect("finite popularity").then(a.cmp(&b))
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("finite popularity")
+            .then(a.cmp(&b))
     });
     idx.truncate(k);
     idx
@@ -221,8 +236,9 @@ mod tests {
     fn profiled(l: usize) -> (PopularityEstimator, TokenSource) {
         let spec = WorkloadSpec::enwik8(16, 12);
         let mut src = TokenSource::new(&spec, 1, 7);
-        let batches: Vec<TokenBatch> =
-            (0..8).map(|_| src.sample_batch(16, 512, Mode::Train)).collect();
+        let batches: Vec<TokenBatch> = (0..8)
+            .map(|_| src.sample_batch(16, 512, Mode::Train))
+            .collect();
         (PopularityEstimator::profile(&batches, l), src)
     }
 
@@ -254,7 +270,10 @@ mod tests {
     fn longer_paths_give_more_tables() {
         let (e1, _) = profiled(1);
         let (e3, _) = profiled(3);
-        assert!(e3.paths_at(6) > e1.paths_at(6), "l=3 should distinguish more paths");
+        assert!(
+            e3.paths_at(6) > e1.paths_at(6),
+            "l=3 should distinguish more paths"
+        );
         // l=1 at layer 6 has at most `experts` paths.
         assert!(e1.paths_at(6) <= 16);
     }
@@ -271,7 +290,10 @@ mod tests {
         let est_top = top_indices(&estimated, 4);
         let act_top = top_indices(&actual, 4);
         let overlap = est_top.iter().filter(|e| act_top.contains(e)).count();
-        assert!(overlap >= 2, "top-4 overlap only {overlap} (est {est_top:?}, act {act_top:?})");
+        assert!(
+            overlap >= 2,
+            "top-4 overlap only {overlap} (est {est_top:?}, act {act_top:?})"
+        );
     }
 
     #[test]
@@ -280,8 +302,9 @@ mod tests {
         let mut accuracies = Vec::new();
         for l in [1usize, 3, 6] {
             let mut src = TokenSource::new(&spec, 1, 7);
-            let batches: Vec<TokenBatch> =
-                (0..12).map(|_| src.sample_batch(16, 1024, Mode::Train)).collect();
+            let batches: Vec<TokenBatch> = (0..12)
+                .map(|_| src.sample_batch(16, 1024, Mode::Train))
+                .collect();
             let est = PopularityEstimator::profile(&batches, l);
             let mut hits = 0;
             let mut total = 0;

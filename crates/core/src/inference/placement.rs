@@ -49,7 +49,10 @@ pub struct PlacementConfig {
 /// popularity vector is empty.
 pub fn popularity_placement(popularity: &[f64], config: PlacementConfig) -> ExpertPlacement {
     assert!(config.devices > 0, "popularity_placement: zero devices");
-    assert!(config.max_experts_per_device > 0, "popularity_placement: zero cap");
+    assert!(
+        config.max_experts_per_device > 0,
+        "popularity_placement: zero cap"
+    );
     assert!(!popularity.is_empty(), "popularity_placement: no experts");
     let n = config.devices as f64;
     let experts = popularity.len();
@@ -70,7 +73,10 @@ pub fn popularity_placement(popularity: &[f64], config: PlacementConfig) -> Expe
     // Demand in device units, processed in decreasing order (FFD).
     let mut order: Vec<usize> = (0..experts).collect();
     order.sort_by(|&a, &b| {
-        popularity[b].partial_cmp(&popularity[a]).expect("finite popularity").then(a.cmp(&b))
+        popularity[b]
+            .partial_cmp(&popularity[a])
+            .expect("finite popularity")
+            .then(a.cmp(&b))
     });
 
     let mut remainders: Vec<(usize, f64)> = Vec::new();
@@ -146,11 +152,20 @@ pub fn popularity_placement(popularity: &[f64], config: PlacementConfig) -> Expe
         if bins.len() < config.devices {
             bins.push((0.0, vec![e]));
         } else {
+            // Prefer a bin with cap headroom; when replication has
+            // filled every bin to the cap, relax it on the least-loaded
+            // bin rather than fail (mirrors the remainder packing).
             let bin = bins
                 .iter_mut()
                 .filter(|(_, list)| list.len() < config.max_experts_per_device)
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
-                .unwrap_or_else(|| panic!("no device can host expert {e} under the cap"));
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let bin = match bin {
+                Some(bin) => bin,
+                None => bins
+                    .iter_mut()
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                    .expect("devices > 0"),
+            };
             bin.0 += 1e-9;
             bin.1.push(e);
         }
@@ -178,10 +193,9 @@ pub fn popularity_placement(popularity: &[f64], config: PlacementConfig) -> Expe
         let n_e = n * popularity[e];
         let replicas = hosts[e].len();
         for (r, share) in shares[e].iter_mut().enumerate() {
-            let dedicated = replicas > 1 && r < replicas - 1;
-            *share = if replicas == 1 {
-                1.0
-            } else if dedicated {
+            // A lone replica and every dedicated (non-last) replica of a
+            // replicated expert carry one full unit.
+            *share = if replicas == 1 || r < replicas - 1 {
                 1.0
             } else {
                 // Last replica takes the fractional remainder (at
@@ -191,7 +205,10 @@ pub fn popularity_placement(popularity: &[f64], config: PlacementConfig) -> Expe
         }
     }
     let placement = ExpertPlacement { hosts, shares };
-    assert!(placement.is_complete(), "popularity_placement: expert left unhosted");
+    assert!(
+        placement.is_complete(),
+        "popularity_placement: expert left unhosted"
+    );
     placement
 }
 
@@ -200,7 +217,10 @@ mod tests {
     use super::*;
 
     fn config(devices: usize) -> PlacementConfig {
-        PlacementConfig { devices, max_experts_per_device: 4 }
+        PlacementConfig {
+            devices,
+            max_experts_per_device: 4,
+        }
     }
 
     #[test]
@@ -225,6 +245,24 @@ mod tests {
             p.hosts[0].len(),
             p.hosts[0]
         );
+    }
+
+    #[test]
+    fn tight_cap_with_replication_stays_feasible() {
+        // Cap 1 with a hot expert: replication eats device slots, so
+        // the no-estimate experts cannot all fit under the cap. The
+        // placement must relax the cap instead of failing.
+        let mut pop = vec![0.0f64; 8];
+        pop[0] = 0.6;
+        pop[1] = 0.2;
+        let p = popularity_placement(
+            &pop,
+            PlacementConfig {
+                devices: 8,
+                max_experts_per_device: 1,
+            },
+        );
+        assert!(p.is_complete());
     }
 
     #[test]
@@ -255,7 +293,13 @@ mod tests {
     #[test]
     fn respects_max_per_device_under_normal_load() {
         let pop = vec![1.0 / 16.0; 16];
-        let p = popularity_placement(&pop, PlacementConfig { devices: 8, max_experts_per_device: 4 });
+        let p = popularity_placement(
+            &pop,
+            PlacementConfig {
+                devices: 8,
+                max_experts_per_device: 4,
+            },
+        );
         assert!(p.is_complete());
         assert!(p.max_per_device(8) <= 4);
     }
@@ -297,6 +341,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero devices")]
     fn zero_devices_panics() {
-        popularity_placement(&[1.0], PlacementConfig { devices: 0, max_experts_per_device: 1 });
+        popularity_placement(
+            &[1.0],
+            PlacementConfig {
+                devices: 0,
+                max_experts_per_device: 1,
+            },
+        );
     }
 }

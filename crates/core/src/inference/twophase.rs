@@ -132,7 +132,10 @@ impl TwoPhaseScheduler {
             return None;
         }
         let placement = popularity_placement(&estimate, self.placement_config());
-        Some(PhaseOne { placement, estimate })
+        Some(PhaseOne {
+            placement,
+            estimate,
+        })
     }
 
     /// Phase two: checks the estimate against the actual routing.
@@ -178,8 +181,9 @@ mod tests {
     fn scheduler(l: usize) -> (TwoPhaseScheduler, TokenSource) {
         let spec = WorkloadSpec::enwik8(16, 12);
         let mut src = TokenSource::new(&spec, 1, 11);
-        let batches: Vec<TokenBatch> =
-            (0..8).map(|_| src.sample_batch(16, 512, Mode::Train)).collect();
+        let batches: Vec<TokenBatch> = (0..8)
+            .map(|_| src.sample_batch(16, 512, Mode::Train))
+            .collect();
         let est = PopularityEstimator::profile(&batches, l);
         let cfg = TwoPhaseConfig::paper_defaults(16);
         (TwoPhaseScheduler::new(cfg, est), src)

@@ -105,10 +105,20 @@ mod tests {
     #[test]
     fn view_helpers() {
         let pending = vec![
-            PendingComm { handle: 0, meta: meta(CommClass::AllToAll), ready_at_ns: 0 },
-            PendingComm { handle: 1, meta: meta(CommClass::Allreduce), ready_at_ns: 1 },
+            PendingComm {
+                handle: 0,
+                meta: meta(CommClass::AllToAll),
+                ready_at_ns: 0,
+            },
+            PendingComm {
+                handle: 1,
+                meta: meta(CommClass::Allreduce),
+                ready_at_ns: 1,
+            },
         ];
-        let active = vec![ActiveComm { meta: meta(CommClass::Allreduce) }];
+        let active = vec![ActiveComm {
+            meta: meta(CommClass::Allreduce),
+        }];
         let view = CommView {
             pending: &pending,
             active: &active,
@@ -123,7 +133,9 @@ mod tests {
 
     #[test]
     fn a2a_present_via_active() {
-        let active = vec![ActiveComm { meta: meta(CommClass::AllToAll) }];
+        let active = vec![ActiveComm {
+            meta: meta(CommClass::AllToAll),
+        }];
         let view = CommView {
             pending: &[],
             active: &active,

@@ -59,7 +59,10 @@ impl PackingController {
     /// Panics if `experts` is zero.
     pub fn new(experts: usize) -> Self {
         assert!(experts > 0, "PackingController::new: zero experts");
-        PackingController { experts, experts_per_device: 1 }
+        PackingController {
+            experts,
+            experts_per_device: 1,
+        }
     }
 
     /// Current packing degree.
@@ -134,17 +137,26 @@ mod tests {
     fn grows_while_ffn_shorter() {
         let mut c = PackingController::new(16);
         assert_eq!(
-            c.decide(PackingObservation { ffn_micro: ms(0.5), a2a_micro: ms(2.0) }),
+            c.decide(PackingObservation {
+                ffn_micro: ms(0.5),
+                a2a_micro: ms(2.0)
+            }),
             PackingDecision::Grow
         );
         assert_eq!(c.experts_per_device(), 2);
         assert_eq!(
-            c.decide(PackingObservation { ffn_micro: ms(1.0), a2a_micro: ms(2.0) }),
+            c.decide(PackingObservation {
+                ffn_micro: ms(1.0),
+                a2a_micro: ms(2.0)
+            }),
             PackingDecision::Grow
         );
         assert_eq!(c.experts_per_device(), 4);
         assert_eq!(
-            c.decide(PackingObservation { ffn_micro: ms(2.5), a2a_micro: ms(2.0) }),
+            c.decide(PackingObservation {
+                ffn_micro: ms(2.5),
+                a2a_micro: ms(2.0)
+            }),
             PackingDecision::Keep
         );
         assert_eq!(c.experts_per_device(), 4);
@@ -153,10 +165,16 @@ mod tests {
     #[test]
     fn never_exceeds_expert_count() {
         let mut c = PackingController::new(2);
-        c.decide(PackingObservation { ffn_micro: ms(0.1), a2a_micro: ms(10.0) });
+        c.decide(PackingObservation {
+            ffn_micro: ms(0.1),
+            a2a_micro: ms(10.0),
+        });
         assert_eq!(c.experts_per_device(), 2);
         assert_eq!(
-            c.decide(PackingObservation { ffn_micro: ms(0.1), a2a_micro: ms(10.0) }),
+            c.decide(PackingObservation {
+                ffn_micro: ms(0.1),
+                a2a_micro: ms(10.0)
+            }),
             PackingDecision::Keep
         );
     }
@@ -182,7 +200,7 @@ mod tests {
         let mut tight = PackingController::new(16);
         tight.experts_per_device = 16;
         let plan_full = tight.plan(&cost, &topo);
-        let mut light = PackingController::new(16);
+        let light = PackingController::new(16);
         let plan_one = light.plan(&cost, &topo);
         // Hosting all 16 experts of a 36-layer model needs more memory
         // than hosting one.

@@ -31,7 +31,9 @@ pub struct LinaTrainScheduler {
 impl LinaTrainScheduler {
     /// Creates the full scheduler (imminence rule enabled).
     pub fn new() -> Self {
-        LinaTrainScheduler { use_imminence: true }
+        LinaTrainScheduler {
+            use_imminence: true,
+        }
     }
 }
 
@@ -84,7 +86,11 @@ mod tests {
     }
 
     fn pend(handle: usize, class: CommClass) -> PendingComm {
-        PendingComm { handle, meta: meta(class, handle % 4), ready_at_ns: handle as u64 }
+        PendingComm {
+            handle,
+            meta: meta(class, handle % 4),
+            ready_at_ns: handle as u64,
+        }
     }
 
     #[test]
@@ -120,7 +126,9 @@ mod tests {
     fn allreduce_deferred_while_a2a_active() {
         let mut s = LinaTrainScheduler::new();
         let pending = vec![pend(0, CommClass::Allreduce)];
-        let active = vec![ActiveComm { meta: meta(CommClass::AllToAll, 0) }];
+        let active = vec![ActiveComm {
+            meta: meta(CommClass::AllToAll, 0),
+        }];
         let view = CommView {
             pending: &pending,
             active: &active,
@@ -144,7 +152,9 @@ mod tests {
         };
         assert!(s.select(&view).is_empty());
         // Ablated scheduler ignores imminence.
-        let mut ablated = LinaTrainScheduler { use_imminence: false };
+        let mut ablated = LinaTrainScheduler {
+            use_imminence: false,
+        };
         assert_eq!(ablated.select(&view), vec![0]);
     }
 
@@ -167,7 +177,9 @@ mod tests {
     fn one_allreduce_in_flight_blocks_more() {
         let mut s = LinaTrainScheduler::new();
         let pending = vec![pend(1, CommClass::Allreduce)];
-        let active = vec![ActiveComm { meta: meta(CommClass::Allreduce, 0) }];
+        let active = vec![ActiveComm {
+            meta: meta(CommClass::Allreduce, 0),
+        }];
         let view = CommView {
             pending: &pending,
             active: &active,

@@ -1,53 +1,58 @@
-//! Property-based tests of Lina's schedulers: placement invariants and
-//! estimator normalization under arbitrary inputs.
-
-use proptest::prelude::*;
+//! Randomized property tests of Lina's schedulers: placement invariants
+//! and estimator normalization under many deterministically seeded
+//! inputs.
 
 use lina_core::{popularity_placement, top_indices, PlacementConfig, PopularityEstimator};
+use lina_simcore::Rng;
 use lina_workload::{Mode, TokenBatch, TokenSource, WorkloadSpec};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every expert ends up hosted, never on an out-of-range device,
-    /// and shares stay positive — for arbitrary popularity vectors.
-    #[test]
-    fn placement_is_always_complete(
-        pop in proptest::collection::vec(0.0f64..1.0, 1..32),
-        devices in 1usize..32,
-        cap in 1usize..6,
-    ) {
-        let config = PlacementConfig { devices, max_experts_per_device: cap };
+/// Every expert ends up hosted, never on an out-of-range device, and
+/// shares stay positive — for arbitrary popularity vectors.
+#[test]
+fn placement_is_always_complete() {
+    let mut meta = Rng::new(0x9ACE);
+    for _ in 0..64 {
+        let experts = 1 + meta.index(31);
+        let pop: Vec<f64> = (0..experts).map(|_| meta.f64()).collect();
+        let devices = 1 + meta.index(31);
+        let cap = 1 + meta.index(5);
+        let config = PlacementConfig {
+            devices,
+            max_experts_per_device: cap,
+        };
         let p = popularity_placement(&pop, config);
-        prop_assert!(p.is_complete());
-        prop_assert_eq!(p.hosts.len(), pop.len());
+        assert!(p.is_complete());
+        assert_eq!(p.hosts.len(), pop.len());
         for (hs, ss) in p.hosts.iter().zip(&p.shares) {
-            prop_assert_eq!(hs.len(), ss.len());
+            assert_eq!(hs.len(), ss.len());
             for d in hs {
-                prop_assert!((d.0 as usize) < devices);
+                assert!((d.0 as usize) < devices);
             }
             for &s in ss {
-                prop_assert!(s > 0.0);
+                assert!(s > 0.0);
             }
         }
     }
+}
 
-    /// Hotter experts never get fewer replicas than colder ones.
-    #[test]
-    fn replicas_are_monotone_in_popularity(
-        seed_pop in proptest::collection::vec(0.01f64..1.0, 4..24),
-    ) {
+/// Hotter experts never get fewer replicas than colder ones.
+#[test]
+fn replicas_are_monotone_in_popularity() {
+    let mut meta = Rng::new(0x4040);
+    for _ in 0..64 {
+        let n = 4 + meta.index(20);
+        let seed_pop: Vec<f64> = (0..n).map(|_| meta.uniform(0.01, 1.0)).collect();
         let config = PlacementConfig {
-            devices: seed_pop.len(),
+            devices: n,
             max_experts_per_device: 4,
         };
         let p = popularity_placement(&seed_pop, config);
         let total: f64 = seed_pop.iter().sum();
-        for a in 0..seed_pop.len() {
-            for b in 0..seed_pop.len() {
+        for a in 0..n {
+            for b in 0..n {
                 // Require a decisive popularity gap of one device unit.
-                if seed_pop[a] / total > seed_pop[b] / total + 1.0 / seed_pop.len() as f64 {
-                    prop_assert!(
+                if seed_pop[a] / total > seed_pop[b] / total + 1.0 / n as f64 {
+                    assert!(
                         p.hosts[a].len() >= p.hosts[b].len(),
                         "expert {a} (pop {}) got {} replicas but {b} (pop {}) got {}",
                         seed_pop[a],
@@ -59,56 +64,59 @@ proptest! {
             }
         }
     }
+}
 
-    /// top_indices returns distinct, in-range, descending-value indices.
-    #[test]
-    fn top_indices_well_formed(values in proptest::collection::vec(-1e3f64..1e3, 1..64), k in 0usize..70) {
+/// top_indices returns distinct, in-range, descending-value indices.
+#[test]
+fn top_indices_well_formed() {
+    let mut meta = Rng::new(0x7091);
+    for _ in 0..128 {
+        let n = 1 + meta.index(63);
+        let values: Vec<f64> = (0..n).map(|_| meta.uniform(-1e3, 1e3)).collect();
+        let k = meta.index(70);
         let top = top_indices(&values, k);
-        prop_assert_eq!(top.len(), k.min(values.len()));
+        assert_eq!(top.len(), k.min(values.len()));
         let mut seen = std::collections::BTreeSet::new();
         let mut last = f64::INFINITY;
         for &i in &top {
-            prop_assert!(i < values.len());
-            prop_assert!(seen.insert(i));
-            prop_assert!(values[i] <= last);
+            assert!(i < values.len());
+            assert!(seen.insert(i));
+            assert!(values[i] <= last);
             last = values[i];
         }
     }
+}
 
-    /// The strict match implies no deviation at any tolerance, and
-    /// higher tolerance never flags more.
-    #[test]
-    fn deviation_is_monotone_in_tolerance(
-        est in proptest::collection::vec(0.0f64..1.0, 4..16),
-        act in proptest::collection::vec(0.001f64..1.0, 4..16),
-        t1 in 0.0f64..1.0,
-        t2 in 0.0f64..1.0,
-    ) {
-        prop_assume!(est.len() == act.len());
+/// The strict match implies no deviation at any tolerance, and higher
+/// tolerance never flags more.
+#[test]
+fn deviation_is_monotone_in_tolerance() {
+    let mut meta = Rng::new(0xDE7);
+    for _ in 0..128 {
+        let n = 4 + meta.index(12);
+        let est: Vec<f64> = (0..n).map(|_| meta.f64()).collect();
+        let act: Vec<f64> = (0..n).map(|_| meta.uniform(0.001, 1.0)).collect();
+        let (t1, t2) = (meta.f64(), meta.f64());
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
-        let two_k = 2usize.min(est.len());
+        let two_k = 2usize.min(n);
         if PopularityEstimator::deviates_too_far(&est, &act, two_k, lo).is_none() {
-            prop_assert!(
-                PopularityEstimator::deviates_too_far(&est, &act, two_k, hi).is_none()
-            );
+            assert!(PopularityEstimator::deviates_too_far(&est, &act, two_k, hi).is_none());
         }
         if PopularityEstimator::estimate_matches(&est, &act, two_k) {
-            prop_assert!(
-                PopularityEstimator::deviates_too_far(&est, &act, two_k, lo).is_none()
-            );
+            assert!(PopularityEstimator::deviates_too_far(&est, &act, two_k, lo).is_none());
         }
     }
 }
 
 /// Estimator distributions stay normalized for arbitrary profile sizes
-/// and path lengths (non-proptest sweep; profiling is too heavy for
-/// hundreds of cases).
+/// and path lengths.
 #[test]
 fn estimator_distributions_normalized_across_path_lengths() {
     let spec = WorkloadSpec::enwik8(8, 6);
     let mut src = TokenSource::new(&spec, 1, 3);
-    let batches: Vec<TokenBatch> =
-        (0..3).map(|_| src.sample_batch(8, 256, Mode::Train)).collect();
+    let batches: Vec<TokenBatch> = (0..3)
+        .map(|_| src.sample_batch(8, 256, Mode::Train))
+        .collect();
     for l in 1..=4 {
         let est = PopularityEstimator::profile(&batches, l);
         let probe = src.sample_batch(8, 64, Mode::Inference);

@@ -7,10 +7,8 @@
 //! presets mirror the evaluation's models, whose parameter counts match
 //! the paper's Table 1 within a few percent.
 
-use serde::{Deserialize, Serialize};
-
 /// Architecture family, which decides which passes a step runs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ModelKind {
     /// Encoder-only (BERT-style).
     Encoder,
@@ -33,7 +31,7 @@ pub enum ModelKind {
 /// assert!((params - 419e6).abs() / 419e6 < 0.12);
 /// assert_eq!(model.for_inference().top_k, 1);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MoeModelConfig {
     /// Human-readable name, e.g. `"Transformer-XL"`.
     pub name: String,
@@ -259,7 +257,7 @@ impl MoeModelConfig {
 }
 
 /// A training/inference batch shape.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct BatchShape {
     /// Sequences per device.
     pub seqs_per_device: usize,
@@ -323,7 +321,9 @@ mod tests {
         let b2 = m.a2a_bytes_per_device(2000);
         assert!((b2 / b1 - 2.0).abs() < 1e-12);
         let inf = m.clone().for_inference();
-        assert!((m.a2a_bytes_per_device(1000) / inf.a2a_bytes_per_device(1000) - 2.0).abs() < 1e-12);
+        assert!(
+            (m.a2a_bytes_per_device(1000) / inf.a2a_bytes_per_device(1000) - 2.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -332,7 +332,9 @@ mod tests {
         let l0 = m.non_expert_grad_bytes_per_layer(0);
         let l1 = m.non_expert_grad_bytes_per_layer(1);
         assert!(l0 > l1);
-        let total: f64 = (0..m.layers).map(|l| m.non_expert_grad_bytes_per_layer(l)).sum();
+        let total: f64 = (0..m.layers)
+            .map(|l| m.non_expert_grad_bytes_per_layer(l))
+            .sum();
         assert!(
             (total - (m.non_expert_params() * m.grad_dtype_bytes) as f64).abs() < 1.0,
             "per-layer grads must sum to the non-expert volume"
@@ -341,7 +343,10 @@ mod tests {
 
     #[test]
     fn batch_shape_tokens() {
-        let b = BatchShape { seqs_per_device: 8, seq_len: 512 };
+        let b = BatchShape {
+            seqs_per_device: 8,
+            seq_len: 512,
+        };
         assert_eq!(b.tokens_per_device(), 4096);
     }
 

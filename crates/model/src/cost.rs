@@ -6,14 +6,12 @@
 //! *relative* magnitudes (communication vs computation, skewed vs
 //! balanced), which FLOP scaling preserves.
 
-use serde::{Deserialize, Serialize};
-
 use lina_simcore::SimDuration;
 
 use crate::config::MoeModelConfig;
 
 /// Compute capability of one device.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DeviceSpec {
     /// Effective dense-GEMM throughput, FLOP/s (not the marketing peak).
     pub matmul_flops: f64,
@@ -140,8 +138,7 @@ impl CostModel {
     /// Combine (weighted sum + reshape) time: memory-bound over the
     /// routed activations.
     pub fn combine(&self, tokens: usize) -> SimDuration {
-        let bytes =
-            (tokens * self.model.top_k * self.model.hidden * self.model.dtype_bytes) as f64;
+        let bytes = (tokens * self.model.top_k * self.model.hidden * self.model.dtype_bytes) as f64;
         self.device.mem_time(3.0 * bytes)
     }
 

@@ -156,7 +156,11 @@ impl OpGraph {
     ) -> OpId {
         self.add(Op {
             deps,
-            kind: OpKind::Compute { device, duration, span },
+            kind: OpKind::Compute {
+                device,
+                duration,
+                span,
+            },
             layer,
             backward,
             label: label.into(),
@@ -196,7 +200,11 @@ impl OpGraph {
         self.ops
             .iter()
             .filter_map(|op| match &op.kind {
-                OpKind::Compute { device: d, duration, .. } if *d == device => Some(*duration),
+                OpKind::Compute {
+                    device: d,
+                    duration,
+                    ..
+                } if *d == device => Some(*duration),
                 _ => None,
             })
             .sum()
@@ -248,7 +256,11 @@ mod tests {
             "attn",
         );
         let b = g.add_comm(
-            CollectiveSpec::Send { src: DeviceId(0), dst: DeviceId(1), bytes: 10.0 },
+            CollectiveSpec::Send {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                bytes: 10.0,
+            },
             comm_meta(),
             vec![a],
             "a2a",
@@ -269,9 +281,27 @@ mod tests {
     #[test]
     fn compute_time_sums_per_device() {
         let mut g = OpGraph::new();
-        g.add_compute(DeviceId(0), SimDuration::from_millis(1), SpanKind::Gate, vec![], "");
-        g.add_compute(DeviceId(0), SimDuration::from_millis(2), SpanKind::Combine, vec![], "");
-        g.add_compute(DeviceId(1), SimDuration::from_millis(5), SpanKind::Gate, vec![], "");
+        g.add_compute(
+            DeviceId(0),
+            SimDuration::from_millis(1),
+            SpanKind::Gate,
+            vec![],
+            "",
+        );
+        g.add_compute(
+            DeviceId(0),
+            SimDuration::from_millis(2),
+            SpanKind::Combine,
+            vec![],
+            "",
+        );
+        g.add_compute(
+            DeviceId(1),
+            SimDuration::from_millis(5),
+            SpanKind::Gate,
+            vec![],
+            "",
+        );
         assert_eq!(g.compute_time_on(DeviceId(0)), SimDuration::from_millis(3));
         assert_eq!(g.compute_time_on(DeviceId(1)), SimDuration::from_millis(5));
         assert_eq!(g.compute_time_on(DeviceId(2)), SimDuration::ZERO);

@@ -14,6 +14,11 @@
 //! Which mechanism a system uses is decided by the scheduler policies in
 //! `lina-core` / `lina-baselines`; this module only builds the DAG.
 
+// Device/layer indices address several parallel structures at once
+// (op tails, dependency lists, `DeviceId`, op labels); zipped iterators
+// would obscure that.
+#![allow(clippy::needless_range_loop)]
+
 use lina_netsim::{AllToAllAlgo, CollectiveSpec, DeviceId, Topology};
 use lina_simcore::{Rng, SimDuration, SpanKind};
 
@@ -77,7 +82,9 @@ impl TrainStepOptions {
     /// all-to-all, one expert per device.
     pub fn baseline(experts: usize, devices: usize) -> Self {
         TrainStepOptions {
-            grad_comm: GradCommMode::Bucketed { bucket_bytes: 25.0 * 1024.0 * 1024.0 },
+            grad_comm: GradCommMode::Bucketed {
+                bucket_bytes: 25.0 * 1024.0 * 1024.0,
+            },
             a2a_chunking: A2aChunking::Whole,
             pipeline_ffn: false,
             placement: ExpertPlacement::one_per_device(experts, devices),
@@ -167,8 +174,10 @@ impl<'a> StepBuilder<'a> {
             return Vec::new();
         }
         let participants: Vec<DeviceId> = self.topo.device_ids().collect();
-        let per_device_bytes =
-            sizes.iter().map(|row| row.iter().sum::<f64>()).fold(0.0, f64::max);
+        let per_device_bytes = sizes
+            .iter()
+            .map(|row| row.iter().sum::<f64>())
+            .fold(0.0, f64::max);
         let op_index = self.next_op_index;
         self.next_op_index += 1;
         let mut ids = Vec::with_capacity(nchunks);
@@ -230,8 +239,7 @@ impl<'a> StepBuilder<'a> {
             let tokens = plan.compute_load(d);
             let mut last = None;
             for chunk in 0..nchunks {
-                let chunk_tokens = tokens / nchunks
-                    + usize::from(chunk < tokens % nchunks);
+                let chunk_tokens = tokens / nchunks + usize::from(chunk < tokens % nchunks);
                 let dur = if backward {
                     self.cost.expert_bwd(chunk_tokens)
                 } else {
@@ -302,8 +310,7 @@ impl<'a> StepBuilder<'a> {
             }
             // First all-to-all: tokens to experts.
             let bytes = plan.byte_matrix(self.model().token_bytes());
-            let a2a1 =
-                self.emit_a2a(&bytes, nchunks, layer, false, &[gate_ids.clone()], "#1");
+            let a2a1 = self.emit_a2a(&bytes, nchunks, layer, false, &[gate_ids.clone()], "#1");
             // Expert FFN.
             let gate_deps: Vec<Vec<OpId>> =
                 (0..self.devices()).map(|d| vec![gate_ids[d]]).collect();
@@ -336,12 +343,19 @@ impl<'a> StepBuilder<'a> {
                 tails[d] = Some(id);
             }
         }
-        tails.into_iter().map(|t| t.expect("at least one layer")).collect()
+        tails
+            .into_iter()
+            .map(|t| t.expect("at least one layer"))
+            .collect()
     }
 
     /// Builds the backward pass; returns (per-device tail ops, all
     /// allreduce op ids).
-    fn backward(&mut self, routing: &[LayerRouting], fwd_tails: Vec<OpId>) -> (Vec<OpId>, Vec<OpId>) {
+    fn backward(
+        &mut self,
+        routing: &[LayerRouting],
+        fwd_tails: Vec<OpId>,
+    ) -> (Vec<OpId>, Vec<OpId>) {
         let tokens = self.batch.tokens_per_device();
         let mut tails = fwd_tails;
         let mut allreduce_ids: Vec<OpId> = Vec::new();
@@ -373,8 +387,7 @@ impl<'a> StepBuilder<'a> {
             // direction pattern as forward's transpose... the gradient
             // of the combine flows back along the forward #2 links).
             let bytes_t = transpose(&bytes);
-            let a2a2b =
-                self.emit_a2a(&bytes_t, nchunks, layer, true, &[comb_ids.clone()], "#2");
+            let a2a2b = self.emit_a2a(&bytes_t, nchunks, layer, true, &[comb_ids.clone()], "#2");
             // Expert FFN backward.
             let comb_deps: Vec<Vec<OpId>> =
                 (0..self.devices()).map(|d| vec![comb_ids[d]]).collect();
@@ -466,7 +479,10 @@ impl<'a> StepBuilder<'a> {
         deps: &[OpId],
     ) -> OpId {
         let participants: Vec<DeviceId> = self.topo.device_ids().collect();
-        let spec = CollectiveSpec::AllReduce { participants, bytes };
+        let spec = CollectiveSpec::AllReduce {
+            participants,
+            bytes,
+        };
         let meta = CommMeta {
             class: CommClass::Allreduce,
             layer,
@@ -542,7 +558,10 @@ pub fn build_train_step(
         cost.model.layers,
         "build_train_step: routing entries must match layers"
     );
-    assert!(opts.placement.is_complete(), "build_train_step: incomplete placement");
+    assert!(
+        opts.placement.is_complete(),
+        "build_train_step: incomplete placement"
+    );
     let builder = StepBuilder {
         cost,
         topo,
@@ -556,10 +575,19 @@ pub fn build_train_step(
 }
 
 /// Convenience: balanced routing for every layer of a model.
-pub fn balanced_routing(model: &MoeModelConfig, devices: usize, batch: BatchShape) -> Vec<LayerRouting> {
+pub fn balanced_routing(
+    model: &MoeModelConfig,
+    devices: usize,
+    batch: BatchShape,
+) -> Vec<LayerRouting> {
     (0..model.layers)
         .map(|_| {
-            LayerRouting::balanced(devices, model.experts, batch.tokens_per_device(), model.top_k)
+            LayerRouting::balanced(
+                devices,
+                model.experts,
+                batch.tokens_per_device(),
+                model.top_k,
+            )
         })
         .collect()
 }
@@ -573,7 +601,10 @@ mod tests {
     fn setup(experts: usize) -> (CostModel, Topology, BatchShape) {
         let model = MoeModelConfig::transformer_xl(12, experts);
         let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
-        let batch = BatchShape { seqs_per_device: 4, seq_len: model.seq_len };
+        let batch = BatchShape {
+            seqs_per_device: 4,
+            seq_len: model.seq_len,
+        };
         (CostModel::new(DeviceSpec::a100(), model), topo, batch)
     }
 
@@ -610,8 +641,7 @@ mod tests {
             &TrainStepOptions::baseline(16, 16),
         );
         assert!(
-            g.comm_ops(CommClass::AllToAll).len()
-                > baseline_g.comm_ops(CommClass::AllToAll).len(),
+            g.comm_ops(CommClass::AllToAll).len() > baseline_g.comm_ops(CommClass::AllToAll).len(),
             "chunked a2a must produce more micro-ops"
         );
         assert!(
@@ -687,8 +717,7 @@ mod tests {
                     _ => 0.0,
                 })
                 .sum();
-            let expected =
-                (cost.model.non_expert_params() * cost.model.grad_dtype_bytes) as f64;
+            let expected = (cost.model.non_expert_params() * cost.model.grad_dtype_bytes) as f64;
             assert!(
                 (total - expected).abs() / expected < 1e-6,
                 "allreduce volume {total} vs grads {expected}"

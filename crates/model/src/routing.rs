@@ -8,12 +8,14 @@
 //! actual all-to-all transfer matrix and per-device expert compute load,
 //! preferring local replicas exactly like Lina's coordinated all-to-all.
 
-use serde::{Deserialize, Serialize};
+// Expert/device indices address several parallel matrices at once;
+// zipped iterators would obscure that.
+#![allow(clippy::needless_range_loop)]
 
 use lina_netsim::{DeviceId, Topology};
 
 /// Per-layer token-to-expert assignment counts.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LayerRouting {
     /// Number of experts in the layer.
     pub experts: usize,
@@ -25,14 +27,22 @@ impl LayerRouting {
     /// Creates an empty routing for `devices` devices and `experts`
     /// experts.
     pub fn empty(devices: usize, experts: usize) -> Self {
-        LayerRouting { experts, counts: vec![vec![0; experts]; devices] }
+        LayerRouting {
+            experts,
+            counts: vec![vec![0; experts]; devices],
+        }
     }
 
     /// A perfectly balanced routing: each device spreads
     /// `tokens_per_device * top_k` selections evenly over all experts
     /// (what the load-balancing loss drives training towards, and what
     /// the paper's "Ideal" inference benchmark forces).
-    pub fn balanced(devices: usize, experts: usize, tokens_per_device: usize, top_k: usize) -> Self {
+    pub fn balanced(
+        devices: usize,
+        experts: usize,
+        tokens_per_device: usize,
+        top_k: usize,
+    ) -> Self {
         let total = tokens_per_device * top_k;
         let base = total / experts;
         let rem = total % experts;
@@ -59,7 +69,10 @@ impl LayerRouting {
 
     /// Total selections in the batch.
     pub fn total(&self) -> usize {
-        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
     }
 
     /// Normalized expert popularity (fractions summing to 1; all zeros
@@ -80,8 +93,14 @@ impl LayerRouting {
     /// Ratio of the most to the least popular expert's token count
     /// (`f64::INFINITY` if some expert receives nothing).
     pub fn skew(&self) -> f64 {
-        let max = (0..self.experts).map(|e| self.tokens_to_expert(e)).max().unwrap_or(0);
-        let min = (0..self.experts).map(|e| self.tokens_to_expert(e)).min().unwrap_or(0);
+        let max = (0..self.experts)
+            .map(|e| self.tokens_to_expert(e))
+            .max()
+            .unwrap_or(0);
+        let min = (0..self.experts)
+            .map(|e| self.tokens_to_expert(e))
+            .min()
+            .unwrap_or(0);
         if min == 0 {
             f64::INFINITY
         } else {
@@ -98,7 +117,7 @@ impl LayerRouting {
 }
 
 /// Which devices host (replicas of) which experts.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExpertPlacement {
     /// `hosts[e]` = devices hosting a replica of expert `e`, in order.
     pub hosts: Vec<Vec<DeviceId>>,
@@ -121,7 +140,10 @@ impl ExpertPlacement {
     ///
     /// Panics if `experts > devices`.
     pub fn one_per_device(experts: usize, devices: usize) -> Self {
-        assert!(experts <= devices, "one_per_device: more experts than devices");
+        assert!(
+            experts <= devices,
+            "one_per_device: more experts than devices"
+        );
         Self::uniform((0..experts).map(|e| vec![DeviceId(e as u32)]).collect())
     }
 
@@ -220,7 +242,11 @@ impl DispatchPlan {
             .iter()
             .enumerate()
             .map(|(s, row)| {
-                row.iter().enumerate().filter(|&(d, _)| d != s).map(|(_, &c)| c).sum::<usize>()
+                row.iter()
+                    .enumerate()
+                    .filter(|&(d, _)| d != s)
+                    .map(|(_, &c)| c)
+                    .sum::<usize>()
             })
             .sum()
     }

@@ -93,14 +93,22 @@ impl CollectiveSpec {
     ) -> Self {
         let p = participants.len();
         let sizes = vec![vec![bytes_per_pair; p]; p];
-        CollectiveSpec::AllToAll { participants, sizes, algo }
+        CollectiveSpec::AllToAll {
+            participants,
+            sizes,
+            algo,
+        }
     }
 
     /// Total payload bytes moved by this collective (excluding
     /// device-local copies).
     pub fn total_bytes(&self) -> f64 {
         match self {
-            CollectiveSpec::AllToAll { participants, sizes, .. } => {
+            CollectiveSpec::AllToAll {
+                participants,
+                sizes,
+                ..
+            } => {
                 let mut total = 0.0;
                 for (i, row) in sizes.iter().enumerate() {
                     for (j, &b) in row.iter().enumerate() {
@@ -111,7 +119,10 @@ impl CollectiveSpec {
                 }
                 total
             }
-            CollectiveSpec::AllReduce { participants, bytes } => {
+            CollectiveSpec::AllReduce {
+                participants,
+                bytes,
+            } => {
                 let p = participants.len() as f64;
                 if p < 2.0 {
                     0.0
@@ -119,9 +130,11 @@ impl CollectiveSpec {
                     2.0 * (p - 1.0) * *bytes
                 }
             }
-            CollectiveSpec::Broadcast { root, participants, bytes } => {
-                participants.iter().filter(|&&d| d != *root).count() as f64 * *bytes
-            }
+            CollectiveSpec::Broadcast {
+                root,
+                participants,
+                bytes,
+            } => participants.iter().filter(|&&d| d != *root).count() as f64 * *bytes,
             CollectiveSpec::Send { bytes, .. } => *bytes,
         }
     }
@@ -165,7 +178,11 @@ pub struct CollectiveEngine {
 impl CollectiveEngine {
     /// Wraps a network.
     pub fn new(net: Network) -> Self {
-        CollectiveEngine { net, running: BTreeMap::new(), next_id: 0 }
+        CollectiveEngine {
+            net,
+            running: BTreeMap::new(),
+            next_id: 0,
+        }
     }
 
     /// Immutable access to the underlying network.
@@ -190,7 +207,11 @@ impl CollectiveEngine {
 
     fn plan(&self, spec: &CollectiveSpec) -> Vec<PhasePlan> {
         match spec {
-            CollectiveSpec::AllToAll { participants, sizes, algo } => match algo {
+            CollectiveSpec::AllToAll {
+                participants,
+                sizes,
+                algo,
+            } => match algo {
                 AllToAllAlgo::Flat => {
                     let mut phase = PhasePlan::default();
                     for (i, &src) in participants.iter().enumerate() {
@@ -204,7 +225,10 @@ impl CollectiveEngine {
                 }
                 AllToAllAlgo::Hierarchical => self.plan_hierarchical(participants, sizes),
             },
-            CollectiveSpec::AllReduce { participants, bytes } => {
+            CollectiveSpec::AllReduce {
+                participants,
+                bytes,
+            } => {
                 let p = participants.len();
                 if p < 2 {
                     return vec![PhasePlan::default()];
@@ -219,7 +243,11 @@ impl CollectiveEngine {
                 }
                 vec![phase]
             }
-            CollectiveSpec::Broadcast { root, participants, bytes } => {
+            CollectiveSpec::Broadcast {
+                root,
+                participants,
+                bytes,
+            } => {
                 let mut phase = PhasePlan::default();
                 for &d in participants {
                     if d != *root {
@@ -229,21 +257,22 @@ impl CollectiveEngine {
                 vec![phase]
             }
             CollectiveSpec::Send { src, dst, bytes } => {
-                vec![PhasePlan { flows: vec![(*src, *dst, *bytes)] }]
+                vec![PhasePlan {
+                    flows: vec![(*src, *dst, *bytes)],
+                }]
             }
         }
     }
 
     /// Hierarchical all-to-all: route data for remote device `(m, q)`
     /// through the local device with local rank `q`.
-    fn plan_hierarchical(
-        &self,
-        participants: &[DeviceId],
-        sizes: &[Vec<f64>],
-    ) -> Vec<PhasePlan> {
+    fn plan_hierarchical(&self, participants: &[DeviceId], sizes: &[Vec<f64>]) -> Vec<PhasePlan> {
         let topo = self.net.topology();
-        let rank_of: BTreeMap<DeviceId, usize> =
-            participants.iter().enumerate().map(|(r, &d)| (d, r)).collect();
+        let rank_of: BTreeMap<DeviceId, usize> = participants
+            .iter()
+            .enumerate()
+            .map(|(r, &d)| (d, r))
+            .collect();
         let mut gather = PhasePlan::default();
         let mut exchange = PhasePlan::default();
         let mut scatter = PhasePlan::default();
@@ -364,11 +393,7 @@ impl CollectiveEngine {
     /// Next instant at which anything changes: a flow event or an
     /// empty-phase promotion.
     pub fn next_event(&mut self) -> Option<SimTime> {
-        if self
-            .running
-            .values()
-            .any(|rc| rc.outstanding == 0)
-        {
+        if self.running.values().any(|rc| rc.outstanding == 0) {
             return Some(self.net.now());
         }
         self.net.next_event()
@@ -449,7 +474,11 @@ mod tests {
         let mut e = engine();
         let bw = e.network().topology().spec().nic_bw;
         e.start(
-            &CollectiveSpec::Send { src: DeviceId(0), dst: DeviceId(4), bytes: 1e9 },
+            &CollectiveSpec::Send {
+                src: DeviceId(0),
+                dst: DeviceId(4),
+                bytes: 1e9,
+            },
             9,
         );
         let done = e.run_to_idle();
@@ -457,7 +486,10 @@ mod tests {
         assert_eq!(done[0].tag, 9);
         let secs = done[0].at.as_secs_f64();
         let expected = 1e9 / bw;
-        assert!((secs - expected).abs() / expected < 0.02, "{secs} vs {expected}");
+        assert!(
+            (secs - expected).abs() / expected < 0.02,
+            "{secs} vs {expected}"
+        );
     }
 
     #[test]
@@ -484,8 +516,7 @@ mod tests {
     #[test]
     fn hierarchical_matches_flat_volume_on_nic() {
         let per_pair = 1e6;
-        let spec_flat =
-            CollectiveSpec::uniform_all_to_all(devs(16), per_pair, AllToAllAlgo::Flat);
+        let spec_flat = CollectiveSpec::uniform_all_to_all(devs(16), per_pair, AllToAllAlgo::Flat);
         let spec_hier =
             CollectiveSpec::uniform_all_to_all(devs(16), per_pair, AllToAllAlgo::Hierarchical);
         let mut e1 = engine();
@@ -523,7 +554,13 @@ mod tests {
         let mut e = engine();
         let bw = e.network().topology().spec().nic_bw;
         let bytes = 100e6;
-        e.start(&CollectiveSpec::AllReduce { participants: devs(16), bytes }, 0);
+        e.start(
+            &CollectiveSpec::AllReduce {
+                participants: devs(16),
+                bytes,
+            },
+            0,
+        );
         let done = e.run_to_idle();
         // Each ring edge carries 2 * 15/16 * bytes; the slowest edges
         // are the inter-node ones over a device NIC.
@@ -549,7 +586,10 @@ mod tests {
         let mut both = engine();
         both.start(&a2a, 0);
         both.start(
-            &CollectiveSpec::AllReduce { participants: devs(16), bytes: 500e6 },
+            &CollectiveSpec::AllReduce {
+                participants: devs(16),
+                bytes: 500e6,
+            },
             1,
         );
         let done = both.advance_to(SimTime::from_secs_f64(10.0));
@@ -580,7 +620,11 @@ mod tests {
             }
         }
         e.start(
-            &CollectiveSpec::AllToAll { participants, sizes, algo: AllToAllAlgo::Flat },
+            &CollectiveSpec::AllToAll {
+                participants,
+                sizes,
+                algo: AllToAllAlgo::Flat,
+            },
             0,
         );
         let done = e.run_to_idle();
@@ -612,7 +656,10 @@ mod tests {
     fn single_participant_collectives_complete_immediately() {
         let mut e = engine();
         e.start(
-            &CollectiveSpec::AllReduce { participants: devs(1), bytes: 1e9 },
+            &CollectiveSpec::AllReduce {
+                participants: devs(1),
+                bytes: 1e9,
+            },
             0,
         );
         let done = e.run_to_idle();
@@ -624,7 +671,10 @@ mod tests {
     fn total_bytes_accounting() {
         let a2a = CollectiveSpec::uniform_all_to_all(devs(4), 100.0, AllToAllAlgo::Flat);
         assert_eq!(a2a.total_bytes(), 12.0 * 100.0);
-        let ar = CollectiveSpec::AllReduce { participants: devs(4), bytes: 100.0 };
+        let ar = CollectiveSpec::AllReduce {
+            participants: devs(4),
+            bytes: 100.0,
+        };
         assert_eq!(ar.total_bytes(), 600.0);
         let bc = CollectiveSpec::Broadcast {
             root: DeviceId(0),

@@ -206,8 +206,7 @@ mod tests {
             vec![1],
             vec![3],
         ];
-        let flows: Vec<FlowDemand<'_>> =
-            paths.iter().map(|p| demand(1.0, p)).collect();
+        let flows: Vec<FlowDemand<'_>> = paths.iter().map(|p| demand(1.0, p)).collect();
         let rates = max_min_rates(&caps, &flows);
         for (l, &cap) in caps.iter().enumerate() {
             let load: f64 = flows

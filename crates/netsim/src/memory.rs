@@ -58,7 +58,11 @@ impl MemoryTracker {
 
     fn idx(&self, d: DeviceId) -> usize {
         let i = d.0 as usize;
-        assert!(i < self.used.len(), "MemoryTracker: device {} out of range", d.0);
+        assert!(
+            i < self.used.len(),
+            "MemoryTracker: device {} out of range",
+            d.0
+        );
         i
     }
 

@@ -136,8 +136,12 @@ impl Network {
             spec.bytes
         );
         assert!(spec.weight > 0.0, "start_flow: bad weight {}", spec.weight);
-        let links: Vec<u32> =
-            self.topo.path(spec.src, spec.dst).iter().map(|l| l.0).collect();
+        let links: Vec<u32> = self
+            .topo
+            .path(spec.src, spec.dst)
+            .iter()
+            .map(|l| l.0)
+            .collect();
         let latency = self.topo.latency(spec.src, spec.dst) + spec.extra_latency;
         let id = FlowId(self.next_id);
         self.next_id += 1;
@@ -173,7 +177,10 @@ impl Network {
             .iter()
             .map(|id| {
                 let f = &self.flows[id];
-                FlowDemand { weight: f.weight, links: &f.links }
+                FlowDemand {
+                    weight: f.weight,
+                    links: &f.links,
+                }
             })
             .collect();
         let rates = max_min_rates(self.topo.link_capacities(), &demands);
@@ -193,9 +200,7 @@ impl Network {
             let t = match &f.phase {
                 Phase::Latency { left } => self.now + *left,
                 Phase::Transfer => {
-                    if f.remaining <= 0.0 {
-                        self.now
-                    } else if f.rate.is_infinite() {
+                    if f.remaining <= 0.0 || f.rate.is_infinite() {
                         self.now
                     } else if f.rate > 0.0 {
                         // Round up by one nanosecond so advancing to the
@@ -247,7 +252,7 @@ impl Network {
                                 completed.push(id);
                             }
                         } else {
-                            *left = *left - dt;
+                            *left -= dt;
                         }
                     }
                     Phase::Transfer => {
@@ -274,7 +279,11 @@ impl Network {
                     // `remaining` may be a few bytes short of zero; count
                     // the full payload as delivered.
                     self.stats.bytes_delivered += f.total;
-                    done.push(FlowDone { id, tag: f.tag, at: self.now });
+                    done.push(FlowDone {
+                        id,
+                        tag: f.tag,
+                        at: self.now,
+                    });
                 }
             }
             if transitioned {

@@ -14,30 +14,22 @@
 //! 100 Gbps HCA). Inter-node links are the slowest and are where the
 //! contention the paper's training-side analysis studies happens.
 
-use serde::{Deserialize, Serialize};
-
 use lina_simcore::SimDuration;
 
 /// Identifies a device (GPU) in the cluster by global rank.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DeviceId(pub u32);
 
 /// Identifies a worker node.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
 
 /// Identifies a network link (an index into [`Topology::link_capacities`]).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LinkId(pub u32);
 
 /// Kind of a link, for diagnostics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LinkKind {
     /// Intra-node transmit port of a device.
     NvlinkTx(DeviceId),
@@ -50,7 +42,7 @@ pub enum LinkKind {
 }
 
 /// Static description of the cluster hardware.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterSpec {
     /// Number of worker nodes.
     pub nodes: usize,
@@ -174,7 +166,11 @@ impl Topology {
             link_kinds.push(LinkKind::NicRx(DeviceId(d as u32)));
             link_capacities.push(spec.nic_bw);
         }
-        Topology { spec, link_kinds, link_capacities }
+        Topology {
+            spec,
+            link_kinds,
+            link_capacities,
+        }
     }
 
     /// The cluster spec this topology was built from.

@@ -1,49 +1,42 @@
-//! Property-based tests of the network simulator: the fair-share
-//! allocator's classic invariants and flow-level conservation.
-
-use proptest::prelude::*;
+//! Randomized property tests of the network simulator: the fair-share
+//! allocator's classic invariants and flow-level conservation, swept
+//! over deterministically seeded cases.
 
 use lina_netsim::{
     max_min_rates, AllToAllAlgo, ClusterSpec, CollectiveEngine, CollectiveSpec, DeviceId,
     FlowDemand, FlowSpec, Network, Topology,
 };
-use lina_simcore::SimDuration;
+use lina_simcore::{Rng, SimDuration};
 
-fn arb_paths(links: usize, flows: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..links as u32, 1..4),
-        1..flows,
-    )
-    .prop_map(|paths| {
-        paths
-            .into_iter()
-            .map(|mut p| {
-                p.sort_unstable();
-                p.dedup();
-                p
-            })
-            .collect()
-    })
+fn arb_paths(rng: &mut Rng, links: usize, max_flows: usize) -> Vec<Vec<u32>> {
+    let n = 1 + rng.index(max_flows - 1);
+    (0..n)
+        .map(|_| {
+            let len = 1 + rng.index(3);
+            let mut p: Vec<u32> = (0..len).map(|_| rng.below(links as u64) as u32).collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No link is ever oversubscribed, and every flow is bottlenecked
-    /// somewhere (work conservation / max-min optimality).
-    #[test]
-    fn max_min_capacity_and_work_conservation(
-        caps in proptest::collection::vec(0.1f64..100.0, 2..12),
-        paths in arb_paths(2, 16),
-    ) {
-        let paths: Vec<Vec<u32>> = paths
-            .into_iter()
-            .map(|p| p.into_iter().filter(|&l| (l as usize) < caps.len()).collect::<Vec<_>>())
-            .filter(|p: &Vec<u32>| !p.is_empty())
+/// No link is ever oversubscribed, and every flow is bottlenecked
+/// somewhere (work conservation / max-min optimality).
+#[test]
+fn max_min_capacity_and_work_conservation() {
+    let mut meta = Rng::new(0x3A3);
+    for _ in 0..64 {
+        let nlinks = 2 + meta.index(10);
+        let caps: Vec<f64> = (0..nlinks).map(|_| meta.uniform(0.1, 100.0)).collect();
+        let paths = arb_paths(&mut meta, nlinks, 16);
+        let flows: Vec<FlowDemand<'_>> = paths
+            .iter()
+            .map(|p| FlowDemand {
+                weight: 1.0,
+                links: p,
+            })
             .collect();
-        prop_assume!(!paths.is_empty());
-        let flows: Vec<FlowDemand<'_>> =
-            paths.iter().map(|p| FlowDemand { weight: 1.0, links: p }).collect();
         let rates = max_min_rates(&caps, &flows);
         // Capacity.
         for (l, &cap) in caps.iter().enumerate() {
@@ -53,7 +46,7 @@ proptest! {
                 .filter(|(f, _)| f.links.contains(&(l as u32)))
                 .map(|(_, &r)| r)
                 .sum();
-            prop_assert!(load <= cap * (1.0 + 1e-9), "link {l}: {load} > {cap}");
+            assert!(load <= cap * (1.0 + 1e-9), "link {l}: {load} > {cap}");
         }
         // Work conservation: each flow saturates at least one link.
         for f in &flows {
@@ -66,46 +59,51 @@ proptest! {
                     .sum();
                 load >= caps[l as usize] * (1.0 - 1e-6)
             });
-            prop_assert!(bottlenecked);
+            assert!(bottlenecked);
         }
     }
+}
 
-    /// Doubling every capacity doubles every rate (scale invariance).
-    #[test]
-    fn max_min_scale_invariance(
-        caps in proptest::collection::vec(0.1f64..50.0, 2..8),
-        paths in arb_paths(2, 8),
-    ) {
-        let paths: Vec<Vec<u32>> = paths
-            .into_iter()
-            .map(|p| p.into_iter().filter(|&l| (l as usize) < caps.len()).collect::<Vec<_>>())
-            .filter(|p: &Vec<u32>| !p.is_empty())
+/// Doubling every capacity doubles every rate (scale invariance).
+#[test]
+fn max_min_scale_invariance() {
+    let mut meta = Rng::new(0x5CA1E);
+    for _ in 0..64 {
+        let nlinks = 2 + meta.index(6);
+        let caps: Vec<f64> = (0..nlinks).map(|_| meta.uniform(0.1, 50.0)).collect();
+        let paths = arb_paths(&mut meta, nlinks, 8);
+        let flows: Vec<FlowDemand<'_>> = paths
+            .iter()
+            .map(|p| FlowDemand {
+                weight: 1.0,
+                links: p,
+            })
             .collect();
-        prop_assume!(!paths.is_empty());
-        let flows: Vec<FlowDemand<'_>> =
-            paths.iter().map(|p| FlowDemand { weight: 1.0, links: p }).collect();
         let rates = max_min_rates(&caps, &flows);
         let doubled: Vec<f64> = caps.iter().map(|c| c * 2.0).collect();
         let rates2 = max_min_rates(&doubled, &flows);
         for (r, r2) in rates.iter().zip(&rates2) {
-            prop_assert!((r2 - 2.0 * r).abs() <= 1e-6 * r2.max(1.0));
+            assert!((r2 - 2.0 * r).abs() <= 1e-6 * r2.max(1.0));
         }
     }
+}
 
-    /// Flows finish in finite time and the network goes idle; total
-    /// delivered bytes equal the sum of payloads.
-    #[test]
-    fn flows_drain_completely(
-        specs in proptest::collection::vec((0u32..16, 0u32..16, 1.0f64..1e8), 1..12)
-    ) {
+/// Flows finish in finite time and the network goes idle; total
+/// delivered bytes equal the sum of payloads.
+#[test]
+fn flows_drain_completely() {
+    let mut meta = Rng::new(0xD4A1);
+    for _ in 0..32 {
         let topo = Topology::new(ClusterSpec::paper_testbed());
         let mut net = Network::new(topo);
         let mut total = 0.0;
-        for (src, dst, bytes) in specs {
+        let n = 1 + meta.index(11);
+        for _ in 0..n {
+            let bytes = meta.uniform(1.0, 1e8);
             total += bytes;
             net.start_flow(FlowSpec {
-                src: DeviceId(src),
-                dst: DeviceId(dst),
+                src: DeviceId(meta.below(16) as u32),
+                dst: DeviceId(meta.below(16) as u32),
                 bytes,
                 weight: 1.0,
                 extra_latency: SimDuration::ZERO,
@@ -113,15 +111,20 @@ proptest! {
             });
         }
         let end = net.run_to_idle();
-        prop_assert!(end.is_some());
-        prop_assert_eq!(net.active_flows(), 0);
+        assert!(end.is_some());
+        assert_eq!(net.active_flows(), 0);
         let delivered = net.stats().bytes_delivered;
-        prop_assert!((delivered - total).abs() <= 1e-6 * total.max(1.0));
+        assert!((delivered - total).abs() <= 1e-6 * total.max(1.0));
     }
+}
 
-    /// All-to-all completion time never decreases when payloads grow.
-    #[test]
-    fn a2a_time_is_monotone_in_size(base in 1e4f64..1e7, extra in 0.0f64..1e7) {
+/// All-to-all completion time never decreases when payloads grow.
+#[test]
+fn a2a_time_is_monotone_in_size() {
+    let mut meta = Rng::new(0xA2A);
+    for _ in 0..16 {
+        let base = meta.uniform(1e4, 1e7);
+        let extra = meta.uniform(0.0, 1e7);
         let topo = Topology::new(ClusterSpec::paper_testbed());
         let run = |per_pair: f64| {
             let mut e = CollectiveEngine::new(Network::new(topo.clone()));
@@ -135,6 +138,6 @@ proptest! {
             );
             e.run_to_idle()[0].at
         };
-        prop_assert!(run(base + extra) >= run(base));
+        assert!(run(base + extra) >= run(base));
     }
 }

@@ -135,7 +135,10 @@ impl<'a> EngineState<'a> {
         match &op.kind {
             OpKind::Compute { device, span, .. } => {
                 self.timeline.record(
-                    StreamId { device: device.0, lane: Lane::Compute },
+                    StreamId {
+                        device: device.0,
+                        lane: Lane::Compute,
+                    },
                     *span,
                     started,
                     self.now,
@@ -192,9 +195,12 @@ impl<'a> EngineState<'a> {
     fn a2a_imminent(&self) -> bool {
         self.a2a_ops.iter().any(|&id| {
             self.status[id.0 as usize] == Status::Pending
-                && self.graph.op(id).deps.iter().all(|d| {
-                    matches!(self.status[d.0 as usize], Status::Done | Status::Running)
-                })
+                && self
+                    .graph
+                    .op(id)
+                    .deps
+                    .iter()
+                    .all(|d| matches!(self.status[d.0 as usize], Status::Done | Status::Running))
         })
     }
 
@@ -223,13 +229,16 @@ impl<'a> EngineState<'a> {
                 return;
             }
             self.pending_comm.sort_by_key(|p| (p.ready_at_ns, p.handle));
-            let active: Vec<ActiveComm> =
-                self.active_comm.iter().map(|(_, id, _)| {
+            let active: Vec<ActiveComm> = self
+                .active_comm
+                .iter()
+                .map(|(_, id, _)| {
                     let OpKind::Comm { meta, .. } = &self.graph.op(*id).kind else {
                         unreachable!("active comm is a comm op");
                     };
                     ActiveComm { meta: *meta }
-                }).collect();
+                })
+                .collect();
             let view = CommView {
                 pending: &self.pending_comm,
                 active: &active,
@@ -253,8 +262,8 @@ impl<'a> EngineState<'a> {
     /// oldest pending op per free class so the simulation cannot
     /// deadlock.
     fn force_progress(&mut self) -> bool {
-        let nothing_running = self.device_busy.iter().all(Option::is_none)
-            && self.active_comm.is_empty();
+        let nothing_running =
+            self.device_busy.iter().all(Option::is_none) && self.active_comm.is_empty();
         if !nothing_running || self.pending_comm.is_empty() {
             return false;
         }
@@ -274,7 +283,9 @@ fn participants(spec: &CollectiveSpec) -> Vec<u32> {
         | CollectiveSpec::AllReduce { participants, .. } => {
             participants.iter().map(|d| d.0).collect()
         }
-        CollectiveSpec::Broadcast { root, participants, .. } => {
+        CollectiveSpec::Broadcast {
+            root, participants, ..
+        } => {
             let mut v: Vec<u32> = participants.iter().map(|d| d.0).collect();
             if !v.contains(&root.0) {
                 v.push(root.0);
@@ -348,7 +359,11 @@ pub fn execute(graph: &OpGraph, topo: &Topology, policy: &mut dyn CommPolicy) ->
         }
     }
     let makespan = st.timeline.horizon() - SimTime::ZERO;
-    ExecResult { timeline: st.timeline, makespan, op_windows: st.op_windows }
+    ExecResult {
+        timeline: st.timeline,
+        makespan,
+        op_windows: st.op_windows,
+    }
 }
 
 #[cfg(test)]
@@ -365,7 +380,10 @@ mod tests {
         let model = MoeModelConfig::transformer_xl(layers, experts);
         let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
         let cost = CostModel::new(DeviceSpec::a100(), model.clone());
-        let batch = BatchShape { seqs_per_device: 4, seq_len: model.seq_len };
+        let batch = BatchShape {
+            seqs_per_device: 4,
+            seq_len: model.seq_len,
+        };
         let routing = balanced_routing(&model, experts, batch);
         let opts = scheme.step_options(experts, &topo);
         let graph = build_train_step(&cost, &topo, batch, &routing, &opts);
@@ -419,7 +437,9 @@ mod tests {
             TrainScheme::PriorityOnly,
             TrainScheme::PriorityPartition,
             TrainScheme::LinaNoPack,
-            TrainScheme::Lina { experts_per_device: 2 },
+            TrainScheme::Lina {
+                experts_per_device: 2,
+            },
         ] {
             let (result, _) = run(scheme, 4, 2);
             assert!(result.makespan > SimDuration::ZERO, "{}", scheme.name());
@@ -447,8 +467,20 @@ mod tests {
 
     #[test]
     fn deterministic_execution() {
-        let (a, _) = run(TrainScheme::Lina { experts_per_device: 2 }, 4, 3);
-        let (b, _) = run(TrainScheme::Lina { experts_per_device: 2 }, 4, 3);
+        let (a, _) = run(
+            TrainScheme::Lina {
+                experts_per_device: 2,
+            },
+            4,
+            3,
+        );
+        let (b, _) = run(
+            TrainScheme::Lina {
+                experts_per_device: 2,
+            },
+            4,
+            3,
+        );
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.op_windows, b.op_windows);
     }
@@ -523,19 +555,16 @@ mod tests {
             }
         }
         let (result, _) = {
-            let model =
-                lina_model::MoeModelConfig::transformer_xl(2, 4);
+            let model = lina_model::MoeModelConfig::transformer_xl(2, 4);
             let topo = Topology::new(ClusterSpec::with_total_gpus(4));
-            let cost = lina_model::CostModel::new(
-                lina_model::DeviceSpec::a100(),
-                model.clone(),
-            );
-            let batch =
-                lina_model::BatchShape { seqs_per_device: 2, seq_len: model.seq_len };
+            let cost = lina_model::CostModel::new(lina_model::DeviceSpec::a100(), model.clone());
+            let batch = lina_model::BatchShape {
+                seqs_per_device: 2,
+                seq_len: model.seq_len,
+            };
             let routing = lina_model::balanced_routing(&model, 4, batch);
             let opts = TrainScheme::Baseline.step_options(4, &topo);
-            let graph =
-                lina_model::build_train_step(&cost, &topo, batch, &routing, &opts);
+            let graph = lina_model::build_train_step(&cost, &topo, batch, &routing, &opts);
             let mut policy = Lazy;
             (execute(&graph, &topo, &mut policy), graph)
         };

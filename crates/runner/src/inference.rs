@@ -50,11 +50,7 @@ pub struct InferenceConfig {
     pub top_k: usize,
 }
 
-fn a2a_duration(
-    topo: &Topology,
-    sizes: &[Vec<usize>],
-    bytes_per_token: f64,
-) -> SimDuration {
+fn a2a_duration(topo: &Topology, sizes: &[Vec<usize>], bytes_per_token: f64) -> SimDuration {
     let devices = sizes.len();
     let any_remote = sizes
         .iter()
@@ -138,12 +134,9 @@ pub fn run_inference_batch(
 
         // Actual routing (Ideal forces a balanced gate).
         let routing = match config.scheme {
-            InferScheme::Ideal => LayerRouting::balanced(
-                devices,
-                model.experts,
-                tokens_per_device,
-                config.top_k,
-            ),
+            InferScheme::Ideal => {
+                LayerRouting::balanced(devices, model.experts, tokens_per_device, config.top_k)
+            }
             _ => batch.routing_for_layer(layer),
         };
 
@@ -235,10 +228,17 @@ pub fn run_inference_batch(
             }
             compute_times.push(t);
         }
-        let slowest = compute_times.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let slowest = compute_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO);
         if slowest > SimDuration::ZERO {
-            let fastest =
-                compute_times.iter().copied().min().unwrap_or(SimDuration::ZERO);
+            let fastest = compute_times
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(SimDuration::ZERO);
             let idle = (slowest - fastest).ratio(slowest);
             max_idle_frac = max_idle_frac.max(idle);
         }
@@ -256,18 +256,17 @@ pub fn run_inference_batch(
         // and the next attention + gate. Whatever does not fit in that
         // window blocks the next layer (§6.2: "largely overlapped").
         if layer + 1 < layers
-            && matches!(config.scheme, InferScheme::Lina | InferScheme::LinaNoFinetune)
+            && matches!(
+                config.scheme,
+                InferScheme::Lina | InferScheme::LinaNoFinetune
+            )
         {
             let s = scheduler.expect("checked above");
             // Tokens' observed paths now include this layer.
             pending_phase_one = s.phase_one(&batch.tokens, layer + 1);
             if pending_phase_one.is_some() {
-                let window = d1
-                    + slowest
-                    + d2
-                    + combine
-                    + cost.attention_fwd(tokens_per_device)
-                    + gate;
+                let window =
+                    d1 + slowest + d2 + combine + cost.attention_fwd(tokens_per_device) + gate;
                 unabsorbed_sched = s.config().schedule_time.saturating_sub(window);
             }
         }
@@ -296,10 +295,30 @@ pub struct InferenceSummary {
     pub layer_times: Samples,
     /// All per-layer all-to-all times pooled.
     pub a2a_times: Samples,
-    /// Fraction of estimated layers that were fine-tuned.
-    pub finetune_rate: f64,
-    /// Fraction of estimated layers whose estimate matched.
-    pub accuracy: f64,
+    /// Layers where phase one produced an estimate, summed over
+    /// batches. Zero for the schemes that never estimate (Baseline,
+    /// Ideal, w/o estimation) — the rate accessors return `None` then,
+    /// so "never estimated" is distinguishable from "estimated and
+    /// always resumed".
+    pub estimates: usize,
+    /// Estimated layers that phase two fine-tuned.
+    pub finetunes: usize,
+    /// Estimated layers whose estimate matched the actual top-2k.
+    pub accurate: usize,
+}
+
+impl InferenceSummary {
+    /// Fraction of estimated layers that were fine-tuned, or `None` if
+    /// no estimates were made.
+    pub fn finetune_rate(&self) -> Option<f64> {
+        (self.estimates > 0).then(|| self.finetunes as f64 / self.estimates as f64)
+    }
+
+    /// Fraction of estimated layers whose estimate matched, or `None`
+    /// if no estimates were made.
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.estimates > 0).then(|| self.accurate as f64 / self.estimates as f64)
+    }
 }
 
 /// Runs many batches and aggregates.
@@ -333,8 +352,9 @@ pub fn run_inference_batches(
         totals,
         layer_times,
         a2a_times,
-        finetune_rate: if estimates == 0 { 0.0 } else { finetunes as f64 / estimates as f64 },
-        accuracy: if estimates == 0 { 0.0 } else { accurate as f64 / estimates as f64 },
+        estimates,
+        finetunes,
+        accurate,
     }
 }
 
@@ -352,8 +372,9 @@ mod tests {
         let cost = CostModel::new(DeviceSpec::a100_inference(), model);
         let spec = WorkloadSpec::enwik8(16, 12);
         let mut src = TokenSource::new(&spec, 1, 7);
-        let profile: Vec<TokenBatch> =
-            (0..8).map(|_| src.sample_batch(16, 1024, Mode::Train)).collect();
+        let profile: Vec<TokenBatch> = (0..8)
+            .map(|_| src.sample_batch(16, 1024, Mode::Train))
+            .collect();
         let estimator = PopularityEstimator::profile(&profile, 3);
         // Tests run a quarter of the paper's batch (4k tokens/device),
         // so the fixed scheduling overheads scale down accordingly.
@@ -362,8 +383,9 @@ mod tests {
         cfg.resume_time = SimDuration::from_micros(360);
         let scheduler = TwoPhaseScheduler::new(cfg, estimator);
         let mut infer = TokenSource::new(&spec, 1, 1234);
-        let batches: Vec<TokenBatch> =
-            (0..6).map(|_| infer.sample_batch(16, 4096, Mode::Inference)).collect();
+        let batches: Vec<TokenBatch> = (0..6)
+            .map(|_| infer.sample_batch(16, 4096, Mode::Inference))
+            .collect();
         (cost, topo, scheduler, batches)
     }
 
@@ -373,14 +395,20 @@ mod tests {
         let base = run_inference_batch(
             &cost,
             &topo,
-            &InferenceConfig { scheme: InferScheme::Baseline, top_k: 1 },
+            &InferenceConfig {
+                scheme: InferScheme::Baseline,
+                top_k: 1,
+            },
             None,
             &batches[0],
         );
         let ideal = run_inference_batch(
             &cost,
             &topo,
-            &InferenceConfig { scheme: InferScheme::Ideal, top_k: 1 },
+            &InferenceConfig {
+                scheme: InferScheme::Ideal,
+                top_k: 1,
+            },
             None,
             &batches[0],
         );
@@ -409,7 +437,11 @@ mod tests {
         let mut base = run(InferScheme::Baseline);
         let mut ideal = run(InferScheme::Ideal);
         let mut lina = run(InferScheme::Lina);
-        let (b, i, l) = (base.totals.median(), ideal.totals.median(), lina.totals.median());
+        let (b, i, l) = (
+            base.totals.median(),
+            ideal.totals.median(),
+            lina.totals.median(),
+        );
         assert!(l < b, "lina {l} >= baseline {b}");
         assert!(i <= l * 1.01, "ideal {i} > lina {l}");
     }
@@ -420,19 +452,23 @@ mod tests {
         let s = run_inference_batches(
             &cost,
             &topo,
-            &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+            &InferenceConfig {
+                scheme: InferScheme::Lina,
+                top_k: 1,
+            },
             Some(&sched),
             &batches,
         );
-        assert!(s.accuracy > 0.3, "accuracy {}", s.accuracy);
-        assert!(s.finetune_rate < 0.9, "finetune rate {}", s.finetune_rate);
+        let accuracy = s.accuracy().expect("lina estimates");
+        let ft_rate = s.finetune_rate().expect("lina estimates");
+        assert!(accuracy > 0.3, "accuracy {accuracy}");
+        assert!(ft_rate < 0.9, "finetune rate {ft_rate}");
         // Fine-tuning triggers on *significant* deviations only, so it
         // fires at most as often as the strict accuracy metric misses.
         assert!(
-            s.finetune_rate <= (1.0 - s.accuracy) + 1e-9,
-            "ft rate {} vs inaccuracy {}",
-            s.finetune_rate,
-            1.0 - s.accuracy
+            ft_rate <= (1.0 - accuracy) + 1e-9,
+            "ft rate {ft_rate} vs inaccuracy {}",
+            1.0 - accuracy
         );
     }
 
@@ -483,12 +519,36 @@ mod tests {
     }
 
     #[test]
+    fn non_estimating_schemes_report_no_estimates() {
+        let (cost, topo, sched, batches) = setup();
+        for scheme in [
+            InferScheme::Baseline,
+            InferScheme::Ideal,
+            InferScheme::LinaNoEstimation,
+        ] {
+            let s = run_inference_batches(
+                &cost,
+                &topo,
+                &InferenceConfig { scheme, top_k: 1 },
+                Some(&sched),
+                &batches[..1],
+            );
+            assert_eq!(s.estimates, 0, "{scheme:?}");
+            assert_eq!(s.accuracy(), None, "{scheme:?}");
+            assert_eq!(s.finetune_rate(), None, "{scheme:?}");
+        }
+    }
+
+    #[test]
     fn report_shapes() {
         let (cost, topo, sched, batches) = setup();
         let r = run_inference_batch(
             &cost,
             &topo,
-            &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+            &InferenceConfig {
+                scheme: InferScheme::Lina,
+                top_k: 1,
+            },
             Some(&sched),
             &batches[0],
         );
@@ -506,7 +566,10 @@ mod tests {
         run_inference_batch(
             &cost,
             &topo,
-            &InferenceConfig { scheme: InferScheme::Lina, top_k: 1 },
+            &InferenceConfig {
+                scheme: InferScheme::Lina,
+                top_k: 1,
+            },
             None,
             &batches[0],
         );

@@ -14,13 +14,12 @@ pub mod sweep;
 pub mod train;
 
 pub use engine::{execute, ExecResult};
+pub use inference::{
+    run_inference_batch, run_inference_batches, InferenceConfig, InferenceReport, InferenceSummary,
+};
 pub use session::{run_lina_session, SessionConfig, SessionReport};
 pub use sweep::{default_threads, parallel_map};
-pub use inference::{
-    run_inference_batch, run_inference_batches, InferenceConfig, InferenceReport,
-    InferenceSummary,
-};
 pub use train::{
-    run_train_step, run_train_steps, solo_collective_time, summarize_steps, StepMetrics,
-    StepRun, TrainSummary,
+    run_train_step, run_train_steps, solo_collective_time, summarize_steps, StepMetrics, StepRun,
+    TrainSummary,
 };

@@ -31,7 +31,12 @@ pub struct SessionConfig {
 impl SessionConfig {
     /// The paper's settings at a reduced step count.
     pub fn paper_defaults(steps: usize) -> Self {
-        SessionConfig { steps, warmup_steps: 10, adjust_every: 4, seed: 1 }
+        SessionConfig {
+            steps,
+            warmup_steps: 10,
+            adjust_every: 4,
+            seed: 1,
+        }
     }
 }
 
@@ -55,15 +60,15 @@ fn observe(run: &crate::train::StepRun) -> PackingObservation {
     let mut a2a_total = SimDuration::ZERO;
     let mut a2a_n = 0u64;
     for (i, op) in run.graph.ops().iter().enumerate() {
-        let Some((s, e)) = run.exec.op_windows[i] else { continue };
+        let Some((s, e)) = run.exec.op_windows[i] else {
+            continue;
+        };
         match &op.kind {
             OpKind::Compute { span, .. } if *span == SpanKind::ExpertFfn && !op.backward => {
                 ffn_total += e - s;
                 ffn_n += 1;
             }
-            OpKind::Comm { meta, .. }
-                if meta.class == CommClass::AllToAll && !meta.backward =>
-            {
+            OpKind::Comm { meta, .. } if meta.class == CommClass::AllToAll && !meta.backward => {
                 a2a_total += e - s;
                 a2a_n += 1;
             }
@@ -71,8 +76,16 @@ fn observe(run: &crate::train::StepRun) -> PackingObservation {
         }
     }
     PackingObservation {
-        ffn_micro: if ffn_n == 0 { SimDuration::ZERO } else { ffn_total / ffn_n },
-        a2a_micro: if a2a_n == 0 { SimDuration::MAX } else { a2a_total / a2a_n },
+        ffn_micro: if ffn_n == 0 {
+            SimDuration::ZERO
+        } else {
+            ffn_total / ffn_n
+        },
+        a2a_micro: if a2a_n == 0 {
+            SimDuration::MAX
+        } else {
+            a2a_total / a2a_n
+        },
     }
 }
 
@@ -117,12 +130,13 @@ pub fn run_lina_session(
     let mut last_adjust = config.warmup_steps;
     for step in 0..config.steps {
         let per_device = controller.experts_per_device();
-        let scheme = TrainScheme::Lina { experts_per_device: per_device };
+        let scheme = TrainScheme::Lina {
+            experts_per_device: per_device,
+        };
         let run = run_train_step(cost, topo, batch, scheme, config.seed + step as u64);
         packing_trace.push(per_device);
         let due = step + 1 >= config.warmup_steps
-            && (step + 1 == config.warmup_steps
-                || step + 1 >= last_adjust + config.adjust_every);
+            && (step + 1 == config.warmup_steps || step + 1 >= last_adjust + config.adjust_every);
         if due {
             last_adjust = step + 1;
             let obs = observe(&run);
@@ -151,14 +165,22 @@ mod tests {
     fn setup(experts: usize) -> (CostModel, Topology, BatchShape) {
         let model = MoeModelConfig::transformer_xl(4, experts);
         let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
-        let batch = BatchShape { seqs_per_device: 64, seq_len: model.seq_len };
+        let batch = BatchShape {
+            seqs_per_device: 64,
+            seq_len: model.seq_len,
+        };
         (CostModel::new(DeviceSpec::a100(), model), topo, batch)
     }
 
     #[test]
     fn controller_grows_packing_and_speeds_up() {
         let (cost, topo, batch) = setup(16);
-        let config = SessionConfig { steps: 20, warmup_steps: 4, adjust_every: 2, seed: 3 };
+        let config = SessionConfig {
+            steps: 20,
+            warmup_steps: 4,
+            adjust_every: 2,
+            seed: 3,
+        };
         let report = run_lina_session(&cost, &topo, batch, &config);
         assert_eq!(report.steps.len(), 20);
         assert_eq!(report.packing_trace[0], 1);
@@ -180,7 +202,12 @@ mod tests {
     #[test]
     fn packing_trace_is_monotone() {
         let (cost, topo, batch) = setup(8);
-        let config = SessionConfig { steps: 14, warmup_steps: 3, adjust_every: 2, seed: 5 };
+        let config = SessionConfig {
+            steps: 14,
+            warmup_steps: 3,
+            adjust_every: 2,
+            seed: 5,
+        };
         let report = run_lina_session(&cost, &topo, batch, &config);
         for w in report.packing_trace.windows(2) {
             assert!(w[1] >= w[0], "packing shrank: {:?}", report.packing_trace);
@@ -191,9 +218,17 @@ mod tests {
     #[test]
     fn two_expert_session_converges_to_full_replication() {
         let (cost, topo, batch) = setup(2);
-        let config = SessionConfig { steps: 10, warmup_steps: 2, adjust_every: 1, seed: 7 };
+        let config = SessionConfig {
+            steps: 10,
+            warmup_steps: 2,
+            adjust_every: 1,
+            seed: 7,
+        };
         let report = run_lina_session(&cost, &topo, batch, &config);
-        assert_eq!(report.final_packing, 2, "2-expert case should replicate fully");
+        assert_eq!(
+            report.final_packing, 2,
+            "2-expert case should replicate fully"
+        );
         // Once fully packed there is no all-to-all left.
         assert_eq!(
             report.steps.last().expect("steps").a2a_total,

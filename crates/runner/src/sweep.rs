@@ -21,7 +21,7 @@ where
     }
     let threads = threads.clamp(1, items.len());
     if threads == 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
@@ -48,7 +48,9 @@ where
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -9,9 +9,7 @@
 use std::collections::BTreeMap;
 
 use lina_baselines::TrainScheme;
-use lina_model::{
-    balanced_routing, build_train_step, BatchShape, CommClass, CostModel, OpKind,
-};
+use lina_model::{balanced_routing, build_train_step, BatchShape, CommClass, CostModel, OpKind};
 use lina_netsim::{CollectiveEngine, CollectiveSpec, Network, Topology};
 use lina_simcore::{Samples, SimDuration, SimTime, SpanKind};
 
@@ -59,7 +57,9 @@ pub fn solo_collective_time(topo: &Topology, spec: &CollectiveSpec) -> SimDurati
     let mut engine = CollectiveEngine::new(Network::new(topo.clone()));
     engine.start(spec, 0);
     let done = engine.run_to_idle();
-    done.first().map(|d| d.at - d.started).unwrap_or(SimDuration::ZERO)
+    done.first()
+        .map(|d| d.at - d.started)
+        .unwrap_or(SimDuration::ZERO)
 }
 
 /// Runs one training step.
@@ -78,7 +78,11 @@ pub fn run_train_step(
     let mut policy = scheme.policy();
     let exec = execute(&graph, topo, policy.as_mut());
     let metrics = extract_metrics(&graph, topo, &exec, model.layers);
-    StepRun { metrics, exec, graph }
+    StepRun {
+        metrics,
+        exec,
+        graph,
+    }
 }
 
 /// Runs `steps` steps (different jitter seeds) and returns the metrics
@@ -110,21 +114,33 @@ fn extract_metrics(
         let Some(layer) = op.layer else { continue };
         let in_moe = match &op.kind {
             OpKind::Compute { span, .. } => {
-                matches!(span, SpanKind::Gate | SpanKind::ExpertFfn | SpanKind::Combine)
+                matches!(
+                    span,
+                    SpanKind::Gate | SpanKind::ExpertFfn | SpanKind::Combine
+                )
             }
             OpKind::Comm { meta, .. } => meta.class == CommClass::AllToAll,
         };
         if !in_moe {
             continue;
         }
-        let Some((s, e)) = exec.op_windows[i] else { continue };
-        let w = if op.backward { &mut bwd_windows[layer] } else { &mut fwd_windows[layer] };
+        let Some((s, e)) = exec.op_windows[i] else {
+            continue;
+        };
+        let w = if op.backward {
+            &mut bwd_windows[layer]
+        } else {
+            &mut fwd_windows[layer]
+        };
         w.0 = w.0.min(s);
         w.1 = w.1.max(e);
     }
     let mean_window = |ws: &[(SimTime, SimTime)]| -> SimDuration {
-        let durs: Vec<SimDuration> =
-            ws.iter().filter(|(s, e)| e > s).map(|&(s, e)| e - s).collect();
+        let durs: Vec<SimDuration> = ws
+            .iter()
+            .filter(|(s, e)| e > s)
+            .map(|&(s, e)| e - s)
+            .collect();
         if durs.is_empty() {
             SimDuration::ZERO
         } else {
@@ -148,11 +164,15 @@ fn extract_metrics(
     let mut a2a_total = SimDuration::ZERO;
     let mut solo_cache: BTreeMap<u64, SimDuration> = BTreeMap::new();
     for (i, op) in graph.ops().iter().enumerate() {
-        let OpKind::Comm { spec, meta } = &op.kind else { continue };
+        let OpKind::Comm { spec, meta } = &op.kind else {
+            continue;
+        };
         if meta.class != CommClass::AllToAll {
             continue;
         }
-        let Some((s, e)) = exec.op_windows[i] else { continue };
+        let Some((s, e)) = exec.op_windows[i] else {
+            continue;
+        };
         a2a_total += e - s;
         let key = (meta.layer, meta.backward, meta.op_index);
         // Solo time for one chunk, cached by rounded size.
@@ -160,7 +180,9 @@ fn extract_metrics(
         let solo = *solo_cache
             .entry(size_key)
             .or_insert_with(|| solo_collective_time(topo, spec));
-        let entry = logical.entry(key).or_insert((SimTime::MAX, SimTime::ZERO, 0.0));
+        let entry = logical
+            .entry(key)
+            .or_insert((SimTime::MAX, SimTime::ZERO, 0.0));
         entry.0 = entry.0.min(s);
         entry.1 = entry.1.max(e);
         entry.2 += solo.as_secs_f64();
@@ -176,8 +198,7 @@ fn extract_metrics(
         a2a_bwd_times.push(actual);
         if *solo_secs > 0.0 {
             a2a_bwd_slowdowns.push(actual.as_secs_f64() / solo_secs);
-            a2a_bwd_overlapped
-                .push(ar_windows.iter().any(|&(ws, we)| ws < *e && we > *s));
+            a2a_bwd_overlapped.push(ar_windows.iter().any(|&(ws, we)| ws < *e && we > *s));
         }
     }
 
@@ -190,7 +211,9 @@ fn extract_metrics(
         a2a_bwd_slowdowns,
         a2a_bwd_overlapped,
         pipelining_efficiency: exec.timeline.pipelining_efficiency(SpanKind::AllToAll),
-        compute_util: exec.timeline.mean_compute_utilization(topo.devices() as u32),
+        compute_util: exec
+            .timeline
+            .mean_compute_utilization(topo.devices() as u32),
     }
 }
 
@@ -214,7 +237,15 @@ pub fn summarize_steps(steps: &[StepMetrics]) -> TrainSummary {
         pipeline.push(m.pipelining_efficiency);
         util.push(m.compute_util);
     }
-    TrainSummary { step_time, fwd, bwd, a2a_total, slowdowns, pipeline, util }
+    TrainSummary {
+        step_time,
+        fwd,
+        bwd,
+        a2a_total,
+        slowdowns,
+        pipeline,
+        util,
+    }
 }
 
 /// Distribution summaries over steps.
@@ -244,7 +275,10 @@ mod tests {
     fn setup(experts: usize, layers: usize) -> (CostModel, Topology, BatchShape) {
         let model = MoeModelConfig::transformer_xl(layers, experts);
         let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
-        let batch = BatchShape { seqs_per_device: 8, seq_len: model.seq_len };
+        let batch = BatchShape {
+            seqs_per_device: 8,
+            seq_len: model.seq_len,
+        };
         (CostModel::new(DeviceSpec::a100(), model), topo, batch)
     }
 
@@ -253,7 +287,10 @@ mod tests {
     fn setup_gpt2(experts: usize) -> (CostModel, Topology, BatchShape) {
         let model = MoeModelConfig::gpt2(experts);
         let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
-        let batch = BatchShape { seqs_per_device: 8, seq_len: model.seq_len };
+        let batch = BatchShape {
+            seqs_per_device: 8,
+            seq_len: model.seq_len,
+        };
         (CostModel::new(DeviceSpec::a100(), model), topo, batch)
     }
 
@@ -307,7 +344,10 @@ mod tests {
         let m = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 1).metrics;
         assert!(m.fwd_layer_time > SimDuration::ZERO);
         assert!(m.bwd_layer_time > SimDuration::ZERO);
-        assert!(m.bwd_layer_time > m.fwd_layer_time, "backward should cost more");
+        assert!(
+            m.bwd_layer_time > m.fwd_layer_time,
+            "backward should cost more"
+        );
         assert!(m.a2a_total > SimDuration::ZERO);
         assert!(m.compute_util > 0.0 && m.compute_util <= 1.0);
     }
@@ -317,9 +357,11 @@ mod tests {
         // A batch big enough that 30 MB partitioning yields multiple
         // all-to-all micro-ops (per-device tensor ~ 67 MB).
         let (cost, topo, _) = setup(16, 4);
-        let batch = BatchShape { seqs_per_device: 64, seq_len: cost.model.seq_len };
-        let nopack =
-            run_train_step(&cost, &topo, batch, TrainScheme::LinaNoPack, 1).metrics;
+        let batch = BatchShape {
+            seqs_per_device: 64,
+            seq_len: cost.model.seq_len,
+        };
+        let nopack = run_train_step(&cost, &topo, batch, TrainScheme::LinaNoPack, 1).metrics;
         // The paper's 16-expert Transformer-XL setting packs 4 experts
         // per device: each node then holds a full replica set and
         // all-to-all becomes intra-node.
@@ -327,7 +369,9 @@ mod tests {
             &cost,
             &topo,
             batch,
-            TrainScheme::Lina { experts_per_device: 4 },
+            TrainScheme::Lina {
+                experts_per_device: 4,
+            },
             1,
         )
         .metrics;
@@ -345,7 +389,7 @@ mod tests {
         let (cost, topo, batch) = setup(4, 2);
         let steps = run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, 3, 10);
         assert_eq!(steps.len(), 3);
-        let mut summary = summarize_steps(&steps);
+        let summary = summarize_steps(&steps);
         assert_eq!(summary.step_time.len(), 3);
         assert!(summary.step_time.mean() > 0.0);
         assert!(summary.util.mean() > 0.0);
@@ -365,11 +409,7 @@ mod tests {
         );
         let large = solo_collective_time(
             &topo,
-            &CollectiveSpec::uniform_all_to_all(
-                devs,
-                1e6,
-                lina_netsim::AllToAllAlgo::Hierarchical,
-            ),
+            &CollectiveSpec::uniform_all_to_all(devs, 1e6, lina_netsim::AllToAllAlgo::Hierarchical),
         );
         assert!(large > small);
         assert!(small > SimDuration::ZERO);

@@ -1,0 +1,203 @@
+//! Open-loop arrival processes.
+//!
+//! Arrivals are generated ahead of the serving loop (open loop: the
+//! offered load does not react to server backlog, so saturation shows
+//! up as unbounded queueing delay rather than as a throttled client).
+//! All randomness comes from a caller-provided [`Rng`], so a seed
+//! pins the whole arrival trace.
+
+use lina_simcore::{Rng, SimDuration, SimTime};
+
+/// An open-loop arrival process.
+#[derive(Clone, Debug)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` requests per second.
+    Poisson {
+        /// Mean arrival rate (requests/s).
+        rate: f64,
+    },
+    /// Bursty arrivals: a two-state Markov-modulated Poisson process
+    /// alternating between a calm and a burst phase, with
+    /// exponentially distributed dwell times. Mean rate is the
+    /// dwell-weighted mix of the two phase rates.
+    Mmpp {
+        /// Arrival rate in the calm phase (requests/s).
+        calm_rate: f64,
+        /// Arrival rate in the burst phase (requests/s).
+        burst_rate: f64,
+        /// Mean dwell time in the calm phase (seconds).
+        mean_calm: f64,
+        /// Mean dwell time in the burst phase (seconds).
+        mean_burst: f64,
+    },
+    /// Replays a recorded gap sequence, cycling if more arrivals are
+    /// requested than the trace holds.
+    Trace {
+        /// Successive inter-arrival gaps.
+        inter_arrivals: Vec<SimDuration>,
+    },
+}
+
+/// Samples an exponential variate with the given rate (per second).
+fn exponential(rng: &mut Rng, rate: f64) -> f64 {
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exponential: bad rate {rate}"
+    );
+    // 1 - f64() is in (0, 1], so ln() is finite.
+    -(1.0 - rng.f64()).ln() / rate
+}
+
+impl ArrivalProcess {
+    /// Generates the first `n` arrival instants, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or dwell time, or an empty trace.
+    pub fn arrival_times(&self, n: usize, rng: &mut Rng) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = SimTime::ZERO;
+        match self {
+            ArrivalProcess::Poisson { rate } => {
+                for _ in 0..n {
+                    t += SimDuration::from_secs_f64(exponential(rng, *rate));
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                mean_calm,
+                mean_burst,
+            } => {
+                assert!(
+                    *mean_calm > 0.0 && *mean_burst > 0.0,
+                    "Mmpp: dwell times must be positive"
+                );
+                // Current phase (false = calm) and the instant it ends.
+                let mut bursting = false;
+                let mut phase_end =
+                    t + SimDuration::from_secs_f64(exponential(rng, 1.0 / mean_calm));
+                while out.len() < n {
+                    let rate = if bursting { *burst_rate } else { *calm_rate };
+                    let next = t + SimDuration::from_secs_f64(exponential(rng, rate));
+                    if next <= phase_end {
+                        t = next;
+                        out.push(t);
+                    } else {
+                        // The candidate falls past the phase boundary:
+                        // discard it and redraw from the boundary under
+                        // the next phase's rate (memorylessness makes
+                        // the restart exact for the exponential gap).
+                        t = phase_end;
+                        bursting = !bursting;
+                        let dwell = if bursting { *mean_burst } else { *mean_calm };
+                        phase_end = t + SimDuration::from_secs_f64(exponential(rng, 1.0 / dwell));
+                    }
+                }
+            }
+            ArrivalProcess::Trace { inter_arrivals } => {
+                assert!(
+                    !inter_arrivals.is_empty(),
+                    "Trace: empty inter-arrival list"
+                );
+                for i in 0..n {
+                    t += inter_arrivals[i % inter_arrivals.len()];
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The long-run mean arrival rate (requests/s).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                mean_calm,
+                mean_burst,
+            } => (calm_rate * mean_calm + burst_rate * mean_burst) / (mean_calm + mean_burst),
+            ArrivalProcess::Trace { inter_arrivals } => {
+                let total: SimDuration = inter_arrivals.iter().copied().sum();
+                if total == SimDuration::ZERO {
+                    0.0
+                } else {
+                    inter_arrivals.len() as f64 / total.as_secs_f64()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate: 100.0 };
+        let times = p.arrival_times(20_000, &mut Rng::new(7));
+        assert_eq!(times.len(), 20_000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let span = times.last().expect("nonempty").as_secs_f64();
+        let rate = times.len() as f64 / span;
+        assert!((rate - 100.0).abs() < 3.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn mmpp_mixes_the_two_rates() {
+        let p = ArrivalProcess::Mmpp {
+            calm_rate: 50.0,
+            burst_rate: 500.0,
+            mean_calm: 1.0,
+            mean_burst: 0.25,
+        };
+        let times = p.arrival_times(20_000, &mut Rng::new(3));
+        let span = times.last().expect("nonempty").as_secs_f64();
+        let rate = times.len() as f64 / span;
+        let mean = p.mean_rate();
+        assert!(
+            (rate - mean).abs() / mean < 0.2,
+            "rate {rate} vs mean {mean}"
+        );
+        // Burstier than Poisson at the same mean: the squared
+        // coefficient of variation of the gaps exceeds 1.
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - m).powi(2)).sum::<f64>() / gaps.len() as f64;
+        assert!(var / (m * m) > 1.2, "cv2 {}", var / (m * m));
+    }
+
+    #[test]
+    fn trace_replays_and_cycles() {
+        let p = ArrivalProcess::Trace {
+            inter_arrivals: vec![SimDuration::from_millis(1), SimDuration::from_millis(3)],
+        };
+        let times = p.arrival_times(4, &mut Rng::new(1));
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_millis(1),
+                SimTime::from_millis(4),
+                SimTime::from_millis(5),
+                SimTime::from_millis(8),
+            ]
+        );
+        assert!((p.mean_rate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let p = ArrivalProcess::Poisson { rate: 10.0 };
+        assert_eq!(
+            p.arrival_times(100, &mut Rng::new(9)),
+            p.arrival_times(100, &mut Rng::new(9))
+        );
+    }
+}

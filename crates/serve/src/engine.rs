@@ -1,0 +1,503 @@
+//! The serving loop.
+//!
+//! A [`ServeEngine`] pre-generates an open-loop request trace (arrival
+//! process + per-request tokens), then walks a single-server timeline:
+//! the [`Batcher`](crate::Batcher) decides when each batch leaves the
+//! admission queue, the batch runs through
+//! [`run_inference_batch`](lina_runner::inference::run_inference_batch)
+//! under the configured scheme, and every member request is charged
+//! its queueing delay plus the batch's model time.
+//!
+//! Two serving-specific mechanisms sit on top of the paper's per-batch
+//! machinery:
+//!
+//! * **popularity drift** — the workload's Zipf class ranking rotates
+//!   every [`ServeConfig::drift_period`] requests (via
+//!   [`TokenSource::set_class_rotation`]), so the hot experts change
+//!   over the run;
+//! * **online re-placement** — for the estimating Lina schemes, the
+//!   popularity estimator is periodically re-profiled from a sliding
+//!   window of recently served batches and the two-phase scheduler
+//!   rebuilt, so placement follows the drifted distribution instead of
+//!   the stale offline profile.
+
+use lina_baselines::InferScheme;
+use lina_core::{PopularityEstimator, TwoPhaseConfig, TwoPhaseScheduler};
+use lina_model::CostModel;
+use lina_netsim::Topology;
+use lina_runner::inference::{run_inference_batch, InferenceConfig};
+use lina_simcore::{Rng, SimDuration, SimTime};
+use lina_workload::{Mode, TokenBatch, TokenPath, TokenSource, WorkloadSpec};
+
+use crate::arrival::ArrivalProcess;
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::request::{Request, RequestRecord};
+use crate::slo::{SloReport, SloTracker};
+
+/// The paper's inference experiments use 16384 tokens per device; the
+/// measured scheduling overheads (6.2 ms schedule, 1.45 ms resume)
+/// belong to that scale and shrink proportionally for the much smaller
+/// serving batches.
+const PAPER_TOKENS_PER_DEVICE: f64 = 16_384.0;
+
+/// Serving-run configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Scheme under test.
+    pub scheme: InferScheme,
+    /// Gate fan-out (1 in the paper's inference).
+    pub top_k: usize,
+    /// Estimator sample-path length `l` (paper: 3).
+    pub path_length: usize,
+    /// Packing depth cap for the re-placement. The paper's 4 suits
+    /// 16k-token batches; serving batches are orders of magnitude
+    /// smaller, where each packed expert's weight swap (~0.35 ms over
+    /// PCIe) is no longer hidden behind expert compute, so shallow
+    /// packing (2) is the serving default.
+    pub max_experts_per_device: usize,
+    /// The open-loop arrival process.
+    pub arrival: ArrivalProcess,
+    /// Dynamic-batching knobs.
+    pub batcher: BatcherConfig,
+    /// Latency target for SLO attainment.
+    pub slo: SimDuration,
+    /// Requests to serve.
+    pub n_requests: usize,
+    /// Tokens per request.
+    pub tokens_per_request: usize,
+    /// Rotate the workload's popular-class ranking every this many
+    /// requests (`None`: the popularity distribution is stationary).
+    pub drift_period: Option<usize>,
+    /// Re-profile the estimator and rebuild the scheduler every this
+    /// many dispatched batches (`None`: keep the offline profile).
+    /// Ignored by the schemes that never estimate.
+    pub reestimate_every: Option<usize>,
+    /// How many recently served batches the re-profiling window holds.
+    pub reestimate_window: usize,
+    /// Master seed: arrivals, request tokens, and the offline profile
+    /// all derive from it.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero request count, token count, path length,
+    /// drift period, re-estimation period, or re-estimation window.
+    pub fn validate(&self) {
+        self.batcher.validate();
+        assert!(self.n_requests > 0, "serve: n_requests must be > 0");
+        assert!(
+            self.tokens_per_request > 0,
+            "serve: tokens_per_request must be > 0"
+        );
+        assert!(self.path_length > 0, "serve: path_length must be > 0");
+        assert!(
+            self.max_experts_per_device > 0,
+            "serve: max_experts_per_device must be > 0"
+        );
+        assert!(
+            self.drift_period != Some(0),
+            "serve: drift_period must be > 0"
+        );
+        assert!(
+            self.reestimate_every != Some(0),
+            "serve: reestimate_every must be > 0"
+        );
+        if self.reestimate_every.is_some() {
+            assert!(
+                self.reestimate_window > 0,
+                "serve: reestimate_window must be > 0"
+            );
+        }
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Per-request records and the queue-depth timeline.
+    pub tracker: SloTracker,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Times the estimator was re-profiled online.
+    pub reestimations: usize,
+}
+
+impl ServeOutcome {
+    /// Summarizes the run (see [`SloTracker::report`]).
+    pub fn report(&self) -> SloReport {
+        self.tracker.report()
+    }
+}
+
+/// The serving simulator. Holds the model/cluster/workload context and
+/// a [`ServeConfig`]; [`ServeEngine::run`] is deterministic in all of
+/// them.
+pub struct ServeEngine<'a> {
+    cost: &'a CostModel,
+    topo: &'a Topology,
+    spec: &'a WorkloadSpec,
+    config: ServeConfig,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`ServeConfig::validate`]).
+    pub fn new(
+        cost: &'a CostModel,
+        topo: &'a Topology,
+        spec: &'a WorkloadSpec,
+        config: ServeConfig,
+    ) -> Self {
+        config.validate();
+        ServeEngine {
+            cost,
+            topo,
+            spec,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Scheduling overheads scaled from the paper's measurement scale
+    /// down to this engine's full-batch size.
+    fn two_phase_config(&self) -> TwoPhaseConfig {
+        let devices = self.topo.devices();
+        let full_tokens_per_device = (self.config.batcher.max_batch_requests
+            * self.config.tokens_per_request)
+            .div_ceil(devices)
+            .max(1);
+        let factor =
+            (full_tokens_per_device as f64 / PAPER_TOKENS_PER_DEVICE).clamp(1.0 / 512.0, 1.0);
+        let mut cfg = TwoPhaseConfig::paper_defaults(devices);
+        cfg.top_k = self.config.top_k;
+        cfg.max_experts_per_device = self.config.max_experts_per_device;
+        cfg.schedule_time = cfg.schedule_time.mul_f64(factor);
+        cfg.resume_time = cfg.resume_time.mul_f64(factor);
+        cfg
+    }
+
+    fn needs_scheduler(&self) -> bool {
+        matches!(
+            self.config.scheme,
+            InferScheme::Lina | InferScheme::LinaNoEstimation | InferScheme::LinaNoFinetune
+        )
+    }
+
+    fn estimates(&self) -> bool {
+        matches!(
+            self.config.scheme,
+            InferScheme::Lina | InferScheme::LinaNoFinetune
+        )
+    }
+
+    /// Builds the offline-profiled scheduler, as the paper's profiling
+    /// stage does: training-distribution batches, no drift.
+    fn offline_scheduler(&self, profile_seed: u64) -> TwoPhaseScheduler {
+        let devices = self.topo.devices();
+        let mut src = TokenSource::new(self.spec, self.config.top_k, profile_seed);
+        let profile: Vec<TokenBatch> = (0..8)
+            .map(|_| src.sample_batch(devices, 1024, Mode::Train))
+            .collect();
+        let estimator = PopularityEstimator::profile(&profile, self.config.path_length);
+        TwoPhaseScheduler::new(self.two_phase_config(), estimator)
+    }
+
+    /// Pre-generates the open-loop request trace: arrival instants from
+    /// the arrival process, tokens from the workload's gating model,
+    /// with the popular-class ranking rotated every `drift_period`
+    /// requests.
+    pub fn generate_requests(&self) -> Vec<Request> {
+        let mut root = Rng::new(self.config.seed);
+        let mut arrival_rng = root.derive(1);
+        let token_seed = root.next_u64();
+        let arrivals = self
+            .config
+            .arrival
+            .arrival_times(self.config.n_requests, &mut arrival_rng);
+        let mut source = TokenSource::new(self.spec, self.config.top_k, token_seed);
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(id, arrival)| {
+                if let Some(period) = self.config.drift_period {
+                    source.set_class_rotation(id / period);
+                }
+                // Sampling each request as a tiny batch keeps the
+                // per-batch topic burstiness: a request is "about"
+                // a few topics, like the paper's skewed batches.
+                let tokens = source
+                    .sample_batch(1, self.config.tokens_per_request, Mode::Inference)
+                    .tokens;
+                Request {
+                    id,
+                    arrival,
+                    tokens,
+                }
+            })
+            .collect()
+    }
+
+    /// Upper bound on sustainable throughput (requests/s): a full batch
+    /// served back-to-back with no queueing. Load sweeps express
+    /// offered load as a fraction of this.
+    pub fn capacity(&self) -> f64 {
+        // Same derivation order as `run`/`generate_requests`: first
+        // draw is the token seed, second the profile seed (the arrival
+        // stream uses a pure `derive(1)` substream).
+        let mut root = Rng::new(self.config.seed);
+        let token_seed = root.next_u64();
+        let profile_seed = root.next_u64();
+        let scheduler = self
+            .needs_scheduler()
+            .then(|| self.offline_scheduler(profile_seed));
+        let mut source = TokenSource::new(self.spec, self.config.top_k, token_seed);
+        let per_batch = self.config.batcher.max_batch_requests;
+        let tokens: Vec<TokenPath> = (0..per_batch)
+            .flat_map(|_| {
+                source
+                    .sample_batch(1, self.config.tokens_per_request, Mode::Inference)
+                    .tokens
+            })
+            .collect();
+        let batch = TokenBatch {
+            tokens,
+            devices: self.topo.devices(),
+            experts: self.spec.experts,
+        };
+        let infer = InferenceConfig {
+            scheme: self.config.scheme,
+            top_k: self.config.top_k,
+        };
+        let report = run_inference_batch(self.cost, self.topo, &infer, scheduler.as_ref(), &batch);
+        per_batch as f64 / report.total.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Runs the full serving simulation.
+    pub fn run(&self) -> ServeOutcome {
+        let mut root = Rng::new(self.config.seed);
+        let _token_seed = root.next_u64(); // drawn by generate_requests
+        let profile_seed = root.next_u64();
+
+        let requests = self.generate_requests();
+        let arrivals: Vec<SimTime> = requests.iter().map(|r| r.arrival).collect();
+        let batcher = Batcher::new(self.config.batcher.clone());
+        let infer = InferenceConfig {
+            scheme: self.config.scheme,
+            top_k: self.config.top_k,
+        };
+        let two_phase = self.two_phase_config();
+        let mut scheduler = self
+            .needs_scheduler()
+            .then(|| self.offline_scheduler(profile_seed));
+
+        let mut tracker = SloTracker::new(self.config.slo);
+        let mut window: Vec<TokenBatch> = Vec::new();
+        let mut server_free = SimTime::ZERO;
+        let mut next = 0usize;
+        let mut batches = 0usize;
+        let mut reestimations = 0usize;
+
+        while let Some(dispatch) = batcher.next_dispatch(&arrivals, next, server_free) {
+            let members = &requests[next..next + dispatch.count];
+            let tokens: Vec<TokenPath> = members
+                .iter()
+                .flat_map(|r| r.tokens.iter().cloned())
+                .collect();
+            let batch = TokenBatch {
+                tokens,
+                devices: self.topo.devices(),
+                experts: self.spec.experts,
+            };
+            let report =
+                run_inference_batch(self.cost, self.topo, &infer, scheduler.as_ref(), &batch);
+            let completed = dispatch.at + report.total;
+            for r in members {
+                tracker.record(RequestRecord {
+                    id: r.id,
+                    arrival: r.arrival,
+                    dispatched: dispatch.at,
+                    completed,
+                    tokens: r.tokens.len(),
+                    batch: batches,
+                    service: report.total,
+                });
+            }
+            let backlog = arrivals[next + dispatch.count..]
+                .iter()
+                .filter(|&&a| a <= dispatch.at)
+                .count();
+            tracker.record_depth(dispatch.at, backlog);
+            server_free = completed;
+            next += dispatch.count;
+            batches += 1;
+
+            // Online re-placement: re-profile from the recent window.
+            if self.estimates() {
+                if let Some(every) = self.config.reestimate_every {
+                    window.push(batch);
+                    if window.len() > self.config.reestimate_window {
+                        window.remove(0);
+                    }
+                    if batches.is_multiple_of(every) {
+                        let estimator =
+                            PopularityEstimator::profile(&window, self.config.path_length);
+                        scheduler = Some(TwoPhaseScheduler::new(two_phase.clone(), estimator));
+                        reestimations += 1;
+                    }
+                }
+            }
+        }
+
+        ServeOutcome {
+            tracker,
+            batches,
+            reestimations,
+        }
+    }
+}
+
+/// Convenience wrapper: build a [`ServeEngine`] and run it.
+pub fn serve(
+    cost: &CostModel,
+    topo: &Topology,
+    spec: &WorkloadSpec,
+    config: ServeConfig,
+) -> ServeOutcome {
+    ServeEngine::new(cost, topo, spec, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lina_model::{DeviceSpec, MoeModelConfig};
+    use lina_netsim::ClusterSpec;
+
+    fn world() -> (CostModel, Topology, WorkloadSpec) {
+        let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
+        let topo = Topology::new(ClusterSpec::with_total_gpus(8));
+        let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+        let spec = WorkloadSpec::enwik8(8, 6);
+        (cost, topo, spec)
+    }
+
+    fn config(scheme: InferScheme, rate: f64) -> ServeConfig {
+        ServeConfig {
+            scheme,
+            top_k: 1,
+            path_length: 3,
+            max_experts_per_device: 2,
+            arrival: ArrivalProcess::Poisson { rate },
+            batcher: BatcherConfig {
+                max_batch_requests: 4,
+                max_wait: SimDuration::from_millis(2),
+            },
+            slo: SimDuration::from_millis(50),
+            n_requests: 64,
+            tokens_per_request: 64,
+            drift_period: Some(16),
+            reestimate_every: Some(4),
+            reestimate_window: 8,
+            seed: 0x5EED,
+        }
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let (cost, topo, spec) = world();
+        let out = serve(&cost, &topo, &spec, config(InferScheme::Lina, 400.0));
+        let mut ids: Vec<usize> = out.tracker.records().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..64).collect::<Vec<_>>());
+        assert!(out.batches >= 64 / 4);
+        assert!(out.reestimations > 0);
+    }
+
+    #[test]
+    fn dispatch_respects_arrival_and_server_order() {
+        let (cost, topo, spec) = world();
+        let out = serve(&cost, &topo, &spec, config(InferScheme::Baseline, 1000.0));
+        let records = out.tracker.records();
+        for r in records {
+            assert!(
+                r.dispatched >= r.arrival,
+                "request {} dispatched early",
+                r.id
+            );
+            assert!(r.completed > r.dispatched);
+        }
+        // Batches never overlap on the single server.
+        let mut spans: Vec<(SimTime, SimTime)> = records
+            .iter()
+            .map(|r| (r.dispatched, r.completed))
+            .collect();
+        spans.sort();
+        spans.dedup();
+        for w in spans.windows(2) {
+            assert!(w[1].0 >= w[0].1, "overlapping batches: {w:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_positive_and_finite() {
+        let (cost, topo, spec) = world();
+        let engine = ServeEngine::new(&cost, &topo, &spec, config(InferScheme::Baseline, 100.0));
+        let c = engine.capacity();
+        assert!(c.is_finite() && c > 0.0);
+    }
+
+    #[test]
+    fn drift_rotates_request_classes() {
+        let (cost, topo, spec) = world();
+        let engine = ServeEngine::new(&cost, &topo, &spec, config(InferScheme::Lina, 100.0));
+        let requests = engine.generate_requests();
+        let modal = |rs: &[Request]| {
+            let mut counts = vec![0usize; spec.classes];
+            for r in rs {
+                for t in &r.tokens {
+                    counts[t.class] += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .expect("nonempty")
+                .0
+        };
+        // Drift period 16 with 64 requests: four rotation epochs. The
+        // first and last epochs see different modal classes.
+        assert_ne!(modal(&requests[..16]), modal(&requests[48..]));
+    }
+
+    #[test]
+    fn reestimation_disabled_for_non_estimating_schemes() {
+        let (cost, topo, spec) = world();
+        let out = serve(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::LinaNoEstimation, 400.0),
+        );
+        assert_eq!(out.reestimations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_requests")]
+    fn zero_requests_rejected() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 100.0);
+        c.n_requests = 0;
+        ServeEngine::new(&cost, &topo, &spec, c);
+    }
+}

@@ -1,0 +1,39 @@
+//! # lina-serve
+//!
+//! Open-loop request serving on top of the inference driver: the
+//! paper's §7.3 evaluates Lina on fixed pre-formed batches, and this
+//! crate closes the gap to a deployment by modelling the *request
+//! path* in continuous simulated time:
+//!
+//! * [`ArrivalProcess`] — deterministic-seeded Poisson, bursty
+//!   two-state MMPP, and replayable trace arrivals;
+//! * [`Batcher`] — an admission queue plus dynamic batcher
+//!   (max-batch-size and max-wait knobs) that forms
+//!   [`TokenBatch`](lina_workload::TokenBatch)es from queued requests;
+//! * [`ServeEngine`] — a single-server loop dispatching each formed
+//!   batch through [`run_inference_batch`](lina_runner::inference::run_inference_batch),
+//!   charging every request its queueing delay plus service time;
+//! * [`SloTracker`] — per-request latency percentiles, throughput,
+//!   goodput, SLO attainment, and a queue-depth timeline;
+//! * popularity drift and online re-placement — the workload's class
+//!   ranking rotates every `drift_period` requests, and the Lina
+//!   schemes periodically re-profile the popularity estimator from
+//!   recently served batches, re-running placement against the drifted
+//!   distribution.
+//!
+//! Everything is seeded: the same [`ServeConfig`] produces a
+//! bit-identical request trace, dispatch schedule, and summary.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod batcher;
+pub mod engine;
+pub mod request;
+pub mod slo;
+
+pub use arrival::ArrivalProcess;
+pub use batcher::{Batcher, BatcherConfig};
+pub use engine::{serve, ServeConfig, ServeEngine, ServeOutcome};
+pub use request::{Request, RequestRecord};
+pub use slo::{SloReport, SloTracker};

@@ -1,0 +1,83 @@
+//! Requests and their per-request accounting.
+
+use lina_simcore::{SimDuration, SimTime};
+use lina_workload::TokenPath;
+
+/// One inference request: a small token sequence arriving at a known
+/// instant. Tokens carry their latent class and full per-layer expert
+/// selections (sampled from the workload's gating model at admission),
+/// so a formed batch routes exactly like the paper's fixed batches do.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Dense request id, in arrival order.
+    pub id: usize,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// The request's tokens.
+    pub tokens: Vec<TokenPath>,
+}
+
+impl Request {
+    /// Number of tokens in the request.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the request carries no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Everything measured about one served request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request id.
+    pub id: usize,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Instant its batch was dispatched to the model.
+    pub dispatched: SimTime,
+    /// Instant its batch completed (all requests of a batch finish
+    /// together — the batch is the unit of execution).
+    pub completed: SimTime,
+    /// Token count.
+    pub tokens: usize,
+    /// Index of the batch that served it.
+    pub batch: usize,
+    /// The batch's end-to-end model time.
+    pub service: SimDuration,
+}
+
+impl RequestRecord {
+    /// End-to-end latency: completion minus arrival.
+    pub fn latency(&self) -> SimDuration {
+        self.completed - self.arrival
+    }
+
+    /// Time spent queued before dispatch.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.dispatched - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_decomposes_into_queue_plus_service() {
+        let r = RequestRecord {
+            id: 0,
+            arrival: SimTime::from_millis(10),
+            dispatched: SimTime::from_millis(14),
+            completed: SimTime::from_millis(19),
+            tokens: 128,
+            batch: 0,
+            service: SimDuration::from_millis(5),
+        };
+        assert_eq!(r.queue_delay(), SimDuration::from_millis(4));
+        assert_eq!(r.latency(), SimDuration::from_millis(9));
+        assert_eq!(r.latency(), r.queue_delay() + r.service);
+    }
+}

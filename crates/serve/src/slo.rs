@@ -1,0 +1,179 @@
+//! SLO accounting.
+//!
+//! The tracker collects per-request [`RequestRecord`]s and a
+//! queue-depth timeline as serving progresses, then summarizes them
+//! into the latency/throughput numbers a serving evaluation reports:
+//! p50/p95/p99 latency, mean queueing delay, SLO attainment (the
+//! fraction of requests finishing within the target), throughput, and
+//! goodput (throughput counting only SLO-compliant requests).
+
+use lina_simcore::{Samples, SimDuration, SimTime};
+
+use crate::request::RequestRecord;
+
+/// Collects serving measurements.
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    target: SimDuration,
+    records: Vec<RequestRecord>,
+    depth_timeline: Vec<(SimTime, usize)>,
+}
+
+impl SloTracker {
+    /// Creates a tracker with a latency target.
+    pub fn new(target: SimDuration) -> Self {
+        SloTracker {
+            target,
+            records: Vec::new(),
+            depth_timeline: Vec::new(),
+        }
+    }
+
+    /// The latency target.
+    pub fn target(&self) -> SimDuration {
+        self.target
+    }
+
+    /// Records one served request.
+    pub fn record(&mut self, record: RequestRecord) {
+        self.records.push(record);
+    }
+
+    /// Records the queue depth observed at an instant (the engine
+    /// samples it at every dispatch, right after the batch leaves).
+    pub fn record_depth(&mut self, at: SimTime, depth: usize) {
+        self.depth_timeline.push((at, depth));
+    }
+
+    /// All per-request records, in dispatch order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The queue-depth timeline, in time order.
+    pub fn depth_timeline(&self) -> &[(SimTime, usize)] {
+        &self.depth_timeline
+    }
+
+    /// Summarizes everything recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no requests were recorded.
+    pub fn report(&self) -> SloReport {
+        assert!(
+            !self.records.is_empty(),
+            "SloTracker::report: no requests recorded"
+        );
+        let mut latencies = Samples::new();
+        let mut queue_delays = Samples::new();
+        let mut met = 0usize;
+        let mut makespan = SimDuration::ZERO;
+        for r in &self.records {
+            latencies.push_duration(r.latency());
+            queue_delays.push_duration(r.queue_delay());
+            if r.latency() <= self.target {
+                met += 1;
+            }
+            makespan = makespan.max(r.completed - SimTime::ZERO);
+        }
+        let n = self.records.len();
+        let span = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+        SloReport {
+            requests: n,
+            target: self.target,
+            p50: SimDuration::from_secs_f64(latencies.median()),
+            p95: SimDuration::from_secs_f64(latencies.p95()),
+            p99: SimDuration::from_secs_f64(latencies.p99()),
+            mean_queue_delay: SimDuration::from_secs_f64(queue_delays.mean()),
+            attainment: met as f64 / n as f64,
+            throughput: n as f64 / span,
+            goodput: met as f64 / span,
+            makespan,
+            max_queue_depth: self
+                .depth_timeline
+                .iter()
+                .map(|&(_, d)| d)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Aggregate serving metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloReport {
+    /// Requests served.
+    pub requests: usize,
+    /// The latency target attainment is measured against.
+    pub target: SimDuration,
+    /// Median request latency.
+    pub p50: SimDuration,
+    /// 95th-percentile request latency.
+    pub p95: SimDuration,
+    /// 99th-percentile request latency.
+    pub p99: SimDuration,
+    /// Mean time spent queued before dispatch.
+    pub mean_queue_delay: SimDuration,
+    /// Fraction of requests with latency within the target.
+    pub attainment: f64,
+    /// Served requests per second of makespan.
+    pub throughput: f64,
+    /// SLO-compliant requests per second of makespan.
+    pub goodput: f64,
+    /// First arrival (t = 0) to last completion.
+    pub makespan: SimDuration,
+    /// Largest queue depth seen at any dispatch.
+    pub max_queue_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, arrival_ms: u64, dispatch_ms: u64, complete_ms: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            arrival: SimTime::from_millis(arrival_ms),
+            dispatched: SimTime::from_millis(dispatch_ms),
+            completed: SimTime::from_millis(complete_ms),
+            tokens: 1,
+            batch: 0,
+            service: SimTime::from_millis(complete_ms) - SimTime::from_millis(dispatch_ms),
+        }
+    }
+
+    #[test]
+    fn attainment_and_goodput() {
+        let mut t = SloTracker::new(SimDuration::from_millis(10));
+        t.record(record(0, 0, 1, 5)); // 5 ms: meets
+        t.record(record(1, 0, 10, 20)); // 20 ms: misses
+        t.record_depth(SimTime::from_millis(1), 3);
+        t.record_depth(SimTime::from_millis(10), 1);
+        let r = t.report();
+        assert_eq!(r.requests, 2);
+        assert!((r.attainment - 0.5).abs() < 1e-12);
+        assert_eq!(r.makespan, SimDuration::from_millis(20));
+        assert!((r.throughput - 100.0).abs() < 1e-9);
+        assert!((r.goodput - 50.0).abs() < 1e-9);
+        assert_eq!(r.max_queue_depth, 3);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut t = SloTracker::new(SimDuration::from_millis(50));
+        for i in 0..100u64 {
+            t.record(record(i as usize, 0, i, i + 1 + i / 10));
+        }
+        let r = t.report();
+        assert!(r.p50 <= r.p95);
+        assert!(r.p95 <= r.p99);
+        assert!(r.p99 <= r.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "no requests")]
+    fn empty_report_panics() {
+        SloTracker::new(SimDuration::from_millis(1)).report();
+    }
+}

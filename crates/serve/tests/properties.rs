@@ -1,0 +1,207 @@
+//! Randomized property tests of the serving subsystem, swept over
+//! deterministically seeded configurations: determinism, conservation
+//! through the batcher, latency accounting, and stability below
+//! saturation.
+
+use lina_baselines::InferScheme;
+use lina_model::{CostModel, DeviceSpec, MoeModelConfig};
+use lina_netsim::{ClusterSpec, Topology};
+use lina_serve::{serve, ArrivalProcess, BatcherConfig, ServeConfig, ServeEngine};
+use lina_simcore::{Rng, SimDuration};
+use lina_workload::WorkloadSpec;
+
+fn world() -> (CostModel, Topology, WorkloadSpec) {
+    let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
+    let topo = Topology::new(ClusterSpec::with_total_gpus(8));
+    let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+    let spec = WorkloadSpec::enwik8(8, 6);
+    (cost, topo, spec)
+}
+
+/// A randomized but valid config drawn from a meta-rng.
+fn arb_config(meta: &mut Rng, scheme: InferScheme) -> ServeConfig {
+    ServeConfig {
+        scheme,
+        top_k: 1,
+        path_length: 1 + meta.index(3),
+        max_experts_per_device: 1 + meta.index(4),
+        arrival: if meta.bernoulli(0.5) {
+            ArrivalProcess::Poisson {
+                rate: meta.uniform(50.0, 2000.0),
+            }
+        } else {
+            let rate = meta.uniform(50.0, 2000.0);
+            ArrivalProcess::Mmpp {
+                calm_rate: rate * 0.5,
+                burst_rate: rate * 2.0,
+                mean_calm: meta.uniform(0.05, 0.5),
+                mean_burst: meta.uniform(0.02, 0.2),
+            }
+        },
+        batcher: BatcherConfig {
+            max_batch_requests: 1 + meta.index(8),
+            max_wait: SimDuration::from_micros(meta.below(5_000) + 100),
+        },
+        slo: SimDuration::from_millis(50),
+        n_requests: 24 + meta.index(40),
+        tokens_per_request: 16 + meta.index(100),
+        drift_period: meta.bernoulli(0.5).then(|| 8 + meta.index(24)),
+        reestimate_every: meta.bernoulli(0.5).then(|| 2 + meta.index(6)),
+        reestimate_window: 4 + meta.index(8),
+        seed: meta.next_u64(),
+    }
+}
+
+/// Same seed, same config: bit-identical request trace, per-request
+/// records, and summary.
+#[test]
+fn same_seed_is_bit_identical() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x5E1D);
+    for scheme in [InferScheme::Baseline, InferScheme::Lina] {
+        for _ in 0..3 {
+            let config = arb_config(&mut meta, scheme);
+            let engine_a = ServeEngine::new(&cost, &topo, &spec, config.clone());
+            let engine_b = ServeEngine::new(&cost, &topo, &spec, config.clone());
+            let req_a = engine_a.generate_requests();
+            let req_b = engine_b.generate_requests();
+            assert_eq!(req_a.len(), req_b.len());
+            for (a, b) in req_a.iter().zip(&req_b) {
+                assert_eq!(a.arrival, b.arrival);
+                assert_eq!(a.tokens, b.tokens);
+            }
+            let out_a = engine_a.run();
+            let out_b = engine_b.run();
+            assert_eq!(out_a.tracker.records(), out_b.tracker.records());
+            assert_eq!(out_a.batches, out_b.batches);
+            assert_eq!(out_a.reestimations, out_b.reestimations);
+            assert_eq!(out_a.report(), out_b.report());
+        }
+    }
+}
+
+/// The batcher conserves requests and tokens: every request is served
+/// exactly once, total served tokens equal total offered tokens, and
+/// no batch exceeds the size cap.
+#[test]
+fn batcher_conserves_requests_and_tokens() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0xC0);
+    for _ in 0..6 {
+        let config = arb_config(&mut meta, InferScheme::Baseline);
+        let cap = config.batcher.max_batch_requests;
+        let n = config.n_requests;
+        let per_request = config.tokens_per_request;
+        let out = serve(&cost, &topo, &spec, config);
+        let records = out.tracker.records();
+        let mut ids: Vec<usize> = records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "each request served exactly once"
+        );
+        let total_tokens: usize = records.iter().map(|r| r.tokens).sum();
+        assert_eq!(total_tokens, n * per_request, "token conservation");
+        let mut batch_sizes = vec![0usize; out.batches];
+        for r in records {
+            batch_sizes[r.batch] += 1;
+        }
+        for (b, &size) in batch_sizes.iter().enumerate() {
+            assert!(
+                size >= 1 && size <= cap,
+                "batch {b} took {size} requests (cap {cap})"
+            );
+        }
+    }
+}
+
+/// Latency accounting: every request's latency is at least its own
+/// service time, dispatch never precedes arrival, and batches execute
+/// one at a time.
+#[test]
+fn latency_dominates_service_time() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x1A7);
+    for scheme in [InferScheme::Baseline, InferScheme::Lina] {
+        let config = arb_config(&mut meta, scheme);
+        let out = serve(&cost, &topo, &spec, config);
+        for r in out.tracker.records() {
+            assert!(r.dispatched >= r.arrival);
+            assert_eq!(r.completed, r.dispatched + r.service);
+            assert!(
+                r.latency() >= r.service,
+                "request {} latency < service",
+                r.id
+            );
+            assert_eq!(r.latency(), r.queue_delay() + r.service);
+        }
+        let mut spans: Vec<_> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| (r.dispatched, r.completed))
+            .collect();
+        spans.sort();
+        spans.dedup();
+        for w in spans.windows(2) {
+            assert!(w[1].0 >= w[0].1, "batches overlap on the single server");
+        }
+    }
+}
+
+/// Below saturation the queue drains: arrivals at a small fraction of
+/// capacity keep queueing delay near the batching timeout, and backlog
+/// stays bounded; well past saturation the delay blows up.
+#[test]
+fn queue_drains_below_capacity_and_grows_past_it() {
+    let (cost, topo, spec) = world();
+    let base = ServeConfig {
+        scheme: InferScheme::Baseline,
+        top_k: 1,
+        path_length: 3,
+        max_experts_per_device: 2,
+        arrival: ArrivalProcess::Poisson { rate: 1.0 },
+        batcher: BatcherConfig {
+            max_batch_requests: 4,
+            max_wait: SimDuration::from_millis(1),
+        },
+        slo: SimDuration::from_millis(50),
+        n_requests: 96,
+        tokens_per_request: 64,
+        drift_period: None,
+        reestimate_every: None,
+        reestimate_window: 1,
+        seed: 0xD12A1,
+    };
+    let capacity = ServeEngine::new(&cost, &topo, &spec, base.clone()).capacity();
+    let run_at = |frac: f64| {
+        let mut config = base.clone();
+        config.arrival = ArrivalProcess::Poisson {
+            rate: frac * capacity,
+        };
+        serve(&cost, &topo, &spec, config).report()
+    };
+    let calm = run_at(0.25);
+    let swamped = run_at(4.0);
+    // Underloaded: delays sit near the batching timeout, not the
+    // queue; backlog is a handful of requests at worst.
+    assert!(
+        calm.mean_queue_delay <= base.batcher.max_wait * 4,
+        "underloaded queue delay {} should be near the {} timeout",
+        calm.mean_queue_delay,
+        base.batcher.max_wait
+    );
+    assert!(calm.max_queue_depth <= 3 * base.batcher.max_batch_requests);
+    // Overloaded: the open loop keeps arriving, so delay and backlog
+    // grow far beyond the underloaded run.
+    assert!(swamped.mean_queue_delay > calm.mean_queue_delay * 10);
+    assert!(swamped.max_queue_depth > calm.max_queue_depth);
+    assert!(
+        swamped.p99 > calm.p99 * 2,
+        "overload p99 {} vs calm {}",
+        swamped.p99,
+        calm.p99
+    );
+    assert!(swamped.attainment <= calm.attainment);
+}

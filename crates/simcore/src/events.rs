@@ -49,7 +49,10 @@ pub struct EventQueue<T> {
 
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 

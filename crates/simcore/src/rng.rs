@@ -50,7 +50,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, gauss_cache: None }
+        Rng {
+            s,
+            gauss_cache: None,
+        }
     }
 
     /// Derives an independent child generator. Streams derived with
@@ -64,15 +67,15 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, gauss_cache: None }
+        Rng {
+            s,
+            gauss_cache: None,
+        }
     }
 
     /// Returns the next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -262,7 +265,9 @@ impl Zipf {
     /// Samples a rank by binary search over the CDF.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.f64();
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -425,7 +430,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]
@@ -447,8 +456,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..8 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: empirical {emp} vs pmf {}",
@@ -478,7 +487,10 @@ mod tests {
         for i in 0..4 {
             let expected = weights[i] / 10.0;
             let emp = counts[i] as f64 / n as f64;
-            assert!((emp - expected).abs() < 0.01, "cat {i}: {emp} vs {expected}");
+            assert!(
+                (emp - expected).abs() < 0.01,
+                "cat {i}: {emp} vs {expected}"
+            );
         }
     }
 

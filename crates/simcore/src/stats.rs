@@ -34,12 +34,18 @@ impl Samples {
 
     /// Creates a collection from existing values.
     pub fn from_values(values: Vec<f64>) -> Self {
-        Samples { values, sorted: None }
+        Samples {
+            values,
+            sorted: None,
+        }
     }
 
     /// Adds a sample.
     pub fn push(&mut self, value: f64) {
-        debug_assert!(value.is_finite(), "Samples::push: non-finite sample {value}");
+        debug_assert!(
+            value.is_finite(),
+            "Samples::push: non-finite sample {value}"
+        );
         self.values.push(value);
         self.sorted = None;
     }
@@ -98,7 +104,10 @@ impl Samples {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -278,7 +287,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(buckets > 0, "Histogram::new: zero buckets");
         assert!(lo < hi, "Histogram::new: empty range");
-        Histogram { lo, hi, counts: vec![0; buckets], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
     }
 
     /// Records a sample.
@@ -408,7 +422,7 @@ mod tests {
         for &v in &values {
             w.push(v);
         }
-        let mut s = Samples::from_values(values.to_vec());
+        let s = Samples::from_values(values.to_vec());
         assert!((w.mean() - s.mean()).abs() < 1e-12);
         assert!((w.std_dev() - s.std_dev()).abs() < 1e-12);
         assert_eq!(w.count(), 5);

@@ -106,10 +106,10 @@ impl Table {
                 match aligns[i] {
                     Align::Left => {
                         line.push_str(cell);
-                        line.extend(std::iter::repeat(' ').take(pad));
+                        line.extend(std::iter::repeat_n(' ', pad));
                     }
                     Align::Right => {
-                        line.extend(std::iter::repeat(' ').take(pad));
+                        line.extend(std::iter::repeat_n(' ', pad));
                         line.push_str(cell);
                     }
                 }

@@ -10,18 +10,12 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant in simulated time, in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -119,7 +113,8 @@ impl SimDuration {
     /// respectively, because durations computed from floating-point rate
     /// arithmetic can legitimately round slightly below zero.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        // NaN must land in this arm too, so avoid `!(secs > 0.0)`.
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         let ns = secs * 1e9;
@@ -308,8 +303,14 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5_000));
         assert_eq!(SimTime::from_millis(2), SimTime::from_nanos(2_000_000));
-        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_nanos(1_500_000_000));
-        assert_eq!(SimDuration::from_millis_f64(0.5), SimDuration::from_micros(500));
+        assert_eq!(
+            SimTime::from_secs_f64(1.5),
+            SimTime::from_nanos(1_500_000_000)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(0.5),
+            SimDuration::from_micros(500)
+        );
     }
 
     #[test]

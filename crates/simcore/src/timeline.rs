@@ -80,7 +80,10 @@ pub enum SpanKind {
 impl SpanKind {
     /// True for communication kinds.
     pub fn is_comm(self) -> bool {
-        matches!(self, SpanKind::AllToAll | SpanKind::Allreduce | SpanKind::ControlComm)
+        matches!(
+            self,
+            SpanKind::AllToAll | SpanKind::Allreduce | SpanKind::ControlComm
+        )
     }
 
     /// True for computation kinds.
@@ -168,7 +171,13 @@ impl Timeline {
         label: impl Into<String>,
     ) {
         debug_assert!(end >= start, "Timeline::record: end before start");
-        self.spans.push(Span { stream, kind, start, end, label: label.into() });
+        self.spans.push(Span {
+            stream,
+            kind,
+            start,
+            end,
+            label: label.into(),
+        });
     }
 
     /// All recorded spans in insertion order.
@@ -188,7 +197,11 @@ impl Timeline {
 
     /// Latest end instant over all spans; `SimTime::ZERO` when empty.
     pub fn horizon(&self) -> SimTime {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Spans matching a predicate.
@@ -202,7 +215,11 @@ impl Timeline {
     /// Total duration of spans of a given kind (summed even if they
     /// overlap in time across devices).
     pub fn total_by_kind(&self, kind: SpanKind) -> SimDuration {
-        self.spans.iter().filter(|s| s.kind == kind).map(Span::duration).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(Span::duration)
+            .sum()
     }
 
     /// Union (non-double-counted) busy time of the selected spans within
@@ -262,7 +279,10 @@ impl Timeline {
         let mut total = 0.0;
         for d in 0..devices {
             total += self.utilization(
-                StreamId { device: d, lane: Lane::Compute },
+                StreamId {
+                    device: d,
+                    lane: Lane::Compute,
+                },
                 SimTime::ZERO,
                 hi,
             );
@@ -278,11 +298,12 @@ impl Timeline {
         let mut overlap_total = SimDuration::ZERO;
         for comm in self.spans.iter().filter(|s| s.kind == comm_kind) {
             comm_total += comm.duration();
-            let compute_stream =
-                StreamId { device: comm.stream.device, lane: Lane::Compute };
-            overlap_total += self.busy_time_in(comm.start, comm.end, |s| {
-                s.stream == compute_stream
-            });
+            let compute_stream = StreamId {
+                device: comm.stream.device,
+                lane: Lane::Compute,
+            };
+            overlap_total +=
+                self.busy_time_in(comm.start, comm.end, |s| s.stream == compute_stream);
         }
         overlap_total.ratio(comm_total)
     }
@@ -348,11 +369,35 @@ mod tests {
     #[test]
     fn record_and_totals() {
         let mut t = Timeline::new();
-        t.record(sid(0, Lane::Compute), SpanKind::ExpertFfn, ms(0), ms(5), "ffn");
-        t.record(sid(0, Lane::AllToAll), SpanKind::AllToAll, ms(5), ms(15), "a2a");
-        t.record(sid(1, Lane::AllToAll), SpanKind::AllToAll, ms(5), ms(15), "a2a");
-        assert_eq!(t.total_by_kind(SpanKind::AllToAll), SimDuration::from_millis(20));
-        assert_eq!(t.total_by_kind(SpanKind::ExpertFfn), SimDuration::from_millis(5));
+        t.record(
+            sid(0, Lane::Compute),
+            SpanKind::ExpertFfn,
+            ms(0),
+            ms(5),
+            "ffn",
+        );
+        t.record(
+            sid(0, Lane::AllToAll),
+            SpanKind::AllToAll,
+            ms(5),
+            ms(15),
+            "a2a",
+        );
+        t.record(
+            sid(1, Lane::AllToAll),
+            SpanKind::AllToAll,
+            ms(5),
+            ms(15),
+            "a2a",
+        );
+        assert_eq!(
+            t.total_by_kind(SpanKind::AllToAll),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(
+            t.total_by_kind(SpanKind::ExpertFfn),
+            SimDuration::from_millis(5)
+        );
         assert_eq!(t.horizon(), ms(15));
         assert_eq!(t.len(), 3);
     }
@@ -360,7 +405,13 @@ mod tests {
     #[test]
     fn busy_time_merges_overlaps() {
         let mut t = Timeline::new();
-        t.record(sid(0, Lane::Compute), SpanKind::Attention, ms(0), ms(10), "");
+        t.record(
+            sid(0, Lane::Compute),
+            SpanKind::Attention,
+            ms(0),
+            ms(10),
+            "",
+        );
         t.record(sid(0, Lane::Compute), SpanKind::Gate, ms(5), ms(12), "");
         t.record(sid(0, Lane::Compute), SpanKind::Combine, ms(20), ms(25), "");
         let busy = t.busy_time_in(ms(0), ms(30), |s| s.stream == sid(0, Lane::Compute));
@@ -370,7 +421,13 @@ mod tests {
     #[test]
     fn busy_time_respects_window() {
         let mut t = Timeline::new();
-        t.record(sid(0, Lane::Compute), SpanKind::Attention, ms(0), ms(10), "");
+        t.record(
+            sid(0, Lane::Compute),
+            SpanKind::Attention,
+            ms(0),
+            ms(10),
+            "",
+        );
         let busy = t.busy_time_in(ms(4), ms(6), |_| true);
         assert_eq!(busy, SimDuration::from_millis(2));
     }
@@ -387,7 +444,13 @@ mod tests {
     #[test]
     fn mean_compute_utilization_across_devices() {
         let mut t = Timeline::new();
-        t.record(sid(0, Lane::Compute), SpanKind::Attention, ms(0), ms(10), "");
+        t.record(
+            sid(0, Lane::Compute),
+            SpanKind::Attention,
+            ms(0),
+            ms(10),
+            "",
+        );
         t.record(sid(1, Lane::Compute), SpanKind::Attention, ms(0), ms(5), "");
         let u = t.mean_compute_utilization(2);
         assert!((u - 0.75).abs() < 1e-9);
@@ -397,10 +460,22 @@ mod tests {
     fn pipelining_efficiency_counts_compute_overlap() {
         let mut t = Timeline::new();
         // 10ms a2a on device 0; compute busy for 4ms of it.
-        t.record(sid(0, Lane::AllToAll), SpanKind::AllToAll, ms(0), ms(10), "");
+        t.record(
+            sid(0, Lane::AllToAll),
+            SpanKind::AllToAll,
+            ms(0),
+            ms(10),
+            "",
+        );
         t.record(sid(0, Lane::Compute), SpanKind::ExpertFfn, ms(2), ms(6), "");
         // Compute on another device must not count.
-        t.record(sid(1, Lane::Compute), SpanKind::ExpertFfn, ms(0), ms(10), "");
+        t.record(
+            sid(1, Lane::Compute),
+            SpanKind::ExpertFfn,
+            ms(0),
+            ms(10),
+            "",
+        );
         let eff = t.pipelining_efficiency(SpanKind::AllToAll);
         assert!((eff - 0.4).abs() < 1e-9, "eff {eff}");
     }
@@ -415,7 +490,13 @@ mod tests {
     fn ascii_render_contains_glyphs() {
         let mut t = Timeline::new();
         t.record(sid(0, Lane::Compute), SpanKind::ExpertFfn, ms(0), ms(5), "");
-        t.record(sid(0, Lane::AllToAll), SpanKind::AllToAll, ms(5), ms(10), "");
+        t.record(
+            sid(0, Lane::AllToAll),
+            SpanKind::AllToAll,
+            ms(5),
+            ms(10),
+            "",
+        );
         let art = t.render_ascii(ms(0), ms(10), 20);
         assert!(art.contains('F'));
         assert!(art.contains('#'));

@@ -1,49 +1,67 @@
-//! Property-based tests of the simulation substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests of the simulation substrate, driven by the
+//! crate's own deterministic RNG (the environment vendors no external
+//! property-testing framework, so each property sweeps many seeded
+//! cases explicitly).
 
 use lina_simcore::{AliasTable, EventQueue, Rng, Samples, SimDuration, SimTime, Zipf};
 
-proptest! {
-    #[test]
-    fn simtime_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-        let time = SimTime::from_nanos(t);
-        let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((time + dur) - time, dur);
-        prop_assert_eq!((time + dur) - dur, time);
+#[test]
+fn simtime_add_sub_roundtrip() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..500 {
+        let time = SimTime::from_nanos(rng.below(u64::MAX / 4));
+        let dur = SimDuration::from_nanos(rng.below(u64::MAX / 4));
+        assert_eq!((time + dur) - time, dur);
+        assert_eq!((time + dur) - dur, time);
     }
+}
 
-    #[test]
-    fn duration_f64_roundtrip_is_tight(ns in 0u64..10_000_000_000_000) {
+#[test]
+fn duration_f64_roundtrip_is_tight() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..500 {
+        let ns = rng.below(10_000_000_000_000);
         let d = SimDuration::from_nanos(ns);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
         // f64 has 53 bits of mantissa; error is bounded by the scale.
         let err = back.as_nanos().abs_diff(ns);
-        prop_assert!(err <= 1 + ns / (1 << 50), "{ns} -> {err}");
+        assert!(err <= 1 + ns / (1 << 50), "{ns} -> {err}");
     }
+}
 
-    #[test]
-    fn percentiles_are_monotone_and_bounded(
-        mut values in proptest::collection::vec(-1e7f64..1e7, 1..200),
-        p1 in 0.0f64..100.0,
-        p2 in 0.0f64..100.0,
-    ) {
+#[test]
+fn percentiles_are_monotone_and_bounded() {
+    let mut rng = Rng::new(0xC0DE);
+    for _ in 0..100 {
+        let n = 1 + rng.index(199);
+        let mut values: Vec<f64> = (0..n).map(|_| rng.uniform(-1e7, 1e7)).collect();
         let mut s = Samples::from_values(values.clone());
+        let (p1, p2) = (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0));
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert!(s.percentile(0.0) >= values[0] - 1e-9);
-        prop_assert!(s.percentile(100.0) <= values[values.len() - 1] + 1e-9);
+        assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!(s.percentile(0.0) >= values[0] - 1e-9);
+        assert!(s.percentile(100.0) <= values[values.len() - 1] + 1e-9);
     }
+}
 
-    #[test]
-    fn mean_lies_between_min_and_max(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn mean_lies_between_min_and_max() {
+    let mut rng = Rng::new(0xD1CE);
+    for _ in 0..100 {
+        let n = 1 + rng.index(99);
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
         let s = Samples::from_values(values);
-        prop_assert!(s.min() - 1e-9 <= s.mean() && s.mean() <= s.max() + 1e-9);
+        assert!(s.min() - 1e-9 <= s.mean() && s.mean() <= s.max() + 1e-9);
     }
+}
 
-    #[test]
-    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn event_queue_pops_sorted() {
+    let mut rng = Rng::new(0xE4E);
+    for _ in 0..100 {
+        let n = 1 + rng.index(199);
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -51,51 +69,78 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut count = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, times.len());
     }
+}
 
-    #[test]
-    fn rng_below_is_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+#[test]
+fn rng_below_is_in_range() {
+    let mut meta = Rng::new(0xF00);
+    for _ in 0..50 {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.below(1_000_000);
         let mut rng = Rng::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
+}
 
-    #[test]
-    fn zipf_pmf_normalizes(n in 1usize..64, s in 0.0f64..3.0) {
+#[test]
+fn zipf_pmf_normalizes() {
+    let mut rng = Rng::new(0x21F);
+    for _ in 0..200 {
+        let n = 1 + rng.index(63);
+        let s = rng.uniform(0.0, 3.0);
         let z = Zipf::new(n, s);
         let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn alias_table_samples_only_positive_weights(
-        seed in any::<u64>(),
-        weights in proptest::collection::vec(0.0f64..10.0, 2..32),
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 1e-6);
+#[test]
+fn alias_table_samples_only_positive_weights() {
+    let mut meta = Rng::new(0xA71A5);
+    for _ in 0..50 {
+        let n = 2 + meta.index(30);
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if meta.bernoulli(0.3) {
+                    0.0
+                } else {
+                    meta.uniform(0.0, 10.0)
+                }
+            })
+            .collect();
+        if weights.iter().sum::<f64>() <= 1e-6 {
+            continue;
+        }
         let table = AliasTable::new(&weights);
-        let mut rng = Rng::new(seed);
+        let mut rng = Rng::new(meta.next_u64());
         for _ in 0..200 {
             let i = table.sample(&mut rng);
-            prop_assert!(i < weights.len());
+            assert!(i < weights.len());
             // Zero-weight categories are never drawn.
-            prop_assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
+            assert!(weights[i] > 0.0);
         }
     }
+}
 
-    #[test]
-    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(0u32..100, 0..50)) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn shuffle_preserves_multiset() {
+    let mut meta = Rng::new(0x5F0F);
+    for _ in 0..100 {
+        let n = meta.index(50);
+        let mut v: Vec<u32> = (0..n).map(|_| meta.below(100) as u32).collect();
+        let mut rng = Rng::new(meta.next_u64());
         let mut shuffled = v.clone();
         rng.shuffle(&mut shuffled);
         shuffled.sort_unstable();
         v.sort_unstable();
-        prop_assert_eq!(shuffled, v);
+        assert_eq!(shuffled, v);
     }
 }

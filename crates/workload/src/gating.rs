@@ -54,8 +54,9 @@ impl GatingModel {
                 // Layer 0: classes dealt to experts nearly evenly (the
                 // auxiliary loss pushes the gate towards balance) in a
                 // random arrangement.
-                let mut a: Vec<u16> =
-                    (0..spec.classes).map(|c| (c % spec.experts) as u16).collect();
+                let mut a: Vec<u16> = (0..spec.classes)
+                    .map(|c| (c % spec.experts) as u16)
+                    .collect();
                 layer_rng.shuffle(&mut a);
                 a
             } else {
@@ -120,7 +121,11 @@ impl GatingModel {
             }
             background.push(cdf);
         }
-        GatingModel { spec: spec.clone(), sigma, background }
+        GatingModel {
+            spec: spec.clone(),
+            sigma,
+            background,
+        }
     }
 
     /// The spec this model was built from.
@@ -160,7 +165,10 @@ impl GatingModel {
         mode: Mode,
         rng: &mut Rng,
     ) -> Vec<u16> {
-        assert!(top_k >= 1 && top_k <= self.spec.experts, "select: bad top_k {top_k}");
+        assert!(
+            top_k >= 1 && top_k <= self.spec.experts,
+            "select: bad top_k {top_k}"
+        );
         let mut chosen = Vec::with_capacity(top_k);
         let primary = if rng.bernoulli(self.spec.persistence(layer)) {
             self.sigma[layer][class]
@@ -220,7 +228,10 @@ mod tests {
         let classes = a.spec().classes;
         for layer in 0..12 {
             for class in 0..classes {
-                assert_eq!(a.canonical_expert(layer, class), b.canonical_expert(layer, class));
+                assert_eq!(
+                    a.canonical_expert(layer, class),
+                    b.canonical_expert(layer, class)
+                );
             }
         }
     }
@@ -233,7 +244,10 @@ mod tests {
             .filter(|&c| m.canonical_expert(0, c) == m.canonical_expert(1, c))
             .count();
         // Rearrangement: well under all classes coincide.
-        assert!(same < classes / 2, "layers 0 and 1 identical for {same}/{classes}");
+        assert!(
+            same < classes / 2,
+            "layers 0 and 1 identical for {same}/{classes}"
+        );
     }
 
     #[test]
@@ -281,7 +295,10 @@ mod tests {
         }
         let rate = together as f64 / total as f64;
         let chance = 1.0 / m.spec().experts as f64;
-        assert!(rate > 2.0 * chance, "group cohesion {rate} vs chance {chance}");
+        assert!(
+            rate > 2.0 * chance,
+            "group cohesion {rate} vs chance {chance}"
+        );
     }
 
     #[test]

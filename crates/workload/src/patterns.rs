@@ -54,7 +54,10 @@ pub fn pattern_ratio(batch: &TokenBatch, layer: usize, k: usize) -> f64 {
     // Group tokens by primary expert at `layer`.
     let mut groups: BTreeMap<u16, Vec<u16>> = BTreeMap::new();
     for tok in &batch.tokens {
-        groups.entry(tok.primary(layer)).or_default().push(tok.primary(layer + 1));
+        groups
+            .entry(tok.primary(layer))
+            .or_default()
+            .push(tok.primary(layer + 1));
     }
     let mut matched = 0usize;
     let mut total = 0usize;
@@ -126,8 +129,7 @@ mod tests {
         // Paper: most popular expert gets 4.02x (4-expert) to 5.56x
         // (16-expert) the least popular one.
         let b = batch(Mode::Inference);
-        let mean_skew: f64 =
-            (0..12).map(|l| popularity_skew(&b, l)).sum::<f64>() / 12.0;
+        let mean_skew: f64 = (0..12).map(|l| popularity_skew(&b, l)).sum::<f64>() / 12.0;
         assert!(
             (2.0..12.0).contains(&mean_skew),
             "mean inference skew {mean_skew} out of plausible range"
@@ -140,7 +142,11 @@ mod tests {
         let t4: Vec<Vec<usize>> = (0..12).map(|l| top_experts(&b, l, 4)).collect();
         // Table 2: layers have (mostly) different top-4 sets.
         let distinct: std::collections::BTreeSet<&Vec<usize>> = t4.iter().collect();
-        assert!(distinct.len() >= 8, "only {} distinct top-4 sets", distinct.len());
+        assert!(
+            distinct.len() >= 8,
+            "only {} distinct top-4 sets",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -165,10 +171,17 @@ mod tests {
 
     #[test]
     fn pattern_ratio_handles_degenerate_input() {
-        let empty = TokenBatch { tokens: vec![], devices: 1, experts: 4 };
+        let empty = TokenBatch {
+            tokens: vec![],
+            devices: 1,
+            experts: 4,
+        };
         assert_eq!(pattern_ratio(&empty, 0, 1), 0.0);
         let single_layer = TokenBatch {
-            tokens: vec![TokenPath { class: 0, selections: vec![vec![0]] }],
+            tokens: vec![TokenPath {
+                class: 0,
+                selections: vec![vec![0]],
+            }],
             devices: 1,
             experts: 4,
         };
@@ -186,7 +199,11 @@ mod tests {
                 selections: vec![vec![(i % 4) as u16]; 3],
             })
             .collect();
-        let b = TokenBatch { tokens, devices: 1, experts: 4 };
+        let b = TokenBatch {
+            tokens,
+            devices: 1,
+            experts: 4,
+        };
         assert!((pattern_ratio(&b, 0, 1) - 1.0).abs() < 1e-12);
     }
 }

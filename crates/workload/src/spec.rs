@@ -14,10 +14,8 @@
 //!   produces the cross-layer selection pattern of Figure 9 and rises
 //!   with depth like the paper observes.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of a synthetic token workload.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     /// Dataset label, e.g. `"enwik8"`.
     pub name: String,
@@ -67,7 +65,11 @@ impl WorkloadSpec {
     pub fn enwik8(experts: usize, layers: usize) -> Self {
         WorkloadSpec {
             name: "enwik8".into(),
-            classes: if experts > 8 { 2 * experts } else { experts + 2 },
+            classes: if experts > 8 {
+                2 * experts
+            } else {
+                experts + 2
+            },
             experts,
             layers,
             inference_class_skew: 0.8,
@@ -77,7 +79,7 @@ impl WorkloadSpec {
             map_correlation: 0.4,
             burst_topics: 2,
             burst_strength: 0.4,
-            seed: 0xE119_08,
+            seed: 0xE1_1908,
         }
     }
 
@@ -85,7 +87,11 @@ impl WorkloadSpec {
     pub fn wmt_en_de(experts: usize, layers: usize) -> Self {
         WorkloadSpec {
             name: "wmt-en-de".into(),
-            classes: if experts > 8 { 2 * experts + 4 } else { experts + 2 },
+            classes: if experts > 8 {
+                2 * experts + 4
+            } else {
+                experts + 2
+            },
             experts,
             layers,
             inference_class_skew: 0.75,
@@ -95,7 +101,7 @@ impl WorkloadSpec {
             map_correlation: 0.4,
             burst_topics: 2,
             burst_strength: 0.4,
-            seed: 0x37A1_DE,
+            seed: 0x37_A1DE,
         }
     }
 
@@ -103,7 +109,11 @@ impl WorkloadSpec {
     pub fn imdb(experts: usize, layers: usize) -> Self {
         WorkloadSpec {
             name: "imdb".into(),
-            classes: if experts > 8 { 2 * experts } else { experts + 2 },
+            classes: if experts > 8 {
+                2 * experts
+            } else {
+                experts + 2
+            },
             experts,
             layers,
             inference_class_skew: 0.85,
@@ -121,7 +131,11 @@ impl WorkloadSpec {
     pub fn twitter(experts: usize, layers: usize) -> Self {
         WorkloadSpec {
             name: "twitter".into(),
-            classes: if experts > 8 { 2 * experts - 4 } else { experts + 2 },
+            classes: if experts > 8 {
+                2 * experts - 4
+            } else {
+                experts + 2
+            },
             experts,
             layers,
             inference_class_skew: 0.9,
@@ -131,7 +145,7 @@ impl WorkloadSpec {
             map_correlation: 0.42,
             burst_topics: 2,
             burst_strength: 0.45,
-            seed: 0x7817_7E4,
+            seed: 0x781_77E4,
         }
     }
 
@@ -139,7 +153,11 @@ impl WorkloadSpec {
     pub fn wmt_fr(experts: usize, layers: usize) -> Self {
         WorkloadSpec {
             name: "wmt-fr".into(),
-            classes: if experts > 8 { 2 * experts + 4 } else { experts + 2 },
+            classes: if experts > 8 {
+                2 * experts + 4
+            } else {
+                experts + 2
+            },
             experts,
             layers,
             inference_class_skew: 0.7,
@@ -157,7 +175,11 @@ impl WorkloadSpec {
     pub fn wmt_ru(experts: usize, layers: usize) -> Self {
         WorkloadSpec {
             name: "wmt-ru".into(),
-            classes: if experts > 8 { 2 * experts + 4 } else { experts + 2 },
+            classes: if experts > 8 {
+                2 * experts + 4
+            } else {
+                experts + 2
+            },
             experts,
             layers,
             inference_class_skew: 0.75,

@@ -53,7 +53,11 @@ impl TokenBatch {
     pub fn tokens_on(&self, d: usize) -> &[TokenPath] {
         let per = self.tokens.len() / self.devices;
         let start = d * per;
-        let end = if d + 1 == self.devices { self.tokens.len() } else { start + per };
+        let end = if d + 1 == self.devices {
+            self.tokens.len()
+        } else {
+            start + per
+        };
         &self.tokens[start..end]
     }
 
@@ -108,6 +112,11 @@ pub struct TokenSource {
     class_dist: Zipf,
     top_k: usize,
     rng: Rng,
+    /// Popularity-drift rotation: the sampled Zipf *rank* is mapped to
+    /// class `(rank + rotation) % classes`, so rotating shifts which
+    /// latent classes are currently popular without touching the
+    /// trained class-to-expert maps.
+    class_rotation: usize,
 }
 
 impl TokenSource {
@@ -117,7 +126,13 @@ impl TokenSource {
     pub fn new(spec: &WorkloadSpec, top_k: usize, seed: u64) -> Self {
         let gating = GatingModel::new(spec);
         let class_dist = Zipf::new(spec.classes, spec.inference_class_skew);
-        TokenSource { gating, class_dist, top_k, rng: Rng::new(seed) }
+        TokenSource {
+            gating,
+            class_dist,
+            top_k,
+            rng: Rng::new(seed),
+            class_rotation: 0,
+        }
     }
 
     /// The underlying gating model.
@@ -125,15 +140,41 @@ impl TokenSource {
         &self.gating
     }
 
+    /// Sets the popularity-drift rotation: inference class ranks map to
+    /// class `(rank + rotation) % classes`, so advancing the rotation
+    /// makes previously cold classes (and hence their canonical
+    /// experts) popular. Training-mode sampling is uniform over classes
+    /// and therefore unaffected.
+    pub fn set_class_rotation(&mut self, rotation: usize) {
+        self.class_rotation = rotation % self.gating.spec().classes;
+    }
+
+    /// The current popularity-drift rotation.
+    pub fn class_rotation(&self) -> usize {
+        self.class_rotation
+    }
+
+    /// Maps a sampled popularity rank to a class under the current
+    /// rotation.
+    fn rank_to_class(&self, rank: usize) -> usize {
+        (rank + self.class_rotation) % self.gating.spec().classes
+    }
+
     /// Samples one token's full trajectory.
     pub fn sample_token(&mut self, mode: Mode) -> TokenPath {
         let spec = self.gating.spec().clone();
         let class = match mode {
             Mode::Train => self.rng.index(spec.classes),
-            Mode::Inference => self.class_dist.sample(&mut self.rng),
+            Mode::Inference => {
+                let rank = self.class_dist.sample(&mut self.rng);
+                self.rank_to_class(rank)
+            }
         };
         let selections = (0..spec.layers)
-            .map(|layer| self.gating.select(layer, class, self.top_k, mode, &mut self.rng))
+            .map(|layer| {
+                self.gating
+                    .select(layer, class, self.top_k, mode, &mut self.rng)
+            })
             .collect();
         TokenPath { class, selections }
     }
@@ -154,11 +195,19 @@ impl TokenSource {
         tokens_per_device: usize,
         mode: Mode,
     ) -> TokenBatch {
-        assert!(devices > 0 && tokens_per_device > 0, "sample_batch: empty shape");
+        assert!(
+            devices > 0 && tokens_per_device > 0,
+            "sample_batch: empty shape"
+        );
         let n = devices * tokens_per_device;
         let spec = self.gating.spec().clone();
         let topics: Vec<usize> = if mode == Mode::Inference && spec.burst_topics > 0 {
-            (0..spec.burst_topics).map(|_| self.class_dist.sample(&mut self.rng)).collect()
+            (0..spec.burst_topics)
+                .map(|_| {
+                    let rank = self.class_dist.sample(&mut self.rng);
+                    self.rank_to_class(rank)
+                })
+                .collect()
         } else {
             Vec::new()
         };
@@ -172,14 +221,21 @@ impl TokenSource {
                 }
             })
             .collect();
-        TokenBatch { tokens, devices, experts: spec.experts }
+        TokenBatch {
+            tokens,
+            devices,
+            experts: spec.experts,
+        }
     }
 
     /// Samples a token with a fixed latent class.
     pub fn sample_token_of_class(&mut self, class: usize, mode: Mode) -> TokenPath {
         let spec = self.gating.spec().clone();
         let selections = (0..spec.layers)
-            .map(|layer| self.gating.select(layer, class, self.top_k, mode, &mut self.rng))
+            .map(|layer| {
+                self.gating
+                    .select(layer, class, self.top_k, mode, &mut self.rng)
+            })
             .collect();
         TokenPath { class, selections }
     }
@@ -254,6 +310,46 @@ mod tests {
         let ba = a.sample_batch(2, 16, Mode::Inference);
         let bb = b.sample_batch(2, 16, Mode::Inference);
         assert_eq!(ba.tokens, bb.tokens);
+    }
+
+    #[test]
+    fn class_rotation_shifts_popular_classes() {
+        let spec = WorkloadSpec::enwik8(16, 12);
+        let classes = spec.classes;
+        let count_classes = |rotation: usize| {
+            let mut s = TokenSource::new(&spec, 1, 77);
+            s.set_class_rotation(rotation);
+            let b = s.sample_batch(8, 512, Mode::Inference);
+            let mut counts = vec![0usize; classes];
+            for tok in &b.tokens {
+                counts[tok.class] += 1;
+            }
+            counts
+        };
+        let base = count_classes(0);
+        let rotated = count_classes(classes / 2);
+        // The same sampling stream shifted by half the class space: the
+        // modal class moves by exactly the rotation.
+        let argmax = |c: &[usize]| {
+            c.iter()
+                .enumerate()
+                .max_by_key(|&(_, &v)| v)
+                .expect("nonempty")
+                .0
+        };
+        assert_eq!((argmax(&base) + classes / 2) % classes, argmax(&rotated));
+        // Training mode is uniform over classes and unaffected in shape.
+        let mut s = TokenSource::new(&spec, 1, 77);
+        s.set_class_rotation(5);
+        assert_eq!(s.class_rotation(), 5);
+    }
+
+    #[test]
+    fn rotation_wraps_modulo_classes() {
+        let spec = WorkloadSpec::enwik8(16, 12);
+        let mut s = TokenSource::new(&spec, 1, 7);
+        s.set_class_rotation(spec.classes + 3);
+        assert_eq!(s.class_rotation(), 3);
     }
 
     #[test]

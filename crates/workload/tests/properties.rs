@@ -1,64 +1,69 @@
-//! Property-based tests of the workload generator.
+//! Randomized property tests of the workload generator, swept over many
+//! deterministic seeds.
 
-use proptest::prelude::*;
-
+use lina_simcore::Rng;
 use lina_workload::{pattern_ratio, popularity, Mode, TokenSource, WorkloadSpec};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Batches always have the requested shape and in-range selections.
-    #[test]
-    fn batches_are_well_formed(
-        seed in any::<u64>(),
-        experts_pow in 1u32..5,
-        tokens in 1usize..200,
-        top_k in 1usize..3,
-    ) {
-        let experts = 1usize << experts_pow;
-        prop_assume!(top_k <= experts);
+/// Batches always have the requested shape and in-range selections.
+#[test]
+fn batches_are_well_formed() {
+    let mut meta = Rng::new(0xB47C ^ 0x1234);
+    for _ in 0..32 {
+        let seed = meta.next_u64();
+        let experts = 1usize << (1 + meta.index(4));
+        let tokens = 1 + meta.index(199);
+        let top_k = (1 + meta.index(2)).min(experts);
         let spec = WorkloadSpec::enwik8(experts, 6);
         let mut src = TokenSource::new(&spec, top_k, seed);
         for mode in [Mode::Train, Mode::Inference] {
             let batch = src.sample_batch(4, tokens, mode);
-            prop_assert_eq!(batch.len(), 4 * tokens);
+            assert_eq!(batch.len(), 4 * tokens);
             for tok in &batch.tokens {
-                prop_assert!(tok.class < spec.classes);
-                prop_assert_eq!(tok.selections.len(), 6);
+                assert!(tok.class < spec.classes);
+                assert_eq!(tok.selections.len(), 6);
                 for sel in &tok.selections {
-                    prop_assert_eq!(sel.len(), top_k);
+                    assert_eq!(sel.len(), top_k);
                     let mut distinct = sel.clone();
                     distinct.sort_unstable();
                     distinct.dedup();
-                    prop_assert_eq!(distinct.len(), top_k, "duplicate experts in top-k");
+                    assert_eq!(distinct.len(), top_k, "duplicate experts in top-k");
                     for &e in sel {
-                        prop_assert!((e as usize) < experts);
+                        assert!((e as usize) < experts);
                     }
                 }
             }
         }
     }
+}
 
-    /// Popularity is a distribution and routing conserves tokens at
-    /// every layer.
-    #[test]
-    fn popularity_is_a_distribution(seed in any::<u64>(), tokens in 16usize..256) {
+/// Popularity is a distribution and routing conserves tokens at every
+/// layer.
+#[test]
+fn popularity_is_a_distribution() {
+    let mut meta = Rng::new(0xD157);
+    for _ in 0..16 {
+        let seed = meta.next_u64();
+        let tokens = 16 + meta.index(240);
         let spec = WorkloadSpec::wmt_en_de(16, 8);
         let mut src = TokenSource::new(&spec, 1, seed);
         let batch = src.sample_batch(8, tokens, Mode::Inference);
         for layer in 0..8 {
             let pop = popularity(&batch, layer);
             let total: f64 = pop.iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
-            prop_assert!(pop.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(pop.iter().all(|&p| (0.0..=1.0).contains(&p)));
             let routing = batch.routing_for_layer(layer);
-            prop_assert_eq!(routing.total(), batch.len());
+            assert_eq!(routing.total(), batch.len());
         }
     }
+}
 
-    /// The pattern ratio is a proper fraction and grows with k.
-    #[test]
-    fn pattern_ratio_is_fraction_monotone_in_k(seed in any::<u64>()) {
+/// The pattern ratio is a proper fraction and grows with k.
+#[test]
+fn pattern_ratio_is_fraction_monotone_in_k() {
+    let mut meta = Rng::new(0x9A77);
+    for _ in 0..8 {
+        let seed = meta.next_u64();
         let spec = WorkloadSpec::enwik8(16, 8);
         let mut src = TokenSource::new(&spec, 1, seed);
         let batch = src.sample_batch(8, 512, Mode::Inference);
@@ -66,22 +71,25 @@ proptest! {
             let mut last = 0.0;
             for k in 1..=4 {
                 let r = pattern_ratio(&batch, layer, k);
-                prop_assert!((0.0..=1.0).contains(&r));
-                prop_assert!(r + 1e-12 >= last, "ratio fell as k grew");
+                assert!((0.0..=1.0).contains(&r));
+                assert!(r + 1e-12 >= last, "ratio fell as k grew");
                 last = r;
             }
         }
     }
+}
 
-    /// Determinism: the same seed reproduces the same batch; different
-    /// modes from the same source differ.
-    #[test]
-    fn seeded_reproducibility(seed in any::<u64>()) {
+/// Determinism: the same seed reproduces the same batch.
+#[test]
+fn seeded_reproducibility() {
+    let mut meta = Rng::new(0x5EED);
+    for _ in 0..16 {
+        let seed = meta.next_u64();
         let spec = WorkloadSpec::imdb(8, 6);
         let mut a = TokenSource::new(&spec, 1, seed);
         let mut b = TokenSource::new(&spec, 1, seed);
         let ba = a.sample_batch(4, 64, Mode::Inference);
         let bb = b.sample_batch(4, 64, Mode::Inference);
-        prop_assert_eq!(ba.tokens, bb.tokens);
+        assert_eq!(ba.tokens, bb.tokens);
     }
 }

@@ -17,14 +17,28 @@ fn main() {
     let model = MoeModelConfig::transformer_xl(12, experts);
     let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
     let cost = CostModel::new(DeviceSpec::a100(), model.clone());
-    let batch = BatchShape { seqs_per_device: 64, seq_len: model.seq_len };
+    let batch = BatchShape {
+        seqs_per_device: 64,
+        seq_len: model.seq_len,
+    };
 
-    let config = SessionConfig { steps: 24, warmup_steps: 10, adjust_every: 4, seed: 9 };
+    let config = SessionConfig {
+        steps: 24,
+        warmup_steps: 10,
+        adjust_every: 4,
+        seed: 9,
+    };
     let report = run_lina_session(&cost, &topo, batch, &config);
 
     let mut table = Table::new(
         "online packing, 16-expert Transformer-XL",
-        &["step", "experts/device", "step time", "a2a total", "pipelining"],
+        &[
+            "step",
+            "experts/device",
+            "step time",
+            "a2a total",
+            "pipelining",
+        ],
     );
     for (i, (m, &packing)) in report.steps.iter().zip(&report.packing_trace).enumerate() {
         table.row(&[

@@ -10,8 +10,8 @@
 use lina::core::PopularityEstimator;
 use lina::simcore::{format_pct, Table};
 use lina::workload::{
-    mean_pattern_ratio, popularity, popularity_skew, top_experts, Mode, TokenBatch,
-    TokenSource, WorkloadSpec,
+    mean_pattern_ratio, popularity, popularity_skew, top_experts, Mode, TokenBatch, TokenSource,
+    WorkloadSpec,
 };
 
 fn main() {
@@ -28,7 +28,11 @@ fn main() {
     let tp = popularity(&train, 6);
     let ip = popularity(&infer, 6);
     for e in 0..experts {
-        table.row(&[e.to_string(), format!("{:.3}", tp[e]), format!("{:.3}", ip[e])]);
+        table.row(&[
+            e.to_string(),
+            format!("{:.3}", tp[e]),
+            format!("{:.3}", ip[e]),
+        ]);
     }
     println!("{}", table.render());
     println!(

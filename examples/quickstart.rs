@@ -18,7 +18,10 @@ fn main() {
     let model = MoeModelConfig::transformer_xl(12, experts);
     let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
     let cost = CostModel::new(DeviceSpec::a100(), model.clone());
-    let batch = BatchShape { seqs_per_device: 64, seq_len: model.seq_len };
+    let batch = BatchShape {
+        seqs_per_device: 64,
+        seq_len: model.seq_len,
+    };
 
     println!(
         "model: {} ({} layers, {} experts, {:.0}M params)",
@@ -38,7 +41,9 @@ fn main() {
         &cost,
         &topo,
         batch,
-        TrainScheme::Lina { experts_per_device: 4 },
+        TrainScheme::Lina {
+            experts_per_device: 4,
+        },
         42,
     );
 
@@ -61,8 +66,6 @@ fn main() {
         "Lina speedup: {} — priority micro-op scheduling keeps allreduce out\n\
          of all-to-all's way, pipelining hides the rest, and packing 4\n\
          experts per device turns inter-node all-to-all into NVLink traffic.",
-        format_speedup(
-            base.metrics.step_time.as_secs_f64() / lina.metrics.step_time.as_secs_f64()
-        )
+        format_speedup(base.metrics.step_time.as_secs_f64() / lina.metrics.step_time.as_secs_f64())
     );
 }

@@ -20,7 +20,10 @@ fn main() {
     let model = MoeModelConfig::gpt2(experts);
     let topo = Topology::new(ClusterSpec::with_total_gpus(experts));
     let cost = CostModel::new(DeviceSpec::a100(), model.clone());
-    let batch = BatchShape { seqs_per_device: 64, seq_len: model.seq_len };
+    let batch = BatchShape {
+        seqs_per_device: 64,
+        seq_len: model.seq_len,
+    };
 
     println!(
         "GPT-2 MoE: {} experts on {} GPUs, {} tokens/device, {} steps/scheme\n",
@@ -37,15 +40,24 @@ fn main() {
         TrainScheme::PriorityOnly,
         TrainScheme::PriorityPartition,
         TrainScheme::LinaNoPack,
-        TrainScheme::Lina { experts_per_device: 2.min(experts) },
+        TrainScheme::Lina {
+            experts_per_device: 2.min(experts),
+        },
     ];
     let mut table = Table::new(
         "scheduling schemes",
-        &["scheme", "step time", "a2a total", "a2a share", "bwd slowdown", "util"],
+        &[
+            "scheme",
+            "step time",
+            "a2a total",
+            "a2a share",
+            "bwd slowdown",
+            "util",
+        ],
     );
     for scheme in schemes {
         let metrics = run_train_steps(&cost, &topo, batch, scheme, steps, 2024);
-        let mut summary = summarize_steps(&metrics);
+        let summary = summarize_steps(&metrics);
         let step = summary.step_time.mean();
         let a2a = summary.a2a_total.mean();
         table.row(&[

@@ -6,5 +6,6 @@ pub use lina_core as core;
 pub use lina_model as model;
 pub use lina_netsim as netsim;
 pub use lina_runner as runner;
+pub use lina_serve as serve;
 pub use lina_simcore as simcore;
 pub use lina_workload as workload;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-d757c237683249fa.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-d757c237683249fa: tests/conservation.rs
+
+tests/conservation.rs:

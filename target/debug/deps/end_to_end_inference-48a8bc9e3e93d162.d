@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_inference-48a8bc9e3e93d162.d: tests/end_to_end_inference.rs
+
+/root/repo/target/debug/deps/end_to_end_inference-48a8bc9e3e93d162: tests/end_to_end_inference.rs
+
+tests/end_to_end_inference.rs:

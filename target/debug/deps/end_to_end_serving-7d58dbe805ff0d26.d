@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_serving-7d58dbe805ff0d26.d: tests/end_to_end_serving.rs
+
+/root/repo/target/debug/deps/end_to_end_serving-7d58dbe805ff0d26: tests/end_to_end_serving.rs
+
+tests/end_to_end_serving.rs:

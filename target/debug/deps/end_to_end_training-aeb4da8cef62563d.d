@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_training-aeb4da8cef62563d.d: tests/end_to_end_training.rs
+
+/root/repo/target/debug/deps/end_to_end_training-aeb4da8cef62563d: tests/end_to_end_training.rs
+
+tests/end_to_end_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_step_speedup-7f55d27be38fb93f.d: crates/bench/src/bin/fig10_step_speedup.rs
+
+/root/repo/target/debug/deps/fig10_step_speedup-7f55d27be38fb93f: crates/bench/src/bin/fig10_step_speedup.rs
+
+crates/bench/src/bin/fig10_step_speedup.rs:

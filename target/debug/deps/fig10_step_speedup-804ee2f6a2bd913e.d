@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_step_speedup-804ee2f6a2bd913e.d: crates/bench/src/bin/fig10_step_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_step_speedup-804ee2f6a2bd913e.rmeta: crates/bench/src/bin/fig10_step_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig10_step_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

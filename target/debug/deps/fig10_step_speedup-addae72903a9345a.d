@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_step_speedup-addae72903a9345a.d: crates/bench/src/bin/fig10_step_speedup.rs
+
+/root/repo/target/debug/deps/fig10_step_speedup-addae72903a9345a: crates/bench/src/bin/fig10_step_speedup.rs
+
+crates/bench/src/bin/fig10_step_speedup.rs:

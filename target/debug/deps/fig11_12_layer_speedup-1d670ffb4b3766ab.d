@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12_layer_speedup-1d670ffb4b3766ab.d: crates/bench/src/bin/fig11_12_layer_speedup.rs
+
+/root/repo/target/debug/deps/fig11_12_layer_speedup-1d670ffb4b3766ab: crates/bench/src/bin/fig11_12_layer_speedup.rs
+
+crates/bench/src/bin/fig11_12_layer_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12_layer_speedup-9a4c527a8f934011.d: crates/bench/src/bin/fig11_12_layer_speedup.rs
+
+/root/repo/target/debug/deps/fig11_12_layer_speedup-9a4c527a8f934011: crates/bench/src/bin/fig11_12_layer_speedup.rs
+
+crates/bench/src/bin/fig11_12_layer_speedup.rs:

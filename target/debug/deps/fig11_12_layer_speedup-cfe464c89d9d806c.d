@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_12_layer_speedup-cfe464c89d9d806c.d: crates/bench/src/bin/fig11_12_layer_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_12_layer_speedup-cfe464c89d9d806c.rmeta: crates/bench/src/bin/fig11_12_layer_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig11_12_layer_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

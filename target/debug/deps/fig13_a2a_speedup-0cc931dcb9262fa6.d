@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_a2a_speedup-0cc931dcb9262fa6.d: crates/bench/src/bin/fig13_a2a_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_a2a_speedup-0cc931dcb9262fa6.rmeta: crates/bench/src/bin/fig13_a2a_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig13_a2a_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_a2a_speedup-39b63fd1c2c1a878.d: crates/bench/src/bin/fig13_a2a_speedup.rs
+
+/root/repo/target/debug/deps/fig13_a2a_speedup-39b63fd1c2c1a878: crates/bench/src/bin/fig13_a2a_speedup.rs
+
+crates/bench/src/bin/fig13_a2a_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_a2a_speedup-4173db5158107a7b.d: crates/bench/src/bin/fig13_a2a_speedup.rs
+
+/root/repo/target/debug/deps/fig13_a2a_speedup-4173db5158107a7b: crates/bench/src/bin/fig13_a2a_speedup.rs
+
+crates/bench/src/bin/fig13_a2a_speedup.rs:

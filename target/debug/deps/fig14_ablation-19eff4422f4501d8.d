@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ablation-19eff4422f4501d8.d: crates/bench/src/bin/fig14_ablation.rs
+
+/root/repo/target/debug/deps/fig14_ablation-19eff4422f4501d8: crates/bench/src/bin/fig14_ablation.rs
+
+crates/bench/src/bin/fig14_ablation.rs:

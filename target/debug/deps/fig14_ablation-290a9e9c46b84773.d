@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_ablation-290a9e9c46b84773.d: crates/bench/src/bin/fig14_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_ablation-290a9e9c46b84773.rmeta: crates/bench/src/bin/fig14_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig14_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

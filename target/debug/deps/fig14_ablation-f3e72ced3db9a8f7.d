@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ablation-f3e72ced3db9a8f7.d: crates/bench/src/bin/fig14_ablation.rs
+
+/root/repo/target/debug/deps/fig14_ablation-f3e72ced3db9a8f7: crates/bench/src/bin/fig14_ablation.rs
+
+crates/bench/src/bin/fig14_ablation.rs:

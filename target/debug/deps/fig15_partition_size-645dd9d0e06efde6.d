@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_partition_size-645dd9d0e06efde6.d: crates/bench/src/bin/fig15_partition_size.rs
+
+/root/repo/target/debug/deps/fig15_partition_size-645dd9d0e06efde6: crates/bench/src/bin/fig15_partition_size.rs
+
+crates/bench/src/bin/fig15_partition_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_inference-68dc6fe514a80049.d: crates/bench/src/bin/fig16_inference.rs
+
+/root/repo/target/debug/deps/fig16_inference-68dc6fe514a80049: crates/bench/src/bin/fig16_inference.rs
+
+crates/bench/src/bin/fig16_inference.rs:

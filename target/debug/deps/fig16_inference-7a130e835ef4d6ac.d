@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_inference-7a130e835ef4d6ac.d: crates/bench/src/bin/fig16_inference.rs
+
+/root/repo/target/debug/deps/fig16_inference-7a130e835ef4d6ac: crates/bench/src/bin/fig16_inference.rs
+
+crates/bench/src/bin/fig16_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_layer_time-0374c79a32293123.d: crates/bench/src/bin/fig17_layer_time.rs
+
+/root/repo/target/debug/deps/fig17_layer_time-0374c79a32293123: crates/bench/src/bin/fig17_layer_time.rs
+
+crates/bench/src/bin/fig17_layer_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_layer_time-499c44a916f252bf.d: crates/bench/src/bin/fig17_layer_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_layer_time-499c44a916f252bf.rmeta: crates/bench/src/bin/fig17_layer_time.rs Cargo.toml
+
+crates/bench/src/bin/fig17_layer_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_a2a_tail-717e0742904690b4.d: crates/bench/src/bin/fig18_a2a_tail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_a2a_tail-717e0742904690b4.rmeta: crates/bench/src/bin/fig18_a2a_tail.rs Cargo.toml
+
+crates/bench/src/bin/fig18_a2a_tail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

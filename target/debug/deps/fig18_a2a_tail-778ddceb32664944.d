@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_a2a_tail-778ddceb32664944.d: crates/bench/src/bin/fig18_a2a_tail.rs
+
+/root/repo/target/debug/deps/fig18_a2a_tail-778ddceb32664944: crates/bench/src/bin/fig18_a2a_tail.rs
+
+crates/bench/src/bin/fig18_a2a_tail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_a2a_tail-f5c0a3b8c0ed678a.d: crates/bench/src/bin/fig18_a2a_tail.rs
+
+/root/repo/target/debug/deps/fig18_a2a_tail-f5c0a3b8c0ed678a: crates/bench/src/bin/fig18_a2a_tail.rs
+
+crates/bench/src/bin/fig18_a2a_tail.rs:

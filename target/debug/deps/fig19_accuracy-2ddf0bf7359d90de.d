@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_accuracy-2ddf0bf7359d90de.d: crates/bench/src/bin/fig19_accuracy.rs
+
+/root/repo/target/debug/deps/fig19_accuracy-2ddf0bf7359d90de: crates/bench/src/bin/fig19_accuracy.rs
+
+crates/bench/src/bin/fig19_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_accuracy-3cd351ba1e743d7d.d: crates/bench/src/bin/fig19_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_accuracy-3cd351ba1e743d7d.rmeta: crates/bench/src/bin/fig19_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig19_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

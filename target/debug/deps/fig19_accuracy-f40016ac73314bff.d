@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_accuracy-f40016ac73314bff.d: crates/bench/src/bin/fig19_accuracy.rs
+
+/root/repo/target/debug/deps/fig19_accuracy-f40016ac73314bff: crates/bench/src/bin/fig19_accuracy.rs
+
+crates/bench/src/bin/fig19_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_timeline-49cf23c67857837c.d: crates/bench/src/bin/fig2_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_timeline-49cf23c67857837c.rmeta: crates/bench/src/bin/fig2_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig2_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

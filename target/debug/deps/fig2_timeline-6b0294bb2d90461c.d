@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_timeline-6b0294bb2d90461c.d: crates/bench/src/bin/fig2_timeline.rs
+
+/root/repo/target/debug/deps/fig2_timeline-6b0294bb2d90461c: crates/bench/src/bin/fig2_timeline.rs
+
+crates/bench/src/bin/fig2_timeline.rs:

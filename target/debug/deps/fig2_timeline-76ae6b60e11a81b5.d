@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_timeline-76ae6b60e11a81b5.d: crates/bench/src/bin/fig2_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_timeline-76ae6b60e11a81b5.rmeta: crates/bench/src/bin/fig2_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig2_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

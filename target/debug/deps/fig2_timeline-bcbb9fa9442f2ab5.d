@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_timeline-bcbb9fa9442f2ab5.d: crates/bench/src/bin/fig2_timeline.rs
+
+/root/repo/target/debug/deps/fig2_timeline-bcbb9fa9442f2ab5: crates/bench/src/bin/fig2_timeline.rs
+
+crates/bench/src/bin/fig2_timeline.rs:

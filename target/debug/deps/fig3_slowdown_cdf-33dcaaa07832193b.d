@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_slowdown_cdf-33dcaaa07832193b.d: crates/bench/src/bin/fig3_slowdown_cdf.rs
+
+/root/repo/target/debug/deps/fig3_slowdown_cdf-33dcaaa07832193b: crates/bench/src/bin/fig3_slowdown_cdf.rs
+
+crates/bench/src/bin/fig3_slowdown_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_slowdown_cdf-7b9b77ee5f290ea4.d: crates/bench/src/bin/fig3_slowdown_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_slowdown_cdf-7b9b77ee5f290ea4.rmeta: crates/bench/src/bin/fig3_slowdown_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig3_slowdown_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_slowdown_cdf-8f2146541021a69d.d: crates/bench/src/bin/fig3_slowdown_cdf.rs
+
+/root/repo/target/debug/deps/fig3_slowdown_cdf-8f2146541021a69d: crates/bench/src/bin/fig3_slowdown_cdf.rs
+
+crates/bench/src/bin/fig3_slowdown_cdf.rs:

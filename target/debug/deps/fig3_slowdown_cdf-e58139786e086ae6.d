@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_slowdown_cdf-e58139786e086ae6.d: crates/bench/src/bin/fig3_slowdown_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_slowdown_cdf-e58139786e086ae6.rmeta: crates/bench/src/bin/fig3_slowdown_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig3_slowdown_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

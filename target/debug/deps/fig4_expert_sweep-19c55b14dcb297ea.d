@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_expert_sweep-19c55b14dcb297ea.d: crates/bench/src/bin/fig4_expert_sweep.rs
+
+/root/repo/target/debug/deps/fig4_expert_sweep-19c55b14dcb297ea: crates/bench/src/bin/fig4_expert_sweep.rs
+
+crates/bench/src/bin/fig4_expert_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_expert_sweep-628206bd75a463f1.d: crates/bench/src/bin/fig4_expert_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_expert_sweep-628206bd75a463f1.rmeta: crates/bench/src/bin/fig4_expert_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig4_expert_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_expert_sweep-770547e8c9b8323c.d: crates/bench/src/bin/fig4_expert_sweep.rs
+
+/root/repo/target/debug/deps/fig4_expert_sweep-770547e8c9b8323c: crates/bench/src/bin/fig4_expert_sweep.rs
+
+crates/bench/src/bin/fig4_expert_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_expert_sweep-f6edfb36631f9962.d: crates/bench/src/bin/fig4_expert_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_expert_sweep-f6edfb36631f9962.rmeta: crates/bench/src/bin/fig4_expert_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig4_expert_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

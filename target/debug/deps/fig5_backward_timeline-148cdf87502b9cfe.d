@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_backward_timeline-148cdf87502b9cfe.d: crates/bench/src/bin/fig5_backward_timeline.rs
+
+/root/repo/target/debug/deps/fig5_backward_timeline-148cdf87502b9cfe: crates/bench/src/bin/fig5_backward_timeline.rs
+
+crates/bench/src/bin/fig5_backward_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_backward_timeline-cf9fcc929af6556f.d: crates/bench/src/bin/fig5_backward_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_backward_timeline-cf9fcc929af6556f.rmeta: crates/bench/src/bin/fig5_backward_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig5_backward_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

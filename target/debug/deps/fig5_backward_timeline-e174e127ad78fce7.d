@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_backward_timeline-e174e127ad78fce7.d: crates/bench/src/bin/fig5_backward_timeline.rs
+
+/root/repo/target/debug/deps/fig5_backward_timeline-e174e127ad78fce7: crates/bench/src/bin/fig5_backward_timeline.rs
+
+crates/bench/src/bin/fig5_backward_timeline.rs:

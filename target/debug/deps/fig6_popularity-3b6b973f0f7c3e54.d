@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_popularity-3b6b973f0f7c3e54.d: crates/bench/src/bin/fig6_popularity.rs
+
+/root/repo/target/debug/deps/fig6_popularity-3b6b973f0f7c3e54: crates/bench/src/bin/fig6_popularity.rs
+
+crates/bench/src/bin/fig6_popularity.rs:

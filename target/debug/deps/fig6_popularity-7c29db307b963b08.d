@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_popularity-7c29db307b963b08.d: crates/bench/src/bin/fig6_popularity.rs
+
+/root/repo/target/debug/deps/fig6_popularity-7c29db307b963b08: crates/bench/src/bin/fig6_popularity.rs
+
+crates/bench/src/bin/fig6_popularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_popularity-b1a7ae30fe51c7e1.d: crates/bench/src/bin/fig6_popularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_popularity-b1a7ae30fe51c7e1.rmeta: crates/bench/src/bin/fig6_popularity.rs Cargo.toml
+
+crates/bench/src/bin/fig6_popularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

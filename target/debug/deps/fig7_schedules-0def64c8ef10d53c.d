@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_schedules-0def64c8ef10d53c.d: crates/bench/src/bin/fig7_schedules.rs
+
+/root/repo/target/debug/deps/fig7_schedules-0def64c8ef10d53c: crates/bench/src/bin/fig7_schedules.rs
+
+crates/bench/src/bin/fig7_schedules.rs:

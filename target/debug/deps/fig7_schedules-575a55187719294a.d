@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_schedules-575a55187719294a.d: crates/bench/src/bin/fig7_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_schedules-575a55187719294a.rmeta: crates/bench/src/bin/fig7_schedules.rs Cargo.toml
+
+crates/bench/src/bin/fig7_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_schedules-8382085ff1b323b7.d: crates/bench/src/bin/fig7_schedules.rs
+
+/root/repo/target/debug/deps/fig7_schedules-8382085ff1b323b7: crates/bench/src/bin/fig7_schedules.rs
+
+crates/bench/src/bin/fig7_schedules.rs:

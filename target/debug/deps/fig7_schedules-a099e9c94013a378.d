@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_schedules-a099e9c94013a378.d: crates/bench/src/bin/fig7_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_schedules-a099e9c94013a378.rmeta: crates/bench/src/bin/fig7_schedules.rs Cargo.toml
+
+crates/bench/src/bin/fig7_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

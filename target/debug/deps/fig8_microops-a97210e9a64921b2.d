@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_microops-a97210e9a64921b2.d: crates/bench/src/bin/fig8_microops.rs
+
+/root/repo/target/debug/deps/fig8_microops-a97210e9a64921b2: crates/bench/src/bin/fig8_microops.rs
+
+crates/bench/src/bin/fig8_microops.rs:

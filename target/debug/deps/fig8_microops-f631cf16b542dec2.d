@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_microops-f631cf16b542dec2.d: crates/bench/src/bin/fig8_microops.rs
+
+/root/repo/target/debug/deps/fig8_microops-f631cf16b542dec2: crates/bench/src/bin/fig8_microops.rs
+
+crates/bench/src/bin/fig8_microops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_pattern-62675825cac71331.d: crates/bench/src/bin/fig9_pattern.rs
+
+/root/repo/target/debug/deps/fig9_pattern-62675825cac71331: crates/bench/src/bin/fig9_pattern.rs
+
+crates/bench/src/bin/fig9_pattern.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_pattern-a3deda9d14c7e9bc.d: crates/bench/src/bin/fig9_pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_pattern-a3deda9d14c7e9bc.rmeta: crates/bench/src/bin/fig9_pattern.rs Cargo.toml
+
+crates/bench/src/bin/fig9_pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_pattern-ac542ab698fdd22b.d: crates/bench/src/bin/fig9_pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_pattern-ac542ab698fdd22b.rmeta: crates/bench/src/bin/fig9_pattern.rs Cargo.toml
+
+crates/bench/src/bin/fig9_pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lina-878fd1be38167bb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblina-878fd1be38167bb1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblina-878fd1be38167bb1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lina-e228a1588a3b56ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/lina-e228a1588a3b56ec: src/lib.rs
+
+src/lib.rs:

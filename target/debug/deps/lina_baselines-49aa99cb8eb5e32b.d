@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lina_baselines-49aa99cb8eb5e32b.d: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_baselines-49aa99cb8eb5e32b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/policies.rs:
+crates/baselines/src/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

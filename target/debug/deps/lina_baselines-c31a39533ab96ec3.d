@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lina_baselines-c31a39533ab96ec3.d: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+/root/repo/target/debug/deps/lina_baselines-c31a39533ab96ec3: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/policies.rs:
+crates/baselines/src/schemes.rs:

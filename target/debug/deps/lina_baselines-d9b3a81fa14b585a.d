@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lina_baselines-d9b3a81fa14b585a.d: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+/root/repo/target/debug/deps/liblina_baselines-d9b3a81fa14b585a.rlib: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+/root/repo/target/debug/deps/liblina_baselines-d9b3a81fa14b585a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/policies.rs:
+crates/baselines/src/schemes.rs:

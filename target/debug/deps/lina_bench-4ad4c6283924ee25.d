@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lina_bench-4ad4c6283924ee25.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_bench-4ad4c6283924ee25.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

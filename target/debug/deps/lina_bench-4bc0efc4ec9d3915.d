@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lina_bench-4bc0efc4ec9d3915.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblina_bench-4bc0efc4ec9d3915.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblina_bench-4bc0efc4ec9d3915.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

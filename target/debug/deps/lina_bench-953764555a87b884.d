@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lina_bench-953764555a87b884.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lina_bench-953764555a87b884: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

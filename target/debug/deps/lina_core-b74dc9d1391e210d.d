@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lina_core-b74dc9d1391e210d.d: crates/core/src/lib.rs crates/core/src/inference/mod.rs crates/core/src/inference/estimator.rs crates/core/src/inference/placement.rs crates/core/src/inference/twophase.rs crates/core/src/policy.rs crates/core/src/training/mod.rs crates/core/src/training/packing.rs crates/core/src/training/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_core-b74dc9d1391e210d.rmeta: crates/core/src/lib.rs crates/core/src/inference/mod.rs crates/core/src/inference/estimator.rs crates/core/src/inference/placement.rs crates/core/src/inference/twophase.rs crates/core/src/policy.rs crates/core/src/training/mod.rs crates/core/src/training/packing.rs crates/core/src/training/scheduler.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/inference/mod.rs:
+crates/core/src/inference/estimator.rs:
+crates/core/src/inference/placement.rs:
+crates/core/src/inference/twophase.rs:
+crates/core/src/policy.rs:
+crates/core/src/training/mod.rs:
+crates/core/src/training/packing.rs:
+crates/core/src/training/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lina_model-018d903ec2a2f9dc.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+/root/repo/target/debug/deps/liblina_model-018d903ec2a2f9dc.rlib: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+/root/repo/target/debug/deps/liblina_model-018d903ec2a2f9dc.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/graph.rs:
+crates/model/src/passes.rs:
+crates/model/src/routing.rs:

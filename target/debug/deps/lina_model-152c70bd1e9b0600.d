@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lina_model-152c70bd1e9b0600.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+/root/repo/target/debug/deps/lina_model-152c70bd1e9b0600: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/graph.rs:
+crates/model/src/passes.rs:
+crates/model/src/routing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lina_model-54d27cfb2515b0c9.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_model-54d27cfb2515b0c9.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/graph.rs:
+crates/model/src/passes.rs:
+crates/model/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

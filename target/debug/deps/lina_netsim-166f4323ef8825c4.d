@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lina_netsim-166f4323ef8825c4.d: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/liblina_netsim-166f4323ef8825c4.rlib: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/liblina_netsim-166f4323ef8825c4.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collectives.rs:
+crates/netsim/src/fairshare.rs:
+crates/netsim/src/memory.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/topology.rs:

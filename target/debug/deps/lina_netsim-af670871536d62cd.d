@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lina_netsim-af670871536d62cd.d: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/lina_netsim-af670871536d62cd: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collectives.rs:
+crates/netsim/src/fairshare.rs:
+crates/netsim/src/memory.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lina_netsim-f229660f823e4209.d: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_netsim-f229660f823e4209.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collectives.rs:
+crates/netsim/src/fairshare.rs:
+crates/netsim/src/memory.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

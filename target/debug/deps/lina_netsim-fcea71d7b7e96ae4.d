@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lina_netsim-fcea71d7b7e96ae4.d: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_netsim-fcea71d7b7e96ae4.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collectives.rs:
+crates/netsim/src/fairshare.rs:
+crates/netsim/src/memory.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

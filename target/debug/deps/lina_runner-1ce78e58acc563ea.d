@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lina_runner-1ce78e58acc563ea.d: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+/root/repo/target/debug/deps/lina_runner-1ce78e58acc563ea: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/inference.rs:
+crates/runner/src/session.rs:
+crates/runner/src/sweep.rs:
+crates/runner/src/train.rs:

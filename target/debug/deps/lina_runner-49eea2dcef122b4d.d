@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lina_runner-49eea2dcef122b4d.d: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_runner-49eea2dcef122b4d.rmeta: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs Cargo.toml
+
+crates/runner/src/lib.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/inference.rs:
+crates/runner/src/session.rs:
+crates/runner/src/sweep.rs:
+crates/runner/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

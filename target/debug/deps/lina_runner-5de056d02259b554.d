@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lina_runner-5de056d02259b554.d: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+/root/repo/target/debug/deps/liblina_runner-5de056d02259b554.rlib: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+/root/repo/target/debug/deps/liblina_runner-5de056d02259b554.rmeta: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/inference.rs:
+crates/runner/src/session.rs:
+crates/runner/src/sweep.rs:
+crates/runner/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lina_serve-5d59aafc87d7f34e.d: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+/root/repo/target/debug/deps/lina_serve-5d59aafc87d7f34e: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/arrival.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/request.rs:
+crates/serve/src/slo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lina_serve-64252aaed9e0dfde.d: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+/root/repo/target/debug/deps/liblina_serve-64252aaed9e0dfde.rlib: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+/root/repo/target/debug/deps/liblina_serve-64252aaed9e0dfde.rmeta: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/arrival.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/request.rs:
+crates/serve/src/slo.rs:

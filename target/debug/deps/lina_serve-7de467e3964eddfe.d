@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lina_serve-7de467e3964eddfe.d: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_serve-7de467e3964eddfe.rmeta: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/arrival.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/request.rs:
+crates/serve/src/slo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

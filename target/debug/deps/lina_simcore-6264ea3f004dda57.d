@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lina_simcore-6264ea3f004dda57.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+/root/repo/target/debug/deps/liblina_simcore-6264ea3f004dda57.rlib: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+/root/repo/target/debug/deps/liblina_simcore-6264ea3f004dda57.rmeta: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/timeline.rs:

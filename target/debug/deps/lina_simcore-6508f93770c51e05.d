@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lina_simcore-6508f93770c51e05.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_simcore-6508f93770c51e05.rmeta: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lina_simcore-6aac0cb4474463ee.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+/root/repo/target/debug/deps/lina_simcore-6aac0cb4474463ee: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/timeline.rs:

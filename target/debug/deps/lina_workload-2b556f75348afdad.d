@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lina_workload-2b556f75348afdad.d: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+/root/repo/target/debug/deps/lina_workload-2b556f75348afdad: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gating.rs:
+crates/workload/src/patterns.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/tokens.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lina_workload-614082dd725a455d.d: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+/root/repo/target/debug/deps/liblina_workload-614082dd725a455d.rlib: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+/root/repo/target/debug/deps/liblina_workload-614082dd725a455d.rmeta: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gating.rs:
+crates/workload/src/patterns.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/tokens.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lina_workload-a8792636c9dfeb8a.d: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblina_workload-a8792636c9dfeb8a.rmeta: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/gating.rs:
+crates/workload/src/patterns.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/tokens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-102d3759f13e97a6.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-102d3759f13e97a6: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

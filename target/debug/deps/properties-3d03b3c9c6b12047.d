@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3d03b3c9c6b12047.d: crates/simcore/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3d03b3c9c6b12047.rmeta: crates/simcore/tests/properties.rs Cargo.toml
+
+crates/simcore/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

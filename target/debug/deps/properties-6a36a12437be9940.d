@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a36a12437be9940.d: crates/simcore/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a36a12437be9940: crates/simcore/tests/properties.rs
+
+crates/simcore/tests/properties.rs:

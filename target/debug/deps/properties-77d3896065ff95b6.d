@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-77d3896065ff95b6.d: crates/netsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-77d3896065ff95b6: crates/netsim/tests/properties.rs
+
+crates/netsim/tests/properties.rs:

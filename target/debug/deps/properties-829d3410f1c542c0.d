@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-829d3410f1c542c0.d: crates/workload/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-829d3410f1c542c0.rmeta: crates/workload/tests/properties.rs Cargo.toml
+
+crates/workload/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-aff65b3778ffffd5.d: crates/netsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-aff65b3778ffffd5.rmeta: crates/netsim/tests/properties.rs Cargo.toml
+
+crates/netsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

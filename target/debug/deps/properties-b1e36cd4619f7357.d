@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b1e36cd4619f7357.d: crates/serve/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b1e36cd4619f7357: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b6b5a18dfa75291d.d: crates/workload/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b6b5a18dfa75291d: crates/workload/tests/properties.rs
+
+crates/workload/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f58d0b1b67b4c683.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f58d0b1b67b4c683: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

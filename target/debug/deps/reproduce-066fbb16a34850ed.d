@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-066fbb16a34850ed.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-066fbb16a34850ed: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

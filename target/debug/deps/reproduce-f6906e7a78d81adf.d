@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-f6906e7a78d81adf.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-f6906e7a78d81adf: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load_sweep-08802cb7c63e93b3.d: crates/bench/src/bin/serve_load_sweep.rs
+
+/root/repo/target/debug/deps/serve_load_sweep-08802cb7c63e93b3: crates/bench/src/bin/serve_load_sweep.rs
+
+crates/bench/src/bin/serve_load_sweep.rs:

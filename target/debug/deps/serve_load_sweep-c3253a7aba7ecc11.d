@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_load_sweep-c3253a7aba7ecc11.d: crates/bench/src/bin/serve_load_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_load_sweep-c3253a7aba7ecc11.rmeta: crates/bench/src/bin/serve_load_sweep.rs Cargo.toml
+
+crates/bench/src/bin/serve_load_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e1efd4674cf0b228.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e1efd4674cf0b228: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

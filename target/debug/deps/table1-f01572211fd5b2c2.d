@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f01572211fd5b2c2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f01572211fd5b2c2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

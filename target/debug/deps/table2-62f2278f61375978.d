@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-62f2278f61375978.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-62f2278f61375978: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7093bb4e97014aad.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7093bb4e97014aad: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

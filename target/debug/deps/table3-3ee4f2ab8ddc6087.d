@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3ee4f2ab8ddc6087.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3ee4f2ab8ddc6087: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

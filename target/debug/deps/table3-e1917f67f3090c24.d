@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e1917f67f3090c24.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e1917f67f3090c24: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

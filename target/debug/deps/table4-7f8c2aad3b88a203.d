@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7f8c2aad3b88a203.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-7f8c2aad3b88a203: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

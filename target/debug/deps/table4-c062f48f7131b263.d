@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c062f48f7131b263.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c062f48f7131b263: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-a7f5b548ef1862a1.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-a7f5b548ef1862a1: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-e1fe006736c34b37.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-e1fe006736c34b37: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

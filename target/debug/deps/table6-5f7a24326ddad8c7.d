@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-5f7a24326ddad8c7.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-5f7a24326ddad8c7: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

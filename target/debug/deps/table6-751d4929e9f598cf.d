@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-751d4929e9f598cf.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-751d4929e9f598cf: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

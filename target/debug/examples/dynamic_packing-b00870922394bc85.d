@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_packing-b00870922394bc85.d: examples/dynamic_packing.rs
+
+/root/repo/target/debug/examples/dynamic_packing-b00870922394bc85: examples/dynamic_packing.rs
+
+examples/dynamic_packing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_packing-b0831ea451ac70d1.d: examples/dynamic_packing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_packing-b0831ea451ac70d1.rmeta: examples/dynamic_packing.rs Cargo.toml
+
+examples/dynamic_packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explore_patterns-03ba5435a7c1020b.d: examples/explore_patterns.rs
+
+/root/repo/target/debug/examples/explore_patterns-03ba5435a7c1020b: examples/explore_patterns.rs
+
+examples/explore_patterns.rs:

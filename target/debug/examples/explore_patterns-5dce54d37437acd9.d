@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explore_patterns-5dce54d37437acd9.d: examples/explore_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplore_patterns-5dce54d37437acd9.rmeta: examples/explore_patterns.rs Cargo.toml
+
+examples/explore_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

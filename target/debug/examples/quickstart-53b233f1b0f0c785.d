@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-53b233f1b0f0c785.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-53b233f1b0f0c785: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_moe-8daa393793ba5892.d: examples/serve_moe.rs
+
+/root/repo/target/debug/examples/serve_moe-8daa393793ba5892: examples/serve_moe.rs
+
+examples/serve_moe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_moe-b3ec50ae4baaf213.d: examples/serve_moe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_moe-b3ec50ae4baaf213.rmeta: examples/serve_moe.rs Cargo.toml
+
+examples/serve_moe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

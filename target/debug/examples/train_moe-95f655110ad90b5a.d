@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_moe-95f655110ad90b5a.d: examples/train_moe.rs
+
+/root/repo/target/debug/examples/train_moe-95f655110ad90b5a: examples/train_moe.rs
+
+examples/train_moe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_moe-cd541a34aa3148d5.d: examples/train_moe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_moe-cd541a34aa3148d5.rmeta: examples/train_moe.rs Cargo.toml
+
+examples/train_moe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

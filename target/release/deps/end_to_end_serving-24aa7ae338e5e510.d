@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_serving-24aa7ae338e5e510.d: tests/end_to_end_serving.rs
+
+/root/repo/target/release/deps/end_to_end_serving-24aa7ae338e5e510: tests/end_to_end_serving.rs
+
+tests/end_to_end_serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_step_speedup-208240c77221b4c7.d: crates/bench/src/bin/fig10_step_speedup.rs
+
+/root/repo/target/release/deps/fig10_step_speedup-208240c77221b4c7: crates/bench/src/bin/fig10_step_speedup.rs
+
+crates/bench/src/bin/fig10_step_speedup.rs:

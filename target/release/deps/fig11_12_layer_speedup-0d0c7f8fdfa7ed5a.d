@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_12_layer_speedup-0d0c7f8fdfa7ed5a.d: crates/bench/src/bin/fig11_12_layer_speedup.rs
+
+/root/repo/target/release/deps/fig11_12_layer_speedup-0d0c7f8fdfa7ed5a: crates/bench/src/bin/fig11_12_layer_speedup.rs
+
+crates/bench/src/bin/fig11_12_layer_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_a2a_speedup-c3bf4770de906a7b.d: crates/bench/src/bin/fig13_a2a_speedup.rs
+
+/root/repo/target/release/deps/fig13_a2a_speedup-c3bf4770de906a7b: crates/bench/src/bin/fig13_a2a_speedup.rs
+
+crates/bench/src/bin/fig13_a2a_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ablation-3af9ef9a848f00ec.d: crates/bench/src/bin/fig14_ablation.rs
+
+/root/repo/target/release/deps/fig14_ablation-3af9ef9a848f00ec: crates/bench/src/bin/fig14_ablation.rs
+
+crates/bench/src/bin/fig14_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_partition_size-916c480d0ee34e9f.d: crates/bench/src/bin/fig15_partition_size.rs
+
+/root/repo/target/release/deps/fig15_partition_size-916c480d0ee34e9f: crates/bench/src/bin/fig15_partition_size.rs
+
+crates/bench/src/bin/fig15_partition_size.rs:

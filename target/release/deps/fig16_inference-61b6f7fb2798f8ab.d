@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_inference-61b6f7fb2798f8ab.d: crates/bench/src/bin/fig16_inference.rs
+
+/root/repo/target/release/deps/fig16_inference-61b6f7fb2798f8ab: crates/bench/src/bin/fig16_inference.rs
+
+crates/bench/src/bin/fig16_inference.rs:

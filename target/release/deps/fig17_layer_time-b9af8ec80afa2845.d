@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_layer_time-b9af8ec80afa2845.d: crates/bench/src/bin/fig17_layer_time.rs
+
+/root/repo/target/release/deps/fig17_layer_time-b9af8ec80afa2845: crates/bench/src/bin/fig17_layer_time.rs
+
+crates/bench/src/bin/fig17_layer_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_a2a_tail-ff583447e3871eac.d: crates/bench/src/bin/fig18_a2a_tail.rs
+
+/root/repo/target/release/deps/fig18_a2a_tail-ff583447e3871eac: crates/bench/src/bin/fig18_a2a_tail.rs
+
+crates/bench/src/bin/fig18_a2a_tail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_accuracy-55d7c432a58b81ea.d: crates/bench/src/bin/fig19_accuracy.rs
+
+/root/repo/target/release/deps/fig19_accuracy-55d7c432a58b81ea: crates/bench/src/bin/fig19_accuracy.rs
+
+crates/bench/src/bin/fig19_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_timeline-622bce94e6c87e55.d: crates/bench/src/bin/fig2_timeline.rs
+
+/root/repo/target/release/deps/fig2_timeline-622bce94e6c87e55: crates/bench/src/bin/fig2_timeline.rs
+
+crates/bench/src/bin/fig2_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_slowdown_cdf-0d147a67e3b01e7b.d: crates/bench/src/bin/fig3_slowdown_cdf.rs
+
+/root/repo/target/release/deps/fig3_slowdown_cdf-0d147a67e3b01e7b: crates/bench/src/bin/fig3_slowdown_cdf.rs
+
+crates/bench/src/bin/fig3_slowdown_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_expert_sweep-9bbce134efe53f86.d: crates/bench/src/bin/fig4_expert_sweep.rs
+
+/root/repo/target/release/deps/fig4_expert_sweep-9bbce134efe53f86: crates/bench/src/bin/fig4_expert_sweep.rs
+
+crates/bench/src/bin/fig4_expert_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_backward_timeline-91949e7694a18a2f.d: crates/bench/src/bin/fig5_backward_timeline.rs
+
+/root/repo/target/release/deps/fig5_backward_timeline-91949e7694a18a2f: crates/bench/src/bin/fig5_backward_timeline.rs
+
+crates/bench/src/bin/fig5_backward_timeline.rs:

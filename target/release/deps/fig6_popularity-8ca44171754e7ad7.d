@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_popularity-8ca44171754e7ad7.d: crates/bench/src/bin/fig6_popularity.rs
+
+/root/repo/target/release/deps/fig6_popularity-8ca44171754e7ad7: crates/bench/src/bin/fig6_popularity.rs
+
+crates/bench/src/bin/fig6_popularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_schedules-8fc73c3d3c5d885b.d: crates/bench/src/bin/fig7_schedules.rs
+
+/root/repo/target/release/deps/fig7_schedules-8fc73c3d3c5d885b: crates/bench/src/bin/fig7_schedules.rs
+
+crates/bench/src/bin/fig7_schedules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_microops-2332ad079d830093.d: crates/bench/src/bin/fig8_microops.rs
+
+/root/repo/target/release/deps/fig8_microops-2332ad079d830093: crates/bench/src/bin/fig8_microops.rs
+
+crates/bench/src/bin/fig8_microops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_pattern-7f86b6c9b0769094.d: crates/bench/src/bin/fig9_pattern.rs
+
+/root/repo/target/release/deps/fig9_pattern-7f86b6c9b0769094: crates/bench/src/bin/fig9_pattern.rs
+
+crates/bench/src/bin/fig9_pattern.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lina-f97fd418907a1417.d: src/lib.rs
+
+/root/repo/target/release/deps/liblina-f97fd418907a1417.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblina-f97fd418907a1417.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lina_baselines-258a9fcce6a3548c.d: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+/root/repo/target/release/deps/liblina_baselines-258a9fcce6a3548c.rlib: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+/root/repo/target/release/deps/liblina_baselines-258a9fcce6a3548c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/policies.rs crates/baselines/src/schemes.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/policies.rs:
+crates/baselines/src/schemes.rs:

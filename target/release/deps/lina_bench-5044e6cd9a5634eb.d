@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lina_bench-5044e6cd9a5634eb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblina_bench-5044e6cd9a5634eb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblina_bench-5044e6cd9a5634eb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lina_core-0c828621220dbe49.d: crates/core/src/lib.rs crates/core/src/inference/mod.rs crates/core/src/inference/estimator.rs crates/core/src/inference/placement.rs crates/core/src/inference/twophase.rs crates/core/src/policy.rs crates/core/src/training/mod.rs crates/core/src/training/packing.rs crates/core/src/training/scheduler.rs
+
+/root/repo/target/release/deps/liblina_core-0c828621220dbe49.rlib: crates/core/src/lib.rs crates/core/src/inference/mod.rs crates/core/src/inference/estimator.rs crates/core/src/inference/placement.rs crates/core/src/inference/twophase.rs crates/core/src/policy.rs crates/core/src/training/mod.rs crates/core/src/training/packing.rs crates/core/src/training/scheduler.rs
+
+/root/repo/target/release/deps/liblina_core-0c828621220dbe49.rmeta: crates/core/src/lib.rs crates/core/src/inference/mod.rs crates/core/src/inference/estimator.rs crates/core/src/inference/placement.rs crates/core/src/inference/twophase.rs crates/core/src/policy.rs crates/core/src/training/mod.rs crates/core/src/training/packing.rs crates/core/src/training/scheduler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/inference/mod.rs:
+crates/core/src/inference/estimator.rs:
+crates/core/src/inference/placement.rs:
+crates/core/src/inference/twophase.rs:
+crates/core/src/policy.rs:
+crates/core/src/training/mod.rs:
+crates/core/src/training/packing.rs:
+crates/core/src/training/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lina_model-37c0bed4c118d306.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+/root/repo/target/release/deps/liblina_model-37c0bed4c118d306.rlib: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+/root/repo/target/release/deps/liblina_model-37c0bed4c118d306.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/graph.rs crates/model/src/passes.rs crates/model/src/routing.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/graph.rs:
+crates/model/src/passes.rs:
+crates/model/src/routing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lina_netsim-874416ade3f3e742.d: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/liblina_netsim-874416ade3f3e742.rlib: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/liblina_netsim-874416ade3f3e742.rmeta: crates/netsim/src/lib.rs crates/netsim/src/collectives.rs crates/netsim/src/fairshare.rs crates/netsim/src/memory.rs crates/netsim/src/network.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/collectives.rs:
+crates/netsim/src/fairshare.rs:
+crates/netsim/src/memory.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/topology.rs:

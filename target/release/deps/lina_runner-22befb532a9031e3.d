@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lina_runner-22befb532a9031e3.d: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+/root/repo/target/release/deps/liblina_runner-22befb532a9031e3.rlib: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+/root/repo/target/release/deps/liblina_runner-22befb532a9031e3.rmeta: crates/runner/src/lib.rs crates/runner/src/engine.rs crates/runner/src/inference.rs crates/runner/src/session.rs crates/runner/src/sweep.rs crates/runner/src/train.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/inference.rs:
+crates/runner/src/session.rs:
+crates/runner/src/sweep.rs:
+crates/runner/src/train.rs:

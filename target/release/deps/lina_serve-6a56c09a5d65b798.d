@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lina_serve-6a56c09a5d65b798.d: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+/root/repo/target/release/deps/lina_serve-6a56c09a5d65b798: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/arrival.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/request.rs:
+crates/serve/src/slo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lina_serve-d10cac9c4487cc7e.d: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+/root/repo/target/release/deps/liblina_serve-d10cac9c4487cc7e.rlib: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+/root/repo/target/release/deps/liblina_serve-d10cac9c4487cc7e.rmeta: crates/serve/src/lib.rs crates/serve/src/arrival.rs crates/serve/src/batcher.rs crates/serve/src/engine.rs crates/serve/src/request.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/arrival.rs:
+crates/serve/src/batcher.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/request.rs:
+crates/serve/src/slo.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lina_simcore-9b8f21cab4185781.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+/root/repo/target/release/deps/liblina_simcore-9b8f21cab4185781.rlib: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+/root/repo/target/release/deps/liblina_simcore-9b8f21cab4185781.rmeta: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs crates/simcore/src/timeline.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/timeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lina_workload-efa4f64233c9c22a.d: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+/root/repo/target/release/deps/liblina_workload-efa4f64233c9c22a.rlib: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+/root/repo/target/release/deps/liblina_workload-efa4f64233c9c22a.rmeta: crates/workload/src/lib.rs crates/workload/src/gating.rs crates/workload/src/patterns.rs crates/workload/src/spec.rs crates/workload/src/tokens.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gating.rs:
+crates/workload/src/patterns.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/tokens.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-fc46e9d238a4ffdc.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-fc46e9d238a4ffdc: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b8d4b82317f36719.d: crates/serve/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b8d4b82317f36719: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

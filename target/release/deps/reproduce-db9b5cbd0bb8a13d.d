@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-db9b5cbd0bb8a13d.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-db9b5cbd0bb8a13d: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_load_sweep-c0a6e4e58624a3e5.d: crates/bench/src/bin/serve_load_sweep.rs
+
+/root/repo/target/release/deps/serve_load_sweep-c0a6e4e58624a3e5: crates/bench/src/bin/serve_load_sweep.rs
+
+crates/bench/src/bin/serve_load_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4cff4747d7eaf377.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4cff4747d7eaf377: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-2afe9897327ced17.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-2afe9897327ced17: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

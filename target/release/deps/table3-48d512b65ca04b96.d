@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-48d512b65ca04b96.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-48d512b65ca04b96: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

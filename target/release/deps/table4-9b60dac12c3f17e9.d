@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-9b60dac12c3f17e9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-9b60dac12c3f17e9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-87ae4dcfe5cf4528.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-87ae4dcfe5cf4528: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_moe-88b0152f8c77b07d.d: examples/serve_moe.rs
+
+/root/repo/target/release/examples/serve_moe-88b0152f8c77b07d: examples/serve_moe.rs
+
+examples/serve_moe.rs:

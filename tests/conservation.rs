@@ -59,12 +59,11 @@ fn dispatch_conserves_tokens_for_every_placement_shape() {
 fn network_delivers_exactly_the_collective_bytes() {
     let topo = Topology::new(ClusterSpec::paper_testbed());
     let specs = [
-        CollectiveSpec::uniform_all_to_all(
-            topo.device_ids().collect(),
-            3e6,
-            AllToAllAlgo::Flat,
-        ),
-        CollectiveSpec::AllReduce { participants: topo.device_ids().collect(), bytes: 40e6 },
+        CollectiveSpec::uniform_all_to_all(topo.device_ids().collect(), 3e6, AllToAllAlgo::Flat),
+        CollectiveSpec::AllReduce {
+            participants: topo.device_ids().collect(),
+            bytes: 40e6,
+        },
         CollectiveSpec::Broadcast {
             root: DeviceId(3),
             participants: topo.device_ids().collect(),
@@ -91,11 +90,8 @@ fn hierarchical_all_to_all_also_conserves_end_to_end_payload() {
     // payload (what arrives at final destinations) must still equal the
     // flat payload even though more bytes cross intra-node links.
     let topo = Topology::new(ClusterSpec::paper_testbed());
-    let flat = CollectiveSpec::uniform_all_to_all(
-        topo.device_ids().collect(),
-        2e6,
-        AllToAllAlgo::Flat,
-    );
+    let flat =
+        CollectiveSpec::uniform_all_to_all(topo.device_ids().collect(), 2e6, AllToAllAlgo::Flat);
     let hier = CollectiveSpec::uniform_all_to_all(
         topo.device_ids().collect(),
         2e6,
@@ -118,7 +114,11 @@ fn workload_batches_conserve_tokens_through_routing() {
         let _ = mode;
         for layer in 0..12 {
             let routing = batch.routing_for_layer(layer);
-            assert_eq!(routing.total(), batch.len(), "layer {layer} lost selections");
+            assert_eq!(
+                routing.total(),
+                batch.len(),
+                "layer {layer} lost selections"
+            );
         }
     }
 }
@@ -135,7 +135,11 @@ fn simulated_clock_is_monotonic_under_stress() {
             &CollectiveSpec::uniform_all_to_all(
                 topo.device_ids().collect(),
                 bytes,
-                if rng.bernoulli(0.5) { AllToAllAlgo::Flat } else { AllToAllAlgo::Hierarchical },
+                if rng.bernoulli(0.5) {
+                    AllToAllAlgo::Flat
+                } else {
+                    AllToAllAlgo::Hierarchical
+                },
             ),
             tag,
         );

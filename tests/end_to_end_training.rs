@@ -11,7 +11,10 @@ use lina::simcore::SimDuration;
 
 fn setup(model: MoeModelConfig) -> (CostModel, Topology, BatchShape) {
     let topo = Topology::new(ClusterSpec::with_total_gpus(model.experts));
-    let batch = BatchShape { seqs_per_device: 16, seq_len: model.seq_len };
+    let batch = BatchShape {
+        seqs_per_device: 16,
+        seq_len: model.seq_len,
+    };
     (CostModel::new(DeviceSpec::a100(), model), topo, batch)
 }
 
@@ -32,7 +35,9 @@ fn every_scheme_completes_on_every_roster_model() {
                 TrainScheme::PriorityOnly,
                 TrainScheme::PriorityPartition,
                 TrainScheme::LinaNoPack,
-                TrainScheme::Lina { experts_per_device: 2.min(experts) },
+                TrainScheme::Lina {
+                    experts_per_device: 2.min(experts),
+                },
             ] {
                 let run = run_train_step(&cost, &topo, batch, scheme, 1);
                 assert!(
@@ -49,15 +54,24 @@ fn every_scheme_completes_on_every_roster_model() {
 #[test]
 fn lina_never_loses_to_baseline_across_roster() {
     for experts in [4usize, 16] {
-        for model in [MoeModelConfig::transformer_xl(8, experts), MoeModelConfig::gpt2(experts)] {
+        for model in [
+            MoeModelConfig::transformer_xl(8, experts),
+            MoeModelConfig::gpt2(experts),
+        ] {
             let (cost, topo, batch) = setup(model.clone());
-            let packing = if model.name == "Transformer-XL" && experts == 16 { 4 } else { 2 };
+            let packing = if model.name == "Transformer-XL" && experts == 16 {
+                4
+            } else {
+                2
+            };
             let base = run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, 3, 9);
             let lina = run_train_steps(
                 &cost,
                 &topo,
                 batch,
-                TrainScheme::Lina { experts_per_device: packing },
+                TrainScheme::Lina {
+                    experts_per_device: packing,
+                },
                 3,
                 9,
             );
@@ -100,7 +114,9 @@ fn two_expert_packing_eliminates_all_to_all() {
         &cost,
         &topo,
         batch,
-        TrainScheme::Lina { experts_per_device: 2 },
+        TrainScheme::Lina {
+            experts_per_device: 2,
+        },
         1,
     );
     assert_eq!(
