@@ -1,66 +1,7 @@
-//! Figure 10: training step-time speedup of Lina over the Baseline
-//! (DeepSpeed-like) and Tutel-like systems, for three models at
-//! 2/4/8/16 experts (paper: 1.71x/1.37x/1.73x/1.47x average for
-//! 2/4/8/16 experts over Baseline).
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_runner::train::run_train_steps;
-use lina_simcore::{format_secs, format_speedup, geomean, Table};
+//! Thin wrapper: runs the `fig10_step_speedup` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig10_step_speedup.rs` for the experiment body.
 
 fn main() {
-    bench::banner("Figure 10", "training step-time speedup of Lina");
-    let steps = bench::steps();
-    let mut table = Table::new(
-        "step time and speedup (vs Baseline / vs Tutel)",
-        &[
-            "model", "experts", "baseline", "tutel", "lina", "vs base", "vs tutel",
-        ],
-    );
-    let mut per_experts: Vec<(usize, Vec<f64>)> = Vec::new();
-    for experts in [2usize, 4, 8, 16] {
-        let mut speedups = Vec::new();
-        for model in bench::training_models(experts) {
-            let topo = bench::topo(experts);
-            let cost = bench::train_cost(model.clone());
-            let batch = bench::train_batch(&model);
-            let mean_step = |scheme| {
-                let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 77);
-                ms.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>() / ms.len() as f64
-            };
-            let base = mean_step(TrainScheme::Baseline);
-            let tutel = mean_step(TrainScheme::Tutel);
-            let lina = mean_step(bench::lina_scheme(&model));
-            table.row(&[
-                model.name.clone(),
-                experts.to_string(),
-                format_secs(base),
-                format_secs(tutel),
-                format_secs(lina),
-                format_speedup(base / lina),
-                format_speedup(tutel / lina),
-            ]);
-            speedups.push(base / lina);
-        }
-        per_experts.push((experts, speedups));
-    }
-    println!("{}", table.render());
-    let mut avg = Table::new(
-        "average speedup over Baseline",
-        &["experts", "measured", "paper"],
-    );
-    let paper = [(2, "1.71x"), (4, "1.37x"), (8, "1.73x"), (16, "1.47x")];
-    for ((experts, speedups), (_, p)) in per_experts.iter().zip(paper) {
-        avg.row(&[
-            experts.to_string(),
-            format_speedup(geomean(speedups)),
-            p.into(),
-        ]);
-    }
-    println!("{}", avg.render());
-    println!(
-        "shape check: the 2- and 8-expert cases gain most (packing turns\n\
-         all-to-all into pure data parallelism / intra-node traffic);\n\
-         Lina's speedup over Tutel is slightly smaller than over Baseline."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

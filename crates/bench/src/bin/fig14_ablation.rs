@@ -1,57 +1,7 @@
-//! Figure 14: communication-scheduler ablation — step-time speedup
-//! over Baseline when incrementally enabling priority scheduling,
-//! tensor partitioning, and pipelining, plus the fixed heuristic.
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_runner::train::run_train_steps;
-use lina_simcore::{format_speedup, Table};
+//! Thin wrapper: runs the `fig14_ablation` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig14_ablation.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 14",
-        "scheduler ablation: priority / +partitioning / +pipelining / fixed",
-    );
-    let steps = bench::steps();
-    let mut table = Table::new(
-        "step-time speedup over Baseline (no expert packing anywhere)",
-        &[
-            "model",
-            "experts",
-            "fixed",
-            "priority",
-            "+partition",
-            "+pipeline (Lina)",
-        ],
-    );
-    for experts in [2usize, 4, 8, 16] {
-        for model in bench::training_models(experts) {
-            let topo = bench::topo(experts);
-            let cost = bench::train_cost(model.clone());
-            let batch = bench::train_batch(&model);
-            let mean_step = |scheme| {
-                let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 161);
-                ms.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>() / ms.len() as f64
-            };
-            let base = mean_step(TrainScheme::Baseline);
-            table.row(&[
-                model.name.clone(),
-                experts.to_string(),
-                format_speedup(base / mean_step(TrainScheme::Fixed)),
-                format_speedup(base / mean_step(TrainScheme::PriorityOnly)),
-                format_speedup(base / mean_step(TrainScheme::PriorityPartition)),
-                format_speedup(base / mean_step(TrainScheme::LinaNoPack)),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!(
-        "paper: priority alone gives ~10-30% (more at scale); partitioning\n\
-         lifts the total to ~1.36-1.42x; pipelining adds little without\n\
-         packing; the fixed heuristic gains least. In our fluid network\n\
-         model, naive priority cannot defer an allreduce that became ready\n\
-         in a compute gap (nothing to preempt), so its gain concentrates in\n\
-         the partitioned variants — the paper's GPT-2 column shows the same\n\
-         model-specific behaviour."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,81 +1,7 @@
-//! Figure 16: median and 95th-percentile inference time of Baseline,
-//! Lina, and the two ablations, normalized to Ideal (balanced gate),
-//! for Transformer-XL and BERT-Large at 4 and 16 experts.
-
-use lina_baselines::InferScheme;
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_runner::inference::{run_inference_batches, InferenceConfig};
-use lina_simcore::Table;
+//! Thin wrapper: runs the `fig16_inference` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig16_inference.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 16",
-        "median/95%ile inference time normalized to Ideal",
-    );
-    for (model_ctor, label) in [
-        (
-            MoeModelConfig::transformer_xl as fn(usize, usize) -> MoeModelConfig,
-            "Transformer-XL / enwik8",
-        ),
-        (
-            |_l, e| MoeModelConfig::bert_large(e),
-            "BERT-Large / WMT En-De",
-        ),
-    ] {
-        for experts in [4usize, 16] {
-            let model = model_ctor(12, experts);
-            let layers = model.layers;
-            let topo = bench::topo(experts);
-            let cost = bench::infer_cost(model.clone());
-            let spec = bench::workload_for(&model, experts, layers);
-            let setup = bench::inference_setup(
-                &spec,
-                experts,
-                3,
-                bench::batches(),
-                bench::tokens_per_device(),
-            );
-            let mut results = Vec::new();
-            let mut ideal_median = 1.0;
-            let mut ideal_p95 = 1.0;
-            for scheme in InferScheme::all() {
-                let mut s = run_inference_batches(
-                    &cost,
-                    &topo,
-                    &InferenceConfig { scheme, top_k: 1 },
-                    Some(&setup.scheduler),
-                    &setup.batches,
-                );
-                let med = s.totals.median();
-                let p95 = s.totals.p95();
-                if scheme == InferScheme::Ideal {
-                    ideal_median = med;
-                    ideal_p95 = p95;
-                }
-                results.push((scheme, med, p95, s.finetune_rate(), s.accuracy()));
-            }
-            let mut table = Table::new(
-                format!("{label}, {experts} experts (normalized to Ideal)"),
-                &["scheme", "median", "p95", "ft rate", "est acc"],
-            );
-            for (scheme, med, p95, ft, acc) in &results {
-                table.row(&[
-                    scheme.name().into(),
-                    format!("{:.2}", med / ideal_median),
-                    format!("{:.2}", p95 / ideal_p95),
-                    bench::format_rate(*ft),
-                    bench::format_rate(*acc),
-                ]);
-            }
-            println!("{}", table.render());
-        }
-    }
-    println!(
-        "paper: Lina cuts the Baseline's median by 1.45-1.54x (Transformer-XL)\n\
-         and 1.36-1.46x (BERT-Large), and the 95%ile by up to 1.82x at 16\n\
-         experts; w/o estimation is ~19-24% worse than Lina at the median\n\
-         (reactive scheduling blocks each layer); w/o fine-tuning inflates\n\
-         the tail by ~27-33%."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

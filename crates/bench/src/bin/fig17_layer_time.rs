@@ -1,71 +1,7 @@
-//! Figure 17: 95th-percentile MoE-layer time of Baseline vs Lina at
-//! 8 and 16 experts (paper: reduced 1.87x/1.77x for Transformer-XL and
-//! 1.58x/1.81x for BERT-Large).
-
-use lina_baselines::InferScheme;
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_runner::inference::{run_inference_batches, InferenceConfig};
-use lina_simcore::{format_secs, format_speedup, Table};
+//! Thin wrapper: runs the `fig17_layer_time` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig17_layer_time.rs` for the experiment body.
 
 fn main() {
-    bench::banner("Figure 17", "95%ile MoE-layer time, Baseline vs Lina");
-    let mut table = Table::new(
-        "per-layer (gate..combine) p95 across batches",
-        &[
-            "model",
-            "experts",
-            "baseline p95",
-            "lina p95",
-            "reduction",
-            "paper",
-        ],
-    );
-    let paper = [
-        ("Transformer-XL", 8, "1.87x"),
-        ("Transformer-XL", 16, "1.77x"),
-        ("BERT-Large", 8, "1.58x"),
-        ("BERT-Large", 16, "1.81x"),
-    ];
-    let mut pi = 0;
-    for model_ctor in [
-        MoeModelConfig::transformer_xl as fn(usize, usize) -> MoeModelConfig,
-        |_l, e| MoeModelConfig::bert_large(e),
-    ] {
-        for experts in [8usize, 16] {
-            let model = model_ctor(12, experts);
-            let topo = bench::topo(experts);
-            let cost = bench::infer_cost(model.clone());
-            let spec = bench::workload_for(&model, experts, model.layers);
-            let setup = bench::inference_setup(
-                &spec,
-                experts,
-                3,
-                bench::batches(),
-                bench::tokens_per_device(),
-            );
-            let p95 = |scheme| {
-                let mut s = run_inference_batches(
-                    &cost,
-                    &topo,
-                    &InferenceConfig { scheme, top_k: 1 },
-                    Some(&setup.scheduler),
-                    &setup.batches,
-                );
-                s.layer_times.p95()
-            };
-            let base = p95(InferScheme::Baseline);
-            let lina = p95(InferScheme::Lina);
-            table.row(&[
-                model.name.clone(),
-                experts.to_string(),
-                format_secs(base),
-                format_secs(lina),
-                format_speedup(base / lina),
-                paper[pi].2.into(),
-            ]);
-            pi += 1;
-        }
-    }
-    println!("{}", table.render());
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

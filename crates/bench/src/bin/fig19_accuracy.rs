@@ -1,56 +1,7 @@
-//! Figure 19: estimation accuracy per MoE layer in 16-expert inference
-//! (paper: 58.41% overall for Transformer-XL, 54.16% for BERT-Large,
-//! higher in later layers).
-
-use lina_bench as bench;
-use lina_core::PopularityEstimator;
-use lina_model::MoeModelConfig;
-use lina_simcore::{format_pct, Table};
-use lina_workload::popularity;
+//! Thin wrapper: runs the `fig19_accuracy` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig19_accuracy.rs` for the experiment body.
 
 fn main() {
-    bench::banner("Figure 19", "estimation accuracy per layer (16-expert)");
-    for model in [
-        MoeModelConfig::transformer_xl(12, 16),
-        MoeModelConfig::bert_large(16),
-    ] {
-        let experts = 16;
-        let spec = bench::workload_for(&model, experts, model.layers);
-        let setup = bench::inference_setup(
-            &spec,
-            experts,
-            3,
-            bench::batches(),
-            bench::tokens_per_device().min(4096),
-        );
-        let est = setup.scheduler.estimator();
-        let mut table = Table::new(
-            format!("{} — per-layer accuracy (top-2 set match)", model.name),
-            &["layer", "accuracy"],
-        );
-        let mut hits_total = 0usize;
-        let mut n_total = 0usize;
-        for next_layer in est.path_length()..model.layers {
-            let mut hits = 0usize;
-            let mut n = 0usize;
-            for batch in &setup.batches {
-                let estimated = est.estimate_popularity(&batch.tokens, next_layer - 1, 1);
-                let actual = popularity(batch, next_layer);
-                if PopularityEstimator::estimate_matches(&estimated, &actual, 2) {
-                    hits += 1;
-                }
-                n += 1;
-            }
-            table.row(&[next_layer.to_string(), format_pct(hits as f64 / n as f64)]);
-            hits_total += hits;
-            n_total += n;
-        }
-        println!("{}", table.render());
-        println!(
-            "overall accuracy: {}\n",
-            format_pct(hits_total as f64 / n_total.max(1) as f64)
-        );
-    }
-    println!("paper: 58.41% (Transformer-XL) and 54.16% (BERT-Large) overall;");
-    println!("       deeper layers estimate better (consistent with Figure 9).");
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

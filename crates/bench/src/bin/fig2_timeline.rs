@@ -1,59 +1,7 @@
-//! Figure 2: timeline of the forward pass of one MoE layer, showing
-//! all-to-all dominating (the paper measures 74.9% of the layer).
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_model::{CommClass, MoeModelConfig, OpKind};
-use lina_runner::train::run_train_step;
-use lina_simcore::{format_pct, SimDuration, SimTime, SpanKind};
+//! Thin wrapper: runs the `fig2_timeline` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig2_timeline.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 2",
-        "forward-pass timeline of one MoE layer (419M model)",
-    );
-    let model = MoeModelConfig::transformer_xl(12, 16);
-    let topo = bench::topo(16);
-    let cost = bench::train_cost(model.clone());
-    let batch = bench::train_batch(&model);
-    let run = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 11);
-
-    // Find the forward window of layer 5 (mid-model): gate to combine.
-    let layer = 5usize;
-    let mut lo = SimTime::MAX;
-    let mut hi = SimTime::ZERO;
-    let mut a2a_time = SimDuration::ZERO;
-    for (i, op) in run.graph.ops().iter().enumerate() {
-        if op.layer != Some(layer) || op.backward {
-            continue;
-        }
-        let in_moe = match &op.kind {
-            OpKind::Compute { span, .. } => {
-                matches!(
-                    span,
-                    SpanKind::Gate | SpanKind::ExpertFfn | SpanKind::Combine
-                )
-            }
-            OpKind::Comm { meta, .. } => meta.class == CommClass::AllToAll,
-        };
-        if !in_moe {
-            continue;
-        }
-        let (s, e) = run.exec.window(lina_model::OpId(i as u32));
-        lo = lo.min(s);
-        hi = hi.max(e);
-        if let OpKind::Comm { meta, .. } = &op.kind {
-            if meta.class == CommClass::AllToAll {
-                a2a_time += e - s;
-            }
-        }
-    }
-    let layer_time = hi - lo;
-    println!(
-        "MoE layer {layer} forward: {layer_time}, all-to-all {a2a_time} ({})",
-        format_pct(a2a_time.ratio(layer_time))
-    );
-    println!("paper: all-to-all takes 74.9% of the MoE layer's forward pass\n");
-    println!("{}", run.exec.timeline.render_ascii(lo, hi, 100));
-    println!("glyphs: G gate, # all-to-all, F expert FFN, C combine, = allreduce");
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

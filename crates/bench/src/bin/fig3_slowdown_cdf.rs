@@ -1,66 +1,7 @@
-//! Figure 3: CDF of how much a backward-pass all-to-all is prolonged
-//! when it overlaps with an allreduce (paper: median 1.83x, max 4.14x).
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_runner::train::run_train_steps;
-use lina_simcore::{Samples, Table};
+//! Thin wrapper: runs the `fig3_slowdown_cdf` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig3_slowdown_cdf.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 3",
-        "CDF of all-to-all slowdown under allreduce overlap (baseline)",
-    );
-    // Pool backward all-to-alls across the paper's training roster.
-    let mut slowdowns = Samples::new();
-    let mut overlapped_count = 0usize;
-    let mut total_count = 0usize;
-    for experts in [8usize, 16] {
-        for model in bench::training_models(experts) {
-            let topo = bench::topo(experts);
-            let cost = bench::train_cost(model.clone());
-            let batch = bench::train_batch(&model);
-            let metrics = run_train_steps(
-                &cost,
-                &topo,
-                batch,
-                TrainScheme::Baseline,
-                bench::steps(),
-                23,
-            );
-            for m in &metrics {
-                for (s, &o) in m.a2a_bwd_slowdowns.iter().zip(&m.a2a_bwd_overlapped) {
-                    total_count += 1;
-                    if o {
-                        overlapped_count += 1;
-                        slowdowns.push(*s);
-                    }
-                }
-            }
-        }
-    }
-    println!(
-        "{} backward all-to-all ops observed; {} ({:.1}%) overlapped an allreduce\n",
-        total_count,
-        overlapped_count,
-        100.0 * overlapped_count as f64 / total_count.max(1) as f64
-    );
-    let mut table = Table::new(
-        "slowdown CDF (conditioned on overlap)",
-        &["percentile", "slowdown"],
-    );
-    for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
-        table.row(&[
-            format!("p{p:.0}"),
-            format!("{:.2}x", slowdowns.percentile(p)),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "measured: median {:.2}x, mean {:.2}x, max {:.2}x",
-        slowdowns.median(),
-        slowdowns.mean(),
-        slowdowns.max()
-    );
-    println!("paper:    median 1.83x, worst 4.14x");
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,77 +1,7 @@
-//! Figure 5: timeline of backward-propagating an MoE layer under
-//! hybrid parallelism — the first all-to-all is prolonged by the
-//! concurrent allreduce.
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_model::{CommClass, MoeModelConfig, OpKind};
-use lina_runner::train::run_train_step;
-use lina_simcore::{format_speedup, SimTime};
+//! Thin wrapper: runs the `fig5_backward_timeline` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig5_backward_timeline.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 5",
-        "backward-pass timeline: all-to-all prolonged by allreduce (GPT-2)",
-    );
-    // GPT-2's per-layer gradients flush DDP buckets mid-backward, so
-    // allreduce overlaps the expert-parallel all-to-all.
-    let model = MoeModelConfig::gpt2(16);
-    let topo = bench::topo(16);
-    let cost = bench::train_cost(model.clone());
-    let batch = bench::train_batch(&model);
-    let run = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 5);
-
-    // Find the most-slowed overlapped backward all-to-all and render a
-    // window around it.
-    let m = &run.metrics;
-    let mut worst: Option<(usize, f64)> = None;
-    for (i, (&s, &o)) in m
-        .a2a_bwd_slowdowns
-        .iter()
-        .zip(&m.a2a_bwd_overlapped)
-        .enumerate()
-    {
-        if o {
-            match worst {
-                Some((_, best)) if best >= s => {}
-                _ => worst = Some((i, s)),
-            }
-        }
-    }
-    let Some((_, slowdown)) = worst else {
-        println!("no overlap occurred in this step (try more steps)");
-        return;
-    };
-    println!(
-        "worst overlapped backward all-to-all slowdown: {}",
-        format_speedup(slowdown)
-    );
-
-    // Render the window around an allreduce that overlaps an
-    // all-to-all (the Figure 5 situation).
-    let mut a2a_windows: Vec<(SimTime, SimTime)> = Vec::new();
-    for (i, op) in run.graph.ops().iter().enumerate() {
-        if let OpKind::Comm { meta, .. } = &op.kind {
-            if meta.class == CommClass::AllToAll && meta.backward {
-                a2a_windows.push(run.exec.window(lina_model::OpId(i as u32)));
-            }
-        }
-    }
-    let mut window: Option<(SimTime, SimTime)> = None;
-    for (i, op) in run.graph.ops().iter().enumerate() {
-        if let OpKind::Comm { meta, .. } = &op.kind {
-            if meta.class == CommClass::Allreduce {
-                let (s, e) = run.exec.window(lina_model::OpId(i as u32));
-                let overlaps = a2a_windows.iter().any(|&(as_, ae)| as_ < e && ae > s);
-                if overlaps && window.is_none_or(|(ws, we)| (e - s) > (we - ws)) {
-                    window = Some((s, e));
-                }
-            }
-        }
-    }
-    let (s, e) = window.expect("an allreduce overlapped an all-to-all");
-    let pad = (e - s) / 3;
-    println!("{}", run.exec.timeline.render_ascii(s - pad, e + pad, 110));
-    println!("glyphs: A attention, G gate, # all-to-all, F expert FFN, C combine, = allreduce");
-    println!("paper: the median slowdown over such overlaps is 1.83x (Figure 3).");
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

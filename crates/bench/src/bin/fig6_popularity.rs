@@ -1,53 +1,7 @@
-//! Figure 6: sampled expert popularity in training vs inference
-//! (paper: training is near-uniform; inference max/min is 4.02x at 4
-//! experts and 5.56x at 16).
-
-use lina_bench as bench;
-use lina_simcore::Table;
-use lina_workload::{popularity, popularity_skew, Mode, TokenSource, WorkloadSpec};
+//! Thin wrapper: runs the `fig6_popularity` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig6_popularity.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 6",
-        "expert popularity: training vs inference (enwik8)",
-    );
-    for experts in [4usize, 16] {
-        let spec = WorkloadSpec::enwik8(experts, 12);
-        let mut src = TokenSource::new(&spec, 1, 606);
-        let train = src.sample_batch(experts.max(4), 4096, Mode::Train);
-        let infer = src.sample_batch(experts.max(4), 4096, Mode::Inference);
-        let layer = 6;
-        let tp = popularity(&train, layer);
-        let ip = popularity(&infer, layer);
-        let mut table = Table::new(
-            format!("{experts}-expert model, layer {layer}"),
-            &["expert", "training", "inference"],
-        );
-        for e in 0..experts {
-            table.row(&[
-                e.to_string(),
-                format!("{:.3}", tp[e]),
-                format!("{:.3}", ip[e]),
-            ]);
-        }
-        println!("{}", table.render());
-        let tskew: f64 = (0..12).map(|l| popularity_skew(&train, l)).sum::<f64>() / 12.0;
-        let iskew: f64 = (0..12).map(|l| popularity_skew(&infer, l)).sum::<f64>() / 12.0;
-        let max_mean: f64 = (0..12)
-            .map(|l| {
-                let p = popularity(&infer, l);
-                p.iter().copied().fold(0.0, f64::max) * experts as f64
-            })
-            .sum::<f64>()
-            / 12.0;
-        println!("mean max/min over layers: training {tskew:.2}x, inference {iskew:.2}x");
-        println!("inference max/mean (straggler factor): {max_mean:.2}x\n");
-    }
-    println!("paper: inference max/min is 4.02x (4 experts) and 5.56x (16 experts);");
-    println!("       training is nearly uniform thanks to the load-balancing loss.");
-    println!(
-        "note: our generator's least-popular expert receives less residual\n\
-         traffic than the paper's, inflating max/min; the performance-\n\
-         relevant max/mean straggler factor is the calibrated quantity."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,55 +1,7 @@
-//! Figure 7: backward-pass scheduling case study — baseline
-//! fair-share, naive priority, and fixed deferral, measured on the
-//! same two-MoE-layer backward window.
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_runner::train::run_train_step;
-use lina_simcore::{format_secs, Table};
+//! Thin wrapper: runs the `fig7_schedules` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig7_schedules.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 7",
-        "scheduling strategies for backward all-to-all + allreduce",
-    );
-    let model = MoeModelConfig::gpt2(16);
-    let topo = bench::topo(16);
-    let cost = bench::train_cost(model.clone());
-    let batch = bench::train_batch(&model);
-
-    let mut table = Table::new(
-        "one training step of the 16-expert GPT-2 model",
-        &["strategy", "step time", "mean bwd a2a", "mean a2a slowdown"],
-    );
-    for (scheme, label) in [
-        (TrainScheme::Baseline, "(a) baseline fair-share"),
-        (TrainScheme::PriorityOnly, "(b) naive priority"),
-        (TrainScheme::Fixed, "(c) fixed deferral"),
-        (
-            TrainScheme::PriorityPartition,
-            "(d) priority + partitioning",
-        ),
-    ] {
-        let m = run_train_step(&cost, &topo, batch, scheme, 5).metrics;
-        let mean_a2a: f64 = m.a2a_bwd_times.iter().map(|d| d.as_secs_f64()).sum::<f64>()
-            / m.a2a_bwd_times.len().max(1) as f64;
-        let mean_slow: f64 =
-            m.a2a_bwd_slowdowns.iter().sum::<f64>() / m.a2a_bwd_slowdowns.len().max(1) as f64;
-        table.row(&[
-            label.into(),
-            format_secs(m.step_time.as_secs_f64()),
-            format_secs(mean_a2a),
-            format!("{mean_slow:.2}x"),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper's case study (Figure 7): naive priority can be no better than\n\
-         the baseline because a launched allreduce cannot be preempted, and\n\
-         fixed deferral helps but cannot opportunistically use the gaps; the\n\
-         paper's oracle (d) needs exact arrival/running times. Partitioned\n\
-         micro-ops (Lina, Figure 8) approach the oracle without that\n\
-         knowledge."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,42 +1,7 @@
-//! Figure 9: the cross-layer expert-selection pattern — the fraction of
-//! tokens that, having shared an expert at layer i, select one of their
-//! group's top-k experts at layer i+1 (paper: 41.94% at k=1, 54.59% at
-//! k=2, increasing with depth).
-
-use lina_bench as bench;
-use lina_simcore::{format_pct, Table};
-use lina_workload::{mean_pattern_ratio, pattern_ratio, Mode, TokenSource, WorkloadSpec};
+//! Thin wrapper: runs the `fig9_pattern` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/fig9_pattern.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Figure 9",
-        "token-level expert-selection pattern across layers",
-    );
-    for (name, spec) in [
-        ("Transformer-XL / enwik8", WorkloadSpec::enwik8(12, 12)),
-        ("BERT-Large / WMT En-De", WorkloadSpec::wmt_en_de(12, 12)),
-    ] {
-        let mut src = TokenSource::new(&spec, 1, 909);
-        let batch = src.sample_batch(12, 4096, Mode::Inference);
-        let mut table = Table::new(
-            format!("{name} (12 experts, 12 layers)"),
-            &["layer i", "k=1", "k=2", "k=3"],
-        );
-        for layer in 0..11 {
-            table.row(&[
-                format!("{layer}"),
-                format_pct(pattern_ratio(&batch, layer, 1)),
-                format_pct(pattern_ratio(&batch, layer, 2)),
-                format_pct(pattern_ratio(&batch, layer, 3)),
-            ]);
-        }
-        println!("{}", table.render());
-        println!(
-            "mean over layers: k=1 {}, k=2 {}, k=3 {}\n",
-            format_pct(mean_pattern_ratio(&batch, 1)),
-            format_pct(mean_pattern_ratio(&batch, 2)),
-            format_pct(mean_pattern_ratio(&batch, 3)),
-        );
-    }
-    println!("paper: 41.94% at k=1 and 54.59% at k=2, higher in deeper layers.");
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

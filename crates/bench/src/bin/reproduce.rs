@@ -1,64 +1,170 @@
-//! Runs the entire evaluation — every table and figure binary — in
-//! paper order. Useful for regenerating `EXPERIMENTS.md`'s measured
-//! column in one go:
+//! Runs the entire evaluation — every registered table and figure
+//! scenario — in paper order, in-process, with optional parallelism
+//! and a machine-readable summary:
 //!
 //! ```text
-//! cargo run --release -p lina-bench --bin reproduce
+//! cargo run --release -p lina-bench --bin reproduce -- [flags]
+//!
+//!   --list            print the registry (id, paper ref, description)
+//!   --only <id>       run only this scenario (repeatable)
+//!   --tier smoke|full experiment sizes (default: full)
+//!   --threads <N>     worker threads (default: available parallelism)
+//!   --json <path>     write a consolidated bench_summary.json
 //! ```
 //!
-//! Scale knobs: `LINA_STEPS`, `LINA_BATCHES`, `LINA_TOKENS`.
+//! Full-tier scale knobs: `LINA_STEPS`, `LINA_BATCHES`, `LINA_TOKENS`,
+//! `LINA_REQUESTS`.
 
-use std::process::Command;
+use std::time::Instant;
 
-const BINARIES: &[&str] = &[
-    "table1",
-    "fig2_timeline",
-    "fig3_slowdown_cdf",
-    "fig4_expert_sweep",
-    "fig5_backward_timeline",
-    "fig6_popularity",
-    "fig7_schedules",
-    "fig8_microops",
-    "fig9_pattern",
-    "table2",
-    "fig10_step_speedup",
-    "fig11_12_layer_speedup",
-    "fig13_a2a_speedup",
-    "table3",
-    "table4",
-    "fig14_ablation",
-    "fig15_partition_size",
-    "fig16_inference",
-    "fig17_layer_time",
-    "fig18_a2a_tail",
-    "fig19_accuracy",
-    "table5",
-    "table6",
-];
+use lina_bench::{Scenario, ScenarioCtx, Tier, REGISTRY};
+use lina_runner::sweep::{default_threads, parallel_map};
+use lina_simcore::{Json, Report};
 
-fn main() {
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("exe directory").to_path_buf();
-    let start = std::time::Instant::now();
-    let mut failures = Vec::new();
-    for bin in BINARIES {
-        println!("\n################ {bin} ################\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            failures.push(*bin);
+struct Args {
+    list: bool,
+    only: Vec<String>,
+    tier: Tier,
+    threads: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        only: Vec::new(),
+        tier: Tier::Full,
+        threads: default_threads(),
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--only" => {
+                let id = it.next().ok_or("--only needs a scenario id")?;
+                if lina_bench::find(&id).is_none() {
+                    return Err(format!(
+                        "unknown scenario id {id:?}; use --list to see the registry"
+                    ));
+                }
+                args.only.push(id);
+            }
+            "--tier" => {
+                let t = it.next().ok_or("--tier needs smoke|full")?;
+                args.tier =
+                    Tier::parse(&t).ok_or_else(|| format!("unknown tier {t:?} (smoke|full)"))?;
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                args.threads = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad thread count {n:?}"))?
+                    .max(1);
+            }
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    println!("\n================================================================");
-    if failures.is_empty() {
-        println!(
-            "all {} experiments completed in {:.0?}",
-            BINARIES.len(),
-            start.elapsed()
-        );
+    Ok(args)
+}
+
+fn print_list() {
+    let mut table = lina_simcore::Table::new(
+        "registered scenarios (run one with --only <id>)",
+        &["id", "paper ref", "description"],
+    );
+    for s in REGISTRY {
+        table.row(&[s.id.into(), s.paper_ref.into(), s.description.into()]);
+    }
+    print!("{}", table.render());
+}
+
+fn summary_json(
+    tier: Tier,
+    threads: usize,
+    wall_secs: f64,
+    runs: &[(&'static Scenario, Report, f64)],
+) -> Json {
+    let scenarios = runs
+        .iter()
+        .map(|(s, report, secs)| {
+            let mut fields = vec![
+                ("id".to_string(), Json::str(s.id)),
+                ("paper_ref".to_string(), Json::str(s.paper_ref)),
+                ("description".to_string(), Json::str(s.description)),
+                ("wall_secs".to_string(), Json::Num(*secs)),
+            ];
+            match report.to_json() {
+                Json::Obj(inner) => fields.extend(inner),
+                other => fields.push(("report".to_string(), other)),
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema_version", Json::Num(1.0)),
+        ("tier", Json::str(tier.name())),
+        ("threads", Json::Num(threads as f64)),
+        ("wall_secs", Json::Num(wall_secs)),
+        ("scenarios", Json::Arr(scenarios)),
+    ])
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("reproduce: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        print_list();
+        return;
+    }
+    let selected: Vec<&'static Scenario> = if args.only.is_empty() {
+        REGISTRY.iter().collect()
     } else {
-        println!("FAILED experiments: {failures:?}");
-        std::process::exit(1);
+        // Keep registry (paper) order even when --only flags are
+        // given out of order.
+        REGISTRY
+            .iter()
+            .filter(|s| args.only.iter().any(|id| id == s.id))
+            .collect()
+    };
+    let ctx = ScenarioCtx::for_tier(args.tier);
+    let start = Instant::now();
+    let reports = parallel_map(&selected, args.threads, |s| {
+        let t0 = Instant::now();
+        let report = (s.run)(&ctx);
+        (report, t0.elapsed().as_secs_f64())
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let runs: Vec<(&'static Scenario, Report, f64)> = selected
+        .iter()
+        .zip(reports)
+        .map(|(s, (report, secs))| (*s, report, secs))
+        .collect();
+    for (s, report, _) in &runs {
+        println!("\n################ {} ################\n", s.id);
+        lina_bench::banner(s.paper_ref, s.description);
+        print!("{}", report.render());
+    }
+    println!("\n================================================================");
+    println!(
+        "{} scenario(s) completed at tier {} in {wall_secs:.1}s on {} thread(s)",
+        runs.len(),
+        args.tier.name(),
+        args.threads
+    );
+    if let Some(path) = &args.json {
+        let json = summary_json(args.tier, args.threads, wall_secs, &runs);
+        if let Err(e) = std::fs::write(path, json.render_pretty()) {
+            eprintln!("reproduce: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
     }
 }

@@ -1,110 +1,7 @@
-//! Serving load sweep: latency–throughput curves for the open-loop
-//! serving subsystem (`lina-serve`), sweeping offered load from
-//! underload to past saturation of the static baseline.
-//!
-//! At each load point every scheme serves the *same* arrival trace
-//! (same seed), so the comparison isolates the placement policy: the
-//! baseline's skew-inflated service times compound through the queue,
-//! while Lina's estimation-based re-placement keeps batches short and
-//! the queue drained. Requests drift in topic popularity over the run
-//! and Lina re-profiles its estimator online.
-//!
-//! Environment knobs: `LINA_REQUESTS` (default 256) requests per run.
-
-use lina_baselines::InferScheme;
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_serve::{serve, ArrivalProcess, BatcherConfig, ServeConfig, ServeEngine};
-use lina_simcore::{SimDuration, Table};
-
-fn config(scheme: InferScheme, rate: f64, n_requests: usize) -> ServeConfig {
-    ServeConfig {
-        scheme,
-        top_k: 1,
-        path_length: 3,
-        max_experts_per_device: 2,
-        arrival: ArrivalProcess::Poisson { rate },
-        batcher: BatcherConfig {
-            max_batch_requests: 4,
-            max_wait: SimDuration::from_millis(4),
-        },
-        slo: SimDuration::from_millis(60),
-        n_requests,
-        tokens_per_request: 8192,
-        drift_period: Some((n_requests / 4).max(1)),
-        reestimate_every: Some(8),
-        reestimate_window: 16,
-        seed: 0x10AD,
-    }
-}
+//! Thin wrapper: runs the `serve_load_sweep` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/serve_load_sweep.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Serving sweep",
-        "open-loop latency vs offered load (Transformer-XL, 16 experts)",
-    );
-    let n_requests = bench::requests();
-    let experts = 16;
-    let model = MoeModelConfig::transformer_xl(12, experts);
-    let topo = bench::topo(experts);
-    let cost = bench::infer_cost(model.clone());
-    let spec = bench::workload_for(&model, experts, model.layers);
-
-    // Anchor the sweep on the static baseline's saturation rate.
-    let probe = ServeEngine::new(
-        &cost,
-        &topo,
-        &spec,
-        config(InferScheme::Baseline, 1.0, n_requests),
-    );
-    let capacity = probe.capacity();
-    println!(
-        "baseline capacity ~{capacity:.0} req/s (full batches back to back); \
-         {n_requests} requests per point\n"
-    );
-
-    let schemes = [
-        InferScheme::Baseline,
-        InferScheme::Lina,
-        InferScheme::LinaNoEstimation,
-        InferScheme::Ideal,
-    ];
-    for load in [0.3, 0.5, 0.7, 0.85, 1.0] {
-        let rate = load * capacity;
-        let mut table = Table::new(
-            format!(
-                "offered load {:.0}% of baseline capacity ({rate:.0} req/s)",
-                load * 100.0
-            ),
-            &[
-                "scheme",
-                "p50",
-                "p95",
-                "p99",
-                "SLO att.",
-                "throughput",
-                "goodput",
-            ],
-        );
-        for scheme in schemes {
-            let out = serve(&cost, &topo, &spec, config(scheme, rate, n_requests));
-            let r = out.report();
-            table.row(&[
-                scheme.name().into(),
-                r.p50.to_string(),
-                r.p95.to_string(),
-                r.p99.to_string(),
-                format!("{:.1}%", r.attainment * 100.0),
-                format!("{:.0} req/s", r.throughput),
-                format!("{:.0} req/s", r.goodput),
-            ]);
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "reading the sweep: at low load every scheme hides behind the\n\
-         batching timeout; as load approaches the baseline's saturation its\n\
-         skewed batches queue up and the tail explodes, while Lina's\n\
-         re-placed batches keep service times short enough to drain."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

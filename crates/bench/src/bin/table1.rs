@@ -1,122 +1,7 @@
-//! Table 1: all-to-all completion time and its share of step/batch
-//! time for Transformer-XL at 12/24/36 layers and 4/16 experts.
-
-use lina_baselines::{InferScheme, TrainScheme};
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_runner::inference::{run_inference_batches, InferenceConfig};
-use lina_runner::train::run_train_steps;
-use lina_simcore::{format_pct, format_secs, Table};
+//! Thin wrapper: runs the `table1` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/table1.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Table 1",
-        "all-to-all completion time and ratio (training & inference)",
-    );
-    let mut table = Table::new(
-        "Transformer-XL, baseline (DeepSpeed-like) system",
-        &[
-            "experts",
-            "layers",
-            "params",
-            "train a2a",
-            "train ratio",
-            "infer a2a",
-            "infer ratio",
-        ],
-    );
-    // Paper-reported values for the shape comparison.
-    let paper = [
-        (4, 12, "259ms", "36.7%", "73ms", "27.4%"),
-        (4, 24, "589ms", "35.4%", "103ms", "26.2%"),
-        (4, 36, "979ms", "38.2%", "153ms", "28.3%"),
-        (16, 12, "333ms", "39.5%", "102ms", "32.5%"),
-        (16, 24, "715ms", "37.6%", "177ms", "31.7%"),
-        (16, 36, "1145ms", "36.8%", "243ms", "27.4%"),
-    ];
-    let steps = bench::steps().min(5);
-    for experts in [4usize, 16] {
-        for layers in [12usize, 24, 36] {
-            let model = MoeModelConfig::transformer_xl(layers, experts);
-            let topo = bench::topo(experts);
-            let params = model.total_params() as f64 / 1e6;
-
-            // Training.
-            let cost = bench::train_cost(model.clone());
-            let batch = bench::train_batch(&model);
-            let metrics = run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, steps, 7);
-            let a2a: f64 = metrics
-                .iter()
-                .map(|m| m.a2a_total.as_secs_f64())
-                .sum::<f64>()
-                / metrics.len() as f64;
-            let step: f64 = metrics
-                .iter()
-                .map(|m| m.step_time.as_secs_f64())
-                .sum::<f64>()
-                / metrics.len() as f64;
-
-            // Inference (same batch size, per the paper's note).
-            let icost = bench::infer_cost(model.clone());
-            let spec = bench::workload_for(&model, experts, layers);
-            let setup = bench::inference_setup(
-                &spec,
-                experts,
-                3,
-                bench::batches().min(6),
-                batch.tokens_per_device(),
-            );
-            let mut summary = run_inference_batches(
-                &icost,
-                &topo,
-                &InferenceConfig {
-                    scheme: InferScheme::Baseline,
-                    top_k: 1,
-                },
-                None,
-                &setup.batches,
-            );
-            let infer_total = summary.totals.median();
-            let infer_a2a = summary.a2a_times.sum();
-            let infer_a2a_per_batch = infer_a2a / setup.batches.len() as f64;
-
-            table.row(&[
-                experts.to_string(),
-                layers.to_string(),
-                format!("{params:.0}M"),
-                format_secs(a2a),
-                format_pct(a2a / step),
-                format_secs(infer_a2a_per_batch),
-                format_pct(infer_a2a_per_batch / infer_total),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-
-    let mut ptable = Table::new(
-        "paper-reported values",
-        &[
-            "experts",
-            "layers",
-            "train a2a",
-            "ratio",
-            "infer a2a",
-            "ratio",
-        ],
-    );
-    for (e, l, ta, tr, ia, ir) in paper {
-        ptable.row(&[
-            e.to_string(),
-            l.to_string(),
-            ta.into(),
-            tr.into(),
-            ia.into(),
-            ir.into(),
-        ]);
-    }
-    println!("{}", ptable.render());
-    println!(
-        "shape check: all-to-all is a consistent ~25-45% of both training and\n\
-         inference time, growing with layer count and expert count."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,42 +1,7 @@
-//! Table 2: the top-4 popular experts of sampled MoE layers differ
-//! completely across layers of the same model.
-
-use lina_bench as bench;
-use lina_simcore::Table;
-use lina_workload::{top_experts, Mode, TokenSource, WorkloadSpec};
+//! Thin wrapper: runs the `table2` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/table2.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Table 2",
-        "top-4 popular experts per layer (12-expert inference)",
-    );
-    for (name, spec) in [
-        (
-            "Transformer-XL & enwik8 (text generation)",
-            WorkloadSpec::enwik8(12, 12),
-        ),
-        (
-            "BERT-Large & WMT En-De (translation)",
-            WorkloadSpec::wmt_en_de(12, 12),
-        ),
-    ] {
-        let mut src = TokenSource::new(&spec, 1, 22);
-        let batch = src.sample_batch(12, 4096, Mode::Inference);
-        let mut table = Table::new(name, &["layer", "top-1", "top-2", "top-3", "top-4"]);
-        for layer in [3usize, 4, 8, 11] {
-            let top = top_experts(&batch, layer, 4);
-            table.row(&[
-                layer.to_string(),
-                top[0].to_string(),
-                top[1].to_string(),
-                top[2].to_string(),
-                top[3].to_string(),
-            ]);
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "paper's observation: every sampled layer has a different top-4 set,\n\
-         so resource scheduling must be per-layer."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

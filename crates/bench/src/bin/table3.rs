@@ -1,60 +1,7 @@
-//! Table 3: pipelining efficiency with and without expert packing
-//! (paper, 16-expert: 33-36% without packing, 79-86% with).
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_runner::train::run_train_steps;
-use lina_simcore::{format_pct, Table};
+//! Thin wrapper: runs the `table3` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/table3.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Table 3",
-        "pipelining efficiency with/without expert packing",
-    );
-    let experts = 16usize;
-    let steps = bench::steps().min(5);
-    let mut table = Table::new(
-        "16-expert models",
-        &[
-            "model",
-            "w/o packing",
-            "w/ packing",
-            "experts/device",
-            "paper w/o",
-            "paper w/",
-        ],
-    );
-    let paper = [
-        ("Transformer-XL", "33%", "86%"),
-        ("GPT-2", "36%", "85%"),
-        ("BERT2GPT2", "34%", "79%"),
-    ];
-    for (model, (_, pwo, pw)) in bench::training_models(experts).into_iter().zip(paper) {
-        let topo = bench::topo(experts);
-        let cost = bench::train_cost(model.clone());
-        let batch = bench::train_batch(&model);
-        let pipeline_eff = |scheme| -> f64 {
-            let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 141);
-            ms.iter().map(|m| m.pipelining_efficiency).sum::<f64>() / ms.len() as f64
-        };
-        let without = pipeline_eff(TrainScheme::LinaNoPack);
-        let packing = bench::paper_packing(&model);
-        let with = pipeline_eff(TrainScheme::Lina {
-            experts_per_device: packing,
-        });
-        table.row(&[
-            model.name.clone(),
-            format_pct(without),
-            format_pct(with),
-            packing.to_string(),
-            pwo.into(),
-            pw.into(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "pipelining efficiency = fraction of all-to-all time during which the\n\
-         same device's compute stream is busy. Packing lengthens the expert\n\
-         FFN micro-op towards the all-to-all micro-op, filling the pipeline."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

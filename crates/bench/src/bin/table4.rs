@@ -1,120 +1,7 @@
-//! Table 4: average GPU utilization and peak memory usage of
-//! 16-expert models under Baseline and Lina (paper: utilization
-//! 62-66% -> 78-83%; packing pushes Transformer-XL/GPT-2 into
-//! DRAM-offloading).
-
-use lina_baselines::TrainScheme;
-use lina_bench as bench;
-use lina_core::PackingController;
-use lina_model::MoeModelConfig;
-use lina_runner::train::run_train_steps;
-use lina_simcore::{format_pct, Table};
-
-/// Analytic peak memory: parameters + gradients + optimizer state for
-/// everything resident, plus activation working set for the batch.
-fn peak_memory_fraction(
-    model: &MoeModelConfig,
-    experts_per_device: usize,
-    tokens: usize,
-    capacity: f64,
-) -> f64 {
-    let resident_params = (model.non_expert_params()
-        + model.layers * model.expert_params() * experts_per_device)
-        as f64
-        * model.dtype_bytes as f64;
-    // fp16 params + fp16 grads + fp32 optimizer moments ~ 6x params.
-    let states = 3.0 * resident_params;
-    // Activations: ~20 tensors of (tokens x hidden) per layer retained
-    // for backward.
-    let activations = (tokens * model.hidden * model.dtype_bytes * 20 * model.layers) as f64;
-    ((states + activations) / capacity).min(1.0)
-}
+//! Thin wrapper: runs the `table4` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/table4.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Table 4",
-        "GPU utilization and peak memory (16-expert models)",
-    );
-    let experts = 16usize;
-    let steps = bench::steps().min(5);
-    let paper = [
-        ("Transformer-XL", "66.2%", "83.4%", "72.1%", "100%", "yes"),
-        ("GPT-2", "62.3%", "78.2%", "83.8%", "100%", "yes"),
-        ("BERT2GPT2", "63.5%", "82.5%", "74.3%", "94.2%", "no"),
-    ];
-    let mut table = Table::new(
-        "measured",
-        &[
-            "model",
-            "util base",
-            "util lina",
-            "mem base",
-            "mem lina",
-            "offload",
-        ],
-    );
-    let mut ptable = Table::new(
-        "paper",
-        &[
-            "model",
-            "util base",
-            "util lina",
-            "mem base",
-            "mem lina",
-            "offload",
-        ],
-    );
-    for (model, p) in bench::training_models(experts).into_iter().zip(paper) {
-        let topo = bench::topo(experts);
-        let cost = bench::train_cost(model.clone());
-        let batch = bench::train_batch(&model);
-        let util = |scheme| -> f64 {
-            let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 151);
-            ms.iter().map(|m| m.compute_util).sum::<f64>() / ms.len() as f64
-        };
-        let base_util = util(TrainScheme::Baseline);
-        let packing = bench::paper_packing(&model);
-        let lina_util = util(TrainScheme::Lina {
-            experts_per_device: packing,
-        });
-        let cap = topo.spec().device_memory;
-        let tokens = batch.tokens_per_device();
-        let mem_base = peak_memory_fraction(&model, 1, tokens, cap);
-        let mem_lina = peak_memory_fraction(&model, packing, tokens, cap);
-        // The packing controller's own memory check decides offloading.
-        let mut ctrl = PackingController::new(experts);
-        for _ in 0..packing.trailing_zeros() {
-            ctrl.decide(lina_core::PackingObservation {
-                ffn_micro: lina_simcore::SimDuration::from_micros(1),
-                a2a_micro: lina_simcore::SimDuration::from_micros(1000),
-            });
-        }
-        let plan = ctrl.plan(&cost, &topo);
-        table.row(&[
-            model.name.clone(),
-            format_pct(base_util),
-            format_pct(lina_util),
-            format_pct(mem_base),
-            format_pct(mem_lina),
-            if plan.dram_offloading || mem_lina >= 1.0 {
-                "yes".into()
-            } else {
-                "no".into()
-            },
-        ]);
-        ptable.row(&[
-            p.0.into(),
-            p.1.into(),
-            p.2.into(),
-            p.3.into(),
-            p.4.into(),
-            p.5.into(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("{}", ptable.render());
-    println!(
-        "paper: Lina raises average GPU utilization by ~17.6% absolute; expert\n\
-         packing raises peak memory (Transformer-XL/GPT-2 offload to DRAM)."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,67 +1,7 @@
-//! Table 5: impact of the sample-path length `l` on inference time,
-//! fine-tuning rate, and estimation accuracy (paper, l = 1/3/6:
-//! accuracy 31.6/60.4/71.4%, fine-tuning 76.5/25.7/22.5%, normalized
-//! median 1.41/1.16/1.19 for Transformer-XL).
-
-use lina_baselines::InferScheme;
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_runner::inference::{run_inference_batches, InferenceConfig};
-use lina_simcore::Table;
+//! Thin wrapper: runs the `table5` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/table5.rs` for the experiment body.
 
 fn main() {
-    bench::banner("Table 5", "sample-path length sweep (16-expert models)");
-    for model in [
-        MoeModelConfig::transformer_xl(12, 16),
-        MoeModelConfig::bert_large(16),
-    ] {
-        let experts = 16;
-        let topo = bench::topo(experts);
-        let cost = bench::infer_cost(model.clone());
-        let spec = bench::workload_for(&model, experts, model.layers);
-        let mut table = Table::new(
-            model.name.clone(),
-            &[
-                "path len",
-                "norm median",
-                "norm p95",
-                "fine-tune",
-                "accuracy",
-            ],
-        );
-        for l in [1usize, 3, 6] {
-            let setup = bench::inference_setup(
-                &spec,
-                experts,
-                l,
-                bench::batches(),
-                bench::tokens_per_device(),
-            );
-            let run = |scheme| {
-                run_inference_batches(
-                    &cost,
-                    &topo,
-                    &InferenceConfig { scheme, top_k: 1 },
-                    Some(&setup.scheduler),
-                    &setup.batches,
-                )
-            };
-            let mut ideal = run(InferScheme::Ideal);
-            let mut lina = run(InferScheme::Lina);
-            table.row(&[
-                l.to_string(),
-                format!("{:.2}", lina.totals.median() / ideal.totals.median()),
-                format!("{:.2}", lina.totals.p95() / ideal.totals.p95()),
-                bench::format_rate(lina.finetune_rate()),
-                bench::format_rate(lina.accuracy()),
-            ]);
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "paper (Transformer-XL): l=1 gives 31.6% accuracy and 76.5% fine-tune\n\
-         rate (normalized median 1.41); l=3 reaches 60.4% / 25.7% (1.16);\n\
-         l=6 improves accuracy further but starts scheduling later, so the\n\
-         end-to-end time does not improve."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

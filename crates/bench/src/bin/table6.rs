@@ -1,98 +1,7 @@
-//! Table 6: generalizability of the popularity estimation across tasks
-//! and datasets (paper: normalized 95%ile inference time 1.04-1.11 and
-//! estimation accuracy 62.3-68.8% with l = 3).
-
-use lina_baselines::InferScheme;
-use lina_bench as bench;
-use lina_model::MoeModelConfig;
-use lina_runner::inference::{run_inference_batches, InferenceConfig};
-use lina_simcore::Table;
-use lina_workload::WorkloadSpec;
+//! Thin wrapper: runs the `table6` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/table6.rs` for the experiment body.
 
 fn main() {
-    bench::banner(
-        "Table 6",
-        "generalizability across tasks and datasets (l = 3)",
-    );
-    let experts = 16usize;
-    let cases: [(&str, &str, WorkloadSpec, MoeModelConfig); 4] = [
-        (
-            "sentiment",
-            "IMDB reviews",
-            WorkloadSpec::imdb(experts, 12),
-            MoeModelConfig::bert_large(experts),
-        ),
-        (
-            "sentiment",
-            "Twitter",
-            WorkloadSpec::twitter(experts, 12),
-            MoeModelConfig::bert_large(experts),
-        ),
-        (
-            "translation",
-            "WMT French",
-            WorkloadSpec::wmt_fr(experts, 12),
-            MoeModelConfig::t5(experts),
-        ),
-        (
-            "translation",
-            "WMT Russian",
-            WorkloadSpec::wmt_ru(experts, 12),
-            MoeModelConfig::t5(experts),
-        ),
-    ];
-    let paper = [
-        ("1.08", "64.4%"),
-        ("1.11", "62.3%"),
-        ("1.04", "68.8%"),
-        ("1.08", "62.5%"),
-    ];
-    let mut table = Table::new(
-        "Lina vs Ideal per task",
-        &[
-            "task",
-            "dataset",
-            "model",
-            "norm p95",
-            "accuracy",
-            "paper p95",
-            "paper acc",
-        ],
-    );
-    for ((task, dataset, spec, model), (pp, pa)) in cases.into_iter().zip(paper) {
-        let topo = bench::topo(experts);
-        let cost = bench::infer_cost(model.clone());
-        let setup = bench::inference_setup(
-            &spec,
-            experts,
-            3,
-            bench::batches(),
-            bench::tokens_per_device(),
-        );
-        let run = |scheme| {
-            run_inference_batches(
-                &cost,
-                &topo,
-                &InferenceConfig { scheme, top_k: 1 },
-                Some(&setup.scheduler),
-                &setup.batches,
-            )
-        };
-        let mut ideal = run(InferScheme::Ideal);
-        let mut lina = run(InferScheme::Lina);
-        table.row(&[
-            task.into(),
-            dataset.into(),
-            model.name.clone(),
-            format!("{:.2}", lina.totals.p95() / ideal.totals.p95()),
-            bench::format_rate(lina.accuracy()),
-            pp.into(),
-            pa.into(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "paper's takeaway: the estimation approach transfers across tasks; it\n\
-         is profiled per task, so accuracy stays in a consistent band."
-    );
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
 }

@@ -1,12 +1,17 @@
 //! # lina-bench
 //!
-//! Shared setup for the benchmark binaries that regenerate every table
-//! and figure of the paper's evaluation (see `DESIGN.md` for the full
-//! experiment index). Each binary prints a plain-text table alongside
-//! the paper-reported values so the shape comparison is immediate.
+//! The declarative experiment layer that regenerates every table and
+//! figure of the paper's evaluation (see `DESIGN.md` §3 for the full
+//! index). Each experiment is a [`Scenario`] in the [`REGISTRY`]: a
+//! tier-sized function from a [`ScenarioCtx`] to a typed
+//! [`lina_simcore::Report`] (plain-text tables plus named metrics).
+//! The `reproduce` binary drives the whole registry — `--list`,
+//! `--only <id>`, `--tier smoke|full`, `--threads N`, `--json <path>`
+//! — and every historical per-figure binary remains as a thin wrapper
+//! over its registry entry, printing the same stdout as always.
 //!
-//! Experiment sizes default to quick-but-representative settings and
-//! scale up via environment variables:
+//! Full-tier experiment sizes default to quick-but-representative
+//! settings and scale up via environment variables:
 //!
 //! * `LINA_STEPS` — training steps per configuration (default 8),
 //! * `LINA_BATCHES` — inference batches per configuration (default 12),
@@ -14,6 +19,11 @@
 //! * `LINA_REQUESTS` — requests per serving run (default 256).
 
 #![warn(missing_docs)]
+
+pub mod scenario;
+pub mod scenarios;
+
+pub use scenario::{find, run_standalone, slug, Scenario, ScenarioCtx, Tier, REGISTRY};
 
 use lina_baselines::TrainScheme;
 use lina_core::{PopularityEstimator, TwoPhaseConfig, TwoPhaseScheduler};
@@ -123,7 +133,8 @@ pub struct InferenceSetup {
     pub batches: Vec<TokenBatch>,
 }
 
-/// Standard inference setup for a workload spec.
+/// Standard inference setup for a workload spec (12 profiling
+/// batches, the historical full-tier depth).
 pub fn inference_setup(
     spec: &WorkloadSpec,
     devices: usize,
@@ -131,8 +142,21 @@ pub fn inference_setup(
     n_batches: usize,
     tokens_per_dev: usize,
 ) -> InferenceSetup {
+    inference_setup_sized(spec, devices, path_length, n_batches, tokens_per_dev, 12)
+}
+
+/// Inference setup with an explicit profiling depth (the smoke tier
+/// profiles fewer batches).
+pub fn inference_setup_sized(
+    spec: &WorkloadSpec,
+    devices: usize,
+    path_length: usize,
+    n_batches: usize,
+    tokens_per_dev: usize,
+    profile_batches: usize,
+) -> InferenceSetup {
     let mut profile_src = TokenSource::new(spec, 1, 0xBEEF);
-    let profile: Vec<TokenBatch> = (0..12)
+    let profile: Vec<TokenBatch> = (0..profile_batches)
         .map(|_| profile_src.sample_batch(devices, 2048, Mode::Train))
         .collect();
     let estimator = PopularityEstimator::profile(&profile, path_length);

@@ -1,0 +1,84 @@
+//! Figures 11 & 12: MoE-layer forward/backward speedup of Lina over
+//! Baseline (paper: ~1.84x/2.41x at 2 experts, ~1.89x/2.32x at 8;
+//! backward gains exceed forward because the baseline's backward also
+//! suffers allreduce interference).
+
+use lina_baselines::TrainScheme;
+use lina_runner::train::run_train_steps;
+use lina_simcore::{format_secs, format_speedup, geomean, Report, Table};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let steps = ctx.steps;
+    let mut table = Table::new(
+        "mean MoE-layer time (gate..combine) and Lina's speedup",
+        &[
+            "model", "experts", "fwd base", "fwd lina", "fwd x", "bwd base", "bwd lina", "bwd x",
+        ],
+    );
+    let mut fwd_by_e: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut bwd_by_e: Vec<(usize, Vec<f64>)> = Vec::new();
+    for experts in ctx.pick(&[2usize, 4, 8, 16], &[16]) {
+        let mut fwd_speedups = Vec::new();
+        let mut bwd_speedups = Vec::new();
+        for model in ctx.training_models(experts) {
+            let topo = crate::topo(experts);
+            let cost = crate::train_cost(model.clone());
+            let batch = crate::train_batch(&model);
+            let layer_means = |scheme| {
+                let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 121);
+                let f = ms
+                    .iter()
+                    .map(|m| m.fwd_layer_time.as_secs_f64())
+                    .sum::<f64>()
+                    / ms.len() as f64;
+                let b = ms
+                    .iter()
+                    .map(|m| m.bwd_layer_time.as_secs_f64())
+                    .sum::<f64>()
+                    / ms.len() as f64;
+                (f, b)
+            };
+            let (fb, bb) = layer_means(TrainScheme::Baseline);
+            let (fl, bl) = layer_means(crate::lina_scheme(&model));
+            table.row(&[
+                model.name.clone(),
+                experts.to_string(),
+                format_secs(fb),
+                format_secs(fl),
+                format_speedup(fb / fl),
+                format_secs(bb),
+                format_secs(bl),
+                format_speedup(bb / bl),
+            ]);
+            fwd_speedups.push(fb / fl);
+            bwd_speedups.push(bb / bl);
+        }
+        fwd_by_e.push((experts, fwd_speedups));
+        bwd_by_e.push((experts, bwd_speedups));
+    }
+    report.table(table);
+    let mut avg = Table::new(
+        "average MoE-layer speedup",
+        &["experts", "forward", "backward"],
+    );
+    for ((e, f), (_, b)) in fwd_by_e.iter().zip(&bwd_by_e) {
+        report.metric_unit(format!("fwd_layer_speedup_{e}e"), geomean(f), "x");
+        report.metric_unit(format!("bwd_layer_speedup_{e}e"), geomean(b), "x");
+        avg.row(&[
+            e.to_string(),
+            format_speedup(geomean(f)),
+            format_speedup(geomean(b)),
+        ]);
+    }
+    report.table(avg);
+    report.text(
+        "paper: forward/backward 1.84x/2.41x (2 experts) and 1.89x/2.32x (8);\n\
+         backward exceeds forward because allreduce interference only exists\n\
+         in the backward pass.",
+    );
+    report
+}

@@ -1,0 +1,87 @@
+//! Figure 13: backward all-to-all completion-time speedup of Lina over
+//! Baseline (paper: 2.21x/2.39x/2.31x average at 4/8/16 experts —
+//! priority scheduling removes allreduce interference and packing
+//! shrinks transfers).
+
+use lina_baselines::TrainScheme;
+use lina_runner::train::run_train_steps;
+use lina_simcore::{format_secs, format_speedup, geomean, Report, Table};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let steps = ctx.steps;
+    let mut table = Table::new(
+        "mean backward all-to-all completion time",
+        &["model", "experts", "baseline", "lina", "speedup"],
+    );
+    let mut by_e: Vec<(usize, Vec<f64>)> = Vec::new();
+    for experts in ctx.pick(&[4usize, 8, 16], &[16]) {
+        let mut speedups = Vec::new();
+        for model in ctx.training_models(experts) {
+            let topo = crate::topo(experts);
+            let cost = crate::train_cost(model.clone());
+            let batch = crate::train_batch(&model);
+            let mean_bwd_a2a = |scheme| -> f64 {
+                let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 131);
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for m in &ms {
+                    for d in &m.a2a_bwd_times {
+                        sum += d.as_secs_f64();
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    0.0
+                } else {
+                    sum / n as f64
+                }
+            };
+            let base = mean_bwd_a2a(TrainScheme::Baseline);
+            let lina = mean_bwd_a2a(crate::lina_scheme(&model));
+            let speedup = if lina > 0.0 {
+                base / lina
+            } else {
+                f64::INFINITY
+            };
+            table.row(&[
+                model.name.clone(),
+                experts.to_string(),
+                format_secs(base),
+                if lina > 0.0 {
+                    format_secs(lina)
+                } else {
+                    "none".into()
+                },
+                format_speedup(speedup.min(99.0)),
+            ]);
+            if lina > 0.0 {
+                speedups.push(speedup);
+            }
+        }
+        by_e.push((experts, speedups));
+    }
+    report.table(table);
+    let mut avg = Table::new("average speedup", &["experts", "measured", "paper"]);
+    let paper = [(4usize, "2.21x"), (8, "2.39x"), (16, "2.31x")];
+    for (e, s) in &by_e {
+        let p = paper
+            .iter()
+            .find(|(pe, _)| pe == e)
+            .map(|(_, p)| *p)
+            .unwrap_or("-");
+        let g = if s.is_empty() {
+            f64::INFINITY
+        } else {
+            geomean(s)
+        };
+        report.metric_unit(format!("bwd_a2a_speedup_{e}e"), g.min(99.0), "x");
+        avg.row(&[e.to_string(), format_speedup(g.min(99.0)), p.into()]);
+    }
+    report.table(avg);
+    report.text("note: 'none' means packing made all all-to-all traffic local.");
+    report
+}

@@ -1,0 +1,61 @@
+//! Figure 14: communication-scheduler ablation — step-time speedup
+//! over Baseline when incrementally enabling priority scheduling,
+//! tensor partitioning, and pipelining, plus the fixed heuristic.
+
+use lina_baselines::TrainScheme;
+use lina_runner::train::run_train_steps;
+use lina_simcore::{format_speedup, geomean, Report, Table};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let steps = ctx.steps;
+    let mut table = Table::new(
+        "step-time speedup over Baseline (no expert packing anywhere)",
+        &[
+            "model",
+            "experts",
+            "fixed",
+            "priority",
+            "+partition",
+            "+pipeline (Lina)",
+        ],
+    );
+    let mut lina_speedups = Vec::new();
+    for experts in ctx.pick(&[2usize, 4, 8, 16], &[16]) {
+        for model in ctx.training_models(experts) {
+            let topo = crate::topo(experts);
+            let cost = crate::train_cost(model.clone());
+            let batch = crate::train_batch(&model);
+            let mean_step = |scheme| {
+                let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 161);
+                ms.iter().map(|m| m.step_time.as_secs_f64()).sum::<f64>() / ms.len() as f64
+            };
+            let base = mean_step(TrainScheme::Baseline);
+            let lina = base / mean_step(TrainScheme::LinaNoPack);
+            lina_speedups.push(lina);
+            table.row(&[
+                model.name.clone(),
+                experts.to_string(),
+                format_speedup(base / mean_step(TrainScheme::Fixed)),
+                format_speedup(base / mean_step(TrainScheme::PriorityOnly)),
+                format_speedup(base / mean_step(TrainScheme::PriorityPartition)),
+                format_speedup(lina),
+            ]);
+        }
+    }
+    report.table(table);
+    report.text(
+        "paper: priority alone gives ~10-30% (more at scale); partitioning\n\
+         lifts the total to ~1.36-1.42x; pipelining adds little without\n\
+         packing; the fixed heuristic gains least. In our fluid network\n\
+         model, naive priority cannot defer an allreduce that became ready\n\
+         in a compute gap (nothing to preempt), so its gain concentrates in\n\
+         the partitioned variants — the paper's GPT-2 column shows the same\n\
+         model-specific behaviour.",
+    );
+    report.metric_unit("lina_nopack_speedup_geomean", geomean(&lina_speedups), "x");
+    report
+}

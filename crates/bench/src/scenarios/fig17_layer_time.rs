@@ -1,0 +1,84 @@
+//! Figure 17: 95th-percentile MoE-layer time of Baseline vs Lina at
+//! 8 and 16 experts (paper: reduced 1.87x/1.77x for Transformer-XL and
+//! 1.58x/1.81x for BERT-Large).
+
+use lina_baselines::InferScheme;
+use lina_model::MoeModelConfig;
+use lina_runner::inference::{run_inference_batches, InferenceConfig};
+use lina_simcore::{format_secs, format_speedup, Report, Table};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let mut table = Table::new(
+        "per-layer (gate..combine) p95 across batches",
+        &[
+            "model",
+            "experts",
+            "baseline p95",
+            "lina p95",
+            "reduction",
+            "paper",
+        ],
+    );
+    let paper = [
+        ("Transformer-XL", 8usize, "1.87x"),
+        ("Transformer-XL", 16, "1.77x"),
+        ("BERT-Large", 8, "1.58x"),
+        ("BERT-Large", 16, "1.81x"),
+    ];
+    let ctors: Vec<fn(usize, usize) -> MoeModelConfig> = ctx.pick(
+        &[
+            MoeModelConfig::transformer_xl as fn(usize, usize) -> MoeModelConfig,
+            |_l, e| MoeModelConfig::bert_large(e),
+        ],
+        &[MoeModelConfig::transformer_xl as fn(usize, usize) -> MoeModelConfig],
+    );
+    for model_ctor in ctors {
+        for experts in ctx.pick(&[8usize, 16], &[16]) {
+            let model = model_ctor(12, experts);
+            let topo = crate::topo(experts);
+            let cost = crate::infer_cost(model.clone());
+            let spec = crate::workload_for(&model, experts, model.layers);
+            let setup = ctx.inference_setup(&spec, experts, 3);
+            let p95 = |scheme| {
+                let mut s = run_inference_batches(
+                    &cost,
+                    &topo,
+                    &InferenceConfig { scheme, top_k: 1 },
+                    Some(&setup.scheduler),
+                    &setup.batches,
+                );
+                s.layer_times.p95()
+            };
+            let base = p95(InferScheme::Baseline);
+            let lina = p95(InferScheme::Lina);
+            let reduction = if lina > 0.0 { base / lina } else { 0.0 };
+            let pref = paper
+                .iter()
+                .find(|(m, e, _)| model.name.starts_with(m) && *e == experts)
+                .map(|(_, _, p)| *p)
+                .unwrap_or("-");
+            report.metric_unit(
+                format!(
+                    "{}_p95_layer_reduction_{experts}e",
+                    crate::slug(&model.name)
+                ),
+                reduction,
+                "x",
+            );
+            table.row(&[
+                model.name.clone(),
+                experts.to_string(),
+                format_secs(base),
+                format_secs(lina),
+                format_speedup(reduction),
+                pref.into(),
+            ]);
+        }
+    }
+    report.table(table);
+    report
+}

@@ -1,0 +1,85 @@
+//! Figure 18: tail (95%ile) all-to-all time per layer in 16-expert
+//! inference, Baseline vs Lina (paper: average 1.96x, max 2.50x
+//! improvement — the direct indicator of balanced transfer sizes).
+
+use lina_baselines::InferScheme;
+use lina_model::MoeModelConfig;
+use lina_runner::inference::{run_inference_batch, InferenceConfig};
+use lina_simcore::{format_secs, format_speedup, Report, Samples, Table};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let models = ctx.pick(
+        &[
+            MoeModelConfig::transformer_xl(12, 16),
+            MoeModelConfig::bert_large(16),
+        ],
+        &[MoeModelConfig::transformer_xl(12, 16)],
+    );
+    for model in models {
+        let experts = 16;
+        let topo = crate::topo(experts);
+        let cost = crate::infer_cost(model.clone());
+        let spec = crate::workload_for(&model, experts, model.layers);
+        let setup = ctx.inference_setup(&spec, experts, 3);
+        // Per-layer p95 across batches.
+        let layer_p95 = |scheme| -> Vec<f64> {
+            let mut per_layer: Vec<Samples> = (0..model.layers).map(|_| Samples::new()).collect();
+            for batch in &setup.batches {
+                let r = run_inference_batch(
+                    &cost,
+                    &topo,
+                    &InferenceConfig { scheme, top_k: 1 },
+                    Some(&setup.scheduler),
+                    batch,
+                );
+                for (l, &t) in r.a2a_times.iter().enumerate() {
+                    per_layer[l].push_duration(t);
+                }
+            }
+            per_layer.iter_mut().map(|s| s.p95()).collect()
+        };
+        let base = layer_p95(InferScheme::Baseline);
+        let lina = layer_p95(InferScheme::Lina);
+        let mut table = Table::new(
+            format!("{} — per-layer all-to-all p95", model.name),
+            &["layer", "baseline", "lina", "improvement"],
+        );
+        let mut ratios = Vec::new();
+        for l in 0..model.layers {
+            let r = if lina[l] > 0.0 {
+                base[l] / lina[l]
+            } else {
+                f64::INFINITY
+            };
+            ratios.push(r);
+            table.row(&[
+                l.to_string(),
+                format_secs(base[l]),
+                format_secs(lina[l]),
+                format_speedup(r.min(99.0)),
+            ]);
+        }
+        report.table(table);
+        let finite: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
+        let avg = finite.iter().sum::<f64>() / finite.len().max(1) as f64;
+        let max = finite.iter().copied().fold(0.0, f64::max);
+        report.metric_unit(
+            format!("{}_a2a_tail_improvement_avg", crate::slug(&model.name)),
+            avg,
+            "x",
+        );
+        report.metric_unit(
+            format!("{}_a2a_tail_improvement_max", crate::slug(&model.name)),
+            max,
+            "x",
+        );
+        report.text(format!("average improvement {avg:.2}x, max {max:.2}x\n"));
+    }
+    report.text("paper: average 1.96x and maximum 2.50x over Baseline.");
+    report.text("note: Lina starts scheduling at layer l=3; earlier layers match Baseline.");
+    report
+}

@@ -1,0 +1,66 @@
+//! Figure 19: estimation accuracy per MoE layer in 16-expert inference
+//! (paper: 58.41% overall for Transformer-XL, 54.16% for BERT-Large,
+//! higher in later layers).
+
+use lina_core::PopularityEstimator;
+use lina_model::MoeModelConfig;
+use lina_simcore::{format_pct, Report, Table};
+use lina_workload::popularity;
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let models = ctx.pick(
+        &[
+            MoeModelConfig::transformer_xl(12, 16),
+            MoeModelConfig::bert_large(16),
+        ],
+        &[MoeModelConfig::transformer_xl(12, 16)],
+    );
+    for model in models {
+        let experts = 16;
+        let spec = crate::workload_for(&model, experts, model.layers);
+        let setup = ctx.inference_setup_with(
+            &spec,
+            experts,
+            3,
+            ctx.batches,
+            ctx.tokens_per_device.min(4096),
+        );
+        let est = setup.scheduler.estimator();
+        let mut table = Table::new(
+            format!("{} — per-layer accuracy (top-2 set match)", model.name),
+            &["layer", "accuracy"],
+        );
+        let mut hits_total = 0usize;
+        let mut n_total = 0usize;
+        for next_layer in est.path_length()..model.layers {
+            let mut hits = 0usize;
+            let mut n = 0usize;
+            for batch in &setup.batches {
+                let estimated = est.estimate_popularity(&batch.tokens, next_layer - 1, 1);
+                let actual = popularity(batch, next_layer);
+                if PopularityEstimator::estimate_matches(&estimated, &actual, 2) {
+                    hits += 1;
+                }
+                n += 1;
+            }
+            table.row(&[next_layer.to_string(), format_pct(hits as f64 / n as f64)]);
+            hits_total += hits;
+            n_total += n;
+        }
+        let overall = hits_total as f64 / n_total.max(1) as f64;
+        report.table(table);
+        report.text(format!("overall accuracy: {}\n", format_pct(overall)));
+        report.metric_unit(
+            format!("{}_estimation_accuracy", crate::slug(&model.name)),
+            overall,
+            "frac",
+        );
+    }
+    report.text("paper: 58.41% (Transformer-XL) and 54.16% (BERT-Large) overall;");
+    report.text("       deeper layers estimate better (consistent with Figure 9).");
+    report
+}

@@ -1,0 +1,67 @@
+//! Figure 3: CDF of how much a backward-pass all-to-all is prolonged
+//! when it overlaps with an allreduce (paper: median 1.83x, max 4.14x).
+
+use lina_baselines::TrainScheme;
+use lina_runner::train::run_train_steps;
+use lina_simcore::{Report, Samples, Table};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    // Pool backward all-to-alls across the paper's training roster.
+    let mut slowdowns = Samples::new();
+    let mut overlapped_count = 0usize;
+    let mut total_count = 0usize;
+    for experts in ctx.pick(&[8usize, 16], &[16]) {
+        for model in ctx.training_models(experts) {
+            let topo = crate::topo(experts);
+            let cost = crate::train_cost(model.clone());
+            let batch = crate::train_batch(&model);
+            let metrics =
+                run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, ctx.steps, 23);
+            for m in &metrics {
+                for (s, &o) in m.a2a_bwd_slowdowns.iter().zip(&m.a2a_bwd_overlapped) {
+                    total_count += 1;
+                    if o {
+                        overlapped_count += 1;
+                        slowdowns.push(*s);
+                    }
+                }
+            }
+        }
+    }
+    report.text(format!(
+        "{} backward all-to-all ops observed; {} ({:.1}%) overlapped an allreduce\n",
+        total_count,
+        overlapped_count,
+        100.0 * overlapped_count as f64 / total_count.max(1) as f64
+    ));
+    let mut table = Table::new(
+        "slowdown CDF (conditioned on overlap)",
+        &["percentile", "slowdown"],
+    );
+    for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+        table.row(&[
+            format!("p{p:.0}"),
+            format!("{:.2}x", slowdowns.percentile(p)),
+        ]);
+    }
+    report.table(table);
+    report.text(format!(
+        "measured: median {:.2}x, mean {:.2}x, max {:.2}x",
+        slowdowns.median(),
+        slowdowns.mean(),
+        slowdowns.max()
+    ));
+    report.text("paper:    median 1.83x, worst 4.14x");
+    report.metric_unit(
+        "overlapped_fraction",
+        overlapped_count as f64 / total_count.max(1) as f64,
+        "frac",
+    );
+    report.metric_unit("slowdown_median", slowdowns.median(), "x");
+    report.metric_unit("slowdown_max", slowdowns.max(), "x");
+    report
+}

@@ -1,0 +1,69 @@
+//! Figure 8: micro-op scheduling — tensor partitioning lets allreduce
+//! micro-ops fill the gaps between all-to-all operations, and
+//! partitioned all-to-all pipelines with the expert FFN.
+
+use lina_baselines::TrainScheme;
+use lina_model::{CommClass, MoeModelConfig, OpKind};
+use lina_runner::train::run_train_step;
+use lina_simcore::{format_pct, format_secs, Report, SimTime};
+
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(_ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let model = MoeModelConfig::gpt2(16);
+    let topo = crate::topo(16);
+    let cost = crate::train_cost(model.clone());
+    let batch = crate::train_batch(&model);
+
+    let base = run_train_step(&cost, &topo, batch, TrainScheme::Baseline, 5);
+    let lina = run_train_step(&cost, &topo, batch, TrainScheme::LinaNoPack, 5);
+
+    report.text(format!(
+        "baseline step {} -> Lina (priority + partitioning + pipelining) step {}\n",
+        format_secs(base.metrics.step_time.as_secs_f64()),
+        format_secs(lina.metrics.step_time.as_secs_f64()),
+    ));
+    report.text(format!(
+        "pipelining efficiency: baseline {} -> Lina {}",
+        format_pct(base.metrics.pipelining_efficiency),
+        format_pct(lina.metrics.pipelining_efficiency),
+    ));
+    report.metric_unit(
+        "step_speedup",
+        base.metrics.step_time.as_secs_f64() / lina.metrics.step_time.as_secs_f64(),
+        "x",
+    );
+    report.metric_unit(
+        "lina_pipelining_efficiency",
+        lina.metrics.pipelining_efficiency,
+        "frac",
+    );
+
+    // Render the window around a backward MoE layer of the Lina run to
+    // show micro-ops interleaving (Figure 8a/8b).
+    let mut lo = SimTime::MAX;
+    let mut hi = SimTime::ZERO;
+    for (i, op) in lina.graph.ops().iter().enumerate() {
+        if op.layer == Some(6) && op.backward {
+            if let OpKind::Comm { meta, .. } = &op.kind {
+                if meta.class == CommClass::AllToAll {
+                    let (s, e) = lina.exec.window(lina_model::OpId(i as u32));
+                    lo = lo.min(s);
+                    hi = hi.max(e);
+                }
+            }
+        }
+    }
+    let pad = (hi - lo) / 3;
+    report.text("\nLina backward pass around layer 6 (micro-ops visible):");
+    report.text(lina.exec.timeline.render_ascii(lo - pad, hi + pad, 110));
+    report.text("glyphs: A attention, G gate, # all-to-all, F expert FFN, C combine, = allreduce");
+    report.text(
+        "\npaper (Figure 8a): with 30 MB partitions, allreduce micro-ops run in\n\
+         the gaps and finish 21.7% earlier without prolonging all-to-all;\n\
+         (8b): FFN chunks start after each all-to-all micro-op.",
+    );
+    report
+}

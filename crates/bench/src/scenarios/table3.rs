@@ -1,0 +1,71 @@
+//! Table 3: pipelining efficiency with and without expert packing
+//! (paper, 16-expert: 33-36% without packing, 79-86% with).
+
+use lina_baselines::TrainScheme;
+use lina_runner::train::run_train_steps;
+use lina_simcore::{format_pct, Report, Table};
+
+use super::mean;
+use crate::ScenarioCtx;
+
+/// Runs the experiment.
+pub fn run(ctx: &ScenarioCtx) -> Report {
+    let mut report = Report::new();
+    let experts = 16usize;
+    let steps = ctx.steps.min(5);
+    let mut table = Table::new(
+        "16-expert models",
+        &[
+            "model",
+            "w/o packing",
+            "w/ packing",
+            "experts/device",
+            "paper w/o",
+            "paper w/",
+        ],
+    );
+    let paper = [
+        ("Transformer-XL", "33%", "86%"),
+        ("GPT-2", "36%", "85%"),
+        ("BERT2GPT2", "34%", "79%"),
+    ];
+    let mut effs_without = Vec::new();
+    let mut effs_with = Vec::new();
+    for (model, (_, pwo, pw)) in ctx.training_models(experts).into_iter().zip(paper) {
+        let topo = crate::topo(experts);
+        let cost = crate::train_cost(model.clone());
+        let batch = crate::train_batch(&model);
+        let pipeline_eff = |scheme| -> f64 {
+            let ms = run_train_steps(&cost, &topo, batch, scheme, steps, 141);
+            ms.iter().map(|m| m.pipelining_efficiency).sum::<f64>() / ms.len() as f64
+        };
+        let without = pipeline_eff(TrainScheme::LinaNoPack);
+        let packing = crate::paper_packing(&model);
+        let with = pipeline_eff(TrainScheme::Lina {
+            experts_per_device: packing,
+        });
+        effs_without.push(without);
+        effs_with.push(with);
+        table.row(&[
+            model.name.clone(),
+            format_pct(without),
+            format_pct(with),
+            packing.to_string(),
+            pwo.into(),
+            pw.into(),
+        ]);
+    }
+    report.table(table);
+    report.text(
+        "pipelining efficiency = fraction of all-to-all time during which the\n\
+         same device's compute stream is busy. Packing lengthens the expert\n\
+         FFN micro-op towards the all-to-all micro-op, filling the pipeline.",
+    );
+    report.metric_unit(
+        "pipelining_eff_without_packing",
+        mean(&effs_without),
+        "frac",
+    );
+    report.metric_unit("pipelining_eff_with_packing", mean(&effs_with), "frac");
+    report
+}

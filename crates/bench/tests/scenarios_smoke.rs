@@ -1,0 +1,54 @@
+//! Smoke-tier integration test: every registered scenario must run,
+//! produce a non-empty report with at least one named metric, and be
+//! deterministic across repeated runs.
+
+use lina_bench::{ScenarioCtx, REGISTRY};
+
+#[test]
+fn registry_is_nonempty_and_ids_unique() {
+    assert!(!REGISTRY.is_empty());
+    let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    let n = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate scenario ids in registry");
+}
+
+#[test]
+fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
+    let ctx = ScenarioCtx::smoke();
+    for scenario in REGISTRY {
+        let first = (scenario.run)(&ctx);
+        assert!(
+            !first.is_empty(),
+            "scenario {} produced an empty report",
+            scenario.id
+        );
+        assert!(
+            !first.metrics().is_empty(),
+            "scenario {} produced no named metrics",
+            scenario.id
+        );
+        for m in first.metrics() {
+            assert!(
+                m.value.is_finite(),
+                "scenario {} metric {} is not finite",
+                scenario.id,
+                m.name
+            );
+        }
+        let second = (scenario.run)(&ctx);
+        assert_eq!(
+            first.render(),
+            second.render(),
+            "scenario {} rendered output is nondeterministic",
+            scenario.id
+        );
+        assert_eq!(
+            first.to_json().render_compact(),
+            second.to_json().render_compact(),
+            "scenario {} JSON report is nondeterministic",
+            scenario.id
+        );
+    }
+}

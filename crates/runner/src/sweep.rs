@@ -6,6 +6,7 @@
 //! and results return in input order regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Maps `f` over `items` using up to `threads` worker threads,
 /// preserving input order in the output. With `threads <= 1` this
@@ -23,23 +24,32 @@ where
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
+    // Workers pull the next unclaimed index and send back
+    // index-stamped results; stamping makes output order independent
+    // of completion order.
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
+                // The receiver outlives the scope, so send only fails
+                // if it was dropped early — which cannot happen here.
+                let _ = tx.send((i, r));
             });
         }
     });
-    drop(slots);
+    drop(tx);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
     results
         .into_iter()
         .map(|r| r.expect("every item processed"))
@@ -62,6 +72,19 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = parallel_map(&items, 8, |&x| x * x);
         let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn preserves_order_with_adversarial_completion_times() {
+        // Early items sleep longest, so later items finish first and
+        // the channel receives results far out of input order.
+        let items: Vec<u64> = (0..24).collect();
+        let out = parallel_map(&items, 6, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(24 - x));
+            x * 10
+        });
+        let expected: Vec<u64> = items.iter().map(|&x| x * 10).collect();
         assert_eq!(out, expected);
     }
 

@@ -1,0 +1,185 @@
+//! Minimal JSON document model and serializer.
+//!
+//! The workspace is dependency-free by construction (`DESIGN.md` §5),
+//! so the machine-readable benchmark reports are emitted through this
+//! small in-repo serializer instead of an external crate. It covers
+//! exactly what the reports need: objects with stable key order,
+//! arrays, strings with full escaping, finite numbers (non-finite
+//! values serialize as `null`), booleans, and null.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order so emitted documents
+/// are deterministic and diff-friendly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no
+    /// representation for them).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience object constructor from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes the value as a compact single-line document.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes the value pretty-printed with two-space indentation
+    /// and a trailing newline — the format `bench_summary.json` uses.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            if let Some(n) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', n * d));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Rust's `Display` for f64 is shortest-round-trip
+                    // and never produces exponent notation, so the
+                    // output is always a valid JSON number.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_document() {
+        let doc = Json::obj(vec![
+            ("id", Json::str("table1")),
+            ("count", Json::Num(3.0)),
+            ("ratio", Json::Num(0.125)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            ("tags", Json::Arr(vec![Json::str("a"), Json::str("b")])),
+        ]);
+        assert_eq!(
+            doc.render_compact(),
+            r#"{"id":"table1","count":3,"ratio":0.125,"ok":true,"missing":null,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Json::str("a\"b\\c\nd\te\u{1}f");
+        assert_eq!(v.render_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        assert_eq!(Json::Num(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render_compact(), "null");
+    }
+
+    #[test]
+    fn pretty_round_structure() {
+        let doc = Json::obj(vec![(
+            "xs",
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)]),
+        )]);
+        let s = doc.render_pretty();
+        assert_eq!(s, "{\n  \"xs\": [\n    1,\n    2.5\n  ]\n}\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).render_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render_compact(), "{}");
+    }
+}

@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod json;
+pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -19,6 +21,8 @@ pub mod time;
 pub mod timeline;
 
 pub use events::EventQueue;
+pub use json::Json;
+pub use report::{Metric, Report, Section};
 pub use rng::{AliasTable, Rng, Zipf};
 pub use stats::{geomean, Histogram, Samples, Summary, Welford};
 pub use table::{format_bytes, format_pct, format_secs, format_speedup, Align, Table};

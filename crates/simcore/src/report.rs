@@ -1,0 +1,196 @@
+//! Typed experiment reports.
+//!
+//! A [`Report`] is what a benchmark scenario *returns* instead of
+//! printing: an ordered list of sections (rendered exactly like the
+//! historical per-binary stdout) plus named numeric metrics that feed
+//! the machine-readable `bench_summary.json`. The two emitters —
+//! [`Report::render`] for the plain-text tables and [`Report::to_json`]
+//! for the JSON serializer in [`crate::json`] — read the same data, so
+//! the human and machine views cannot drift apart.
+
+use crate::json::Json;
+use crate::table::Table;
+
+/// One named numeric result, e.g. `("train_a2a_ratio", 0.379, "frac")`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Snake-case metric name, unique within its report.
+    pub name: String,
+    /// The value. Stored as `f64`; non-finite values serialize to JSON
+    /// `null`.
+    pub value: f64,
+    /// Optional unit hint (`"s"`, `"x"`, `"frac"`, `"req/s"`, …).
+    pub unit: Option<String>,
+}
+
+/// A block of report output, in display order.
+#[derive(Clone, Debug)]
+pub enum Section {
+    /// A rendered table.
+    Table(Table),
+    /// Free text (shape-check notes, paper comparisons). May contain
+    /// embedded newlines; rendering appends one trailing newline, so a
+    /// section corresponds to one historical `println!`.
+    Text(String),
+}
+
+/// The result of running one experiment scenario.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    sections: Vec<Section>,
+    metrics: Vec<Metric>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Appends a table section.
+    pub fn table(&mut self, table: Table) {
+        self.sections.push(Section::Table(table));
+    }
+
+    /// Appends a text section (one historical `println!`).
+    pub fn text(&mut self, text: impl Into<String>) {
+        self.sections.push(Section::Text(text.into()));
+    }
+
+    /// Records a named metric with no unit.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit: None,
+        });
+    }
+
+    /// Records a named metric with a unit hint.
+    pub fn metric_unit(&mut self, name: impl Into<String>, value: f64, unit: &str) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit: Some(unit.to_string()),
+        });
+    }
+
+    /// The recorded metrics, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// The report sections, in display order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// True if the report has neither sections nor metrics.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty() && self.metrics.is_empty()
+    }
+
+    /// Renders the report as the historical plain-text stdout: each
+    /// table exactly as [`Table::render`] produces it, each section
+    /// followed by one newline (the `println!` the binaries used).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            match section {
+                Section::Table(t) => out.push_str(&t.render()),
+                Section::Text(s) => out.push_str(s),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the report — metrics, tables (as structured rows),
+    /// and notes — for inclusion in `bench_summary.json`.
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut pairs = vec![("name", Json::str(&m.name)), ("value", Json::Num(m.value))];
+                if let Some(u) = &m.unit {
+                    pairs.push(("unit", Json::str(u)));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let mut tables = Vec::new();
+        let mut notes = Vec::new();
+        for section in &self.sections {
+            match section {
+                Section::Table(t) => tables.push(Json::obj(vec![
+                    ("title", Json::str(t.title())),
+                    (
+                        "headers",
+                        Json::Arr(t.headers().iter().map(Json::str).collect()),
+                    ),
+                    (
+                        "rows",
+                        Json::Arr(
+                            t.rows()
+                                .iter()
+                                .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                                .collect(),
+                        ),
+                    ),
+                ])),
+                Section::Text(s) => notes.push(Json::str(s)),
+            }
+        }
+        Json::obj(vec![
+            ("metrics", Json::Arr(metrics)),
+            ("tables", Json::Arr(tables)),
+            ("notes", Json::Arr(notes)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.row(&["a".into(), "1".into()]);
+        r.table(t);
+        r.text("note line");
+        r.metric("speedup", 1.5);
+        r.metric_unit("step_time", 0.25, "s");
+        r
+    }
+
+    #[test]
+    fn render_matches_println_sequence() {
+        let r = sample();
+        let s = r.render();
+        // Table render (title, header, separator, row) + blank line
+        // from the section newline, then the text line.
+        assert!(s.contains("== demo ==\n"));
+        assert!(s.contains("\n\nnote line\n"));
+    }
+
+    #[test]
+    fn json_contains_metrics_tables_notes() {
+        let r = sample();
+        let j = r.to_json().render_compact();
+        assert!(j.contains(r#"{"name":"speedup","value":1.5}"#));
+        assert!(j.contains(r#"{"name":"step_time","value":0.25,"unit":"s"}"#));
+        assert!(j.contains(r#""title":"demo""#));
+        assert!(j.contains(r#"["a","1"]"#));
+        assert!(j.contains(r#""notes":["note line"]"#));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = Report::new();
+        assert!(r.is_empty());
+        assert_eq!(r.render(), "");
+        assert!(!sample().is_empty());
+    }
+}
