@@ -312,6 +312,12 @@ pub const REGISTRY: &[Scenario] = &[
         description: "open-loop latency vs offered load (Transformer-XL, 16 experts)",
         run: scenarios::serve_load_sweep::run,
     },
+    Scenario {
+        id: "serve_cluster",
+        paper_ref: "Serving cluster",
+        description: "multi-replica serving: load balancer x estimator sharing under drift",
+        run: scenarios::serve_cluster::run,
+    },
 ];
 
 /// Looks up a scenario by id.
@@ -352,14 +358,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_24_experiments() {
-        assert_eq!(REGISTRY.len(), 24);
+    fn registry_covers_all_25_experiments() {
+        assert_eq!(REGISTRY.len(), 25);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 24, "scenario ids must be unique");
+        assert_eq!(ids.len(), 25, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("serve_load_sweep").is_some());
+        assert!(find("serve_cluster").is_some());
         assert!(find("nope").is_none());
     }
 

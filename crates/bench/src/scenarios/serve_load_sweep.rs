@@ -35,6 +35,7 @@ fn config(
         slo: SimDuration::from_millis(60),
         n_requests,
         tokens_per_request,
+        token_spread: 0.0,
         drift_period: Some((n_requests / 4).max(1)),
         reestimate_every: Some(8),
         reestimate_window: 16,

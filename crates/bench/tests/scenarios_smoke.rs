@@ -15,6 +15,18 @@ fn registry_is_nonempty_and_ids_unique() {
 }
 
 #[test]
+fn serving_scenarios_are_registered() {
+    // Both serving experiments must be reachable from `reproduce`
+    // (its --list and --only flags resolve through the same registry).
+    for id in ["serve_load_sweep", "serve_cluster"] {
+        assert!(
+            lina_bench::find(id).is_some(),
+            "{id} missing from the scenario registry"
+        );
+    }
+}
+
+#[test]
 fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
     let ctx = ScenarioCtx::smoke();
     for scenario in REGISTRY {
@@ -35,6 +47,19 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                 "scenario {} metric {} is not finite",
                 scenario.id,
                 m.name
+            );
+        }
+        if scenario.id == "serve_cluster" {
+            let headline = first
+                .metrics()
+                .iter()
+                .find(|m| m.name == "rr_over_jsq_p99_high_load")
+                .expect("serve_cluster reports the balancer headline metric");
+            assert!(
+                headline.value >= 1.0,
+                "queue-aware routing must not lose the high-load tail: \
+                 round-robin p99 / jsq p99 = {}",
+                headline.value
             );
         }
         let second = (scenario.run)(&ctx);

@@ -100,7 +100,12 @@ pub fn run_inference_batch(
     let model = &cost.model;
     let devices = topo.devices();
     let layers = model.layers;
-    let tokens_per_device = batch.len() / devices;
+    // The busiest device's share of the batch. Ceiling division: a
+    // batch smaller than the device count still puts (at least) one
+    // token on some device, so attention/gate/combine are never free,
+    // and remainder tokens land on the critical path instead of being
+    // silently dropped.
+    let tokens_per_device = batch.len().div_ceil(devices);
     let needs_scheduler = matches!(
         config.scheme,
         InferScheme::Lina | InferScheme::LinaNoEstimation | InferScheme::LinaNoFinetune
@@ -557,6 +562,87 @@ mod tests {
         // Estimation covers layers l..layers-1 = 3..=11.
         assert_eq!(r.estimates, 9);
         assert!(r.total > SimDuration::ZERO);
+    }
+
+    /// Regression: a batch with fewer tokens than devices used to get
+    /// `tokens_per_device = 0` from floor division and thus zero
+    /// attention/gate/combine cost. The busiest device's share is now
+    /// a ceiling, so even a 1-token batch pays for the non-MoE ops.
+    #[test]
+    fn sub_device_count_batch_pays_non_moe_cost() {
+        let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
+        let topo = Topology::new(ClusterSpec::with_total_gpus(8));
+        let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+        let spec = WorkloadSpec::enwik8(8, 6);
+        let mut src = TokenSource::new(&spec, 1, 99);
+        // One request of a single token on 8 devices.
+        let tiny = TokenBatch {
+            tokens: src.sample_batch(1, 1, Mode::Inference).tokens,
+            devices: topo.devices(),
+            experts: spec.experts,
+        };
+        assert!(tiny.len() < topo.devices());
+        let config = InferenceConfig {
+            scheme: InferScheme::Baseline,
+            top_k: 1,
+        };
+        let r = run_inference_batch(&cost, &topo, &config, None, &tiny);
+        // Attention runs outside the per-layer MoE accounting, so the
+        // total in excess of the layer times is exactly the attention
+        // cost. It must exceed the zero-token floor (the fixed kernel
+        // overhead a `tokens_per_device = 0` run still pays): floor
+        // division used to make a sub-device-count batch's attention,
+        // gate, and combine token-free.
+        let moe: SimDuration = r.layer_times.iter().copied().sum();
+        let attention = r.total - moe;
+        let zero_floor = cost.attention_fwd(0).mul_f64(cost.model.layers as f64);
+        assert!(
+            attention > zero_floor,
+            "attention {attention} must carry real token cost (zero-token floor {zero_floor})"
+        );
+        // One token ceil-divided over 8 devices is one token on the
+        // busiest device: the attention total is exactly that cost.
+        let expected = cost.attention_fwd(1).mul_f64(cost.model.layers as f64);
+        assert_eq!(attention, expected);
+        // The gate + combine live inside layer_times; with one token
+        // they must also be non-zero, so every layer time is positive.
+        for (l, &t) in r.layer_times.iter().enumerate() {
+            assert!(t > SimDuration::ZERO, "layer {l} is free");
+        }
+    }
+
+    /// Batch cost is monotone in batch size: more tokens never cost
+    /// less (remainder tokens used to be dropped from compute).
+    #[test]
+    fn batch_cost_is_monotone_in_batch_size() {
+        let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
+        let topo = Topology::new(ClusterSpec::with_total_gpus(8));
+        let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+        let spec = WorkloadSpec::enwik8(8, 6);
+        let config = InferenceConfig {
+            scheme: InferScheme::Baseline,
+            top_k: 1,
+        };
+        let mut src = TokenSource::new(&spec, 1, 42);
+        // One growing token pool, truncated to nested prefixes: batch
+        // k's tokens are a superset of batch k-1's.
+        let pool = src.sample_batch(1, 64, Mode::Inference).tokens;
+        let mut prev = SimDuration::ZERO;
+        for n in [1usize, 2, 5, 8, 9, 16, 33, 64] {
+            let batch = TokenBatch {
+                tokens: pool[..n].to_vec(),
+                devices: topo.devices(),
+                experts: spec.experts,
+            };
+            let r = run_inference_batch(&cost, &topo, &config, None, &batch);
+            assert!(
+                r.total >= prev,
+                "cost not monotone: {n} tokens cost {} < smaller batch {}",
+                r.total,
+                prev
+            );
+            prev = r.total;
+        }
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Pluggable request load balancers for the multi-replica cluster.
+//!
+//! A [`LoadBalancer`] routes each arriving request to one replica,
+//! seeing a [`ReplicaSnapshot`] of every replica's queue and server
+//! state at the arrival instant. Three policies ship with the crate:
+//!
+//! * [`RoundRobin`] — state-free rotation, blind to load;
+//! * [`JoinShortestQueue`] — fewest outstanding tokens (queued plus
+//!   in-flight), the classic JSQ rule at token granularity;
+//! * [`LeastExpectedLatency`] — SLO-aware: picks the replica whose
+//!   expected completion (server drain time plus queued work over the
+//!   replica's [`capacity`](crate::ServeEngine::capacity)) is soonest.
+//!
+//! Balancers may keep internal state (the round-robin cursor) but must
+//! be deterministic: the cluster engine's bit-reproducibility rests on
+//! every `pick` being a pure function of the snapshots and that state.
+
+use lina_simcore::SimTime;
+
+/// One replica's queue and server state at a routing instant.
+#[derive(Clone, Debug)]
+pub struct ReplicaSnapshot {
+    /// Replica index.
+    pub id: usize,
+    /// Requests routed to this replica but not yet dispatched.
+    pub queued_requests: usize,
+    /// Tokens routed to this replica but not yet dispatched.
+    pub queued_tokens: usize,
+    /// Tokens in the batch currently executing (0 when idle).
+    pub in_flight_tokens: usize,
+    /// Instant the replica's server frees up (in the past when idle).
+    pub server_free: SimTime,
+    /// The replica's sustainable throughput upper bound (requests/s),
+    /// as probed by [`crate::ServeEngine::capacity`]. Zero when the
+    /// caller did not probe it (only [`LeastExpectedLatency`] reads it).
+    pub capacity: f64,
+}
+
+impl ReplicaSnapshot {
+    /// Tokens this replica still has to push through its server:
+    /// queued plus in-flight.
+    pub fn outstanding_tokens(&self) -> usize {
+        self.queued_tokens + self.in_flight_tokens
+    }
+}
+
+/// A dispatch-time routing policy over replicas.
+pub trait LoadBalancer {
+    /// Short display name (table/metric label).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the replica for a request arriving at `now`. Must
+    /// return the `id` of one of the given snapshots.
+    fn pick(&mut self, replicas: &[ReplicaSnapshot], now: SimTime) -> usize;
+}
+
+/// Rotates through replicas, blind to their load.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh rotation starting at replica 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl LoadBalancer for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, replicas: &[ReplicaSnapshot], _now: SimTime) -> usize {
+        let id = replicas[self.cursor % replicas.len()].id;
+        self.cursor = (self.cursor + 1) % replicas.len();
+        id
+    }
+}
+
+/// Joins the replica with the fewest outstanding tokens (queued plus
+/// in-flight); ties break toward the lowest replica index.
+#[derive(Clone, Debug, Default)]
+pub struct JoinShortestQueue;
+
+impl LoadBalancer for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn pick(&mut self, replicas: &[ReplicaSnapshot], _now: SimTime) -> usize {
+        replicas
+            .iter()
+            .min_by_key(|r| (r.outstanding_tokens(), r.id))
+            .expect("at least one replica")
+            .id
+    }
+}
+
+/// Joins the replica with the least expected completion latency:
+/// remaining server busy time plus the queued requests (and the new
+/// one) drained at the replica's probed capacity. Capacity-aware, so
+/// it generalizes JSQ to heterogeneous or degraded replicas.
+#[derive(Clone, Debug, Default)]
+pub struct LeastExpectedLatency;
+
+impl LoadBalancer for LeastExpectedLatency {
+    fn name(&self) -> &'static str {
+        "least-latency"
+    }
+
+    fn pick(&mut self, replicas: &[ReplicaSnapshot], now: SimTime) -> usize {
+        let score = |r: &ReplicaSnapshot| {
+            let busy = r.server_free.saturating_since(now).as_secs_f64();
+            let rate = if r.capacity > 0.0 {
+                r.capacity
+            } else {
+                f64::INFINITY
+            };
+            busy + (r.queued_requests as f64 + 1.0) / rate
+        };
+        replicas
+            .iter()
+            .min_by(|a, b| {
+                score(a)
+                    .partial_cmp(&score(b))
+                    .expect("scores are finite or +inf, never NaN")
+                    .then(a.id.cmp(&b.id))
+            })
+            .expect("at least one replica")
+            .id
+    }
+}
+
+/// Constructible balancer selector for configs, sweeps, and the bench
+/// registry (a `Box<dyn LoadBalancer>` itself is not `Clone`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalancerKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`JoinShortestQueue`].
+    JoinShortestQueue,
+    /// [`LeastExpectedLatency`].
+    LeastExpectedLatency,
+}
+
+impl BalancerKind {
+    /// Builds a fresh balancer of this kind.
+    pub fn build(self) -> Box<dyn LoadBalancer> {
+        match self {
+            BalancerKind::RoundRobin => Box::new(RoundRobin::new()),
+            BalancerKind::JoinShortestQueue => Box::new(JoinShortestQueue),
+            BalancerKind::LeastExpectedLatency => Box::new(LeastExpectedLatency),
+        }
+    }
+
+    /// The policy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BalancerKind::RoundRobin => "round-robin",
+            BalancerKind::JoinShortestQueue => "jsq",
+            BalancerKind::LeastExpectedLatency => "least-latency",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: usize, queued_tokens: usize, in_flight: usize, free_ms: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            id,
+            queued_requests: queued_tokens / 64,
+            queued_tokens,
+            in_flight_tokens: in_flight,
+            server_free: SimTime::from_millis(free_ms),
+            capacity: 100.0,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rr = RoundRobin::new();
+        let snaps = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(2, 0, 0, 0)];
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(&snaps, SimTime::ZERO)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_prefers_fewest_outstanding_tokens() {
+        let mut jsq = JoinShortestQueue;
+        // Replica 1 has the least queued + in-flight work.
+        let snaps = vec![snap(0, 512, 0, 0), snap(1, 128, 64, 5), snap(2, 0, 256, 9)];
+        assert_eq!(jsq.pick(&snaps, SimTime::ZERO), 1);
+        // Ties break toward the lowest id.
+        let tied = vec![snap(0, 128, 0, 0), snap(1, 128, 0, 0)];
+        assert_eq!(jsq.pick(&tied, SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn least_latency_accounts_for_busy_servers() {
+        let mut lel = LeastExpectedLatency;
+        // Replica 0 is idle but deeply queued; replica 1 busy for 1 ms
+        // with an empty queue: 1 ms + 1/100 s < 0 + 11/100 s.
+        let mut a = snap(0, 640, 0, 0);
+        a.queued_requests = 10;
+        let mut b = snap(1, 0, 64, 1);
+        b.queued_requests = 0;
+        assert_eq!(lel.pick(&[a, b], SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn kinds_build_their_policies() {
+        for kind in [
+            BalancerKind::RoundRobin,
+            BalancerKind::JoinShortestQueue,
+            BalancerKind::LeastExpectedLatency,
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

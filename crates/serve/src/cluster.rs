@@ -1,0 +1,607 @@
+//! Multi-replica serving: a cluster of replica servers behind a
+//! pluggable load balancer.
+//!
+//! A [`ClusterEngine`] serves the *same* pre-generated open-loop
+//! request trace a [`ServeEngine`] would (same seeds, same drift), but
+//! routes each arriving request to one of `replicas` identical servers
+//! via a [`LoadBalancer`]. Every replica keeps its own admission queue,
+//! dynamic [`Batcher`](crate::Batcher) timeline, and `server_free`
+//! instant; the cluster walks a K-server event loop that finalizes
+//! dispatches in global time order, so the run is deterministic down to
+//! the bit.
+//!
+//! Two re-estimation topologies compare the value of pooling
+//! observations under popularity drift ([`EstimatorSharing`]):
+//!
+//! * **Shared** — one popularity estimator re-profiled from a sliding
+//!   window of *all* replicas' recently served batches; every replica's
+//!   scheduler follows it. Every replica benefits from every
+//!   observation, so the estimator tracks drift at the cluster-wide
+//!   batch rate.
+//! * **Per-replica** — each replica re-profiles only from batches it
+//!   served itself, as K isolated single-server deployments would.
+//!
+//! The dispatch-decision core is unchanged: each replica calls
+//! [`Batcher::next_dispatch`](crate::Batcher::next_dispatch) on its own
+//! routed-arrival trace with its own `server_free`. A planned dispatch
+//! is *finalized* only once the global clock passes it (no
+//! later-arriving request could join the batch), which makes the
+//! incremental per-replica traces exactly equivalent to full-trace
+//! knowledge — the property the single-server loop relies on, now per
+//! replica.
+
+use lina_model::CostModel;
+use lina_netsim::Topology;
+use lina_runner::inference::{run_inference_batch, InferenceConfig};
+use lina_simcore::SimTime;
+use lina_workload::{TokenBatch, TokenPath, WorkloadSpec};
+
+use crate::balancer::{BalancerKind, LoadBalancer, ReplicaSnapshot};
+use crate::batcher::Batcher;
+use crate::engine::{ReestimationWindow, ServeConfig, ServeEngine};
+use crate::request::{Request, RequestRecord};
+use crate::slo::SloTracker;
+
+use lina_core::TwoPhaseScheduler;
+
+/// How the estimating schemes pool online observations across replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EstimatorSharing {
+    /// One estimator re-profiled from every replica's recent batches;
+    /// all replicas' schedulers follow it.
+    Shared,
+    /// Each replica re-profiles only from its own recent batches.
+    PerReplica,
+}
+
+impl EstimatorSharing {
+    /// The topology's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorSharing::Shared => "shared",
+            EstimatorSharing::PerReplica => "per-replica",
+        }
+    }
+}
+
+/// Multi-replica serving configuration: the per-replica serving knobs
+/// plus the cluster shape.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-replica serving knobs and the shared request-trace knobs
+    /// (arrival process, request count, drift, seeds).
+    pub serve: ServeConfig,
+    /// Number of identical replica servers.
+    pub replicas: usize,
+    /// Request routing policy.
+    pub balancer: BalancerKind,
+    /// Online re-estimation topology.
+    pub sharing: EstimatorSharing,
+}
+
+impl ClusterConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving config is invalid or `replicas` is zero.
+    pub fn validate(&self) {
+        self.serve.validate();
+        assert!(self.replicas > 0, "cluster: replicas must be > 0");
+    }
+}
+
+/// Everything a cluster run produced.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    /// Cluster-wide per-request records and queue-depth timeline (the
+    /// depth samples are replica-local backlogs at each dispatch, in
+    /// global time order).
+    pub tracker: SloTracker,
+    /// Batches dispatched across all replicas.
+    pub batches: usize,
+    /// Estimator re-profilings across all replicas (each shared-mode
+    /// rebuild counts once).
+    pub reestimations: usize,
+    /// Requests routed to each replica.
+    pub requests_per_replica: Vec<usize>,
+    /// Tokens routed to each replica.
+    pub tokens_per_replica: Vec<usize>,
+    /// Batches dispatched by each replica.
+    pub batches_per_replica: Vec<usize>,
+}
+
+impl ClusterOutcome {
+    /// Summarizes the run (see [`SloTracker::report`]).
+    pub fn report(&self) -> crate::SloReport {
+        self.tracker.report()
+    }
+
+    /// Largest over smallest per-replica request count — 1.0 means the
+    /// balancer spread arrivals perfectly evenly.
+    pub fn routing_imbalance(&self) -> f64 {
+        let max = self.requests_per_replica.iter().copied().max().unwrap_or(0);
+        let min = self.requests_per_replica.iter().copied().min().unwrap_or(0);
+        max as f64 / (min as f64).max(1.0)
+    }
+}
+
+/// One replica's mutable state inside the event loop.
+struct Replica {
+    /// Arrival instants of requests routed here, ascending (routing
+    /// happens in global arrival order).
+    arrivals: Vec<SimTime>,
+    /// The routed requests, parallel to `arrivals`.
+    queue: Vec<Request>,
+    /// Index of the first request not yet in a finalized dispatch.
+    next: usize,
+    /// Instant the replica's server frees up.
+    server_free: SimTime,
+    /// Token count of the batch the server is currently executing
+    /// (meaningful while `server_free` is in the future).
+    running_tokens: usize,
+    /// Tokens routed but not yet dispatched.
+    queued_tokens: usize,
+    /// This replica's scheduler (per-replica sharing; unused while the
+    /// cluster runs a shared scheduler).
+    scheduler: Option<TwoPhaseScheduler>,
+    /// This replica's re-profiling window (per-replica sharing).
+    window: ReestimationWindow,
+    /// Batches this replica has dispatched.
+    batches: usize,
+}
+
+impl Replica {
+    fn snapshot(&self, id: usize, now: SimTime, capacity: f64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            id,
+            queued_requests: self.queue.len() - self.next,
+            queued_tokens: self.queued_tokens,
+            in_flight_tokens: if self.server_free > now {
+                self.running_tokens
+            } else {
+                0
+            },
+            server_free: self.server_free,
+            capacity,
+        }
+    }
+}
+
+/// The multi-replica serving simulator. Holds a [`ServeEngine`] for
+/// the shared machinery (trace generation, offline profiling, seed
+/// derivation) plus the cluster shape; [`ClusterEngine::run`] is
+/// deterministic in all of them.
+pub struct ClusterEngine<'a> {
+    engine: ServeEngine<'a>,
+    replicas: usize,
+    balancer: BalancerKind,
+    sharing: EstimatorSharing,
+}
+
+impl<'a> ClusterEngine<'a> {
+    /// Creates a cluster engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`ClusterConfig::validate`]).
+    pub fn new(
+        cost: &'a CostModel,
+        topo: &'a Topology,
+        spec: &'a WorkloadSpec,
+        config: ClusterConfig,
+    ) -> Self {
+        config.validate();
+        ClusterEngine {
+            engine: ServeEngine::new(cost, topo, spec, config.serve),
+            replicas: config.replicas,
+            balancer: config.balancer,
+            sharing: config.sharing,
+        }
+    }
+
+    /// The per-replica serving engine (trace generation, capacity).
+    pub fn engine(&self) -> &ServeEngine<'a> {
+        &self.engine
+    }
+
+    /// Upper bound on sustainable cluster throughput (requests/s):
+    /// every replica serving full batches back to back.
+    pub fn capacity(&self) -> f64 {
+        self.replicas as f64 * self.engine.capacity()
+    }
+
+    /// Runs the full cluster simulation.
+    pub fn run(&self) -> ClusterOutcome {
+        let mut balancer = self.balancer.build();
+        // Only the capacity-aware policy pays for the probe batch.
+        let per_replica_capacity = match self.balancer {
+            BalancerKind::LeastExpectedLatency => self.engine.capacity(),
+            _ => 0.0,
+        };
+        run_on(
+            &self.engine,
+            self.replicas,
+            balancer.as_mut(),
+            self.sharing,
+            per_replica_capacity,
+        )
+    }
+}
+
+/// The K-server event loop. `ServeEngine::run` delegates here with one
+/// replica, so the single-server timeline *is* this loop at K = 1.
+pub(crate) fn run_on(
+    engine: &ServeEngine<'_>,
+    n_replicas: usize,
+    balancer: &mut dyn LoadBalancer,
+    sharing: EstimatorSharing,
+    per_replica_capacity: f64,
+) -> ClusterOutcome {
+    let config = &engine.config;
+    let seeds = config.seeds();
+    let requests = engine.generate_requests();
+    let batcher = Batcher::new(config.batcher.clone());
+    let infer = InferenceConfig {
+        scheme: config.scheme,
+        top_k: config.top_k,
+    };
+    let two_phase = engine.two_phase_config();
+    let offline = engine
+        .needs_scheduler()
+        .then(|| engine.offline_scheduler(seeds.profile));
+
+    // Shared-mode scheduler and window (used when sharing == Shared or
+    // the scheme never re-estimates; per-replica mode uses the copies
+    // inside each Replica instead).
+    let mut shared_scheduler = offline.clone();
+    let mut shared_window = ReestimationWindow::new(config.reestimate_window);
+
+    let mut replicas: Vec<Replica> = (0..n_replicas)
+        .map(|_| Replica {
+            arrivals: Vec::new(),
+            queue: Vec::new(),
+            next: 0,
+            server_free: SimTime::ZERO,
+            running_tokens: 0,
+            queued_tokens: 0,
+            scheduler: offline.clone(),
+            window: ReestimationWindow::new(config.reestimate_window),
+            batches: 0,
+        })
+        .collect();
+
+    let mut tracker = SloTracker::new(config.slo);
+    let mut total_batches = 0usize;
+    let mut reestimations = 0usize;
+    let mut requests_per_replica = vec![0usize; n_replicas];
+    let mut tokens_per_replica = vec![0usize; n_replicas];
+
+    // Finalizes every dispatch planned strictly before `horizon`, in
+    // global time order (ties break toward the lowest replica index).
+    // A dispatch with `at < horizon` is final: every request arriving
+    // at or after `horizon` is too late to join it, and a batch-filling
+    // arrival would itself satisfy `at <= deadline < horizon`, so it is
+    // already routed.
+    let advance = |replicas: &mut Vec<Replica>,
+                   horizon: SimTime,
+                   shared_scheduler: &mut Option<TwoPhaseScheduler>,
+                   shared_window: &mut ReestimationWindow,
+                   total_batches: &mut usize,
+                   reestimations: &mut usize,
+                   tracker: &mut SloTracker| {
+        loop {
+            let mut best: Option<(SimTime, usize, crate::batcher::Dispatch)> = None;
+            for (i, rep) in replicas.iter().enumerate() {
+                if let Some(d) = batcher.next_dispatch(&rep.arrivals, rep.next, rep.server_free) {
+                    if d.at < horizon && best.is_none_or(|(at, _, _)| d.at < at) {
+                        best = Some((d.at, i, d));
+                    }
+                }
+            }
+            let Some((_, i, dispatch)) = best else { break };
+            let rep = &mut replicas[i];
+            let members = &rep.queue[rep.next..rep.next + dispatch.count];
+            let tokens: Vec<TokenPath> = members
+                .iter()
+                .flat_map(|r| r.tokens.iter().cloned())
+                .collect();
+            let batch = TokenBatch {
+                tokens,
+                devices: engine.topo.devices(),
+                experts: engine.spec.experts,
+            };
+            let scheduler = match sharing {
+                EstimatorSharing::Shared => shared_scheduler.as_ref(),
+                EstimatorSharing::PerReplica => rep.scheduler.as_ref(),
+            };
+            let report = run_inference_batch(engine.cost, engine.topo, &infer, scheduler, &batch);
+            let completed = dispatch.at + report.total;
+            for r in members {
+                tracker.record(RequestRecord {
+                    id: r.id,
+                    arrival: r.arrival,
+                    dispatched: dispatch.at,
+                    completed,
+                    tokens: r.tokens.len(),
+                    batch: *total_batches,
+                    service: report.total,
+                });
+            }
+            let backlog = rep.arrivals[rep.next + dispatch.count..]
+                .iter()
+                .filter(|&&a| a <= dispatch.at)
+                .count();
+            tracker.record_depth(dispatch.at, backlog);
+            rep.queued_tokens -= batch.tokens.len();
+            rep.running_tokens = batch.tokens.len();
+            rep.server_free = completed;
+            rep.next += dispatch.count;
+            rep.batches += 1;
+            *total_batches += 1;
+
+            // Online re-placement: pool observations cluster-wide
+            // (shared) or keep them replica-local (per-replica).
+            if engine.estimates() {
+                if let Some(every) = config.reestimate_every {
+                    match sharing {
+                        EstimatorSharing::Shared => {
+                            shared_window.push(batch);
+                            if total_batches.is_multiple_of(every) {
+                                let estimator = shared_window.profile(config.path_length);
+                                *shared_scheduler =
+                                    Some(TwoPhaseScheduler::new(two_phase.clone(), estimator));
+                                *reestimations += 1;
+                            }
+                        }
+                        EstimatorSharing::PerReplica => {
+                            rep.window.push(batch);
+                            if rep.batches.is_multiple_of(every) {
+                                let estimator = rep.window.profile(config.path_length);
+                                rep.scheduler =
+                                    Some(TwoPhaseScheduler::new(two_phase.clone(), estimator));
+                                *reestimations += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    for req in requests {
+        advance(
+            &mut replicas,
+            req.arrival,
+            &mut shared_scheduler,
+            &mut shared_window,
+            &mut total_batches,
+            &mut reestimations,
+            &mut tracker,
+        );
+        let snapshots: Vec<ReplicaSnapshot> = replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.snapshot(i, req.arrival, per_replica_capacity))
+            .collect();
+        let target = balancer.pick(&snapshots, req.arrival);
+        assert!(
+            target < n_replicas,
+            "balancer {} picked out-of-range replica {target}",
+            balancer.name()
+        );
+        requests_per_replica[target] += 1;
+        tokens_per_replica[target] += req.tokens.len();
+        let rep = &mut replicas[target];
+        rep.arrivals.push(req.arrival);
+        rep.queued_tokens += req.tokens.len();
+        rep.queue.push(req);
+    }
+    // Every request is routed; drain the remaining dispatches.
+    advance(
+        &mut replicas,
+        SimTime::MAX,
+        &mut shared_scheduler,
+        &mut shared_window,
+        &mut total_batches,
+        &mut reestimations,
+        &mut tracker,
+    );
+
+    ClusterOutcome {
+        tracker,
+        batches: total_batches,
+        reestimations,
+        requests_per_replica,
+        tokens_per_replica,
+        batches_per_replica: replicas.iter().map(|r| r.batches).collect(),
+    }
+}
+
+/// Convenience wrapper: build a [`ClusterEngine`] and run it.
+pub fn serve_cluster(
+    cost: &CostModel,
+    topo: &Topology,
+    spec: &WorkloadSpec,
+    config: ClusterConfig,
+) -> ClusterOutcome {
+    ClusterEngine::new(cost, topo, spec, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+    use crate::batcher::BatcherConfig;
+    use lina_baselines::InferScheme;
+    use lina_model::{DeviceSpec, MoeModelConfig};
+    use lina_netsim::ClusterSpec;
+    use lina_simcore::SimDuration;
+
+    fn world() -> (CostModel, Topology, WorkloadSpec) {
+        let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
+        let topo = Topology::new(ClusterSpec::with_total_gpus(8));
+        let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+        let spec = WorkloadSpec::enwik8(8, 6);
+        (cost, topo, spec)
+    }
+
+    fn config(scheme: InferScheme, rate: f64, replicas: usize) -> ClusterConfig {
+        ClusterConfig {
+            serve: ServeConfig {
+                scheme,
+                top_k: 1,
+                path_length: 3,
+                max_experts_per_device: 2,
+                arrival: ArrivalProcess::Poisson { rate },
+                batcher: BatcherConfig {
+                    max_batch_requests: 4,
+                    max_wait: SimDuration::from_millis(2),
+                },
+                slo: SimDuration::from_millis(50),
+                n_requests: 96,
+                tokens_per_request: 64,
+                token_spread: 0.0,
+                drift_period: Some(24),
+                reestimate_every: Some(4),
+                reestimate_window: 8,
+                seed: 0xC1A5,
+            },
+            replicas,
+            balancer: BalancerKind::JoinShortestQueue,
+            sharing: EstimatorSharing::Shared,
+        }
+    }
+
+    #[test]
+    fn cluster_serves_every_request_exactly_once() {
+        let (cost, topo, spec) = world();
+        let out = serve_cluster(&cost, &topo, &spec, config(InferScheme::Lina, 800.0, 3));
+        let mut ids: Vec<usize> = out.tracker.records().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..96).collect::<Vec<_>>());
+        assert_eq!(out.requests_per_replica.iter().sum::<usize>(), 96);
+        assert_eq!(
+            out.batches_per_replica.iter().sum::<usize>(),
+            out.batches,
+            "per-replica batch counts must add up"
+        );
+        assert!(out.reestimations > 0, "Lina re-estimates online");
+    }
+
+    #[test]
+    fn replica_timelines_never_overlap() {
+        let (cost, topo, spec) = world();
+        let out = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 1500.0, 2),
+        );
+        // Group batch spans per batch id; all batches of one replica
+        // are serialized, and every record obeys arrival <= dispatch.
+        for r in out.tracker.records() {
+            assert!(
+                r.dispatched >= r.arrival,
+                "request {} dispatched early",
+                r.id
+            );
+            assert!(r.completed > r.dispatched);
+        }
+        // With 2 replicas, at most 2 batches may overlap at any time.
+        let records = out.tracker.records();
+        let mut spans: Vec<(SimTime, SimTime)> = records
+            .iter()
+            .map(|r| (r.dispatched, r.completed))
+            .collect();
+        spans.sort();
+        spans.dedup();
+        for (i, &(start, _)) in spans.iter().enumerate() {
+            let concurrent = spans[..i].iter().filter(|&&(_, end)| end > start).count();
+            assert!(
+                concurrent < 2,
+                "more concurrent batches than replicas at {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let (cost, topo, spec) = world();
+        for balancer in [
+            BalancerKind::RoundRobin,
+            BalancerKind::JoinShortestQueue,
+            BalancerKind::LeastExpectedLatency,
+        ] {
+            for sharing in [EstimatorSharing::Shared, EstimatorSharing::PerReplica] {
+                let mut c = config(InferScheme::Lina, 600.0, 3);
+                c.balancer = balancer;
+                c.sharing = sharing;
+                let a = serve_cluster(&cost, &topo, &spec, c.clone());
+                let b = serve_cluster(&cost, &topo, &spec, c);
+                assert_eq!(a.tracker.records(), b.tracker.records());
+                assert_eq!(a.requests_per_replica, b.requests_per_replica);
+                assert_eq!(a.reestimations, b.reestimations);
+            }
+        }
+    }
+
+    #[test]
+    fn single_replica_cluster_matches_single_server() {
+        let (cost, topo, spec) = world();
+        let c = config(InferScheme::Lina, 400.0, 1);
+        let cluster = serve_cluster(&cost, &topo, &spec, c.clone());
+        let single = crate::engine::serve(&cost, &topo, &spec, c.serve);
+        assert_eq!(cluster.tracker.records(), single.tracker.records());
+        assert_eq!(cluster.batches, single.batches);
+        assert_eq!(cluster.reestimations, single.reestimations);
+    }
+
+    #[test]
+    fn round_robin_splits_requests_evenly() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 500.0, 3);
+        c.balancer = BalancerKind::RoundRobin;
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(out.requests_per_replica, vec![32, 32, 32]);
+        assert!((out.routing_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_replicas_scale_capacity_and_cut_the_tail() {
+        let (cost, topo, spec) = world();
+        let one = ClusterEngine::new(&cost, &topo, &spec, config(InferScheme::Baseline, 1.0, 1));
+        let three = ClusterEngine::new(&cost, &topo, &spec, config(InferScheme::Baseline, 1.0, 3));
+        assert!((three.capacity() - 3.0 * one.engine().capacity()).abs() < 1e-9);
+        // Offer a load that swamps one replica but not three.
+        let rate = 1.5 * one.engine().capacity();
+        let swamped = serve_cluster(&cost, &topo, &spec, config(InferScheme::Baseline, rate, 1));
+        let cruising = serve_cluster(&cost, &topo, &spec, config(InferScheme::Baseline, rate, 3));
+        let (s, c) = (swamped.report(), cruising.report());
+        assert!(
+            c.p99 < s.p99,
+            "3 replicas p99 {} must beat 1 replica p99 {} at the same offered load",
+            c.p99,
+            s.p99
+        );
+        assert!(c.attainment >= s.attainment);
+    }
+
+    #[test]
+    fn per_replica_sharing_reestimates_locally() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Lina, 800.0, 2);
+        c.sharing = EstimatorSharing::PerReplica;
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert!(out.reestimations > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas")]
+    fn zero_replicas_rejected() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 100.0, 1);
+        c.replicas = 0;
+        ClusterEngine::new(&cost, &topo, &spec, c);
+    }
+}

@@ -21,17 +21,19 @@
 //!   rebuilt, so placement follows the drifted distribution instead of
 //!   the stale offline profile.
 
+use std::collections::VecDeque;
+
 use lina_baselines::InferScheme;
 use lina_core::{PopularityEstimator, TwoPhaseConfig, TwoPhaseScheduler};
 use lina_model::CostModel;
 use lina_netsim::Topology;
 use lina_runner::inference::{run_inference_batch, InferenceConfig};
-use lina_simcore::{Rng, SimDuration, SimTime};
+use lina_simcore::{Rng, SimDuration};
 use lina_workload::{Mode, TokenBatch, TokenPath, TokenSource, WorkloadSpec};
 
 use crate::arrival::ArrivalProcess;
-use crate::batcher::{Batcher, BatcherConfig};
-use crate::request::{Request, RequestRecord};
+use crate::batcher::BatcherConfig;
+use crate::request::Request;
 use crate::slo::{SloReport, SloTracker};
 
 /// The paper's inference experiments use 16384 tokens per device; the
@@ -63,8 +65,17 @@ pub struct ServeConfig {
     pub slo: SimDuration,
     /// Requests to serve.
     pub n_requests: usize,
-    /// Tokens per request.
+    /// Tokens per request (the nominal size when `token_spread > 0`).
     pub tokens_per_request: usize,
+    /// Fractional half-width of the per-request size spread: each
+    /// request's token count draws uniformly from
+    /// `[nominal·(1−s), nominal·(1+s)]`, clamped to ≥ 1 token. At 0.0
+    /// every request is exactly `tokens_per_request` tokens and the
+    /// trace is bit-identical to the fixed-size serving model. Size
+    /// heterogeneity is what separates work-aware balancing
+    /// (join-shortest-queue over outstanding *tokens*) from blind
+    /// request counting.
+    pub token_spread: f64,
     /// Rotate the workload's popular-class ranking every this many
     /// requests (`None`: the popularity distribution is stationary).
     pub drift_period: Option<usize>,
@@ -79,7 +90,41 @@ pub struct ServeConfig {
     pub seed: u64,
 }
 
+/// The seed substreams every consumer of a [`ServeConfig`] derives
+/// from its master seed. Centralized so trace generation, capacity
+/// probing, and the serving loops (single-server and cluster) can
+/// never drift apart in derivation order.
+pub(crate) struct Seeds {
+    /// Seeds the request [`TokenSource`].
+    pub token: u64,
+    /// Seeds the offline profiling stage.
+    pub profile: u64,
+    /// The arrival-process substream (a pure `derive(1)` of the root,
+    /// independent of the sequential draws above).
+    pub arrival: Rng,
+    /// The per-request size substream (a pure `derive(2)` of the root;
+    /// drawing from it never perturbs the other streams, so a zero
+    /// `token_spread` reproduces the fixed-size traces bit for bit).
+    pub sizes: Rng,
+}
+
 impl ServeConfig {
+    /// Derives the seed substreams: first sequential draw is the token
+    /// seed, second the profile seed; arrivals use a derived substream.
+    pub(crate) fn seeds(&self) -> Seeds {
+        let mut root = Rng::new(self.seed);
+        let arrival = root.derive(1);
+        let sizes = root.derive(2);
+        let token = root.next_u64();
+        let profile = root.next_u64();
+        Seeds {
+            token,
+            profile,
+            arrival,
+            sizes,
+        }
+    }
+
     /// Validates the knobs.
     ///
     /// # Panics
@@ -92,6 +137,10 @@ impl ServeConfig {
         assert!(
             self.tokens_per_request > 0,
             "serve: tokens_per_request must be > 0"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.token_spread),
+            "serve: token_spread must be in [0, 1)"
         );
         assert!(self.path_length > 0, "serve: path_length must be > 0");
         assert!(
@@ -112,6 +161,37 @@ impl ServeConfig {
                 "serve: reestimate_window must be > 0"
             );
         }
+    }
+}
+
+/// Sliding window of recently served batches feeding online
+/// re-profiling. Evicting the oldest batch is O(1) (`VecDeque`), so a
+/// long run with a large window stays linear in batches dispatched.
+pub(crate) struct ReestimationWindow {
+    batches: VecDeque<TokenBatch>,
+    cap: usize,
+}
+
+impl ReestimationWindow {
+    /// An empty window holding at most `cap` batches.
+    pub(crate) fn new(cap: usize) -> Self {
+        ReestimationWindow {
+            batches: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Pushes a served batch, evicting the oldest past the cap.
+    pub(crate) fn push(&mut self, batch: TokenBatch) {
+        self.batches.push_back(batch);
+        if self.batches.len() > self.cap {
+            self.batches.pop_front();
+        }
+    }
+
+    /// Re-profiles a popularity estimator from the windowed batches.
+    pub(crate) fn profile(&mut self, path_length: usize) -> PopularityEstimator {
+        PopularityEstimator::profile(self.batches.make_contiguous(), path_length)
     }
 }
 
@@ -137,10 +217,10 @@ impl ServeOutcome {
 /// a [`ServeConfig`]; [`ServeEngine::run`] is deterministic in all of
 /// them.
 pub struct ServeEngine<'a> {
-    cost: &'a CostModel,
-    topo: &'a Topology,
-    spec: &'a WorkloadSpec,
-    config: ServeConfig,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) topo: &'a Topology,
+    pub(crate) spec: &'a WorkloadSpec,
+    pub(crate) config: ServeConfig,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -171,7 +251,7 @@ impl<'a> ServeEngine<'a> {
 
     /// Scheduling overheads scaled from the paper's measurement scale
     /// down to this engine's full-batch size.
-    fn two_phase_config(&self) -> TwoPhaseConfig {
+    pub(crate) fn two_phase_config(&self) -> TwoPhaseConfig {
         let devices = self.topo.devices();
         let full_tokens_per_device = (self.config.batcher.max_batch_requests
             * self.config.tokens_per_request)
@@ -187,14 +267,14 @@ impl<'a> ServeEngine<'a> {
         cfg
     }
 
-    fn needs_scheduler(&self) -> bool {
+    pub(crate) fn needs_scheduler(&self) -> bool {
         matches!(
             self.config.scheme,
             InferScheme::Lina | InferScheme::LinaNoEstimation | InferScheme::LinaNoFinetune
         )
     }
 
-    fn estimates(&self) -> bool {
+    pub(crate) fn estimates(&self) -> bool {
         matches!(
             self.config.scheme,
             InferScheme::Lina | InferScheme::LinaNoFinetune
@@ -203,7 +283,7 @@ impl<'a> ServeEngine<'a> {
 
     /// Builds the offline-profiled scheduler, as the paper's profiling
     /// stage does: training-distribution batches, no drift.
-    fn offline_scheduler(&self, profile_seed: u64) -> TwoPhaseScheduler {
+    pub(crate) fn offline_scheduler(&self, profile_seed: u64) -> TwoPhaseScheduler {
         let devices = self.topo.devices();
         let mut src = TokenSource::new(self.spec, self.config.top_k, profile_seed);
         let profile: Vec<TokenBatch> = (0..8)
@@ -218,14 +298,15 @@ impl<'a> ServeEngine<'a> {
     /// with the popular-class ranking rotated every `drift_period`
     /// requests.
     pub fn generate_requests(&self) -> Vec<Request> {
-        let mut root = Rng::new(self.config.seed);
-        let mut arrival_rng = root.derive(1);
-        let token_seed = root.next_u64();
+        let mut seeds = self.config.seeds();
         let arrivals = self
             .config
             .arrival
-            .arrival_times(self.config.n_requests, &mut arrival_rng);
-        let mut source = TokenSource::new(self.spec, self.config.top_k, token_seed);
+            .arrival_times(self.config.n_requests, &mut seeds.arrival);
+        let mut source = TokenSource::new(self.spec, self.config.top_k, seeds.token);
+        let nominal = self.config.tokens_per_request as f64;
+        let size_lo = ((nominal * (1.0 - self.config.token_spread)).round() as u64).max(1);
+        let size_hi = ((nominal * (1.0 + self.config.token_spread)).round() as u64).max(size_lo);
         arrivals
             .into_iter()
             .enumerate()
@@ -233,12 +314,11 @@ impl<'a> ServeEngine<'a> {
                 if let Some(period) = self.config.drift_period {
                     source.set_class_rotation(id / period);
                 }
+                let size = seeds.sizes.range_inclusive(size_lo, size_hi) as usize;
                 // Sampling each request as a tiny batch keeps the
                 // per-batch topic burstiness: a request is "about"
                 // a few topics, like the paper's skewed batches.
-                let tokens = source
-                    .sample_batch(1, self.config.tokens_per_request, Mode::Inference)
-                    .tokens;
+                let tokens = source.sample_batch(1, size, Mode::Inference).tokens;
                 Request {
                     id,
                     arrival,
@@ -249,19 +329,14 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Upper bound on sustainable throughput (requests/s): a full batch
-    /// served back-to-back with no queueing. Load sweeps express
-    /// offered load as a fraction of this.
+    /// of nominal-size requests served back-to-back with no queueing.
+    /// Load sweeps express offered load as a fraction of this.
     pub fn capacity(&self) -> f64 {
-        // Same derivation order as `run`/`generate_requests`: first
-        // draw is the token seed, second the profile seed (the arrival
-        // stream uses a pure `derive(1)` substream).
-        let mut root = Rng::new(self.config.seed);
-        let token_seed = root.next_u64();
-        let profile_seed = root.next_u64();
+        let seeds = self.config.seeds();
         let scheduler = self
             .needs_scheduler()
-            .then(|| self.offline_scheduler(profile_seed));
-        let mut source = TokenSource::new(self.spec, self.config.top_k, token_seed);
+            .then(|| self.offline_scheduler(seeds.profile));
+        let mut source = TokenSource::new(self.spec, self.config.top_k, seeds.token);
         let per_batch = self.config.batcher.max_batch_requests;
         let tokens: Vec<TokenPath> = (0..per_batch)
             .flat_map(|_| {
@@ -284,85 +359,18 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Runs the full serving simulation.
+    ///
+    /// The single-server timeline is the K = 1 special case of the
+    /// cluster event loop ([`crate::cluster`]): one replica, trivially
+    /// routed, with its own `server_free` instant.
     pub fn run(&self) -> ServeOutcome {
-        let mut root = Rng::new(self.config.seed);
-        let _token_seed = root.next_u64(); // drawn by generate_requests
-        let profile_seed = root.next_u64();
-
-        let requests = self.generate_requests();
-        let arrivals: Vec<SimTime> = requests.iter().map(|r| r.arrival).collect();
-        let batcher = Batcher::new(self.config.batcher.clone());
-        let infer = InferenceConfig {
-            scheme: self.config.scheme,
-            top_k: self.config.top_k,
-        };
-        let two_phase = self.two_phase_config();
-        let mut scheduler = self
-            .needs_scheduler()
-            .then(|| self.offline_scheduler(profile_seed));
-
-        let mut tracker = SloTracker::new(self.config.slo);
-        let mut window: Vec<TokenBatch> = Vec::new();
-        let mut server_free = SimTime::ZERO;
-        let mut next = 0usize;
-        let mut batches = 0usize;
-        let mut reestimations = 0usize;
-
-        while let Some(dispatch) = batcher.next_dispatch(&arrivals, next, server_free) {
-            let members = &requests[next..next + dispatch.count];
-            let tokens: Vec<TokenPath> = members
-                .iter()
-                .flat_map(|r| r.tokens.iter().cloned())
-                .collect();
-            let batch = TokenBatch {
-                tokens,
-                devices: self.topo.devices(),
-                experts: self.spec.experts,
-            };
-            let report =
-                run_inference_batch(self.cost, self.topo, &infer, scheduler.as_ref(), &batch);
-            let completed = dispatch.at + report.total;
-            for r in members {
-                tracker.record(RequestRecord {
-                    id: r.id,
-                    arrival: r.arrival,
-                    dispatched: dispatch.at,
-                    completed,
-                    tokens: r.tokens.len(),
-                    batch: batches,
-                    service: report.total,
-                });
-            }
-            let backlog = arrivals[next + dispatch.count..]
-                .iter()
-                .filter(|&&a| a <= dispatch.at)
-                .count();
-            tracker.record_depth(dispatch.at, backlog);
-            server_free = completed;
-            next += dispatch.count;
-            batches += 1;
-
-            // Online re-placement: re-profile from the recent window.
-            if self.estimates() {
-                if let Some(every) = self.config.reestimate_every {
-                    window.push(batch);
-                    if window.len() > self.config.reestimate_window {
-                        window.remove(0);
-                    }
-                    if batches.is_multiple_of(every) {
-                        let estimator =
-                            PopularityEstimator::profile(&window, self.config.path_length);
-                        scheduler = Some(TwoPhaseScheduler::new(two_phase.clone(), estimator));
-                        reestimations += 1;
-                    }
-                }
-            }
-        }
-
+        let mut solo = crate::balancer::RoundRobin::new();
+        let outcome =
+            crate::cluster::run_on(self, 1, &mut solo, crate::EstimatorSharing::Shared, 0.0);
         ServeOutcome {
-            tracker,
-            batches,
-            reestimations,
+            tracker: outcome.tracker,
+            batches: outcome.batches,
+            reestimations: outcome.reestimations,
         }
     }
 }
@@ -382,6 +390,7 @@ mod tests {
     use super::*;
     use lina_model::{DeviceSpec, MoeModelConfig};
     use lina_netsim::ClusterSpec;
+    use lina_simcore::SimTime;
 
     fn world() -> (CostModel, Topology, WorkloadSpec) {
         let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
@@ -405,6 +414,7 @@ mod tests {
             slo: SimDuration::from_millis(50),
             n_requests: 64,
             tokens_per_request: 64,
+            token_spread: 0.0,
             drift_period: Some(16),
             reestimate_every: Some(4),
             reestimate_window: 8,
@@ -490,6 +500,50 @@ mod tests {
             config(InferScheme::LinaNoEstimation, 400.0),
         );
         assert_eq!(out.reestimations, 0);
+    }
+
+    #[test]
+    fn token_spread_varies_request_sizes_within_bounds() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 100.0);
+        c.token_spread = 0.5;
+        let engine = ServeEngine::new(&cost, &topo, &spec, c);
+        let sizes: Vec<usize> = engine
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .collect();
+        assert!(sizes.iter().all(|&s| (32..=96).contains(&s)));
+        let distinct: std::collections::HashSet<usize> = sizes.iter().copied().collect();
+        assert!(distinct.len() > 1, "spread must actually vary sizes");
+        // And the same config reproduces the same sizes.
+        assert_eq!(
+            sizes,
+            engine
+                .generate_requests()
+                .iter()
+                .map(|r| r.tokens.len())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_spread_keeps_sizes_fixed() {
+        let (cost, topo, spec) = world();
+        let engine = ServeEngine::new(&cost, &topo, &spec, config(InferScheme::Baseline, 100.0));
+        assert!(engine
+            .generate_requests()
+            .iter()
+            .all(|r| r.tokens.len() == 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "token_spread")]
+    fn out_of_range_spread_rejected() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 100.0);
+        c.token_spread = 1.0;
+        ServeEngine::new(&cost, &topo, &spec, c);
     }
 
     #[test]

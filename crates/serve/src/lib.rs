@@ -13,6 +13,12 @@
 //! * [`ServeEngine`] — a single-server loop dispatching each formed
 //!   batch through [`run_inference_batch`](lina_runner::inference::run_inference_batch),
 //!   charging every request its queueing delay plus service time;
+//! * [`ClusterEngine`] — N replica servers behind a pluggable
+//!   [`LoadBalancer`] (round-robin, join-shortest-queue,
+//!   least-expected-latency), each with its own admission queue and
+//!   batcher timeline, sharing one popularity estimator or keeping
+//!   per-replica ones ([`EstimatorSharing`]); the single-server loop is
+//!   its K = 1 special case;
 //! * [`SloTracker`] — per-request latency percentiles, throughput,
 //!   goodput, SLO attainment, and a queue-depth timeline;
 //! * popularity drift and online re-placement — the workload's class
@@ -27,13 +33,20 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod balancer;
 pub mod batcher;
+pub mod cluster;
 pub mod engine;
 pub mod request;
 pub mod slo;
 
 pub use arrival::ArrivalProcess;
+pub use balancer::{
+    BalancerKind, JoinShortestQueue, LeastExpectedLatency, LoadBalancer, ReplicaSnapshot,
+    RoundRobin,
+};
 pub use batcher::{Batcher, BatcherConfig};
+pub use cluster::{serve_cluster, ClusterConfig, ClusterEngine, ClusterOutcome, EstimatorSharing};
 pub use engine::{serve, ServeConfig, ServeEngine, ServeOutcome};
 pub use request::{Request, RequestRecord};
 pub use slo::{SloReport, SloTracker};

@@ -68,15 +68,21 @@ impl SloTracker {
         let mut latencies = Samples::new();
         let mut queue_delays = Samples::new();
         let mut met = 0usize;
-        let mut makespan = SimDuration::ZERO;
+        let mut first_arrival = SimTime::MAX;
+        let mut last_completion = SimTime::ZERO;
         for r in &self.records {
             latencies.push_duration(r.latency());
             queue_delays.push_duration(r.queue_delay());
             if r.latency() <= self.target {
                 met += 1;
             }
-            makespan = makespan.max(r.completed - SimTime::ZERO);
+            first_arrival = first_arrival.min(r.arrival);
+            last_completion = last_completion.max(r.completed);
         }
+        // The throughput window runs from the earliest arrival, not
+        // t = 0: under low load the idle lead-in before the first
+        // request would otherwise deflate throughput and goodput.
+        let makespan = last_completion - first_arrival;
         let n = self.records.len();
         let span = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
         SloReport {
@@ -121,7 +127,7 @@ pub struct SloReport {
     pub throughput: f64,
     /// SLO-compliant requests per second of makespan.
     pub goodput: f64,
-    /// First arrival (t = 0) to last completion.
+    /// Earliest recorded arrival to last completion.
     pub makespan: SimDuration,
     /// Largest queue depth seen at any dispatch.
     pub max_queue_depth: usize,
@@ -146,10 +152,13 @@ mod tests {
     #[test]
     fn attainment_and_goodput() {
         let mut t = SloTracker::new(SimDuration::from_millis(10));
-        t.record(record(0, 0, 1, 5)); // 5 ms: meets
-        t.record(record(1, 0, 10, 20)); // 20 ms: misses
-        t.record_depth(SimTime::from_millis(1), 3);
-        t.record_depth(SimTime::from_millis(10), 1);
+        // The trace starts 100 ms in: an idle lead-in that must not
+        // count against throughput (the window opens at the first
+        // arrival, not t = 0).
+        t.record(record(0, 100, 101, 105)); // 5 ms: meets
+        t.record(record(1, 100, 110, 120)); // 20 ms: misses
+        t.record_depth(SimTime::from_millis(101), 3);
+        t.record_depth(SimTime::from_millis(110), 1);
         let r = t.report();
         assert_eq!(r.requests, 2);
         assert!((r.attainment - 0.5).abs() < 1e-12);

@@ -6,8 +6,11 @@
 use lina_baselines::InferScheme;
 use lina_model::{CostModel, DeviceSpec, MoeModelConfig};
 use lina_netsim::{ClusterSpec, Topology};
-use lina_serve::{serve, ArrivalProcess, BatcherConfig, ServeConfig, ServeEngine};
-use lina_simcore::{Rng, SimDuration};
+use lina_serve::{
+    serve, serve_cluster, ArrivalProcess, BalancerKind, Batcher, BatcherConfig, ClusterConfig,
+    EstimatorSharing, ServeConfig, ServeEngine,
+};
+use lina_simcore::{Rng, SimDuration, SimTime};
 use lina_workload::WorkloadSpec;
 
 fn world() -> (CostModel, Topology, WorkloadSpec) {
@@ -45,6 +48,11 @@ fn arb_config(meta: &mut Rng, scheme: InferScheme) -> ServeConfig {
         slo: SimDuration::from_millis(50),
         n_requests: 24 + meta.index(40),
         tokens_per_request: 16 + meta.index(100),
+        token_spread: if meta.bernoulli(0.5) {
+            meta.uniform(0.0, 0.9)
+        } else {
+            0.0
+        },
         drift_period: meta.bernoulli(0.5).then(|| 8 + meta.index(24)),
         reestimate_every: meta.bernoulli(0.5).then(|| 2 + meta.index(6)),
         reestimate_window: 4 + meta.index(8),
@@ -91,7 +99,11 @@ fn batcher_conserves_requests_and_tokens() {
         let config = arb_config(&mut meta, InferScheme::Baseline);
         let cap = config.batcher.max_batch_requests;
         let n = config.n_requests;
-        let per_request = config.tokens_per_request;
+        let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.clone())
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .sum();
         let out = serve(&cost, &topo, &spec, config);
         let records = out.tracker.records();
         let mut ids: Vec<usize> = records.iter().map(|r| r.id).collect();
@@ -102,7 +114,7 @@ fn batcher_conserves_requests_and_tokens() {
             "each request served exactly once"
         );
         let total_tokens: usize = records.iter().map(|r| r.tokens).sum();
-        assert_eq!(total_tokens, n * per_request, "token conservation");
+        assert_eq!(total_tokens, offered, "token conservation");
         let mut batch_sizes = vec![0usize; out.batches];
         for r in records {
             batch_sizes[r.batch] += 1;
@@ -150,6 +162,154 @@ fn latency_dominates_service_time() {
     }
 }
 
+/// The cluster conserves requests and tokens across replicas for every
+/// balancer and estimator-sharing mode, and stays bit-deterministic.
+#[test]
+fn cluster_conserves_and_is_deterministic_across_policies() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0xC1);
+    for balancer in [
+        BalancerKind::RoundRobin,
+        BalancerKind::JoinShortestQueue,
+        BalancerKind::LeastExpectedLatency,
+    ] {
+        for sharing in [EstimatorSharing::Shared, EstimatorSharing::PerReplica] {
+            let config = ClusterConfig {
+                serve: arb_config(&mut meta, InferScheme::Lina),
+                replicas: 2 + meta.index(3),
+                balancer,
+                sharing,
+            };
+            let n = config.serve.n_requests;
+            let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
+                .generate_requests()
+                .iter()
+                .map(|r| r.tokens.len())
+                .sum();
+            let out = serve_cluster(&cost, &topo, &spec, config.clone());
+            let mut ids: Vec<usize> = out.tracker.records().iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..n).collect::<Vec<_>>(), "{balancer:?}/{sharing:?}");
+            let total_tokens: usize = out.tracker.records().iter().map(|r| r.tokens).sum();
+            assert_eq!(total_tokens, offered);
+            assert_eq!(out.requests_per_replica.iter().sum::<usize>(), n);
+            let again = serve_cluster(&cost, &topo, &spec, config);
+            assert_eq!(out.tracker.records(), again.tracker.records());
+        }
+    }
+}
+
+/// An adversarial sorted arrival trace: alternating bursts (many
+/// requests at the exact same instant), exact ties with the batching
+/// deadline, long idle gaps, and jittery trickles.
+fn adversarial_arrivals(meta: &mut Rng, n: usize, max_wait: SimDuration) -> Vec<SimTime> {
+    let mut arrivals = Vec::with_capacity(n);
+    let mut t = SimTime::ZERO;
+    while arrivals.len() < n {
+        match meta.index(4) {
+            // Burst: a pile of identical timestamps.
+            0 => {
+                let k = 1 + meta.index(10);
+                for _ in 0..k {
+                    arrivals.push(t);
+                }
+            }
+            // Tie with the deadline of the oldest queued request.
+            1 => {
+                t += max_wait;
+                arrivals.push(t);
+            }
+            // Long gap: far past any pending deadline.
+            2 => {
+                t += SimDuration::from_millis(meta.below(50) + 20);
+                arrivals.push(t);
+            }
+            // Trickle: sub-timeout jitter.
+            _ => {
+                t += SimDuration::from_micros(meta.below(900) + 1);
+                arrivals.push(t);
+            }
+        }
+    }
+    arrivals.truncate(n);
+    arrivals
+}
+
+/// `Batcher::next_dispatch` invariants over adversarial traces — the
+/// contract both the single-server loop and the K-server cluster loop
+/// lean on: every request dispatched exactly once as a FIFO prefix,
+/// batches never exceed the cap, a dispatch never precedes its oldest
+/// member's arrival or the server freeing up, and every member has
+/// arrived by the dispatch instant.
+#[test]
+fn batcher_dispatch_invariants_under_adversarial_traces() {
+    let mut meta = Rng::new(0xBA7C4);
+    for round in 0..40 {
+        let cap = 1 + meta.index(8);
+        let max_wait = SimDuration::from_micros(meta.below(4_000) + 50);
+        let batcher = Batcher::new(BatcherConfig {
+            max_batch_requests: cap,
+            max_wait,
+        });
+        let n = 20 + meta.index(120);
+        let arrivals = adversarial_arrivals(&mut meta, n, max_wait);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "trace sorted");
+
+        // Walk the dispatch loop with a busy server: each batch holds
+        // the server for a pseudo-random service time, sometimes long
+        // enough that several deadlines expire while it runs.
+        let mut server_free = SimTime::ZERO;
+        let mut next = 0usize;
+        let mut dispatches = Vec::new();
+        while let Some(d) = batcher.next_dispatch(&arrivals, next, server_free) {
+            assert!(d.count >= 1, "round {round}: empty batch");
+            assert!(
+                d.count <= cap,
+                "round {round}: batch of {} exceeds cap {cap}",
+                d.count
+            );
+            assert!(
+                d.at >= arrivals[next].max(server_free),
+                "round {round}: dispatch at {} before max(arrival {}, server_free {})",
+                d.at,
+                arrivals[next],
+                server_free
+            );
+            // Every member (FIFO prefix) has arrived by the dispatch.
+            assert!(
+                arrivals[next + d.count - 1] <= d.at,
+                "round {round}: member arrives after dispatch"
+            );
+            // A partial batch means nothing else was available: the
+            // next undispatched request arrives strictly after `at`.
+            if d.count < cap {
+                if let Some(&later) = arrivals.get(next + d.count) {
+                    assert!(
+                        later > d.at,
+                        "round {round}: partial batch left an arrived request queued"
+                    );
+                }
+            }
+            dispatches.push((next, d));
+            next += d.count;
+            server_free = d.at + SimDuration::from_micros(meta.below(3_000) + 10);
+        }
+        // Exactly once, in FIFO prefix order, covering the trace.
+        assert_eq!(next, n, "round {round}: {next} of {n} requests dispatched");
+        let mut expected_start = 0usize;
+        let mut prev_at = SimTime::ZERO;
+        for &(start, d) in &dispatches {
+            assert_eq!(start, expected_start, "round {round}: non-FIFO batch");
+            expected_start += d.count;
+            assert!(
+                d.at >= prev_at,
+                "round {round}: dispatch instants must be nondecreasing"
+            );
+            prev_at = d.at;
+        }
+    }
+}
+
 /// Below saturation the queue drains: arrivals at a small fraction of
 /// capacity keep queueing delay near the batching timeout, and backlog
 /// stays bounded; well past saturation the delay blows up.
@@ -169,6 +329,7 @@ fn queue_drains_below_capacity_and_grows_past_it() {
         slo: SimDuration::from_millis(50),
         n_requests: 96,
         tokens_per_request: 64,
+        token_spread: 0.0,
         drift_period: None,
         reestimate_every: None,
         reestimate_window: 1,

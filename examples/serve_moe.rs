@@ -36,6 +36,7 @@ fn config(scheme: InferScheme, rate: f64, n_requests: usize) -> ServeConfig {
         slo: SimDuration::from_millis(60),
         n_requests,
         tokens_per_request: 8192,
+        token_spread: 0.0,
         drift_period: Some((n_requests / 4).max(1)),
         reestimate_every: Some(8),
         reestimate_window: 16,

@@ -37,6 +37,7 @@ fn config(scheme: InferScheme, rate: f64) -> ServeConfig {
         slo: SimDuration::from_millis(60),
         n_requests: 64,
         tokens_per_request: 8192,
+        token_spread: 0.0,
         drift_period: Some(16),
         reestimate_every: Some(8),
         reestimate_window: 16,
