@@ -1,0 +1,151 @@
+//! Result-regression gate over `bench_summary.json` artifacts.
+//!
+//! Diffs the current run's summary against a previous one (typically
+//! the artifact from the last green CI run on the main branch), keyed
+//! on `(scenario id, metric name)`. A metric whose value drifts by
+//! more than the relative tolerance fails the check; metrics that
+//! vanished are reported as warnings (new metrics are always fine).
+//! A missing previous file is the first-run case and passes silently,
+//! so the gate bootstraps itself.
+//!
+//!     cargo run -p lina-bench --bin regression_check -- \
+//!         --current bench_summary.json --previous previous.json \
+//!         [--tolerance 0.05]
+//!
+//! The simulator is deterministic, so at equal tier the expected drift
+//! is zero; the tolerance band only absorbs intentional re-tuning of a
+//! scenario, which should land together with a refreshed baseline.
+
+use std::process::ExitCode;
+
+use lina_simcore::Json;
+
+struct Args {
+    current: String,
+    previous: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut current = None;
+    let mut previous = None;
+    let mut tolerance = 0.05;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--current" => current = Some(it.next().ok_or("--current needs a path")?),
+            "--previous" => previous = Some(it.next().ok_or("--previous needs a path")?),
+            "--tolerance" => {
+                let t = it.next().ok_or("--tolerance needs a value")?;
+                tolerance = t
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or(format!("bad tolerance {t:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        current: current.ok_or("--current is required")?,
+        previous: previous.ok_or("--previous is required")?,
+        tolerance,
+    })
+}
+
+/// `(scenario id, metric name)` — the stable key regression tooling
+/// compares on.
+type MetricKey = (String, String);
+
+/// Flattens a summary into `(key, value)` pairs, in document order.
+fn metrics(doc: &Json) -> Result<Vec<(MetricKey, f64)>, String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("summary has no \"scenarios\" array")?;
+    let mut out = Vec::new();
+    for s in scenarios {
+        let id = s
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("scenario without an \"id\"")?;
+        let Some(ms) = s.get("metrics").and_then(Json::as_arr) else {
+            continue;
+        };
+        for m in ms {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{id}: metric without a \"name\""))?;
+            // A non-finite value serializes as null; carry it as NaN so
+            // the comparison still sees the key.
+            let value = m.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            out.push(((id.to_string(), name.to_string()), value));
+        }
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<(MetricKey, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    metrics(&Json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("regression_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !std::path::Path::new(&args.previous).exists() {
+        println!(
+            "regression_check: no previous summary at {} (first run) — nothing to compare",
+            args.previous
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (current, previous) = match (load(&args.current), load(&args.previous)) {
+        (Ok(c), Ok(p)) => (c, p),
+        (c, p) => {
+            for e in [c.err(), p.err()].into_iter().flatten() {
+                eprintln!("regression_check: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur: std::collections::BTreeMap<_, _> = current.into_iter().collect();
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for ((id, name), prev) in &previous {
+        let key = (id.clone(), name.clone());
+        let Some(&now) = cur.get(&key) else {
+            println!("WARN  {id}/{name}: metric disappeared (was {prev})");
+            continue;
+        };
+        compared += 1;
+        // NaN on both sides is "still not finite" — unchanged.
+        if prev.is_nan() && now.is_nan() {
+            continue;
+        }
+        let drift = (now - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
+        if !drift.is_finite() || drift > args.tolerance {
+            println!(
+                "FAIL  {id}/{name}: {prev} -> {now} (drift {:.2}% > {:.2}%)",
+                drift * 100.0,
+                args.tolerance * 100.0
+            );
+            failures += 1;
+        }
+    }
+    println!(
+        "regression_check: {compared} metric(s) compared at tolerance {:.2}%, {failures} failure(s)",
+        args.tolerance * 100.0
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

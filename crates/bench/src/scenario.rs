@@ -318,6 +318,12 @@ pub const REGISTRY: &[Scenario] = &[
         description: "multi-replica serving: load balancer x estimator sharing under drift",
         run: scenarios::serve_cluster::run,
     },
+    Scenario {
+        id: "serve_contention",
+        paper_ref: "Serving contention",
+        description: "solo vs contended collective pricing under bursty overlap",
+        run: scenarios::serve_contention::run,
+    },
 ];
 
 /// Looks up a scenario by id.
@@ -358,15 +364,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_25_experiments() {
-        assert_eq!(REGISTRY.len(), 25);
+    fn registry_covers_all_26_experiments() {
+        assert_eq!(REGISTRY.len(), 26);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 25, "scenario ids must be unique");
+        assert_eq!(ids.len(), 26, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("serve_load_sweep").is_some());
         assert!(find("serve_cluster").is_some());
+        assert!(find("serve_contention").is_some());
         assert!(find("nope").is_none());
     }
 

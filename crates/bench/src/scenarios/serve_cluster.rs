@@ -19,7 +19,7 @@ use lina_baselines::InferScheme;
 use lina_model::MoeModelConfig;
 use lina_serve::{
     serve_cluster, ArrivalProcess, BalancerKind, BatcherConfig, ClusterConfig, ClusterEngine,
-    EstimatorSharing, ServeConfig,
+    EstimatorSharing, NetworkMode, ServeConfig,
 };
 use lina_simcore::{Report, SimDuration, Table};
 
@@ -69,6 +69,8 @@ fn cluster_config(
             drift_period: Some((n_requests / 6).max(1)),
             reestimate_every: Some(4),
             reestimate_window: 8,
+            network: NetworkMode::Solo,
+            max_inflight: 1,
             seed: 0x5EED,
         },
         replicas: REPLICAS,

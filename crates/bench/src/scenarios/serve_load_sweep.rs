@@ -11,7 +11,7 @@
 
 use lina_baselines::InferScheme;
 use lina_model::MoeModelConfig;
-use lina_serve::{serve, ArrivalProcess, BatcherConfig, ServeConfig, ServeEngine};
+use lina_serve::{serve, ArrivalProcess, BatcherConfig, NetworkMode, ServeConfig, ServeEngine};
 use lina_simcore::{Report, SimDuration, Table};
 
 use crate::ScenarioCtx;
@@ -39,6 +39,8 @@ fn config(
         drift_period: Some((n_requests / 4).max(1)),
         reestimate_every: Some(8),
         reestimate_window: 16,
+        network: NetworkMode::Solo,
+        max_inflight: 1,
         seed: 0x10AD,
     }
 }

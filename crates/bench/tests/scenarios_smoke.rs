@@ -18,7 +18,7 @@ fn registry_is_nonempty_and_ids_unique() {
 fn serving_scenarios_are_registered() {
     // Both serving experiments must be reachable from `reproduce`
     // (its --list and --only flags resolve through the same registry).
-    for id in ["serve_load_sweep", "serve_cluster"] {
+    for id in ["serve_load_sweep", "serve_cluster", "serve_contention"] {
         assert!(
             lina_bench::find(id).is_some(),
             "{id} missing from the scenario registry"
@@ -59,6 +59,19 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                 headline.value >= 1.0,
                 "queue-aware routing must not lose the high-load tail: \
                  round-robin p99 / jsq p99 = {}",
+                headline.value
+            );
+        }
+        if scenario.id == "serve_contention" {
+            let headline = first
+                .metrics()
+                .iter()
+                .find(|m| m.name == "contended_over_solo_p99")
+                .expect("serve_contention reports the pricing-gap headline metric");
+            assert!(
+                headline.value >= 1.0,
+                "network contention must not make the tail faster: \
+                 contended p99 / solo p99 = {}",
                 headline.value
             );
         }

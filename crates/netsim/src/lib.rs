@@ -17,6 +17,7 @@ pub mod collectives;
 pub mod fairshare;
 pub mod memory;
 pub mod network;
+pub mod solo;
 pub mod topology;
 
 pub use collectives::{
@@ -25,4 +26,5 @@ pub use collectives::{
 pub use fairshare::{max_min_rates, FlowDemand};
 pub use memory::{MemClass, MemoryTracker};
 pub use network::{FlowDone, FlowId, FlowSpec, NetStats, Network};
+pub use solo::SoloTimer;
 pub use topology::{ClusterSpec, DeviceId, LinkId, LinkKind, NodeId, Topology};

@@ -1,0 +1,128 @@
+//! Closed-form "solo" collective pricing.
+//!
+//! Many drivers want the duration a collective would take if it ran
+//! *alone* on the wire — the paper's inference model prices every
+//! all-to-all this way, and the training metrics use it as the
+//! no-contention baseline. Building a fresh [`Network`] (and cloning
+//! the [`Topology`] inside it) per query is wasteful in hot loops that
+//! price one collective per layer per batch, so [`SoloTimer`] clones
+//! the topology once and replays every query on the same engine.
+//!
+//! Reuse is exact, not approximate: all flow arithmetic in
+//! [`Network`] is duration-based (segment lengths, byte drains, and
+//! event offsets never involve the absolute clock), so a collective
+//! started at any instant on an otherwise idle network completes after
+//! the same integer-nanosecond duration it would starting at t = 0.
+//! A unit test below pins that equivalence.
+
+use lina_simcore::SimDuration;
+
+use crate::collectives::{CollectiveEngine, CollectiveSpec};
+use crate::network::Network;
+use crate::topology::Topology;
+
+/// Prices collectives as if each ran alone on an idle network.
+///
+/// The constructor clones the topology once; every
+/// [`SoloTimer::time`] call reuses the same engine, advancing its
+/// private clock past the finished collective.
+pub struct SoloTimer {
+    engine: CollectiveEngine,
+}
+
+impl SoloTimer {
+    /// Builds a timer over (a clone of) the topology.
+    pub fn new(topo: &Topology) -> Self {
+        SoloTimer {
+            engine: CollectiveEngine::new(Network::new(topo.clone())),
+        }
+    }
+
+    /// The topology collectives are priced against.
+    pub fn topology(&self) -> &Topology {
+        self.engine.network().topology()
+    }
+
+    /// Duration of `spec` run alone on the idle network (zero for a
+    /// collective that moves no bytes and has no participants).
+    pub fn time(&mut self, spec: &CollectiveSpec) -> SimDuration {
+        debug_assert_eq!(
+            self.engine.active(),
+            0,
+            "SoloTimer: engine must be idle between queries"
+        );
+        self.engine.start(spec, 0);
+        let done = self.engine.run_to_idle();
+        done.first()
+            .map(|d| d.at - d.started)
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::AllToAllAlgo;
+    use crate::topology::{ClusterSpec, DeviceId};
+
+    fn specs() -> Vec<CollectiveSpec> {
+        let devs: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        let mut unequal = vec![vec![0.0; 16]; 16];
+        for (i, row) in unequal.iter_mut().enumerate() {
+            if i != 3 {
+                row[3] = 1e6 + i as f64 * 1e5;
+            }
+        }
+        vec![
+            CollectiveSpec::uniform_all_to_all(devs.clone(), 2e6, AllToAllAlgo::Flat),
+            CollectiveSpec::AllToAll {
+                participants: devs.clone(),
+                sizes: unequal,
+                algo: AllToAllAlgo::Flat,
+            },
+            CollectiveSpec::uniform_all_to_all(devs.clone(), 5e5, AllToAllAlgo::Hierarchical),
+            CollectiveSpec::AllReduce {
+                participants: devs.clone(),
+                bytes: 1e7,
+            },
+            CollectiveSpec::Send {
+                src: DeviceId(0),
+                dst: DeviceId(9),
+                bytes: 3e6,
+            },
+            CollectiveSpec::Broadcast {
+                root: DeviceId(2),
+                participants: devs,
+                bytes: 1e6,
+            },
+        ]
+    }
+
+    /// Engine reuse must be bit-exact against a fresh engine per query,
+    /// in any query order.
+    #[test]
+    fn reused_engine_matches_fresh_engine_bit_for_bit() {
+        let topo = Topology::new(ClusterSpec::paper_testbed());
+        let mut timer = SoloTimer::new(&topo);
+        for round in 0..3 {
+            for (i, spec) in specs().iter().enumerate() {
+                let reused = timer.time(spec);
+                let mut fresh = SoloTimer::new(&topo);
+                let once = fresh.time(spec);
+                assert_eq!(reused, once, "round {round}, spec {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collective_prices_at_zero_bytes_latency() {
+        let topo = Topology::new(ClusterSpec::paper_testbed());
+        let mut timer = SoloTimer::new(&topo);
+        let d = timer.time(&CollectiveSpec::AllReduce {
+            participants: vec![DeviceId(0)],
+            bytes: 1e9,
+        });
+        // Single participant: completes immediately.
+        assert!(d.as_secs_f64() < 1e-3);
+    }
+}

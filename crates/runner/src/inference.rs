@@ -4,22 +4,30 @@
 //! scheme from Figure 16 (Baseline, Ideal, Lina, and the two Lina
 //! ablations). Inference is synchronous layer by layer — attention,
 //! gate, (scheduling), dispatch all-to-all, per-device expert compute,
-//! combine all-to-all, combine — so the driver walks a scalar clock
-//! and uses the collective engine for each (unequal-split) all-to-all.
+//! combine all-to-all, combine.
 //!
 //! Lina's phase one runs overlapped with the previous layer's expert
 //! computation; only the part of the scheduling time that exceeds the
 //! overlap window blocks. Phase two blocks for the resume broadcast or,
 //! on a fine-tune, the full scheduling time (§6.2, §7.3.1).
+//!
+//! The heavy lifting lives in two layers underneath this entry point:
+//! [`crate::plan::plan_batch`] lowers the batch's scheduling decisions
+//! into an [`crate::plan::ExecutionPlan`], and
+//! [`crate::exec::execute_plan_solo`] prices its stages with solo
+//! (uncontended) collectives. `run_inference_batch` is the convenience
+//! wrapper gluing the two with a fresh timer.
 
-use lina_baselines::InferScheme;
-use lina_core::{PhaseOne, PhaseTwo, TwoPhaseScheduler};
-use lina_model::{assign_replicas, CostModel, ExpertPlacement, LayerRouting};
-use lina_netsim::{AllToAllAlgo, CollectiveSpec, DeviceId, Topology};
+use lina_core::TwoPhaseScheduler;
+use lina_model::CostModel;
+use lina_netsim::{SoloTimer, Topology};
 use lina_simcore::{Samples, SimDuration};
 use lina_workload::TokenBatch;
 
-use crate::train::solo_collective_time;
+use crate::exec::execute_plan_solo;
+use crate::plan::plan_batch;
+
+pub use lina_baselines::InferScheme;
 
 /// Per-batch measurements.
 #[derive(Clone, Debug)]
@@ -50,42 +58,13 @@ pub struct InferenceConfig {
     pub top_k: usize,
 }
 
-fn a2a_duration(topo: &Topology, sizes: &[Vec<usize>], bytes_per_token: f64) -> SimDuration {
-    let devices = sizes.len();
-    let any_remote = sizes
-        .iter()
-        .enumerate()
-        .any(|(i, row)| row.iter().enumerate().any(|(j, &c)| i != j && c > 0));
-    if !any_remote {
-        return SimDuration::ZERO;
-    }
-    let participants: Vec<DeviceId> = topo.device_ids().collect();
-    let byte_sizes: Vec<Vec<f64>> = sizes
-        .iter()
-        .map(|row| row.iter().map(|&c| c as f64 * bytes_per_token).collect())
-        .collect();
-    debug_assert_eq!(devices, participants.len());
-    let spec = CollectiveSpec::AllToAll {
-        participants,
-        sizes: byte_sizes,
-        algo: AllToAllAlgo::Flat,
-    };
-    solo_collective_time(topo, &spec)
-}
-
-fn transpose_counts(m: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    let n = m.len();
-    let mut out = vec![vec![0usize; n]; n];
-    for (i, row) in m.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            out[j][i] = v;
-        }
-    }
-    out
-}
-
 /// Runs one batch under the scheme; `scheduler` is required for the
 /// Lina schemes and ignored by Baseline/Ideal.
+///
+/// Equivalent to lowering with [`plan_batch`] and pricing with
+/// [`execute_plan_solo`] on a fresh timer; callers running many batches
+/// should do that themselves and reuse the timer (as
+/// [`run_inference_batches`] does).
 ///
 /// # Panics
 ///
@@ -97,199 +76,8 @@ pub fn run_inference_batch(
     scheduler: Option<&TwoPhaseScheduler>,
     batch: &TokenBatch,
 ) -> InferenceReport {
-    let model = &cost.model;
-    let devices = topo.devices();
-    let layers = model.layers;
-    // The busiest device's share of the batch. Ceiling division: a
-    // batch smaller than the device count still puts (at least) one
-    // token on some device, so attention/gate/combine are never free,
-    // and remainder tokens land on the critical path instead of being
-    // silently dropped.
-    let tokens_per_device = batch.len().div_ceil(devices);
-    let needs_scheduler = matches!(
-        config.scheme,
-        InferScheme::Lina | InferScheme::LinaNoEstimation | InferScheme::LinaNoFinetune
-    );
-    assert!(
-        !needs_scheduler || scheduler.is_some(),
-        "run_inference_batch: {:?} requires a scheduler",
-        config.scheme
-    );
-
-    let static_placement = ExpertPlacement::one_per_device(model.experts, devices);
-    let mut total = SimDuration::ZERO;
-    let mut layer_times = Vec::with_capacity(layers);
-    let mut a2a_times = Vec::with_capacity(layers);
-    let mut finetunes = 0;
-    let mut estimates = 0;
-    let mut accurate = 0;
-    let mut max_idle_frac: f64 = 0.0;
-    // Phase-one result computed during the previous layer, and the
-    // scheduling time still to absorb (overlap accounting).
-    let mut pending_phase_one: Option<PhaseOne> = None;
-    let mut unabsorbed_sched = SimDuration::ZERO;
-
-    for layer in 0..layers {
-        let mut layer_time = SimDuration::ZERO;
-        // Attention is outside the MoE layer but advances the clock.
-        total += cost.attention_fwd(tokens_per_device);
-        // Gate.
-        let gate = cost.gate_fwd(tokens_per_device);
-        layer_time += gate;
-
-        // Actual routing (Ideal forces a balanced gate).
-        let routing = match config.scheme {
-            InferScheme::Ideal => {
-                LayerRouting::balanced(devices, model.experts, tokens_per_device, config.top_k)
-            }
-            _ => batch.routing_for_layer(layer),
-        };
-
-        // Scheduling: decide this layer's placement and its blocking
-        // cost.
-        let mut placement = static_placement.clone();
-        let mut swapped_late = false;
-        match config.scheme {
-            InferScheme::Baseline | InferScheme::Ideal => {}
-            InferScheme::LinaNoEstimation => {
-                let s = scheduler.expect("checked above");
-                placement = s.schedule_from_actual(&routing);
-                // Reactive scheduling blocks the layer entirely.
-                layer_time += s.config().schedule_time;
-                swapped_late = true;
-            }
-            InferScheme::Lina | InferScheme::LinaNoFinetune => {
-                let s = scheduler.expect("checked above");
-                // Any phase-one time the previous layer could not
-                // absorb blocks now.
-                layer_time += unabsorbed_sched;
-                unabsorbed_sched = SimDuration::ZERO;
-                if let Some(p1) = pending_phase_one.take() {
-                    estimates += 1;
-                    let actual_pop = routing.popularity();
-                    let two_k = 2 * config.top_k;
-                    if lina_core::PopularityEstimator::estimate_matches(
-                        &p1.estimate,
-                        &actual_pop,
-                        two_k.min(model.experts),
-                    ) {
-                        accurate += 1;
-                    }
-                    if config.scheme == InferScheme::Lina {
-                        match s.phase_two(&p1, &routing) {
-                            PhaseTwo::Resume => {
-                                layer_time += s.config().resume_time;
-                                placement = p1.placement;
-                            }
-                            PhaseTwo::Finetune(p) => {
-                                layer_time += s.config().schedule_time;
-                                finetunes += 1;
-                                placement = p;
-                                swapped_late = true;
-                            }
-                        }
-                    } else {
-                        // w/o fine-tuning: trust the estimate blindly.
-                        placement = p1.placement;
-                    }
-                }
-            }
-        }
-
-        // Dispatch.
-        let plan = assign_replicas(&routing, &placement, topo);
-        let d1 = a2a_duration(topo, &plan.sizes, model.token_bytes());
-        layer_time += d1;
-
-        // Expert computation per device: sequential over hosted
-        // experts, plus weight-swap overhead for packed/late-changed
-        // experts.
-        let swap = cost.expert_swap(topo.spec().pcie_bw);
-        let mut compute_times: Vec<SimDuration> = Vec::with_capacity(devices);
-        for d in 0..devices {
-            // Packed experts compute one at a time (§6.2); the next
-            // expert's weights stream in from host DRAM behind the
-            // current expert's computation (double buffering), so only
-            // the un-hidden part of each load costs time.
-            let mut t = SimDuration::ZERO;
-            let mut computed = 0;
-            let mut prev_compute = SimDuration::ZERO;
-            for e in 0..model.experts {
-                let tok = plan.compute[d][e];
-                if tok > 0 {
-                    if computed > 0 {
-                        t += swap.saturating_sub(prev_compute);
-                    }
-                    let c = cost.expert_fwd(tok);
-                    t += c;
-                    prev_compute = c;
-                    computed += 1;
-                }
-            }
-            if swapped_late && computed > 0 {
-                // A post-gate placement change cannot prefetch the
-                // first expert's weights.
-                t += swap;
-            }
-            compute_times.push(t);
-        }
-        let slowest = compute_times
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimDuration::ZERO);
-        if slowest > SimDuration::ZERO {
-            let fastest = compute_times
-                .iter()
-                .copied()
-                .min()
-                .unwrap_or(SimDuration::ZERO);
-            let idle = (slowest - fastest).ratio(slowest);
-            max_idle_frac = max_idle_frac.max(idle);
-        }
-        layer_time += slowest;
-
-        // Combine all-to-all back to the token owners.
-        let d2 = a2a_duration(topo, &transpose_counts(&plan.sizes), model.token_bytes());
-        layer_time += d2;
-        let combine = cost.combine(tokens_per_device);
-        layer_time += combine;
-
-        // Phase one for the next layer starts as soon as this layer's
-        // gate fixed the token paths, and overlaps everything up to the
-        // next layer's gate output: dispatch, expert compute, combine,
-        // and the next attention + gate. Whatever does not fit in that
-        // window blocks the next layer (§6.2: "largely overlapped").
-        if layer + 1 < layers
-            && matches!(
-                config.scheme,
-                InferScheme::Lina | InferScheme::LinaNoFinetune
-            )
-        {
-            let s = scheduler.expect("checked above");
-            // Tokens' observed paths now include this layer.
-            pending_phase_one = s.phase_one(&batch.tokens, layer + 1);
-            if pending_phase_one.is_some() {
-                let window =
-                    d1 + slowest + d2 + combine + cost.attention_fwd(tokens_per_device) + gate;
-                unabsorbed_sched = s.config().schedule_time.saturating_sub(window);
-            }
-        }
-
-        a2a_times.push(d1 + d2);
-        layer_times.push(layer_time);
-        total += layer_time;
-    }
-
-    InferenceReport {
-        total,
-        layer_times,
-        a2a_times,
-        finetunes,
-        estimates,
-        accurate,
-        max_idle_frac,
-    }
+    let plan = plan_batch(cost, topo, config, scheduler, batch);
+    execute_plan_solo(&plan, &mut SoloTimer::new(topo))
 }
 
 /// Aggregated inference statistics over many batches.
@@ -340,8 +128,10 @@ pub fn run_inference_batches(
     let mut finetunes = 0usize;
     let mut estimates = 0usize;
     let mut accurate = 0usize;
+    let mut timer = SoloTimer::new(topo);
     for batch in batches {
-        let r = run_inference_batch(cost, topo, config, scheduler, batch);
+        let plan = plan_batch(cost, topo, config, scheduler, batch);
+        let r = execute_plan_solo(&plan, &mut timer);
         totals.push_duration(r.total);
         for &t in &r.layer_times {
             layer_times.push_duration(t);

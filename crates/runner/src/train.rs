@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use lina_baselines::TrainScheme;
 use lina_model::{balanced_routing, build_train_step, BatchShape, CommClass, CostModel, OpKind};
-use lina_netsim::{CollectiveEngine, CollectiveSpec, Network, Topology};
+use lina_netsim::{CollectiveSpec, SoloTimer, Topology};
 use lina_simcore::{Samples, SimDuration, SimTime, SpanKind};
 
 use crate::engine::{execute, ExecResult};
@@ -53,13 +53,12 @@ pub struct StepRun {
 
 /// Simulates a collective alone on an idle network and returns its
 /// completion time (the denominator of the Figure 3 slowdown factor).
+///
+/// One-shot convenience over [`SoloTimer`]; hot loops that price many
+/// collectives against the same topology should hold a timer instead,
+/// which clones the topology once rather than per query.
 pub fn solo_collective_time(topo: &Topology, spec: &CollectiveSpec) -> SimDuration {
-    let mut engine = CollectiveEngine::new(Network::new(topo.clone()));
-    engine.start(spec, 0);
-    let done = engine.run_to_idle();
-    done.first()
-        .map(|d| d.at - d.started)
-        .unwrap_or(SimDuration::ZERO)
+    SoloTimer::new(topo).time(spec)
 }
 
 /// Runs one training step.
@@ -163,6 +162,7 @@ fn extract_metrics(
     let mut logical: BTreeMap<(usize, bool, usize), (SimTime, SimTime, f64)> = BTreeMap::new();
     let mut a2a_total = SimDuration::ZERO;
     let mut solo_cache: BTreeMap<u64, SimDuration> = BTreeMap::new();
+    let mut solo_timer = SoloTimer::new(topo);
     for (i, op) in graph.ops().iter().enumerate() {
         let OpKind::Comm { spec, meta } = &op.kind else {
             continue;
@@ -179,7 +179,7 @@ fn extract_metrics(
         let size_key = spec.total_bytes().round() as u64;
         let solo = *solo_cache
             .entry(size_key)
-            .or_insert_with(|| solo_collective_time(topo, spec));
+            .or_insert_with(|| solo_timer.time(spec));
         let entry = logical
             .entry(key)
             .or_insert((SimTime::MAX, SimTime::ZERO, 0.0));

@@ -5,10 +5,21 @@
 //! request trace a [`ServeEngine`] would (same seeds, same drift), but
 //! routes each arriving request to one of `replicas` identical servers
 //! via a [`LoadBalancer`]. Every replica keeps its own admission queue,
-//! dynamic [`Batcher`](crate::Batcher) timeline, and `server_free`
-//! instant; the cluster walks a K-server event loop that finalizes
-//! dispatches in global time order, so the run is deterministic down to
-//! the bit.
+//! dynamic [`Batcher`](crate::Batcher) timeline, and a
+//! [`ReplicaExecutor`] running its in-flight batches; the cluster walks
+//! a K-server event loop interleaving executor events (stage
+//! boundaries, batch completions) with dispatch commits in global time
+//! order, so the run is deterministic down to the bit.
+//!
+//! Each committed batch is first lowered by the planner
+//! ([`plan_batch`]) and then *executed* by the replica's executor under
+//! the configured [`NetworkMode`](lina_runner::NetworkMode): solo
+//! pricing reproduces the historical closed-form costing bit for bit
+//! (completions are known at submit time, so the loop degenerates to
+//! busy-until-done), while contended pricing runs the collectives of
+//! all in-flight batches on one shared network per replica. The
+//! admission depth is [`ServeConfig::max_inflight`]: a replica proposes
+//! its next dispatch only while it has a free slot.
 //!
 //! Two re-estimation topologies compare the value of pooling
 //! observations under popularity drift ([`EstimatorSharing`]):
@@ -23,16 +34,19 @@
 //!
 //! The dispatch-decision core is unchanged: each replica calls
 //! [`Batcher::next_dispatch`](crate::Batcher::next_dispatch) on its own
-//! routed-arrival trace with its own `server_free`. A planned dispatch
-//! is *finalized* only once the global clock passes it (no
-//! later-arriving request could join the batch), which makes the
+//! routed-arrival trace with the instant its dispatch slot freed. A
+//! planned dispatch is *finalized* only once the global clock passes it
+//! (no later-arriving request could join the batch), which makes the
 //! incremental per-replica traces exactly equivalent to full-trace
 //! knowledge — the property the single-server loop relies on, now per
 //! replica.
 
+use std::collections::BTreeMap;
+
 use lina_model::CostModel;
 use lina_netsim::Topology;
-use lina_runner::inference::{run_inference_batch, InferenceConfig};
+use lina_runner::inference::InferenceConfig;
+use lina_runner::{plan_batch, ReplicaExecutor};
 use lina_simcore::SimTime;
 use lina_workload::{TokenBatch, TokenPath, WorkloadSpec};
 
@@ -135,11 +149,14 @@ struct Replica {
     queue: Vec<Request>,
     /// Index of the first request not yet in a finalized dispatch.
     next: usize,
-    /// Instant the replica's server frees up.
-    server_free: SimTime,
-    /// Token count of the batch the server is currently executing
-    /// (meaningful while `server_free` is in the future).
-    running_tokens: usize,
+    /// Executes this replica's in-flight batches under the configured
+    /// network mode.
+    executor: ReplicaExecutor,
+    /// Instant the most recently vacated dispatch slot opened (the
+    /// completion that brought the replica back under `max_inflight`).
+    /// A new dispatch cannot leave before it — at `max_inflight` = 1
+    /// this is exactly the old `server_free` busy-until-done gate.
+    slot_free: SimTime,
     /// Tokens routed but not yet dispatched.
     queued_tokens: usize,
     /// This replica's scheduler (per-replica sharing; unused while the
@@ -152,20 +169,27 @@ struct Replica {
 }
 
 impl Replica {
-    fn snapshot(&self, id: usize, now: SimTime, capacity: f64) -> ReplicaSnapshot {
+    /// The balancer's view at a routing instant. The event loop drains
+    /// every executor event up to `now` before routing, so in-flight
+    /// counts here never include batches that already completed.
+    fn snapshot(&self, id: usize, capacity: f64) -> ReplicaSnapshot {
         ReplicaSnapshot {
             id,
             queued_requests: self.queue.len() - self.next,
             queued_tokens: self.queued_tokens,
-            in_flight_tokens: if self.server_free > now {
-                self.running_tokens
-            } else {
-                0
-            },
-            server_free: self.server_free,
+            in_flight_tokens: self.executor.in_flight_tokens(),
+            server_free: self.executor.busy_until(),
             capacity,
         }
     }
+}
+
+/// What the tracker needs about one batch member, held from dispatch
+/// commit until the batch's completion event materializes the records.
+struct PendingMember {
+    id: usize,
+    arrival: SimTime,
+    tokens: usize,
 }
 
 /// The multi-replica serving simulator. Holds a [`ServeEngine`] for
@@ -262,8 +286,8 @@ pub(crate) fn run_on(
             arrivals: Vec::new(),
             queue: Vec::new(),
             next: 0,
-            server_free: SimTime::ZERO,
-            running_tokens: 0,
+            executor: ReplicaExecutor::new(config.network, engine.topo),
+            slot_free: SimTime::ZERO,
             queued_tokens: 0,
             scheduler: offline.clone(),
             window: ReestimationWindow::new(config.reestimate_window),
@@ -276,32 +300,101 @@ pub(crate) fn run_on(
     let mut reestimations = 0usize;
     let mut requests_per_replica = vec![0usize; n_replicas];
     let mut tokens_per_replica = vec![0usize; n_replicas];
+    // Per-request records materialize at the completion *event*, which
+    // under concurrent replicas need not follow dispatch order; they are
+    // sorted into dispatch order once the run drains.
+    let mut records: Vec<RequestRecord> = Vec::new();
+    // Member bookkeeping from dispatch commit until completion.
+    let mut pending: BTreeMap<u64, Vec<PendingMember>> = BTreeMap::new();
 
-    // Finalizes every dispatch planned strictly before `horizon`, in
-    // global time order (ties break toward the lowest replica index).
-    // A dispatch with `at < horizon` is final: every request arriving
-    // at or after `horizon` is too late to join it, and a batch-filling
-    // arrival would itself satisfy `at <= deadline < horizon`, so it is
-    // already routed.
+    // Advances the cluster to `horizon`, interleaving two event kinds
+    // in global time order (ties break toward the lowest replica
+    // index):
+    //
+    // * **executor events** (`<= horizon`) — stage boundaries and batch
+    //   completions inside a replica's executor; a completion frees a
+    //   dispatch slot and materializes its members' records;
+    // * **dispatch commits** (strictly `< horizon`) — a dispatch with
+    //   `at < horizon` is final: every request arriving at or after
+    //   `horizon` is too late to join it, and a batch-filling arrival
+    //   would itself satisfy `at <= deadline < horizon`, so it is
+    //   already routed.
+    //
+    // Executor events fire before dispatches at the same instant: the
+    // completion at `t` is what frees the slot a dispatch at `t` needs.
+    // Processing strictly in time order also keeps each executor's
+    // submit instants monotone, which the contended network requires.
     let advance = |replicas: &mut Vec<Replica>,
                    horizon: SimTime,
                    shared_scheduler: &mut Option<TwoPhaseScheduler>,
                    shared_window: &mut ReestimationWindow,
                    total_batches: &mut usize,
                    reestimations: &mut usize,
-                   tracker: &mut SloTracker| {
+                   tracker: &mut SloTracker,
+                   records: &mut Vec<RequestRecord>,
+                   pending: &mut BTreeMap<u64, Vec<PendingMember>>| {
         loop {
+            let mut event: Option<(SimTime, usize)> = None;
+            for (i, rep) in replicas.iter_mut().enumerate() {
+                if let Some(t) = rep.executor.next_event() {
+                    if t <= horizon && event.is_none_or(|(et, _)| t < et) {
+                        event = Some((t, i));
+                    }
+                }
+            }
             let mut best: Option<(SimTime, usize, crate::batcher::Dispatch)> = None;
             for (i, rep) in replicas.iter().enumerate() {
-                if let Some(d) = batcher.next_dispatch(&rep.arrivals, rep.next, rep.server_free) {
+                if rep.executor.in_flight() >= config.max_inflight {
+                    continue;
+                }
+                if let Some(d) = batcher.next_dispatch(&rep.arrivals, rep.next, rep.slot_free) {
                     if d.at < horizon && best.is_none_or(|(at, _, _)| d.at < at) {
                         best = Some((d.at, i, d));
                     }
                 }
             }
+            let take_event = match (event, &best) {
+                (Some((t, _)), Some((at, _, _))) => t <= *at,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_event {
+                let (t, i) = event.expect("checked above");
+                let rep = &mut replicas[i];
+                let mut inflight = rep.executor.in_flight();
+                for fb in rep.executor.advance_to(t) {
+                    inflight -= 1;
+                    if inflight == config.max_inflight - 1 {
+                        rep.slot_free = fb.completed;
+                    }
+                    let members = pending
+                        .remove(&fb.id)
+                        .expect("finished batch was committed");
+                    for m in members {
+                        records.push(RequestRecord {
+                            id: m.id,
+                            arrival: m.arrival,
+                            dispatched: fb.dispatched,
+                            completed: fb.completed,
+                            tokens: m.tokens,
+                            batch: fb.id as usize,
+                            service: fb.report.total,
+                        });
+                    }
+                }
+                continue;
+            }
             let Some((_, i, dispatch)) = best else { break };
             let rep = &mut replicas[i];
             let members = &rep.queue[rep.next..rep.next + dispatch.count];
+            let member_info: Vec<PendingMember> = members
+                .iter()
+                .map(|r| PendingMember {
+                    id: r.id,
+                    arrival: r.arrival,
+                    tokens: r.tokens.len(),
+                })
+                .collect();
             let tokens: Vec<TokenPath> = members
                 .iter()
                 .flat_map(|r| r.tokens.iter().cloned())
@@ -315,27 +408,16 @@ pub(crate) fn run_on(
                 EstimatorSharing::Shared => shared_scheduler.as_ref(),
                 EstimatorSharing::PerReplica => rep.scheduler.as_ref(),
             };
-            let report = run_inference_batch(engine.cost, engine.topo, &infer, scheduler, &batch);
-            let completed = dispatch.at + report.total;
-            for r in members {
-                tracker.record(RequestRecord {
-                    id: r.id,
-                    arrival: r.arrival,
-                    dispatched: dispatch.at,
-                    completed,
-                    tokens: r.tokens.len(),
-                    batch: *total_batches,
-                    service: report.total,
-                });
-            }
+            let plan = plan_batch(engine.cost, engine.topo, &infer, scheduler, &batch);
+            let batch_id = *total_batches as u64;
+            rep.executor.submit(batch_id, dispatch.at, plan);
+            pending.insert(batch_id, member_info);
             let backlog = rep.arrivals[rep.next + dispatch.count..]
                 .iter()
                 .filter(|&&a| a <= dispatch.at)
                 .count();
             tracker.record_depth(dispatch.at, backlog);
             rep.queued_tokens -= batch.tokens.len();
-            rep.running_tokens = batch.tokens.len();
-            rep.server_free = completed;
             rep.next += dispatch.count;
             rep.batches += 1;
             *total_batches += 1;
@@ -378,11 +460,13 @@ pub(crate) fn run_on(
             &mut total_batches,
             &mut reestimations,
             &mut tracker,
+            &mut records,
+            &mut pending,
         );
         let snapshots: Vec<ReplicaSnapshot> = replicas
             .iter()
             .enumerate()
-            .map(|(i, r)| r.snapshot(i, req.arrival, per_replica_capacity))
+            .map(|(i, r)| r.snapshot(i, per_replica_capacity))
             .collect();
         let target = balancer.pick(&snapshots, req.arrival);
         assert!(
@@ -397,7 +481,8 @@ pub(crate) fn run_on(
         rep.queued_tokens += req.tokens.len();
         rep.queue.push(req);
     }
-    // Every request is routed; drain the remaining dispatches.
+    // Every request is routed; drain the remaining dispatches and
+    // completions.
     advance(
         &mut replicas,
         SimTime::MAX,
@@ -406,7 +491,18 @@ pub(crate) fn run_on(
         &mut total_batches,
         &mut reestimations,
         &mut tracker,
+        &mut records,
+        &mut pending,
     );
+    assert!(pending.is_empty(), "every committed batch must complete");
+
+    // Records enter the tracker in dispatch order (batch index, then
+    // request id within the batch), exactly as the pre-event-loop
+    // engine emitted them.
+    records.sort_by_key(|r| (r.batch, r.id));
+    for r in records {
+        tracker.record(r);
+    }
 
     ClusterOutcome {
         tracker,
@@ -465,6 +561,8 @@ mod tests {
                 drift_period: Some(24),
                 reestimate_every: Some(4),
                 reestimate_window: 8,
+                network: lina_runner::NetworkMode::Solo,
+                max_inflight: 1,
                 seed: 0xC1A5,
             },
             replicas,

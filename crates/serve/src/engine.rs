@@ -28,6 +28,7 @@ use lina_core::{PopularityEstimator, TwoPhaseConfig, TwoPhaseScheduler};
 use lina_model::CostModel;
 use lina_netsim::Topology;
 use lina_runner::inference::{run_inference_batch, InferenceConfig};
+use lina_runner::NetworkMode;
 use lina_simcore::{Rng, SimDuration};
 use lina_workload::{Mode, TokenBatch, TokenPath, TokenSource, WorkloadSpec};
 
@@ -85,6 +86,20 @@ pub struct ServeConfig {
     pub reestimate_every: Option<usize>,
     /// How many recently served batches the re-profiling window holds.
     pub reestimate_window: usize,
+    /// How in-flight batches price their collectives:
+    /// [`NetworkMode::Solo`] is the closed-form uncontended costing
+    /// (the historical behaviour, bit-identical to the pre-event-loop
+    /// engine), [`NetworkMode::Contended`] runs every in-flight batch's
+    /// all-to-alls on one shared network per replica, so concurrent
+    /// dispatches fair-share NIC bandwidth.
+    pub network: NetworkMode,
+    /// Batches a replica may have in flight at once. At 1 (the
+    /// busy-until-done default) batches serialize on each replica;
+    /// higher values admit the next batch while earlier ones still
+    /// run. Solo pricing still charges each overlapped batch its
+    /// uncontended time; contended pricing makes the overlap visible
+    /// on the wire.
+    pub max_inflight: usize,
     /// Master seed: arrivals, request tokens, and the offline profile
     /// all derive from it.
     pub seed: u64,
@@ -161,6 +176,7 @@ impl ServeConfig {
                 "serve: reestimate_window must be > 0"
             );
         }
+        assert!(self.max_inflight > 0, "serve: max_inflight must be > 0");
     }
 }
 
@@ -362,7 +378,7 @@ impl<'a> ServeEngine<'a> {
     ///
     /// The single-server timeline is the K = 1 special case of the
     /// cluster event loop ([`crate::cluster`]): one replica, trivially
-    /// routed, with its own `server_free` instant.
+    /// routed, with its own executor and dispatch slot.
     pub fn run(&self) -> ServeOutcome {
         let mut solo = crate::balancer::RoundRobin::new();
         let outcome =
@@ -418,6 +434,8 @@ mod tests {
             drift_period: Some(16),
             reestimate_every: Some(4),
             reestimate_window: 8,
+            network: NetworkMode::Solo,
+            max_inflight: 1,
             seed: 0x5EED,
         }
     }

@@ -48,5 +48,6 @@ pub use balancer::{
 pub use batcher::{Batcher, BatcherConfig};
 pub use cluster::{serve_cluster, ClusterConfig, ClusterEngine, ClusterOutcome, EstimatorSharing};
 pub use engine::{serve, ServeConfig, ServeEngine, ServeOutcome};
+pub use lina_runner::NetworkMode;
 pub use request::{Request, RequestRecord};
 pub use slo::{SloReport, SloTracker};

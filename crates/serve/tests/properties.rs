@@ -8,7 +8,7 @@ use lina_model::{CostModel, DeviceSpec, MoeModelConfig};
 use lina_netsim::{ClusterSpec, Topology};
 use lina_serve::{
     serve, serve_cluster, ArrivalProcess, BalancerKind, Batcher, BatcherConfig, ClusterConfig,
-    EstimatorSharing, ServeConfig, ServeEngine,
+    EstimatorSharing, NetworkMode, ServeConfig, ServeEngine,
 };
 use lina_simcore::{Rng, SimDuration, SimTime};
 use lina_workload::WorkloadSpec;
@@ -56,6 +56,8 @@ fn arb_config(meta: &mut Rng, scheme: InferScheme) -> ServeConfig {
         drift_period: meta.bernoulli(0.5).then(|| 8 + meta.index(24)),
         reestimate_every: meta.bernoulli(0.5).then(|| 2 + meta.index(6)),
         reestimate_window: 4 + meta.index(8),
+        network: NetworkMode::Solo,
+        max_inflight: 1,
         seed: meta.next_u64(),
     }
 }
@@ -333,6 +335,8 @@ fn queue_drains_below_capacity_and_grows_past_it() {
         drift_period: None,
         reestimate_every: None,
         reestimate_window: 1,
+        network: NetworkMode::Solo,
+        max_inflight: 1,
         seed: 0xD12A1,
     };
     let capacity = ServeEngine::new(&cost, &topo, &spec, base.clone()).capacity();

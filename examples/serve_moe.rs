@@ -13,7 +13,7 @@
 use lina::baselines::InferScheme;
 use lina::model::{CostModel, DeviceSpec, MoeModelConfig};
 use lina::netsim::{ClusterSpec, Topology};
-use lina::serve::{serve, ArrivalProcess, BatcherConfig, ServeConfig, ServeEngine};
+use lina::serve::{serve, ArrivalProcess, BatcherConfig, NetworkMode, ServeConfig, ServeEngine};
 use lina::simcore::{SimDuration, Table};
 use lina::workload::WorkloadSpec;
 
@@ -40,6 +40,8 @@ fn config(scheme: InferScheme, rate: f64, n_requests: usize) -> ServeConfig {
         drift_period: Some((n_requests / 4).max(1)),
         reestimate_every: Some(8),
         reestimate_window: 16,
+        network: NetworkMode::Solo,
+        max_inflight: 1,
         seed: 0x11A,
     }
 }

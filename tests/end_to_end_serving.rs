@@ -7,7 +7,7 @@
 use lina::baselines::InferScheme;
 use lina::model::{CostModel, DeviceSpec, MoeModelConfig};
 use lina::netsim::{ClusterSpec, Topology};
-use lina::serve::{serve, ArrivalProcess, BatcherConfig, ServeConfig, ServeEngine};
+use lina::serve::{serve, ArrivalProcess, BatcherConfig, NetworkMode, ServeConfig, ServeEngine};
 use lina::simcore::SimDuration;
 use lina::workload::WorkloadSpec;
 
@@ -41,6 +41,8 @@ fn config(scheme: InferScheme, rate: f64) -> ServeConfig {
         drift_period: Some(16),
         reestimate_every: Some(8),
         reestimate_window: 16,
+        network: NetworkMode::Solo,
+        max_inflight: 1,
         seed: 0xE2E,
     }
 }
