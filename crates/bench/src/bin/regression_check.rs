@@ -4,7 +4,10 @@
 //! the artifact from the last green CI run on the main branch), keyed
 //! on `(scenario id, metric name)`. A metric whose value drifts by
 //! more than the relative tolerance fails the check; metrics that
-//! vanished are reported as warnings (new metrics are always fine).
+//! vanished are reported as warnings. Scenarios and metrics present
+//! only in the current summary are *additions* — logged for the CI
+//! record, never failed — so landing a new experiment does not require
+//! a baseline refresh first.
 //! A missing previous file is the first-run case and passes silently,
 //! so the gate bootstraps itself.
 //!
@@ -116,6 +119,29 @@ fn main() -> ExitCode {
         }
     };
     let cur: std::collections::BTreeMap<_, _> = current.into_iter().collect();
+    // Additions: whole scenarios (or single metrics) only in the
+    // current summary. Logged, never failed — a new experiment lands
+    // before its baseline exists.
+    let prev_keys: std::collections::BTreeSet<&MetricKey> =
+        previous.iter().map(|(k, _)| k).collect();
+    let prev_ids: std::collections::BTreeSet<&str> =
+        previous.iter().map(|((id, _), _)| id.as_str()).collect();
+    let mut new_scenarios: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
+    for key in cur.keys() {
+        if prev_keys.contains(key) {
+            continue;
+        }
+        let (id, name) = key;
+        if prev_ids.contains(id.as_str()) {
+            println!("NEW   {id}/{name}: metric added");
+        } else {
+            *new_scenarios.entry(id.as_str()).or_default() += 1;
+        }
+    }
+    for (id, n) in &new_scenarios {
+        println!("NEW   {id}: scenario added ({n} metric(s))");
+    }
     let mut failures = 0usize;
     let mut compared = 0usize;
     for ((id, name), prev) in &previous {

@@ -324,6 +324,12 @@ pub const REGISTRY: &[Scenario] = &[
         description: "solo vs contended collective pricing under bursty overlap",
         run: scenarios::serve_contention::run,
     },
+    Scenario {
+        id: "serve_faults",
+        paper_ref: "Serving faults",
+        description: "fault injection: crash intensity x recovery x degradation policy",
+        run: scenarios::serve_faults::run,
+    },
 ];
 
 /// Looks up a scenario by id.
@@ -364,16 +370,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_26_experiments() {
-        assert_eq!(REGISTRY.len(), 26);
+    fn registry_covers_all_27_experiments() {
+        assert_eq!(REGISTRY.len(), 27);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 26, "scenario ids must be unique");
+        assert_eq!(ids.len(), 27, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("serve_load_sweep").is_some());
         assert!(find("serve_cluster").is_some());
         assert!(find("serve_contention").is_some());
+        assert!(find("serve_faults").is_some());
         assert!(find("nope").is_none());
     }
 

@@ -27,6 +27,7 @@ pub mod fig8_microops;
 pub mod fig9_pattern;
 pub mod serve_cluster;
 pub mod serve_contention;
+pub mod serve_faults;
 pub mod serve_load_sweep;
 pub mod table1;
 pub mod table2;

@@ -19,7 +19,7 @@ use lina_baselines::InferScheme;
 use lina_model::MoeModelConfig;
 use lina_serve::{
     serve_cluster, ArrivalProcess, BalancerKind, BatcherConfig, ClusterConfig, ClusterEngine,
-    EstimatorSharing, NetworkMode, ServeConfig,
+    EstimatorSharing, FaultPlan, NetworkMode, ServeConfig,
 };
 use lina_simcore::{Report, SimDuration, Table};
 
@@ -76,6 +76,7 @@ fn cluster_config(
         replicas: REPLICAS,
         balancer,
         sharing,
+        faults: FaultPlan::none(),
     }
 }
 

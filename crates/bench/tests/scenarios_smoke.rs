@@ -18,7 +18,12 @@ fn registry_is_nonempty_and_ids_unique() {
 fn serving_scenarios_are_registered() {
     // Both serving experiments must be reachable from `reproduce`
     // (its --list and --only flags resolve through the same registry).
-    for id in ["serve_load_sweep", "serve_cluster", "serve_contention"] {
+    for id in [
+        "serve_load_sweep",
+        "serve_cluster",
+        "serve_contention",
+        "serve_faults",
+    ] {
         assert!(
             lina_bench::find(id).is_some(),
             "{id} missing from the scenario registry"
@@ -61,6 +66,34 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                  round-robin p99 / jsq p99 = {}",
                 headline.value
             );
+        }
+        if scenario.id == "serve_faults" {
+            let metric = |name: &str| {
+                first
+                    .metrics()
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("serve_faults reports {name}"))
+                    .value
+            };
+            // Graceful degradation must strictly beat fail-fast on both
+            // availability and SLO attainment at the default cell.
+            assert!(
+                metric("shed_minus_failfast_availability") > 0.0,
+                "retry+failover+shedding must strictly improve availability"
+            );
+            assert!(
+                metric("shed_minus_failfast_attainment") > 0.0,
+                "retry+failover+shedding must strictly improve attainment"
+            );
+            // An empty fault schedule with an armed policy reproduces
+            // the healthy path bit for bit.
+            assert_eq!(
+                metric("empty_schedule_identical"),
+                1.0,
+                "empty schedule must be bit-identical to the healthy path"
+            );
+            assert_eq!(metric("empty_schedule_p99_delta_ms"), 0.0);
         }
         if scenario.id == "serve_contention" {
             let headline = first

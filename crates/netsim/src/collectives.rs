@@ -390,6 +390,14 @@ impl CollectiveEngine {
         id
     }
 
+    /// Cancels every running collective and its flows without reporting
+    /// completions — the replica driving them has crashed. Time does not
+    /// advance; the engine is reusable afterwards (recovery).
+    pub fn cancel_all(&mut self) {
+        self.running.clear();
+        self.net.cancel_all_flows();
+    }
+
     /// Next instant at which anything changes: a flow event or an
     /// empty-phase promotion.
     pub fn next_event(&mut self) -> Option<SimTime> {

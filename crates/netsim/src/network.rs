@@ -88,6 +88,9 @@ pub struct Network {
     next_id: u64,
     rates_valid: bool,
     stats: NetStats,
+    /// Multiplier applied to every link capacity (fault injection:
+    /// 1.0 = healthy, < 1.0 = degraded NIC/NVLink bandwidth).
+    capacity_scale: f64,
 }
 
 impl Network {
@@ -100,7 +103,40 @@ impl Network {
             next_id: 0,
             rates_valid: true,
             stats: NetStats::default(),
+            capacity_scale: 1.0,
         }
+    }
+
+    /// The current link-capacity multiplier (1.0 when healthy).
+    pub fn capacity_scale(&self) -> f64 {
+        self.capacity_scale
+    }
+
+    /// Scales every link capacity by `scale` relative to the topology's
+    /// nominal bandwidth. In-flight transfers re-share the degraded (or
+    /// restored) links from the current instant onward — the fluid
+    /// model is piecewise-linear, so the change is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive.
+    pub fn set_capacity_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "set_capacity_scale: bad scale {scale}"
+        );
+        if scale != self.capacity_scale {
+            self.capacity_scale = scale;
+            self.rates_valid = false;
+        }
+    }
+
+    /// Cancels every active flow without completing it (no completion is
+    /// reported and no stats are counted) — the device driving them has
+    /// failed. Time does not advance.
+    pub fn cancel_all_flows(&mut self) {
+        self.flows.clear();
+        self.rates_valid = false;
     }
 
     /// The topology.
@@ -183,7 +219,17 @@ impl Network {
                 }
             })
             .collect();
-        let rates = max_min_rates(self.topo.link_capacities(), &demands);
+        let rates = if self.capacity_scale == 1.0 {
+            max_min_rates(self.topo.link_capacities(), &demands)
+        } else {
+            let scaled: Vec<f64> = self
+                .topo
+                .link_capacities()
+                .iter()
+                .map(|c| c * self.capacity_scale)
+                .collect();
+            max_min_rates(&scaled, &demands)
+        };
         for (id, rate) in transferring.into_iter().zip(rates) {
             self.flows.get_mut(&id).expect("flow exists").rate = rate;
         }
@@ -497,5 +543,58 @@ mod tests {
         let mut n = net();
         n.advance_to(SimTime::from_millis(5));
         n.advance_to(SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn degraded_capacity_slows_transfers_proportionally() {
+        let mut healthy = net();
+        healthy.start_flow(spec(0, 4, 1e9));
+        let t_healthy = healthy.run_to_idle().expect("completes");
+        let mut degraded = net();
+        degraded.set_capacity_scale(0.5);
+        degraded.start_flow(spec(0, 4, 1e9));
+        let t_degraded = degraded.run_to_idle().expect("completes");
+        let ratio = t_degraded.as_secs_f64() / t_healthy.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.02, "half bandwidth ratio {ratio}");
+    }
+
+    #[test]
+    fn restoring_capacity_mid_flow_speeds_the_remainder() {
+        // Degraded to 50% for the first half of the transfer, then
+        // restored: the flow finishes between the all-healthy and
+        // all-degraded completion times.
+        let mut n = net();
+        let bw = n.topology().spec().nic_bw;
+        n.set_capacity_scale(0.5);
+        n.start_flow(spec(0, 4, 1e9));
+        let healthy_secs = 1e9 / bw;
+        n.advance_to(SimTime::from_secs_f64(healthy_secs));
+        n.set_capacity_scale(1.0);
+        let end = n.run_to_idle().expect("completes");
+        let secs = end.as_secs_f64();
+        assert!(
+            secs > healthy_secs * 1.2 && secs < 2.0 * healthy_secs,
+            "piecewise transfer took {secs}, healthy {healthy_secs}"
+        );
+    }
+
+    #[test]
+    fn cancelled_flows_never_complete() {
+        let mut n = net();
+        n.start_flow(spec(0, 4, 1e9));
+        n.start_flow(spec(0, 5, 1e9));
+        n.advance_to(SimTime::from_millis(1));
+        n.cancel_all_flows();
+        assert_eq!(n.active_flows(), 0);
+        assert_eq!(n.next_event(), None);
+        let done = n.advance_to(SimTime::from_secs_f64(10.0));
+        assert!(done.is_empty(), "cancelled flows reported completions");
+        assert_eq!(n.stats().flows_completed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scale")]
+    fn zero_capacity_scale_rejected() {
+        net().set_capacity_scale(0.0);
     }
 }

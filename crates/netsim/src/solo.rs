@@ -43,6 +43,13 @@ impl SoloTimer {
         self.engine.network().topology()
     }
 
+    /// Scales the priced network's link capacities (fault injection:
+    /// 1.0 = healthy, < 1.0 = degraded). Subsequent [`SoloTimer::time`]
+    /// queries price collectives on the degraded links.
+    pub fn set_capacity_scale(&mut self, scale: f64) {
+        self.engine.network_mut().set_capacity_scale(scale);
+    }
+
     /// Duration of `spec` run alone on the idle network (zero for a
     /// collective that moves no bytes and has no participants).
     pub fn time(&mut self, spec: &CollectiveSpec) -> SimDuration {

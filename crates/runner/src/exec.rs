@@ -190,6 +190,51 @@ impl ReplicaExecutor {
         }
     }
 
+    /// Aborts every in-flight batch — the replica crashed. Returns the
+    /// aborted batch ids (ascending); no completion is ever reported
+    /// for them. Contended collectives and their network flows are
+    /// cancelled; the executor is reusable after recovery.
+    ///
+    /// The cluster loop drains every executor event strictly before the
+    /// crash instant first, so nothing already completed is in limbo; a
+    /// batch completing exactly at the crash instant is aborted (the
+    /// fault fires first at ties).
+    pub fn abort_all(&mut self) -> Vec<u64> {
+        match self {
+            ReplicaExecutor::Solo(s) => {
+                let mut ids: Vec<u64> = s.inflight.drain(..).map(|f| f.id).collect();
+                ids.sort_unstable();
+                ids
+            }
+            ReplicaExecutor::Contended(c) => {
+                debug_assert!(
+                    c.finished.is_empty(),
+                    "abort_all: undrained completions on the replica"
+                );
+                let ids: Vec<u64> = c.batches.keys().copied().collect();
+                c.batches.clear();
+                c.queue.clear();
+                c.engine.cancel_all();
+                ids
+            }
+        }
+    }
+
+    /// Scales the replica's link bandwidth (fault injection: 1.0 =
+    /// healthy, < 1.0 = degraded NIC). Solo pricing charges subsequent
+    /// plans their closed-form time on the degraded links; contended
+    /// execution re-shares the degraded links immediately, in-flight
+    /// collectives included.
+    pub fn set_link_scale(&mut self, scale: f64) {
+        match self {
+            ReplicaExecutor::Solo(s) => s.timer.set_capacity_scale(scale),
+            ReplicaExecutor::Contended(c) => {
+                c.engine.network_mut().set_capacity_scale(scale);
+                c.estimator.set_capacity_scale(scale);
+            }
+        }
+    }
+
     /// When the replica expects to drain: the latest in-flight
     /// completion (solo-priced estimate in contended mode, where actual
     /// completions can land later under contention), or the last
@@ -670,6 +715,96 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Aborting clears in-flight work in both modes: no completions are
+    /// ever reported for aborted batches, the live-state counters drop
+    /// to zero (the balancer reads them), and the executor keeps working
+    /// for post-recovery submissions.
+    #[test]
+    fn abort_clears_in_flight_work_in_both_modes() {
+        for mode in [NetworkMode::Solo, NetworkMode::Contended] {
+            let (topo, plans) = plans(InferScheme::Baseline);
+            let mut exec = ReplicaExecutor::new(mode, &topo);
+            exec.submit(0, SimTime::ZERO, plans[0].clone());
+            exec.submit(1, SimTime::from_micros(40), plans[1].clone());
+            assert_eq!(exec.in_flight(), 2, "{mode:?}");
+            assert!(exec.in_flight_tokens() > 0);
+            let aborted = exec.abort_all();
+            assert_eq!(aborted, vec![0, 1], "{mode:?}");
+            assert_eq!(exec.in_flight(), 0, "{mode:?}");
+            assert_eq!(exec.in_flight_tokens(), 0, "{mode:?}");
+            assert_eq!(exec.next_event(), None, "{mode:?}");
+            let done = exec.advance_to(SimTime::MAX);
+            assert!(done.is_empty(), "{mode:?}: aborted batches completed");
+            // The replica recovers and serves again.
+            exec.submit(2, SimTime::from_millis(400), plans[2].clone());
+            let done = exec.advance_to(SimTime::MAX);
+            assert_eq!(done.len(), 1, "{mode:?}");
+            assert_eq!(done[0].id, 2);
+        }
+    }
+
+    /// A degraded link stretches all-to-all pricing in both modes, and
+    /// restoring it returns pricing to the healthy baseline.
+    #[test]
+    fn link_degradation_slows_batches_and_restores() {
+        for mode in [NetworkMode::Solo, NetworkMode::Contended] {
+            let (topo, plans) = plans(InferScheme::Baseline);
+            let run_one = |exec: &mut ReplicaExecutor, id: u64, at: SimTime| {
+                exec.submit(id, at, plans[0].clone());
+                let done = exec.advance_to(SimTime::MAX);
+                assert_eq!(done.len(), 1);
+                done[0].report.total
+            };
+            let mut exec = ReplicaExecutor::new(mode, &topo);
+            let healthy = run_one(&mut exec, 0, SimTime::ZERO);
+            exec.set_link_scale(0.25);
+            let degraded = run_one(&mut exec, 1, SimTime::from_secs_f64(1.0));
+            exec.set_link_scale(1.0);
+            let restored = run_one(&mut exec, 2, SimTime::from_secs_f64(2.0));
+            assert!(
+                degraded > healthy,
+                "{mode:?}: quartered bandwidth must slow the batch \
+                 ({degraded} vs {healthy})"
+            );
+            let drift = if restored > healthy {
+                restored - healthy
+            } else {
+                healthy - restored
+            };
+            assert!(
+                drift <= SimDuration::from_nanos(16 * plans[0].n_layers() as u64),
+                "{mode:?}: restored pricing {restored} vs healthy {healthy}"
+            );
+        }
+    }
+
+    /// Compute scaling stretches only the expert-compute stages.
+    #[test]
+    fn scale_compute_stretches_solo_totals() {
+        let (topo, plans) = plans(InferScheme::Baseline);
+        let mut timer = SoloTimer::new(&topo);
+        let base = execute_plan_solo(&plans[0], &mut timer);
+        let mut scaled = plans[0].clone();
+        scaled.scale_compute(1.5);
+        let slow = execute_plan_solo(&scaled, &mut timer);
+        assert!(slow.total > base.total);
+        let compute_delta: SimDuration = plans[0]
+            .layers
+            .iter()
+            .map(|l| l.slowest_compute().mul_f64(0.5))
+            .sum();
+        let got = slow.total - base.total;
+        let err = if got > compute_delta {
+            got - compute_delta
+        } else {
+            compute_delta - got
+        };
+        assert!(
+            err <= SimDuration::from_nanos(2 * plans[0].n_layers() as u64),
+            "compute-only scaling: delta {got} vs expected {compute_delta}"
+        );
     }
 
     /// The solo variant's bookkeeping: busy_until tracks the precomputed

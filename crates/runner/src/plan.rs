@@ -104,6 +104,30 @@ impl ExecutionPlan {
     pub fn n_layers(&self) -> usize {
         self.layers.len()
     }
+
+    /// Stretches every per-device expert-compute segment by `factor`
+    /// (≥ 1): the degraded-replica model for a straggling GPU or a lost
+    /// device whose experts were packed onto the survivors. Attention,
+    /// gate, scheduling, and the all-to-all specs are untouched — only
+    /// the expert compute the surviving devices must absorb slows down.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and ≥ 1.
+    pub fn scale_compute(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "scale_compute: bad factor {factor}"
+        );
+        if factor == 1.0 {
+            return;
+        }
+        for layer in &mut self.layers {
+            for c in &mut layer.compute {
+                *c = c.mul_f64(factor);
+            }
+        }
+    }
 }
 
 /// Builds the unequal-split all-to-all spec for a token-count matrix,

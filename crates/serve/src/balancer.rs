@@ -11,6 +11,12 @@
 //!   expected completion (server drain time plus queued work over the
 //!   replica's [`capacity`](crate::ServeEngine::capacity)) is soonest.
 //!
+//! All policies route over *healthy* replicas only: a crashed replica
+//! is invisible until its recovery event, even when its (stale) queue
+//! state would make it the argmin. The cluster engine guarantees at
+//! least one healthy replica at every `pick` (a total outage is
+//! handled upstream by the degradation policy, before routing).
+//!
 //! Balancers may keep internal state (the round-robin cursor) but must
 //! be deterministic: the cluster engine's bit-reproducibility rests on
 //! every `pick` being a pure function of the snapshots and that state.
@@ -22,6 +28,8 @@ use lina_simcore::SimTime;
 pub struct ReplicaSnapshot {
     /// Replica index.
     pub id: usize,
+    /// Up and accepting work; a crashed replica must never be picked.
+    pub healthy: bool,
     /// Requests routed to this replica but not yet dispatched.
     pub queued_requests: usize,
     /// Tokens routed to this replica but not yet dispatched.
@@ -31,8 +39,9 @@ pub struct ReplicaSnapshot {
     /// Instant the replica's server frees up (in the past when idle).
     pub server_free: SimTime,
     /// The replica's sustainable throughput upper bound (requests/s),
-    /// as probed by [`crate::ServeEngine::capacity`]. Zero when the
-    /// caller did not probe it (only [`LeastExpectedLatency`] reads it).
+    /// as probed by [`crate::ServeEngine::capacity`] and scaled down
+    /// for device loss or straggler slowdowns. Zero when the caller
+    /// did not probe it (only [`LeastExpectedLatency`] reads it).
     pub capacity: f64,
 }
 
@@ -50,11 +59,12 @@ pub trait LoadBalancer {
     fn name(&self) -> &'static str;
 
     /// Chooses the replica for a request arriving at `now`. Must
-    /// return the `id` of one of the given snapshots.
+    /// return the `id` of one of the given *healthy* snapshots; the
+    /// caller guarantees at least one replica is healthy.
     fn pick(&mut self, replicas: &[ReplicaSnapshot], now: SimTime) -> usize;
 }
 
-/// Rotates through replicas, blind to their load.
+/// Rotates through the healthy replicas, blind to their load.
 #[derive(Clone, Debug, Default)]
 pub struct RoundRobin {
     cursor: usize,
@@ -73,14 +83,17 @@ impl LoadBalancer for RoundRobin {
     }
 
     fn pick(&mut self, replicas: &[ReplicaSnapshot], _now: SimTime) -> usize {
-        let id = replicas[self.cursor % replicas.len()].id;
-        self.cursor = (self.cursor + 1) % replicas.len();
+        let healthy: Vec<&ReplicaSnapshot> = replicas.iter().filter(|r| r.healthy).collect();
+        assert!(!healthy.is_empty(), "round-robin: no healthy replica");
+        let id = healthy[self.cursor % healthy.len()].id;
+        self.cursor = (self.cursor + 1) % healthy.len();
         id
     }
 }
 
-/// Joins the replica with the fewest outstanding tokens (queued plus
-/// in-flight); ties break toward the lowest replica index.
+/// Joins the healthy replica with the fewest outstanding tokens
+/// (queued plus in-flight); ties break toward the lowest replica
+/// index.
 #[derive(Clone, Debug, Default)]
 pub struct JoinShortestQueue;
 
@@ -92,16 +105,18 @@ impl LoadBalancer for JoinShortestQueue {
     fn pick(&mut self, replicas: &[ReplicaSnapshot], _now: SimTime) -> usize {
         replicas
             .iter()
+            .filter(|r| r.healthy)
             .min_by_key(|r| (r.outstanding_tokens(), r.id))
-            .expect("at least one replica")
+            .expect("at least one healthy replica")
             .id
     }
 }
 
-/// Joins the replica with the least expected completion latency:
-/// remaining server busy time plus the queued requests (and the new
-/// one) drained at the replica's probed capacity. Capacity-aware, so
-/// it generalizes JSQ to heterogeneous or degraded replicas.
+/// Joins the healthy replica with the least expected completion
+/// latency: remaining server busy time plus the queued requests (and
+/// the new one) drained at the replica's probed capacity.
+/// Capacity-aware, so it generalizes JSQ to heterogeneous or degraded
+/// replicas.
 #[derive(Clone, Debug, Default)]
 pub struct LeastExpectedLatency;
 
@@ -122,13 +137,14 @@ impl LoadBalancer for LeastExpectedLatency {
         };
         replicas
             .iter()
+            .filter(|r| r.healthy)
             .min_by(|a, b| {
                 score(a)
                     .partial_cmp(&score(b))
                     .expect("scores are finite or +inf, never NaN")
                     .then(a.id.cmp(&b.id))
             })
-            .expect("at least one replica")
+            .expect("at least one healthy replica")
             .id
     }
 }
@@ -172,6 +188,7 @@ mod tests {
     fn snap(id: usize, queued_tokens: usize, in_flight: usize, free_ms: u64) -> ReplicaSnapshot {
         ReplicaSnapshot {
             id,
+            healthy: true,
             queued_requests: queued_tokens / 64,
             queued_tokens,
             in_flight_tokens: in_flight,
@@ -209,6 +226,35 @@ mod tests {
         let mut b = snap(1, 0, 64, 1);
         b.queued_requests = 0;
         assert_eq!(lel.pick(&[a, b], SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn down_replica_is_never_picked_even_as_argmin() {
+        // Replica 0 looks *ideal* on every axis — empty queue, idle
+        // server — but it is down. Every policy must route around it.
+        let mut down = snap(0, 0, 0, 0);
+        down.healthy = false;
+        let busy = snap(1, 512, 256, 9);
+        let snaps = vec![down, busy];
+        let mut rr = RoundRobin::new();
+        for _ in 0..4 {
+            assert_eq!(rr.pick(&snaps, SimTime::ZERO), 1, "round-robin");
+        }
+        assert_eq!(JoinShortestQueue.pick(&snaps, SimTime::ZERO), 1, "jsq");
+        assert_eq!(
+            LeastExpectedLatency.pick(&snaps, SimTime::ZERO),
+            1,
+            "least-latency"
+        );
+    }
+
+    #[test]
+    fn round_robin_rotation_skips_the_dead() {
+        let mut rr = RoundRobin::new();
+        let mut snaps = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(2, 0, 0, 0)];
+        snaps[1].healthy = false;
+        let picks: Vec<usize> = (0..4).map(|_| rr.pick(&snaps, SimTime::ZERO)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
     }
 
     #[test]

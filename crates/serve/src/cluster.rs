@@ -1,5 +1,5 @@
 //! Multi-replica serving: a cluster of replica servers behind a
-//! pluggable load balancer.
+//! pluggable load balancer, with deterministic fault injection.
 //!
 //! A [`ClusterEngine`] serves the *same* pre-generated open-loop
 //! request trace a [`ServeEngine`] would (same seeds, same drift), but
@@ -7,19 +7,53 @@
 //! via a [`LoadBalancer`]. Every replica keeps its own admission queue,
 //! dynamic [`Batcher`](crate::Batcher) timeline, and a
 //! [`ReplicaExecutor`] running its in-flight batches; the cluster walks
-//! a K-server event loop interleaving executor events (stage
-//! boundaries, batch completions) with dispatch commits in global time
-//! order, so the run is deterministic down to the bit.
+//! a single K-server event loop over every event kind in global
+//! `(time, priority)` order, so the run is deterministic down to the
+//! bit.
 //!
-//! Each committed batch is first lowered by the planner
-//! ([`plan_batch`]) and then *executed* by the replica's executor under
-//! the configured [`NetworkMode`](lina_runner::NetworkMode): solo
-//! pricing reproduces the historical closed-form costing bit for bit
-//! (completions are known at submit time, so the loop degenerates to
-//! busy-until-done), while contended pricing runs the collectives of
-//! all in-flight batches on one shared network per replica. The
-//! admission depth is [`ServeConfig::max_inflight`]: a replica proposes
-//! its next dispatch only while it has a free slot.
+//! Five event kinds interleave, with the priority breaking ties at one
+//! instant:
+//!
+//! 1. **faults** — the next [`FaultEvent`] of the configured
+//!    [`FaultSchedule`]; a crash at the same instant as a completion
+//!    aborts the batch (the failure wins the race);
+//! 2. **executor events** — stage boundaries and batch completions
+//!    inside a replica's executor; a completion frees a dispatch slot
+//!    and materializes its members' records;
+//! 3. **admissions** — a request (first arrival or re-admission after
+//!    a fault) is routed by the balancer, which sees only healthy
+//!    replicas; an arrival beats a dispatch at the same instant, so a
+//!    batch-filling arrival still joins the batch, exactly as the
+//!    pre-fault loop's strict `dispatch < horizon` rule had it;
+//! 4. **dispatch commits** — a replica's next batch leaves once no
+//!    earlier event can change it;
+//! 5. **timeouts** — a queued request whose sojourn since its
+//!    *original* arrival exceeds the policy's `request_timeout`
+//!    becomes an explicit `TimedOut` outcome (a dispatch at the same
+//!    instant wins: the request just made it).
+//!
+//! With an empty schedule and the inert policy ([`FaultPlan::none`])
+//! only kinds 2–4 ever fire, in exactly the pre-fault order — the
+//! healthy path is reproduced bit for bit.
+//!
+//! # Failure semantics
+//!
+//! A **replica crash** aborts the replica's in-flight batches and
+//! displaces both their members and every queued request; the
+//! [`DegradationPolicy`] decides whether displaced work is dropped on
+//! the spot (fail-fast) or re-admitted through the balancer with
+//! capped exponential backoff and a retry budget. A **recovery**
+//! brings the replica back with fresh hardware after a modeled weight
+//! reload (PCIe transfer of its expert shard). A **device loss**
+//! keeps the replica up but blocks dispatching while the lost experts
+//! are re-replicated onto the survivors (an emergency re-placement
+//! that re-profiles the scheduler from the re-estimation window) and
+//! stretches later batches' expert compute by
+//! `devices / (devices - lost)`. **Link degradation** rescales the
+//! replica's network bandwidth; **stragglers** stretch expert
+//! compute. The shedding policy additionally drops *new* admissions
+//! whenever the healthy replicas' outstanding work exceeds the shed
+//! threshold, protecting the tail of the requests already admitted.
 //!
 //! Two re-estimation topologies compare the value of pooling
 //! observations under popularity drift ([`EstimatorSharing`]):
@@ -31,32 +65,25 @@
 //!   batch rate.
 //! * **Per-replica** — each replica re-profiles only from batches it
 //!   served itself, as K isolated single-server deployments would.
-//!
-//! The dispatch-decision core is unchanged: each replica calls
-//! [`Batcher::next_dispatch`](crate::Batcher::next_dispatch) on its own
-//! routed-arrival trace with the instant its dispatch slot freed. A
-//! planned dispatch is *finalized* only once the global clock passes it
-//! (no later-arriving request could join the batch), which makes the
-//! incremental per-replica traces exactly equivalent to full-trace
-//! knowledge — the property the single-server loop relies on, now per
-//! replica.
 
-use std::collections::BTreeMap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use lina_model::CostModel;
 use lina_netsim::Topology;
 use lina_runner::inference::InferenceConfig;
 use lina_runner::{plan_batch, ReplicaExecutor};
-use lina_simcore::SimTime;
+use lina_simcore::{SimDuration, SimTime};
 use lina_workload::{TokenBatch, TokenPath, WorkloadSpec};
 
 use crate::balancer::{BalancerKind, LoadBalancer, ReplicaSnapshot};
-use crate::batcher::Batcher;
+use crate::batcher::{Batcher, Dispatch};
 use crate::engine::{ReestimationWindow, ServeConfig, ServeEngine};
+use crate::faults::{DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 use crate::request::{Request, RequestRecord};
-use crate::slo::SloTracker;
+use crate::slo::{FailureRecord, RequestOutcome, SloTracker};
 
-use lina_core::TwoPhaseScheduler;
+use lina_core::{TwoPhaseConfig, TwoPhaseScheduler};
 
 /// How the estimating schemes pool online observations across replicas.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,7 +106,7 @@ impl EstimatorSharing {
 }
 
 /// Multi-replica serving configuration: the per-replica serving knobs
-/// plus the cluster shape.
+/// plus the cluster shape and its failure model.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Per-replica serving knobs and the shared request-trace knobs
@@ -91,6 +118,9 @@ pub struct ClusterConfig {
     pub balancer: BalancerKind,
     /// Online re-estimation topology.
     pub sharing: EstimatorSharing,
+    /// Fault schedule and graceful-degradation policy
+    /// ([`FaultPlan::none`] for the healthy path).
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -98,31 +128,44 @@ impl ClusterConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the serving config is invalid or `replicas` is zero.
+    /// Panics if the serving config, fault plan, or cluster shape is
+    /// invalid.
     pub fn validate(&self) {
         self.serve.validate();
         assert!(self.replicas > 0, "cluster: replicas must be > 0");
+        self.faults.validate(self.replicas);
     }
 }
 
 /// Everything a cluster run produced.
 #[derive(Clone, Debug)]
 pub struct ClusterOutcome {
-    /// Cluster-wide per-request records and queue-depth timeline (the
-    /// depth samples are replica-local backlogs at each dispatch, in
-    /// global time order).
+    /// Cluster-wide per-request records, terminal failure outcomes, and
+    /// queue-depth timeline (the depth samples are replica-local
+    /// backlogs at each dispatch, in global time order).
     pub tracker: SloTracker,
     /// Batches dispatched across all replicas.
     pub batches: usize,
     /// Estimator re-profilings across all replicas (each shared-mode
-    /// rebuild counts once).
+    /// rebuild counts once; emergency device-loss rebuilds excluded).
     pub reestimations: usize,
-    /// Requests routed to each replica.
+    /// Admissions routed to each replica (a re-admitted request counts
+    /// at every replica it was routed to).
     pub requests_per_replica: Vec<usize>,
-    /// Tokens routed to each replica.
+    /// Tokens routed to each replica (same counting rule).
     pub tokens_per_replica: Vec<usize>,
     /// Batches dispatched by each replica.
     pub batches_per_replica: Vec<usize>,
+    /// In-flight batches aborted by replica crashes.
+    pub aborted_batches: usize,
+    /// Fault events injected from the schedule.
+    pub faults_injected: usize,
+    /// Emergency expert re-placements after device losses.
+    pub emergency_replacements: usize,
+    /// Time to recover per crash that displaced work: from the crash
+    /// instant until every displaced request reached a terminal
+    /// outcome (completed elsewhere, dropped, or timed out).
+    pub recovery_times: Vec<SimDuration>,
 }
 
 impl ClusterOutcome {
@@ -138,15 +181,30 @@ impl ClusterOutcome {
         let min = self.requests_per_replica.iter().copied().min().unwrap_or(0);
         max as f64 / (min as f64).max(1.0)
     }
+
+    /// Mean time from a work-displacing crash until all of its
+    /// displaced requests reached terminal outcomes; zero when no
+    /// crash displaced work.
+    pub fn mean_time_to_recover(&self) -> SimDuration {
+        if self.recovery_times.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = self.recovery_times.iter().copied().sum();
+        total.mul_f64(1.0 / self.recovery_times.len() as f64)
+    }
 }
 
 /// One replica's mutable state inside the event loop.
 struct Replica {
-    /// Arrival instants of requests routed here, ascending (routing
-    /// happens in global arrival order).
+    /// Admission instants of requests routed here, ascending (routing
+    /// happens in global time order; a re-admitted request's entry is
+    /// its re-admission instant, not its original arrival).
     arrivals: Vec<SimTime>,
     /// The routed requests, parallel to `arrivals`.
     queue: Vec<Request>,
+    /// Prior displacement count per routed request, parallel to
+    /// `arrivals` (0 = first attempt).
+    attempts: Vec<u32>,
     /// Index of the first request not yet in a finalized dispatch.
     next: usize,
     /// Executes this replica's in-flight batches under the configured
@@ -156,6 +214,8 @@ struct Replica {
     /// completion that brought the replica back under `max_inflight`).
     /// A new dispatch cannot leave before it — at `max_inflight` = 1
     /// this is exactly the old `server_free` busy-until-done gate.
+    /// Recovery weight reloads and emergency re-placements also push
+    /// it forward.
     slot_free: SimTime,
     /// Tokens routed but not yet dispatched.
     queued_tokens: usize,
@@ -166,41 +226,95 @@ struct Replica {
     window: ReestimationWindow,
     /// Batches this replica has dispatched.
     batches: usize,
+    /// Up and dispatchable; a crashed replica is invisible to the
+    /// balancer until its recovery event.
+    healthy: bool,
+    /// GPUs lost to [`FaultKind::DeviceLoss`] since the last recovery.
+    devices_lost: usize,
+    /// Expert-compute stretch from lost devices (survivors absorb the
+    /// lost shard): `devices / (devices - devices_lost)`.
+    compute_slowdown: f64,
+    /// Expert-compute stretch from an active straggler episode.
+    straggler: f64,
 }
 
 impl Replica {
-    /// The balancer's view at a routing instant. The event loop drains
-    /// every executor event up to `now` before routing, so in-flight
-    /// counts here never include batches that already completed.
+    /// The balancer's view at a routing instant. The event loop fires
+    /// every executor event at or before the routing instant first, so
+    /// in-flight counts here never include batches that already
+    /// completed.
     fn snapshot(&self, id: usize, capacity: f64) -> ReplicaSnapshot {
+        let slow = self.compute_slowdown * self.straggler;
         ReplicaSnapshot {
             id,
+            healthy: self.healthy,
             queued_requests: self.queue.len() - self.next,
             queued_tokens: self.queued_tokens,
             in_flight_tokens: self.executor.in_flight_tokens(),
             server_free: self.executor.busy_until(),
-            capacity,
+            capacity: if slow > 1.0 {
+                capacity / slow
+            } else {
+                capacity
+            },
         }
     }
 }
 
-/// What the tracker needs about one batch member, held from dispatch
-/// commit until the batch's completion event materializes the records.
-struct PendingMember {
-    id: usize,
-    arrival: SimTime,
-    tokens: usize,
+/// One admission waiting in the global admission heap: a request's
+/// first arrival or a re-admission after displacement. Ordered by
+/// `(at, seq)`; first arrivals use `seq = id` so the heap pops them in
+/// exactly the pre-generated trace order, re-admissions draw fresh
+/// sequence numbers past `n_requests`.
+struct Admission {
+    at: SimTime,
+    seq: u64,
+    attempts: u32,
+    req: Request,
+}
+
+impl PartialEq for Admission {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for Admission {}
+
+impl PartialOrd for Admission {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Admission {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The next step of the unified event loop, chosen in global
+/// `(time, priority)` order with faults < executor events < admissions
+/// < dispatch commits < timeouts at one instant, and replica ties
+/// breaking toward the lowest index.
+enum Step {
+    Fault,
+    Executor(usize, SimTime),
+    Admit,
+    Dispatch(usize, Dispatch),
+    Timeout(SimTime),
 }
 
 /// The multi-replica serving simulator. Holds a [`ServeEngine`] for
 /// the shared machinery (trace generation, offline profiling, seed
-/// derivation) plus the cluster shape; [`ClusterEngine::run`] is
-/// deterministic in all of them.
+/// derivation) plus the cluster shape and fault plan;
+/// [`ClusterEngine::run`] is deterministic in all of them.
 pub struct ClusterEngine<'a> {
     engine: ServeEngine<'a>,
     replicas: usize,
     balancer: BalancerKind,
     sharing: EstimatorSharing,
+    faults: FaultPlan,
 }
 
 impl<'a> ClusterEngine<'a> {
@@ -221,6 +335,7 @@ impl<'a> ClusterEngine<'a> {
             replicas: config.replicas,
             balancer: config.balancer,
             sharing: config.sharing,
+            faults: config.faults,
         }
     }
 
@@ -249,42 +364,615 @@ impl<'a> ClusterEngine<'a> {
             balancer.as_mut(),
             self.sharing,
             per_replica_capacity,
+            &self.faults,
         )
     }
 }
 
+/// The unified cluster event loop's state.
+struct ClusterSim<'e, 'a> {
+    engine: &'e ServeEngine<'a>,
+    balancer: &'e mut dyn LoadBalancer,
+    schedule: &'e FaultSchedule,
+    policy: DegradationPolicy,
+    batcher: Batcher,
+    infer: InferenceConfig,
+    two_phase: TwoPhaseConfig,
+    sharing: EstimatorSharing,
+    per_replica_capacity: f64,
+    n_requests: usize,
+    /// Modeled PCIe transfer to (re)load one device's expert shard:
+    /// `expert_swap * ceil(experts / devices)`. Charged before the
+    /// first dispatch after a recovery (parallel per-device weight
+    /// reload) and after a device loss (re-replicating the lost shard
+    /// onto the survivors).
+    reload: SimDuration,
+    shared_scheduler: Option<TwoPhaseScheduler>,
+    shared_window: ReestimationWindow,
+    replicas: Vec<Replica>,
+    admissions: BinaryHeap<Reverse<Admission>>,
+    next_fault: usize,
+    retry_seq: u64,
+    tracker: SloTracker,
+    /// Per-request records materialize at the completion *event*,
+    /// which under concurrent replicas need not follow dispatch order;
+    /// they are sorted into dispatch order once the run drains.
+    records: Vec<RequestRecord>,
+    /// Member bookkeeping (request plus prior displacement count) from
+    /// dispatch commit until the batch completes or aborts.
+    pending: BTreeMap<u64, Vec<(Request, u32)>>,
+    total_batches: usize,
+    reestimations: usize,
+    requests_per_replica: Vec<usize>,
+    tokens_per_replica: Vec<usize>,
+    aborted_batches: usize,
+    faults_injected: usize,
+    emergency_replacements: usize,
+    /// Open crash groups: the crash instant and the displaced request
+    /// ids still lacking a terminal outcome.
+    crashes: Vec<(SimTime, BTreeSet<usize>)>,
+    /// Which open crash group a displaced request belongs to.
+    req_crash: BTreeMap<usize, usize>,
+    /// Closed crash groups' time-to-recover.
+    recovery_times: Vec<SimDuration>,
+    /// Conservation audit: ids that reached a terminal outcome.
+    #[cfg(debug_assertions)]
+    terminal_ids: BTreeSet<usize>,
+}
+
+impl ClusterSim<'_, '_> {
+    /// Picks the next event in `(time, priority)` order; `None` when
+    /// the run has drained.
+    fn next_step(&mut self) -> Option<Step> {
+        fn consider(best: &mut Option<(SimTime, u8, Step)>, t: SimTime, prio: u8, step: Step) {
+            if best
+                .as_ref()
+                .is_none_or(|(bt, bp, _)| (t, prio) < (*bt, *bp))
+            {
+                *best = Some((t, prio, step));
+            }
+        }
+        let mut best: Option<(SimTime, u8, Step)> = None;
+        if let Some(e) = self.schedule.events().get(self.next_fault) {
+            consider(&mut best, e.at, 0, Step::Fault);
+        }
+        for (i, rep) in self.replicas.iter_mut().enumerate() {
+            if let Some(t) = rep.executor.next_event() {
+                consider(&mut best, t, 1, Step::Executor(i, t));
+            }
+        }
+        if let Some(Reverse(adm)) = self.admissions.peek() {
+            consider(&mut best, adm.at, 2, Step::Admit);
+        }
+        let max_inflight = self.engine.config.max_inflight;
+        for (i, rep) in self.replicas.iter().enumerate() {
+            if !rep.healthy || rep.executor.in_flight() >= max_inflight {
+                continue;
+            }
+            if let Some(d) = self
+                .batcher
+                .next_dispatch(&rep.arrivals, rep.next, rep.slot_free)
+            {
+                consider(&mut best, d.at, 3, Step::Dispatch(i, d));
+            }
+        }
+        if let Some(to) = self.policy.request_timeout {
+            for rep in &self.replicas {
+                for r in &rep.queue[rep.next..] {
+                    let deadline = r.arrival + to;
+                    consider(&mut best, deadline, 4, Step::Timeout(deadline));
+                }
+            }
+        }
+        best.map(|(_, _, step)| step)
+    }
+
+    fn run(mut self) -> ClusterOutcome {
+        while let Some(step) = self.next_step() {
+            match step {
+                Step::Fault => {
+                    let e = self.schedule.events()[self.next_fault];
+                    self.next_fault += 1;
+                    self.apply_fault(e);
+                }
+                Step::Executor(i, t) => self.complete_on(i, t),
+                Step::Admit => {
+                    let Reverse(adm) = self.admissions.pop().expect("peeked above");
+                    self.admit(adm);
+                }
+                Step::Dispatch(i, d) => self.dispatch(i, d),
+                Step::Timeout(deadline) => self.expire(deadline),
+            }
+        }
+        self.finish()
+    }
+
+    fn apply_fault(&mut self, e: FaultEvent) {
+        self.faults_injected += 1;
+        match e.kind {
+            FaultKind::ReplicaCrash => self.crash(e.replica, e.at),
+            FaultKind::ReplicaRecover => self.recover(e.replica, e.at),
+            FaultKind::DeviceLoss => self.device_loss(e.replica, e.at),
+            // Non-crash faults are no-ops on a down replica: recovery
+            // resets all degradation state anyway.
+            FaultKind::LinkDegrade { scale } => {
+                let rep = &mut self.replicas[e.replica];
+                if rep.healthy {
+                    rep.executor.set_link_scale(scale);
+                }
+            }
+            FaultKind::LinkRestore => {
+                let rep = &mut self.replicas[e.replica];
+                if rep.healthy {
+                    rep.executor.set_link_scale(1.0);
+                }
+            }
+            FaultKind::StragglerStart { factor } => {
+                let rep = &mut self.replicas[e.replica];
+                if rep.healthy {
+                    rep.straggler = factor;
+                }
+            }
+            FaultKind::StragglerEnd => {
+                let rep = &mut self.replicas[e.replica];
+                if rep.healthy {
+                    rep.straggler = 1.0;
+                }
+            }
+        }
+    }
+
+    /// The whole replica goes down: abort its in-flight batches,
+    /// displace its queued requests, and hand everything displaced to
+    /// the degradation policy.
+    fn crash(&mut self, i: usize, at: SimTime) {
+        let rep = &mut self.replicas[i];
+        if !rep.healthy {
+            return;
+        }
+        rep.healthy = false;
+        rep.devices_lost = 0;
+        rep.compute_slowdown = 1.0;
+        rep.straggler = 1.0;
+        let aborted = rep.executor.abort_all();
+        self.aborted_batches += aborted.len();
+        let mut displaced: Vec<(Request, u32)> = Vec::new();
+        for id in aborted {
+            displaced.extend(
+                self.pending
+                    .remove(&id)
+                    .expect("aborted batch was committed"),
+            );
+        }
+        let rep = &mut self.replicas[i];
+        for k in rep.next..rep.queue.len() {
+            displaced.push((rep.queue[k].clone(), rep.attempts[k]));
+        }
+        rep.queue.truncate(rep.next);
+        rep.arrivals.truncate(rep.next);
+        rep.attempts.truncate(rep.next);
+        rep.queued_tokens = 0;
+
+        // Open a crash group for time-to-recover accounting; a request
+        // displaced a second time migrates to the newest group (its
+        // old group closes now if that emptied it).
+        if !displaced.is_empty() {
+            let ids: BTreeSet<usize> = displaced.iter().map(|(r, _)| r.id).collect();
+            for &id in &ids {
+                if let Some(ci) = self.req_crash.get(&id).copied() {
+                    self.crashes[ci].1.remove(&id);
+                    if self.crashes[ci].1.is_empty() {
+                        self.recovery_times
+                            .push(at.saturating_since(self.crashes[ci].0));
+                    }
+                }
+            }
+            let ci = self.crashes.len();
+            for &id in &ids {
+                self.req_crash.insert(id, ci);
+            }
+            self.crashes.push((at, ids));
+        }
+
+        for (req, attempts) in displaced {
+            if !self.policy.retries() {
+                self.fail(req, at, RequestOutcome::Dropped);
+                continue;
+            }
+            let n = attempts + 1;
+            if n > self.policy.retry_budget {
+                self.fail(req, at, RequestOutcome::Dropped);
+                continue;
+            }
+            let retry_at = at + self.policy.backoff(n);
+            if let Some(to) = self.policy.request_timeout {
+                let deadline = req.arrival + to;
+                if retry_at > deadline {
+                    self.fail(req, deadline.max(at), RequestOutcome::TimedOut);
+                    continue;
+                }
+            }
+            self.retry_seq += 1;
+            self.admissions.push(Reverse(Admission {
+                at: retry_at,
+                seq: self.n_requests as u64 + self.retry_seq,
+                attempts: n,
+                req,
+            }));
+        }
+    }
+
+    /// Fresh hardware comes back: clear all degradation state and gate
+    /// the first dispatch behind the weight reload.
+    fn recover(&mut self, i: usize, at: SimTime) {
+        let reload = self.reload;
+        let rep = &mut self.replicas[i];
+        if rep.healthy {
+            return;
+        }
+        rep.healthy = true;
+        rep.devices_lost = 0;
+        rep.compute_slowdown = 1.0;
+        rep.straggler = 1.0;
+        rep.executor.set_link_scale(1.0);
+        rep.slot_free = rep.slot_free.max(at + reload);
+    }
+
+    /// One GPU dies but the replica survives: emergency re-placement
+    /// of the lost experts onto the survivors (modeled PCIe transfer
+    /// gating the next dispatch, scheduler re-profiled from the
+    /// re-estimation window) and a permanent compute stretch until
+    /// recovery. Losing the last device escalates to a crash.
+    fn device_loss(&mut self, i: usize, at: SimTime) {
+        if !self.replicas[i].healthy {
+            return;
+        }
+        let devices = self.engine.topo.devices();
+        if self.replicas[i].devices_lost + 1 >= devices {
+            self.crash(i, at);
+            return;
+        }
+        let reload = self.reload;
+        let rep = &mut self.replicas[i];
+        rep.devices_lost += 1;
+        rep.compute_slowdown = devices as f64 / (devices - rep.devices_lost) as f64;
+        rep.slot_free = rep.slot_free.max(at + reload);
+        self.emergency_replacements += 1;
+        // Re-profile immediately from whatever the window holds — an
+        // out-of-cycle rebuild (not counted as a periodic
+        // re-estimation) so the next plan reflects current popularity.
+        if self.engine.estimates() {
+            let path_length = self.engine.config.path_length;
+            match self.sharing {
+                EstimatorSharing::Shared => {
+                    if !self.shared_window.is_empty() {
+                        let estimator = self.shared_window.profile(path_length);
+                        self.shared_scheduler =
+                            Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
+                    }
+                }
+                EstimatorSharing::PerReplica => {
+                    let rep = &mut self.replicas[i];
+                    if !rep.window.is_empty() {
+                        let estimator = rep.window.profile(path_length);
+                        rep.scheduler =
+                            Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes one admission (first arrival or re-admission) through
+    /// the balancer, which sees only healthy replicas; applies the
+    /// shedding admission controller to first arrivals.
+    fn admit(&mut self, adm: Admission) {
+        let now = adm.at;
+        let n_healthy = self.replicas.iter().filter(|r| r.healthy).count();
+        if n_healthy == 0 {
+            // Total outage. Retry policies park the admission until
+            // the next scheduled recovery (the recovery fault fires
+            // first at that instant, so a replica is healthy by then);
+            // fail-fast, or a cluster that never recovers, drops.
+            if self.policy.retries() {
+                if let Some(rec) = self.schedule.next_recovery_after(now) {
+                    if let Some(to) = self.policy.request_timeout {
+                        let deadline = adm.req.arrival + to;
+                        if rec > deadline {
+                            self.fail(adm.req, deadline.max(now), RequestOutcome::TimedOut);
+                            return;
+                        }
+                    }
+                    self.retry_seq += 1;
+                    self.admissions.push(Reverse(Admission {
+                        at: rec,
+                        seq: self.n_requests as u64 + self.retry_seq,
+                        attempts: adm.attempts,
+                        req: adm.req,
+                    }));
+                    return;
+                }
+            }
+            self.fail(adm.req, now, RequestOutcome::Dropped);
+            return;
+        }
+
+        // Admission control: shed a *new* request when the surviving
+        // capacity already has more than the threshold outstanding.
+        // Re-admissions are exempt — shedding protects admitted work.
+        if adm.attempts == 0 && self.policy.sheds() {
+            let outstanding: usize = self
+                .replicas
+                .iter()
+                .filter(|r| r.healthy)
+                .map(|r| r.queued_tokens + r.executor.in_flight_tokens())
+                .sum();
+            let batch_tokens = self.engine.config.batcher.max_batch_requests
+                * self.engine.config.tokens_per_request;
+            let cap = self.policy.shed_batches_per_replica * n_healthy as f64 * batch_tokens as f64;
+            if outstanding as f64 > cap {
+                self.fail(adm.req, now, RequestOutcome::Dropped);
+                return;
+            }
+        }
+
+        let snapshots: Vec<ReplicaSnapshot> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.snapshot(i, self.per_replica_capacity))
+            .collect();
+        let target = self.balancer.pick(&snapshots, now);
+        assert!(
+            target < self.replicas.len() && self.replicas[target].healthy,
+            "balancer {} picked unhealthy or out-of-range replica {target}",
+            self.balancer.name()
+        );
+        self.requests_per_replica[target] += 1;
+        self.tokens_per_replica[target] += adm.req.tokens.len();
+        let rep = &mut self.replicas[target];
+        rep.arrivals.push(now);
+        rep.queued_tokens += adm.req.tokens.len();
+        rep.attempts.push(adm.attempts);
+        rep.queue.push(adm.req);
+    }
+
+    /// Fires the replica's executor events at `t`; completions free
+    /// dispatch slots and materialize their members' records.
+    fn complete_on(&mut self, i: usize, t: SimTime) {
+        let max_inflight = self.engine.config.max_inflight;
+        let rep = &mut self.replicas[i];
+        let mut inflight = rep.executor.in_flight();
+        let finished = rep.executor.advance_to(t);
+        for fb in &finished {
+            inflight -= 1;
+            if inflight == max_inflight - 1 {
+                rep.slot_free = fb.completed;
+            }
+        }
+        for fb in finished {
+            let members = self
+                .pending
+                .remove(&fb.id)
+                .expect("finished batch was committed");
+            for (r, _) in members {
+                self.records.push(RequestRecord {
+                    id: r.id,
+                    // The original arrival: latency spans failed
+                    // attempts and backoff waits.
+                    arrival: r.arrival,
+                    dispatched: fb.dispatched,
+                    completed: fb.completed,
+                    tokens: r.tokens.len(),
+                    batch: fb.id as usize,
+                    service: fb.report.total,
+                });
+                self.on_terminal(r.id, fb.completed);
+            }
+        }
+    }
+
+    /// Commits the replica's next batch: plan, degrade, submit.
+    fn dispatch(&mut self, i: usize, d: Dispatch) {
+        let rep = &self.replicas[i];
+        let members = &rep.queue[rep.next..rep.next + d.count];
+        let member_info: Vec<(Request, u32)> = members
+            .iter()
+            .cloned()
+            .zip(rep.attempts[rep.next..rep.next + d.count].iter().copied())
+            .collect();
+        let tokens: Vec<TokenPath> = members
+            .iter()
+            .flat_map(|r| r.tokens.iter().cloned())
+            .collect();
+        let slow = rep.compute_slowdown * rep.straggler;
+        let batch = TokenBatch {
+            tokens,
+            devices: self.engine.topo.devices(),
+            experts: self.engine.spec.experts,
+        };
+        let scheduler = match self.sharing {
+            EstimatorSharing::Shared => self.shared_scheduler.as_ref(),
+            EstimatorSharing::PerReplica => self.replicas[i].scheduler.as_ref(),
+        };
+        let mut plan = plan_batch(
+            self.engine.cost,
+            self.engine.topo,
+            &self.infer,
+            scheduler,
+            &batch,
+        );
+        if slow > 1.0 {
+            plan.scale_compute(slow);
+        }
+        let batch_id = self.total_batches as u64;
+        let batch_tokens = batch.tokens.len();
+        let rep = &mut self.replicas[i];
+        rep.executor.submit(batch_id, d.at, plan);
+        self.pending.insert(batch_id, member_info);
+        let backlog = rep.arrivals[rep.next + d.count..]
+            .iter()
+            .filter(|&&a| a <= d.at)
+            .count();
+        self.tracker.record_depth(d.at, backlog);
+        rep.queued_tokens -= batch_tokens;
+        rep.next += d.count;
+        rep.batches += 1;
+        self.total_batches += 1;
+
+        // Online re-placement: pool observations cluster-wide (shared)
+        // or keep them replica-local (per-replica).
+        if self.engine.estimates() {
+            if let Some(every) = self.engine.config.reestimate_every {
+                let path_length = self.engine.config.path_length;
+                match self.sharing {
+                    EstimatorSharing::Shared => {
+                        self.shared_window.push(batch);
+                        if self.total_batches.is_multiple_of(every) {
+                            let estimator = self.shared_window.profile(path_length);
+                            self.shared_scheduler =
+                                Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
+                            self.reestimations += 1;
+                        }
+                    }
+                    EstimatorSharing::PerReplica => {
+                        let rep = &mut self.replicas[i];
+                        rep.window.push(batch);
+                        if rep.batches.is_multiple_of(every) {
+                            let estimator = rep.window.profile(path_length);
+                            rep.scheduler =
+                                Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
+                            self.reestimations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expires every queued request whose deadline has passed; the
+    /// loop fires this at the earliest deadline, so `TimedOut` records
+    /// carry exactly their deadline as the end instant.
+    fn expire(&mut self, now: SimTime) {
+        let to = self
+            .policy
+            .request_timeout
+            .expect("timeout event without a timeout policy");
+        let mut expired: Vec<(Request, SimTime)> = Vec::new();
+        for rep in &mut self.replicas {
+            let mut k = rep.next;
+            while k < rep.queue.len() {
+                let deadline = rep.queue[k].arrival + to;
+                if deadline <= now {
+                    let req = rep.queue.remove(k);
+                    rep.arrivals.remove(k);
+                    rep.attempts.remove(k);
+                    rep.queued_tokens -= req.tokens.len();
+                    expired.push((req, deadline));
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        for (req, deadline) in expired {
+            self.fail(req, deadline, RequestOutcome::TimedOut);
+        }
+    }
+
+    /// Records a terminal failure outcome.
+    fn fail(&mut self, req: Request, ended: SimTime, outcome: RequestOutcome) {
+        let id = req.id;
+        self.tracker.record_failure(FailureRecord {
+            id,
+            arrival: req.arrival,
+            ended,
+            tokens: req.tokens.len(),
+            outcome,
+        });
+        self.on_terminal(id, ended);
+    }
+
+    /// Terminal-outcome bookkeeping: close the request's crash group
+    /// when it was the last displaced member, and audit conservation.
+    fn on_terminal(&mut self, id: usize, at: SimTime) {
+        #[cfg(debug_assertions)]
+        assert!(
+            self.terminal_ids.insert(id),
+            "request {id} reached two terminal outcomes"
+        );
+        if let Some(ci) = self.req_crash.remove(&id) {
+            self.crashes[ci].1.remove(&id);
+            if self.crashes[ci].1.is_empty() {
+                self.recovery_times
+                    .push(at.saturating_since(self.crashes[ci].0));
+            }
+        }
+    }
+
+    fn finish(mut self) -> ClusterOutcome {
+        assert!(
+            self.pending.is_empty(),
+            "every committed batch must complete or abort"
+        );
+        #[cfg(debug_assertions)]
+        {
+            for rep in &self.replicas {
+                assert_eq!(rep.queue.len(), rep.next, "queued requests left behind");
+            }
+            let expect: BTreeSet<usize> = (0..self.n_requests).collect();
+            assert_eq!(
+                self.terminal_ids, expect,
+                "every admitted request must reach exactly one terminal outcome"
+            );
+        }
+        // Records enter the tracker in dispatch order (batch index,
+        // then request id within the batch), exactly as the
+        // pre-event-loop engine emitted them.
+        self.records.sort_by_key(|r| (r.batch, r.id));
+        for r in std::mem::take(&mut self.records) {
+            self.tracker.record(r);
+        }
+        ClusterOutcome {
+            tracker: self.tracker,
+            batches: self.total_batches,
+            reestimations: self.reestimations,
+            requests_per_replica: self.requests_per_replica,
+            tokens_per_replica: self.tokens_per_replica,
+            batches_per_replica: self.replicas.iter().map(|r| r.batches).collect(),
+            aborted_batches: self.aborted_batches,
+            faults_injected: self.faults_injected,
+            emergency_replacements: self.emergency_replacements,
+            recovery_times: self.recovery_times,
+        }
+    }
+}
+
 /// The K-server event loop. `ServeEngine::run` delegates here with one
-/// replica, so the single-server timeline *is* this loop at K = 1.
+/// replica and no faults, so the single-server timeline *is* this loop
+/// at K = 1.
 pub(crate) fn run_on(
     engine: &ServeEngine<'_>,
     n_replicas: usize,
     balancer: &mut dyn LoadBalancer,
     sharing: EstimatorSharing,
     per_replica_capacity: f64,
+    faults: &FaultPlan,
 ) -> ClusterOutcome {
     let config = &engine.config;
     let seeds = config.seeds();
     let requests = engine.generate_requests();
-    let batcher = Batcher::new(config.batcher.clone());
-    let infer = InferenceConfig {
-        scheme: config.scheme,
-        top_k: config.top_k,
-    };
-    let two_phase = engine.two_phase_config();
+    let n_requests = requests.len();
     let offline = engine
         .needs_scheduler()
         .then(|| engine.offline_scheduler(seeds.profile));
+    let reload = engine.cost.expert_swap(engine.topo.spec().pcie_bw)
+        * (engine.spec.experts.div_ceil(engine.topo.devices()) as u64);
 
-    // Shared-mode scheduler and window (used when sharing == Shared or
-    // the scheme never re-estimates; per-replica mode uses the copies
-    // inside each Replica instead).
-    let mut shared_scheduler = offline.clone();
-    let mut shared_window = ReestimationWindow::new(config.reestimate_window);
-
-    let mut replicas: Vec<Replica> = (0..n_replicas)
+    let replicas: Vec<Replica> = (0..n_replicas)
         .map(|_| Replica {
             arrivals: Vec::new(),
             queue: Vec::new(),
+            attempts: Vec::new(),
             next: 0,
             executor: ReplicaExecutor::new(config.network, engine.topo),
             slot_free: SimTime::ZERO,
@@ -292,226 +980,69 @@ pub(crate) fn run_on(
             scheduler: offline.clone(),
             window: ReestimationWindow::new(config.reestimate_window),
             batches: 0,
+            healthy: true,
+            devices_lost: 0,
+            compute_slowdown: 1.0,
+            straggler: 1.0,
         })
         .collect();
 
-    let mut tracker = SloTracker::new(config.slo);
-    let mut total_batches = 0usize;
-    let mut reestimations = 0usize;
-    let mut requests_per_replica = vec![0usize; n_replicas];
-    let mut tokens_per_replica = vec![0usize; n_replicas];
-    // Per-request records materialize at the completion *event*, which
-    // under concurrent replicas need not follow dispatch order; they are
-    // sorted into dispatch order once the run drains.
-    let mut records: Vec<RequestRecord> = Vec::new();
-    // Member bookkeeping from dispatch commit until completion.
-    let mut pending: BTreeMap<u64, Vec<PendingMember>> = BTreeMap::new();
+    // First arrivals use `seq = id`, so the heap pops them in exactly
+    // the trace's (arrival, id) order; re-admissions draw sequence
+    // numbers past `n_requests`.
+    let admissions: BinaryHeap<Reverse<Admission>> = requests
+        .into_iter()
+        .map(|req| {
+            Reverse(Admission {
+                at: req.arrival,
+                seq: req.id as u64,
+                attempts: 0,
+                req,
+            })
+        })
+        .collect();
 
-    // Advances the cluster to `horizon`, interleaving two event kinds
-    // in global time order (ties break toward the lowest replica
-    // index):
-    //
-    // * **executor events** (`<= horizon`) — stage boundaries and batch
-    //   completions inside a replica's executor; a completion frees a
-    //   dispatch slot and materializes its members' records;
-    // * **dispatch commits** (strictly `< horizon`) — a dispatch with
-    //   `at < horizon` is final: every request arriving at or after
-    //   `horizon` is too late to join it, and a batch-filling arrival
-    //   would itself satisfy `at <= deadline < horizon`, so it is
-    //   already routed.
-    //
-    // Executor events fire before dispatches at the same instant: the
-    // completion at `t` is what frees the slot a dispatch at `t` needs.
-    // Processing strictly in time order also keeps each executor's
-    // submit instants monotone, which the contended network requires.
-    let advance = |replicas: &mut Vec<Replica>,
-                   horizon: SimTime,
-                   shared_scheduler: &mut Option<TwoPhaseScheduler>,
-                   shared_window: &mut ReestimationWindow,
-                   total_batches: &mut usize,
-                   reestimations: &mut usize,
-                   tracker: &mut SloTracker,
-                   records: &mut Vec<RequestRecord>,
-                   pending: &mut BTreeMap<u64, Vec<PendingMember>>| {
-        loop {
-            let mut event: Option<(SimTime, usize)> = None;
-            for (i, rep) in replicas.iter_mut().enumerate() {
-                if let Some(t) = rep.executor.next_event() {
-                    if t <= horizon && event.is_none_or(|(et, _)| t < et) {
-                        event = Some((t, i));
-                    }
-                }
-            }
-            let mut best: Option<(SimTime, usize, crate::batcher::Dispatch)> = None;
-            for (i, rep) in replicas.iter().enumerate() {
-                if rep.executor.in_flight() >= config.max_inflight {
-                    continue;
-                }
-                if let Some(d) = batcher.next_dispatch(&rep.arrivals, rep.next, rep.slot_free) {
-                    if d.at < horizon && best.is_none_or(|(at, _, _)| d.at < at) {
-                        best = Some((d.at, i, d));
-                    }
-                }
-            }
-            let take_event = match (event, &best) {
-                (Some((t, _)), Some((at, _, _))) => t <= *at,
-                (Some(_), None) => true,
-                (None, _) => false,
-            };
-            if take_event {
-                let (t, i) = event.expect("checked above");
-                let rep = &mut replicas[i];
-                let mut inflight = rep.executor.in_flight();
-                for fb in rep.executor.advance_to(t) {
-                    inflight -= 1;
-                    if inflight == config.max_inflight - 1 {
-                        rep.slot_free = fb.completed;
-                    }
-                    let members = pending
-                        .remove(&fb.id)
-                        .expect("finished batch was committed");
-                    for m in members {
-                        records.push(RequestRecord {
-                            id: m.id,
-                            arrival: m.arrival,
-                            dispatched: fb.dispatched,
-                            completed: fb.completed,
-                            tokens: m.tokens,
-                            batch: fb.id as usize,
-                            service: fb.report.total,
-                        });
-                    }
-                }
-                continue;
-            }
-            let Some((_, i, dispatch)) = best else { break };
-            let rep = &mut replicas[i];
-            let members = &rep.queue[rep.next..rep.next + dispatch.count];
-            let member_info: Vec<PendingMember> = members
-                .iter()
-                .map(|r| PendingMember {
-                    id: r.id,
-                    arrival: r.arrival,
-                    tokens: r.tokens.len(),
-                })
-                .collect();
-            let tokens: Vec<TokenPath> = members
-                .iter()
-                .flat_map(|r| r.tokens.iter().cloned())
-                .collect();
-            let batch = TokenBatch {
-                tokens,
-                devices: engine.topo.devices(),
-                experts: engine.spec.experts,
-            };
-            let scheduler = match sharing {
-                EstimatorSharing::Shared => shared_scheduler.as_ref(),
-                EstimatorSharing::PerReplica => rep.scheduler.as_ref(),
-            };
-            let plan = plan_batch(engine.cost, engine.topo, &infer, scheduler, &batch);
-            let batch_id = *total_batches as u64;
-            rep.executor.submit(batch_id, dispatch.at, plan);
-            pending.insert(batch_id, member_info);
-            let backlog = rep.arrivals[rep.next + dispatch.count..]
-                .iter()
-                .filter(|&&a| a <= dispatch.at)
-                .count();
-            tracker.record_depth(dispatch.at, backlog);
-            rep.queued_tokens -= batch.tokens.len();
-            rep.next += dispatch.count;
-            rep.batches += 1;
-            *total_batches += 1;
-
-            // Online re-placement: pool observations cluster-wide
-            // (shared) or keep them replica-local (per-replica).
-            if engine.estimates() {
-                if let Some(every) = config.reestimate_every {
-                    match sharing {
-                        EstimatorSharing::Shared => {
-                            shared_window.push(batch);
-                            if total_batches.is_multiple_of(every) {
-                                let estimator = shared_window.profile(config.path_length);
-                                *shared_scheduler =
-                                    Some(TwoPhaseScheduler::new(two_phase.clone(), estimator));
-                                *reestimations += 1;
-                            }
-                        }
-                        EstimatorSharing::PerReplica => {
-                            rep.window.push(batch);
-                            if rep.batches.is_multiple_of(every) {
-                                let estimator = rep.window.profile(config.path_length);
-                                rep.scheduler =
-                                    Some(TwoPhaseScheduler::new(two_phase.clone(), estimator));
-                                *reestimations += 1;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    let sim = ClusterSim {
+        balancer,
+        schedule: &faults.schedule,
+        policy: faults.policy,
+        batcher: Batcher::new(config.batcher.clone()),
+        infer: InferenceConfig {
+            scheme: config.scheme,
+            top_k: config.top_k,
+        },
+        two_phase: engine.two_phase_config(),
+        sharing,
+        per_replica_capacity,
+        n_requests,
+        reload,
+        // Shared-mode scheduler and window (used when sharing == Shared
+        // or the scheme never re-estimates; per-replica mode uses the
+        // copies inside each Replica instead).
+        shared_scheduler: offline,
+        shared_window: ReestimationWindow::new(config.reestimate_window),
+        replicas,
+        admissions,
+        next_fault: 0,
+        retry_seq: 0,
+        tracker: SloTracker::new(config.slo),
+        records: Vec::new(),
+        pending: BTreeMap::new(),
+        total_batches: 0,
+        reestimations: 0,
+        requests_per_replica: vec![0; n_replicas],
+        tokens_per_replica: vec![0; n_replicas],
+        aborted_batches: 0,
+        faults_injected: 0,
+        emergency_replacements: 0,
+        crashes: Vec::new(),
+        req_crash: BTreeMap::new(),
+        recovery_times: Vec::new(),
+        #[cfg(debug_assertions)]
+        terminal_ids: BTreeSet::new(),
+        engine,
     };
-
-    for req in requests {
-        advance(
-            &mut replicas,
-            req.arrival,
-            &mut shared_scheduler,
-            &mut shared_window,
-            &mut total_batches,
-            &mut reestimations,
-            &mut tracker,
-            &mut records,
-            &mut pending,
-        );
-        let snapshots: Vec<ReplicaSnapshot> = replicas
-            .iter()
-            .enumerate()
-            .map(|(i, r)| r.snapshot(i, per_replica_capacity))
-            .collect();
-        let target = balancer.pick(&snapshots, req.arrival);
-        assert!(
-            target < n_replicas,
-            "balancer {} picked out-of-range replica {target}",
-            balancer.name()
-        );
-        requests_per_replica[target] += 1;
-        tokens_per_replica[target] += req.tokens.len();
-        let rep = &mut replicas[target];
-        rep.arrivals.push(req.arrival);
-        rep.queued_tokens += req.tokens.len();
-        rep.queue.push(req);
-    }
-    // Every request is routed; drain the remaining dispatches and
-    // completions.
-    advance(
-        &mut replicas,
-        SimTime::MAX,
-        &mut shared_scheduler,
-        &mut shared_window,
-        &mut total_batches,
-        &mut reestimations,
-        &mut tracker,
-        &mut records,
-        &mut pending,
-    );
-    assert!(pending.is_empty(), "every committed batch must complete");
-
-    // Records enter the tracker in dispatch order (batch index, then
-    // request id within the batch), exactly as the pre-event-loop
-    // engine emitted them.
-    records.sort_by_key(|r| (r.batch, r.id));
-    for r in records {
-        tracker.record(r);
-    }
-
-    ClusterOutcome {
-        tracker,
-        batches: total_batches,
-        reestimations,
-        requests_per_replica,
-        tokens_per_replica,
-        batches_per_replica: replicas.iter().map(|r| r.batches).collect(),
-    }
+    sim.run()
 }
 
 /// Convenience wrapper: build a [`ClusterEngine`] and run it.
@@ -568,6 +1099,23 @@ mod tests {
             replicas,
             balancer: BalancerKind::JoinShortestQueue,
             sharing: EstimatorSharing::Shared,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    fn crash_at(ms: u64, replica: usize) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_millis(ms),
+            replica,
+            kind: FaultKind::ReplicaCrash,
+        }
+    }
+
+    fn recover_at(ms: u64, replica: usize) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_millis(ms),
+            replica,
+            kind: FaultKind::ReplicaRecover,
         }
     }
 
@@ -585,6 +1133,9 @@ mod tests {
             "per-replica batch counts must add up"
         );
         assert!(out.reestimations > 0, "Lina re-estimates online");
+        assert_eq!(out.faults_injected, 0);
+        assert_eq!(out.aborted_batches, 0);
+        assert!(out.tracker.failures().is_empty());
     }
 
     #[test]
@@ -701,5 +1252,213 @@ mod tests {
         let mut c = config(InferScheme::Baseline, 100.0, 1);
         c.replicas = 0;
         ClusterEngine::new(&cost, &topo, &spec, c);
+    }
+
+    #[test]
+    fn empty_fault_schedule_matches_healthy_path() {
+        let (cost, topo, spec) = world();
+        let healthy = serve_cluster(&cost, &topo, &spec, config(InferScheme::Lina, 700.0, 3));
+        // A live retry policy over an empty schedule must be inert:
+        // nothing ever displaces, and without a timeout no new event
+        // kind fires.
+        let mut c = config(InferScheme::Lina, 700.0, 3);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::none(),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let armed = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(healthy.tracker.records(), armed.tracker.records());
+        assert_eq!(
+            healthy.tracker.depth_timeline(),
+            armed.tracker.depth_timeline()
+        );
+        assert_eq!(healthy.report(), armed.report());
+        assert_eq!(healthy.requests_per_replica, armed.requests_per_replica);
+        assert!((armed.report().availability - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn crash_with_fail_fast_drops_displaced_work() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2000.0, 3);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![crash_at(10, 0)]),
+            policy: DegradationPolicy::fail_fast(),
+        };
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        let report = out.report();
+        assert!(report.dropped > 0, "the crash must displace something");
+        assert_eq!(report.offered, 96, "every request reaches an outcome");
+        assert_eq!(report.requests + report.dropped, 96);
+        assert!(report.availability < 1.0);
+        // Fail-fast terminates displaced work at the crash instant.
+        assert_eq!(out.mean_time_to_recover(), SimDuration::ZERO);
+        // The downed replica served nothing after the crash: all its
+        // post-crash admissions went elsewhere.
+        let mut ids: Vec<usize> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.id)
+            .chain(out.tracker.failures().iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..96).collect::<Vec<_>>(), "conservation");
+    }
+
+    #[test]
+    fn crash_and_recovery_with_retries_completes_everything() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2000.0, 3);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![
+                crash_at(10, 0),
+                crash_at(10, 1),
+                crash_at(10, 2),
+                recover_at(30, 0),
+                recover_at(30, 1),
+                recover_at(30, 2),
+            ]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        let report = out.report();
+        assert_eq!(report.requests, 96, "retries recover every request");
+        assert!((report.availability - 1.0).abs() < 1e-15);
+        assert!(out.aborted_batches > 0, "in-flight work was aborted");
+        assert!(
+            !out.recovery_times.is_empty(),
+            "displaced work closes a crash group"
+        );
+        assert!(out.mean_time_to_recover() > SimDuration::ZERO);
+        assert_eq!(out.faults_injected, 6);
+    }
+
+    #[test]
+    fn overload_with_timeout_produces_timed_out_outcomes() {
+        let (cost, topo, spec) = world();
+        // Swamp a single replica so the queue outgrows the timeout.
+        let mut c = config(InferScheme::Baseline, 100_000.0, 1);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::none(),
+            policy: DegradationPolicy::retry_failover(Some(SimDuration::from_millis(10))),
+        };
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        let report = out.report();
+        assert!(report.timed_out > 0, "overload must time requests out");
+        assert_eq!(report.offered, 96);
+        assert_eq!(report.requests + report.dropped + report.timed_out, 96);
+        for f in out.tracker.failures() {
+            assert!(f.ended >= f.arrival);
+            if f.outcome == RequestOutcome::TimedOut {
+                assert_eq!(f.ended, f.arrival + SimDuration::from_millis(10));
+            }
+        }
+    }
+
+    #[test]
+    fn down_replica_is_never_routed() {
+        let (cost, topo, spec) = world();
+        for balancer in [
+            BalancerKind::RoundRobin,
+            BalancerKind::JoinShortestQueue,
+            BalancerKind::LeastExpectedLatency,
+        ] {
+            let mut c = config(InferScheme::Baseline, 800.0, 3);
+            c.balancer = balancer;
+            // Replica 0 dies before the first arrival and never comes
+            // back; nothing may ever be routed to it.
+            c.faults = FaultPlan {
+                schedule: FaultSchedule::from_script(vec![crash_at(0, 0)]),
+                policy: DegradationPolicy::retry_failover(None),
+            };
+            let out = serve_cluster(&cost, &topo, &spec, c);
+            assert_eq!(
+                out.requests_per_replica[0],
+                0,
+                "{} routed to a dead replica",
+                balancer.name()
+            );
+            assert_eq!(out.report().requests, 96);
+            assert!((out.report().availability - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn generated_fault_schedule_is_deterministic() {
+        let (cost, topo, spec) = world();
+        let rates = crate::faults::FaultRateConfig::crashes(20.0, SimDuration::from_millis(20));
+        let schedule = FaultSchedule::generate(&rates, 3, SimDuration::from_secs_f64(0.25), 0xFA17);
+        let mut c = config(InferScheme::Lina, 1200.0, 3);
+        c.faults = FaultPlan {
+            schedule,
+            policy: DegradationPolicy::retry_failover_shed(Some(SimDuration::from_millis(200))),
+        };
+        let a = serve_cluster(&cost, &topo, &spec, c.clone());
+        let b = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(a.tracker.records(), b.tracker.records());
+        assert_eq!(a.tracker.failures(), b.tracker.failures());
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.aborted_batches, b.aborted_batches);
+        assert_eq!(a.recovery_times, b.recovery_times);
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn device_loss_slows_the_replica_and_replaces_experts() {
+        let (cost, topo, spec) = world();
+        let healthy = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 2000.0, 1),
+        );
+        let mut c = config(InferScheme::Baseline, 2000.0, 1);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![FaultEvent {
+                at: SimTime::from_millis(5),
+                replica: 0,
+                kind: FaultKind::DeviceLoss,
+            }]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let degraded = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(degraded.emergency_replacements, 1);
+        assert_eq!(degraded.report().requests, 96, "the replica stays up");
+        assert!(
+            degraded.report().makespan > healthy.report().makespan,
+            "a lost device must stretch the run"
+        );
+    }
+
+    #[test]
+    fn link_degrade_and_straggler_stretch_service() {
+        let (cost, topo, spec) = world();
+        let healthy = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 2000.0, 1),
+        );
+        for kind in [
+            FaultKind::LinkDegrade { scale: 0.25 },
+            FaultKind::StragglerStart { factor: 4.0 },
+        ] {
+            let mut c = config(InferScheme::Baseline, 2000.0, 1);
+            c.faults = FaultPlan {
+                schedule: FaultSchedule::from_script(vec![FaultEvent {
+                    at: SimTime::ZERO,
+                    replica: 0,
+                    kind,
+                }]),
+                policy: DegradationPolicy::retry_failover(None),
+            };
+            let slow = serve_cluster(&cost, &topo, &spec, c);
+            assert_eq!(slow.report().requests, 96);
+            assert!(
+                slow.report().makespan > healthy.report().makespan,
+                "{kind:?} must stretch the run"
+            );
+        }
     }
 }

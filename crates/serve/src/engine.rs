@@ -209,6 +209,12 @@ impl ReestimationWindow {
     pub(crate) fn profile(&mut self, path_length: usize) -> PopularityEstimator {
         PopularityEstimator::profile(self.batches.make_contiguous(), path_length)
     }
+
+    /// No batches observed yet (an emergency re-placement has nothing
+    /// to re-profile from).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
 }
 
 /// Everything a serving run produced.
@@ -381,8 +387,14 @@ impl<'a> ServeEngine<'a> {
     /// routed, with its own executor and dispatch slot.
     pub fn run(&self) -> ServeOutcome {
         let mut solo = crate::balancer::RoundRobin::new();
-        let outcome =
-            crate::cluster::run_on(self, 1, &mut solo, crate::EstimatorSharing::Shared, 0.0);
+        let outcome = crate::cluster::run_on(
+            self,
+            1,
+            &mut solo,
+            crate::EstimatorSharing::Shared,
+            0.0,
+            &crate::FaultPlan::none(),
+        );
         ServeOutcome {
             tracker: outcome.tracker,
             batches: outcome.batches,

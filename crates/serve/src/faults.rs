@@ -1,0 +1,546 @@
+//! Deterministic fault injection and graceful-degradation policy.
+//!
+//! A [`FaultSchedule`] is a time-sorted list of [`FaultEvent`]s the
+//! cluster event loop injects between serving events: replica crashes
+//! and recoveries, single-device loss, link-bandwidth degradation, and
+//! straggler slowdowns. Schedules are either *scripted*
+//! ([`FaultSchedule::from_script`]) or *rate-driven*
+//! ([`FaultSchedule::generate`]): a seeded Poisson process per replica
+//! with exponential repair times, so the same seed always injects the
+//! same faults — failures are as reproducible as everything else in the
+//! simulator.
+//!
+//! A [`DegradationPolicy`] decides what happens to the work a fault
+//! displaces:
+//!
+//! * [`PolicyKind::FailFast`] — every displaced request is dropped on
+//!   the spot (the pre-fault serving stack's implicit behaviour, made
+//!   explicit);
+//! * [`PolicyKind::RetryFailover`] — displaced requests are re-admitted
+//!   through the balancer with capped exponential backoff and a retry
+//!   budget; requests that exhaust the budget (or outlive the
+//!   per-request timeout) become explicit `Dropped`/`TimedOut`
+//!   outcomes;
+//! * [`PolicyKind::RetryFailoverShed`] — retry + failover plus an
+//!   admission controller: when the outstanding work across *healthy*
+//!   replicas exceeds what the post-failure capacity can drain, new
+//!   admissions are shed instead of queued, protecting the tail of the
+//!   requests already admitted.
+//!
+//! An empty schedule with an inert policy ([`FaultPlan::none`])
+//! reproduces the healthy-path serving timeline bit for bit — the
+//! degeneracy the property tests pin.
+
+use lina_simcore::{Rng, SimDuration, SimTime};
+
+/// What a single fault event does to its replica.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The whole replica server goes down: in-flight batches abort,
+    /// queued requests are displaced, and the balancer stops routing to
+    /// it until a [`FaultKind::ReplicaRecover`] event.
+    ReplicaCrash,
+    /// The replica comes back (fresh hardware: device loss, link
+    /// degradation, and straggler state are cleared) after paying a
+    /// weight-reload cost before its first dispatch.
+    ReplicaRecover,
+    /// One GPU dies but the replica stays up: dispatching blocks while
+    /// the lost experts are re-replicated onto the survivors (a modeled
+    /// PCIe transfer), and every later batch's expert compute stretches
+    /// by `devices / (devices - 1)`.
+    DeviceLoss,
+    /// The replica's link bandwidth drops to `scale` of nominal
+    /// (`0 < scale < 1`); collectives re-share the degraded links.
+    LinkDegrade {
+        /// Remaining fraction of nominal link bandwidth.
+        scale: f64,
+    },
+    /// Link bandwidth returns to nominal.
+    LinkRestore,
+    /// Expert compute on the replica slows by `factor` (> 1) — a
+    /// thermally throttled or contended straggler GPU.
+    StragglerStart {
+        /// Compute slowdown factor.
+        factor: f64,
+    },
+    /// The straggler recovers to full speed.
+    StragglerEnd,
+}
+
+/// One timed fault on one replica.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Injection instant.
+    pub at: SimTime,
+    /// Target replica index.
+    pub replica: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Rates and magnitudes for a generated fault schedule. All rates are
+/// per replica-second; repair times draw from exponential distributions
+/// with the given means.
+#[derive(Clone, Debug)]
+pub struct FaultRateConfig {
+    /// Replica crash rate.
+    pub crash_rate: f64,
+    /// Mean time from crash to recovery.
+    pub mean_recovery: SimDuration,
+    /// Single-device-loss rate.
+    pub device_loss_rate: f64,
+    /// Link-degradation onset rate.
+    pub degrade_rate: f64,
+    /// Bandwidth fraction that survives a degradation.
+    pub degrade_scale: f64,
+    /// Mean time from degradation to restore.
+    pub mean_degrade: SimDuration,
+    /// Straggler onset rate.
+    pub straggler_rate: f64,
+    /// Straggler compute slowdown factor.
+    pub straggler_factor: f64,
+    /// Mean straggler episode length.
+    pub mean_straggle: SimDuration,
+}
+
+impl FaultRateConfig {
+    /// A schedule of crashes only, at `crash_rate` per replica-second
+    /// with `mean_recovery` repair times.
+    pub fn crashes(crash_rate: f64, mean_recovery: SimDuration) -> Self {
+        FaultRateConfig {
+            crash_rate,
+            mean_recovery,
+            device_loss_rate: 0.0,
+            degrade_rate: 0.0,
+            degrade_scale: 0.5,
+            mean_degrade: SimDuration::ZERO,
+            straggler_rate: 0.0,
+            straggler_factor: 2.0,
+            mean_straggle: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A deterministic, time-sorted fault script.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: nothing ever fails.
+    pub fn none() -> Self {
+        FaultSchedule { events: Vec::new() }
+    }
+
+    /// A scripted schedule; events are stably sorted by injection time
+    /// (equal-time events keep script order).
+    pub fn from_script(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// Generates a seeded rate-driven schedule over `[0, horizon)` for
+    /// `replicas` replicas: per replica, crashes arrive Poisson at
+    /// `crash_rate` with exponential repair (each crash is followed by
+    /// its recovery, and nothing else targets a down replica in
+    /// between), while device loss, link degradation, and straggler
+    /// episodes arrive on independent substreams. The same arguments
+    /// always produce the same schedule.
+    pub fn generate(
+        rates: &FaultRateConfig,
+        replicas: usize,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let root = Rng::new(seed);
+        let mut events = Vec::new();
+        let horizon_s = horizon.as_secs_f64();
+        // Exponential inter-arrival via inverse CDF on a dedicated
+        // substream per (replica, fault family).
+        let exp = |rng: &mut Rng, rate: f64| -> f64 {
+            let u = rng.f64().max(f64::MIN_POSITIVE);
+            -u.ln() / rate
+        };
+        for replica in 0..replicas {
+            // Crash/recover alternation.
+            if rates.crash_rate > 0.0 {
+                let mut rng = root.derive(1 + 8 * replica as u64);
+                let mut t = exp(&mut rng, rates.crash_rate);
+                while t < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::ReplicaCrash,
+                    });
+                    let down = exp(
+                        &mut rng,
+                        1.0 / rates.mean_recovery.as_secs_f64().max(f64::MIN_POSITIVE),
+                    );
+                    t += down;
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::ReplicaRecover,
+                    });
+                    t += exp(&mut rng, rates.crash_rate);
+                }
+            }
+            if rates.device_loss_rate > 0.0 {
+                let mut rng = root.derive(2 + 8 * replica as u64);
+                let mut t = exp(&mut rng, rates.device_loss_rate);
+                while t < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::DeviceLoss,
+                    });
+                    t += exp(&mut rng, rates.device_loss_rate);
+                }
+            }
+            if rates.degrade_rate > 0.0 {
+                let mut rng = root.derive(3 + 8 * replica as u64);
+                let mut t = exp(&mut rng, rates.degrade_rate);
+                while t < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::LinkDegrade {
+                            scale: rates.degrade_scale,
+                        },
+                    });
+                    t += exp(
+                        &mut rng,
+                        1.0 / rates.mean_degrade.as_secs_f64().max(f64::MIN_POSITIVE),
+                    );
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::LinkRestore,
+                    });
+                    t += exp(&mut rng, rates.degrade_rate);
+                }
+            }
+            if rates.straggler_rate > 0.0 {
+                let mut rng = root.derive(4 + 8 * replica as u64);
+                let mut t = exp(&mut rng, rates.straggler_rate);
+                while t < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::StragglerStart {
+                            factor: rates.straggler_factor,
+                        },
+                    });
+                    t += exp(
+                        &mut rng,
+                        1.0 / rates.mean_straggle.as_secs_f64().max(f64::MIN_POSITIVE),
+                    );
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::StragglerEnd,
+                    });
+                    t += exp(&mut rng, rates.straggler_rate);
+                }
+            }
+        }
+        FaultSchedule::from_script(events)
+    }
+
+    /// The events, ascending by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// No events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Earliest [`FaultKind::ReplicaRecover`] strictly after `t` (any
+    /// replica) — when a request finds every replica down, the retry
+    /// policies defer its admission to this instant.
+    pub fn next_recovery_after(&self, t: SimTime) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|e| e.at > t && e.kind == FaultKind::ReplicaRecover)
+            .map(|e| e.at)
+    }
+
+    /// Validates event targets against the cluster shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets a replica index `>= replicas`, a
+    /// degradation scale is outside `(0, 1]`, or a straggler factor is
+    /// below 1.
+    pub fn validate(&self, replicas: usize) {
+        for e in &self.events {
+            assert!(
+                e.replica < replicas,
+                "fault at {} targets replica {} of {replicas}",
+                e.at,
+                e.replica
+            );
+            match e.kind {
+                FaultKind::LinkDegrade { scale } => assert!(
+                    scale > 0.0 && scale <= 1.0,
+                    "link degrade scale {scale} outside (0, 1]"
+                ),
+                FaultKind::StragglerStart { factor } => assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "straggler factor {factor} below 1"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// How the cluster degrades when faults displace work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Drop every displaced request immediately.
+    FailFast,
+    /// Re-admit displaced requests through the balancer with capped
+    /// exponential backoff and a retry budget.
+    RetryFailover,
+    /// Retry + failover plus queue-depth admission control: shed new
+    /// admissions when the healthy replicas' outstanding work exceeds
+    /// the shed threshold.
+    RetryFailoverShed,
+}
+
+impl PolicyKind {
+    /// Stable lowercase name for configs and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::FailFast => "fail-fast",
+            PolicyKind::RetryFailover => "retry-failover",
+            PolicyKind::RetryFailoverShed => "retry-failover-shed",
+        }
+    }
+}
+
+/// The graceful-degradation knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationPolicy {
+    /// Strategy family.
+    pub kind: PolicyKind,
+    /// Re-admissions allowed per request before it is dropped
+    /// (ignored by [`PolicyKind::FailFast`]).
+    pub retry_budget: u32,
+    /// Backoff before the first re-admission; attempt `n` waits
+    /// `backoff_base * 2^(n-1)`, capped at `backoff_cap`.
+    pub backoff_base: SimDuration,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap: SimDuration,
+    /// A request still undispatched this long after its *original*
+    /// arrival becomes a `TimedOut` outcome (`None`: requests wait
+    /// forever).
+    pub request_timeout: Option<SimDuration>,
+    /// Shed threshold for [`PolicyKind::RetryFailoverShed`], in units
+    /// of full batches per healthy replica: an admission is shed when
+    /// the healthy replicas' outstanding tokens exceed
+    /// `shed_batches_per_replica * healthy * max_batch_tokens`.
+    pub shed_batches_per_replica: f64,
+}
+
+impl DegradationPolicy {
+    /// Drop displaced work immediately; no timeouts, no shedding. This
+    /// is the inert policy: with an empty schedule it can never fire.
+    pub fn fail_fast() -> Self {
+        DegradationPolicy {
+            kind: PolicyKind::FailFast,
+            retry_budget: 0,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            request_timeout: None,
+            shed_batches_per_replica: f64::INFINITY,
+        }
+    }
+
+    /// Retry + failover defaults: 3 attempts, 1 ms base backoff capped
+    /// at 8 ms, and a `timeout` bound on total sojourn.
+    pub fn retry_failover(timeout: Option<SimDuration>) -> Self {
+        DegradationPolicy {
+            kind: PolicyKind::RetryFailover,
+            retry_budget: 3,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(8),
+            request_timeout: timeout,
+            shed_batches_per_replica: f64::INFINITY,
+        }
+    }
+
+    /// Retry + failover + shedding defaults: as
+    /// [`DegradationPolicy::retry_failover`], shedding past 6 full
+    /// batches of outstanding work per healthy replica.
+    pub fn retry_failover_shed(timeout: Option<SimDuration>) -> Self {
+        DegradationPolicy {
+            shed_batches_per_replica: 6.0,
+            kind: PolicyKind::RetryFailoverShed,
+            ..DegradationPolicy::retry_failover(timeout)
+        }
+    }
+
+    /// Whether displaced requests are re-admitted rather than dropped.
+    pub fn retries(&self) -> bool {
+        matches!(
+            self.kind,
+            PolicyKind::RetryFailover | PolicyKind::RetryFailoverShed
+        )
+    }
+
+    /// Whether the admission controller sheds new arrivals under
+    /// post-failure overload.
+    pub fn sheds(&self) -> bool {
+        self.kind == PolicyKind::RetryFailoverShed
+    }
+
+    /// The capped exponential backoff before re-admission attempt
+    /// `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(30);
+        let wait = self.backoff_base * 2u64.pow(exp);
+        wait.min(self.backoff_cap)
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero timeout, a backoff cap below the base, or a
+    /// non-positive shed threshold.
+    pub fn validate(&self) {
+        assert!(
+            self.request_timeout != Some(SimDuration::ZERO),
+            "faults: request_timeout must be > 0"
+        );
+        if self.retries() && self.retry_budget > 0 {
+            assert!(
+                self.backoff_cap >= self.backoff_base,
+                "faults: backoff_cap below backoff_base"
+            );
+        }
+        assert!(
+            self.shed_batches_per_replica > 0.0,
+            "faults: shed threshold must be > 0"
+        );
+    }
+}
+
+/// A schedule plus the policy that handles it — everything the cluster
+/// needs to know about failure.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// The timed fault script.
+    pub schedule: FaultSchedule,
+    /// What happens to displaced work.
+    pub policy: DegradationPolicy,
+}
+
+impl FaultPlan {
+    /// No faults, inert policy: the healthy path, bit for bit.
+    pub fn none() -> Self {
+        FaultPlan {
+            schedule: FaultSchedule::none(),
+            policy: DegradationPolicy::fail_fast(),
+        }
+    }
+
+    /// Validates schedule and policy against the cluster shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either part is invalid (see
+    /// [`FaultSchedule::validate`], [`DegradationPolicy::validate`]).
+    pub fn validate(&self, replicas: usize) {
+        self.schedule.validate(replicas);
+        self.policy.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_schedules_sort_by_time() {
+        let s = FaultSchedule::from_script(vec![
+            FaultEvent {
+                at: SimTime::from_millis(50),
+                replica: 1,
+                kind: FaultKind::ReplicaRecover,
+            },
+            FaultEvent {
+                at: SimTime::from_millis(10),
+                replica: 1,
+                kind: FaultKind::ReplicaCrash,
+            },
+        ]);
+        assert_eq!(s.events()[0].kind, FaultKind::ReplicaCrash);
+        assert_eq!(
+            s.next_recovery_after(SimTime::from_millis(10)),
+            Some(SimTime::from_millis(50))
+        );
+        assert_eq!(s.next_recovery_after(SimTime::from_millis(50)), None);
+    }
+
+    #[test]
+    fn generated_schedules_are_deterministic_and_alternate() {
+        let rates = FaultRateConfig::crashes(2.0, SimDuration::from_millis(200));
+        let horizon = SimDuration::from_secs_f64(5.0);
+        let a = FaultSchedule::generate(&rates, 3, horizon, 42);
+        let b = FaultSchedule::generate(&rates, 3, horizon, 42);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty(), "5 replica-crashes expected on average");
+        let c = FaultSchedule::generate(&rates, 3, horizon, 43);
+        assert_ne!(a.events(), c.events(), "different seeds differ");
+        // Per replica: strict crash/recover alternation starting with a
+        // crash.
+        for r in 0..3 {
+            let mut expect_crash = true;
+            for e in a.events().iter().filter(|e| e.replica == r) {
+                let want = if expect_crash {
+                    FaultKind::ReplicaCrash
+                } else {
+                    FaultKind::ReplicaRecover
+                };
+                assert_eq!(e.kind, want, "replica {r}");
+                expect_crash = !expect_crash;
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = DegradationPolicy::retry_failover(None);
+        assert_eq!(p.backoff(1), SimDuration::from_millis(1));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(2));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(4));
+        assert_eq!(p.backoff(4), SimDuration::from_millis(8));
+        assert_eq!(p.backoff(10), SimDuration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn inert_plan_has_no_events_and_never_retries() {
+        let plan = FaultPlan::none();
+        assert!(plan.schedule.is_empty());
+        assert!(!plan.policy.retries());
+        assert_eq!(plan.policy.request_timeout, None);
+        plan.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets replica")]
+    fn out_of_range_replica_rejected() {
+        FaultSchedule::from_script(vec![FaultEvent {
+            at: SimTime::ZERO,
+            replica: 3,
+            kind: FaultKind::ReplicaCrash,
+        }])
+        .validate(3);
+    }
+}

@@ -20,12 +20,19 @@
 //!   per-replica ones ([`EstimatorSharing`]); the single-server loop is
 //!   its K = 1 special case;
 //! * [`SloTracker`] — per-request latency percentiles, throughput,
-//!   goodput, SLO attainment, and a queue-depth timeline;
+//!   goodput, SLO attainment, availability, explicit terminal outcomes
+//!   ([`RequestOutcome`]), and a queue-depth timeline;
 //! * popularity drift and online re-placement — the workload's class
 //!   ranking rotates every `drift_period` requests, and the Lina
 //!   schemes periodically re-profile the popularity estimator from
 //!   recently served batches, re-running placement against the drifted
-//!   distribution.
+//!   distribution;
+//! * deterministic fault injection and graceful degradation — a seeded
+//!   [`FaultSchedule`] injects replica crashes/recoveries, device
+//!   losses, link degradations, and stragglers into the cluster event
+//!   loop, and a [`DegradationPolicy`] (fail-fast, retry + failover,
+//!   or retry + failover + load shedding) decides what happens to the
+//!   displaced work.
 //!
 //! Everything is seeded: the same [`ServeConfig`] produces a
 //! bit-identical request trace, dispatch schedule, and summary.
@@ -37,6 +44,7 @@ pub mod balancer;
 pub mod batcher;
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod request;
 pub mod slo;
 
@@ -48,6 +56,9 @@ pub use balancer::{
 pub use batcher::{Batcher, BatcherConfig};
 pub use cluster::{serve_cluster, ClusterConfig, ClusterEngine, ClusterOutcome, EstimatorSharing};
 pub use engine::{serve, ServeConfig, ServeEngine, ServeOutcome};
+pub use faults::{
+    DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultRateConfig, FaultSchedule, PolicyKind,
+};
 pub use lina_runner::NetworkMode;
 pub use request::{Request, RequestRecord};
-pub use slo::{SloReport, SloTracker};
+pub use slo::{FailureRecord, RequestOutcome, SloReport, SloTracker};

@@ -8,7 +8,8 @@ use lina_model::{CostModel, DeviceSpec, MoeModelConfig};
 use lina_netsim::{ClusterSpec, Topology};
 use lina_serve::{
     serve, serve_cluster, ArrivalProcess, BalancerKind, Batcher, BatcherConfig, ClusterConfig,
-    EstimatorSharing, NetworkMode, ServeConfig, ServeEngine,
+    DegradationPolicy, EstimatorSharing, FaultPlan, FaultRateConfig, FaultSchedule, NetworkMode,
+    ServeConfig, ServeEngine,
 };
 use lina_simcore::{Rng, SimDuration, SimTime};
 use lina_workload::WorkloadSpec;
@@ -181,6 +182,7 @@ fn cluster_conserves_and_is_deterministic_across_policies() {
                 replicas: 2 + meta.index(3),
                 balancer,
                 sharing,
+                faults: FaultPlan::none(),
             };
             let n = config.serve.n_requests;
             let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -369,4 +371,145 @@ fn queue_drains_below_capacity_and_grows_past_it() {
         calm.p99
     );
     assert!(swamped.attainment <= calm.attainment);
+}
+
+/// A randomized degradation policy (always a retry family so faults
+/// exercise the re-admission machinery).
+fn arb_policy(meta: &mut Rng) -> DegradationPolicy {
+    let timeout = meta
+        .bernoulli(0.5)
+        .then(|| SimDuration::from_millis(meta.below(80) + 20));
+    let mut policy = if meta.bernoulli(0.5) {
+        DegradationPolicy::retry_failover(timeout)
+    } else {
+        DegradationPolicy::retry_failover_shed(timeout)
+    };
+    policy.retry_budget = meta.index(5) as u32;
+    policy
+}
+
+/// Under arbitrary generated fault schedules and every degradation
+/// policy, every admitted request reaches exactly one terminal outcome
+/// (completed, dropped, or timed out), tokens are conserved across
+/// outcomes, and the whole run is bit-deterministic.
+#[test]
+fn faults_conserve_every_request_and_stay_deterministic() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0xFA1175);
+    for round in 0..6 {
+        let serve_config = arb_config(&mut meta, InferScheme::Lina);
+        let replicas = 2 + meta.index(3);
+        let rates = FaultRateConfig {
+            crash_rate: meta.uniform(5.0, 40.0),
+            mean_recovery: SimDuration::from_millis(meta.below(40) + 5),
+            device_loss_rate: meta.uniform(0.0, 5.0),
+            degrade_rate: meta.uniform(0.0, 5.0),
+            degrade_scale: meta.uniform(0.2, 1.0),
+            mean_degrade: SimDuration::from_millis(meta.below(30) + 5),
+            straggler_rate: meta.uniform(0.0, 5.0),
+            straggler_factor: meta.uniform(1.0, 4.0),
+            mean_straggle: SimDuration::from_millis(meta.below(30) + 5),
+        };
+        let schedule = FaultSchedule::generate(
+            &rates,
+            replicas,
+            SimDuration::from_secs_f64(2.0),
+            meta.next_u64(),
+        );
+        let policy = if meta.bernoulli(0.25) {
+            DegradationPolicy::fail_fast()
+        } else {
+            arb_policy(&mut meta)
+        };
+        let config = ClusterConfig {
+            serve: serve_config,
+            replicas,
+            balancer: BalancerKind::JoinShortestQueue,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan { schedule, policy },
+        };
+        let n = config.serve.n_requests;
+        let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .sum();
+        let out = serve_cluster(&cost, &topo, &spec, config.clone());
+
+        // Exactly one terminal outcome per request.
+        let mut ids: Vec<usize> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.id)
+            .chain(out.tracker.failures().iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "round {round}: every request exactly one terminal outcome"
+        );
+        // Token conservation across outcomes.
+        let terminal_tokens: usize = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.tokens)
+            .chain(out.tracker.failures().iter().map(|f| f.tokens))
+            .sum();
+        assert_eq!(terminal_tokens, offered_tokens, "round {round}: tokens");
+        // Outcome counts add up in the report.
+        let report = out.report();
+        assert_eq!(report.offered, n);
+        assert_eq!(report.requests + report.dropped + report.timed_out, n);
+        assert!(report.availability.is_finite() && report.goodput.is_finite());
+
+        // Bit-determinism under the same fault plan.
+        let again = serve_cluster(&cost, &topo, &spec, config);
+        assert_eq!(out.tracker.records(), again.tracker.records());
+        assert_eq!(out.tracker.failures(), again.tracker.failures());
+        assert_eq!(out.recovery_times, again.recovery_times);
+        assert_eq!(report, again.report(), "round {round}: determinism");
+    }
+}
+
+/// Degeneracy: an *armed* retry policy over an *empty* schedule is
+/// inert — the healthy-path timeline, records, depth samples, and
+/// report reproduce [`FaultPlan::none`] bit for bit at zero tolerance.
+#[test]
+fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0xDE6E);
+    for sharing in [EstimatorSharing::Shared, EstimatorSharing::PerReplica] {
+        let config = ClusterConfig {
+            serve: arb_config(&mut meta, InferScheme::Lina),
+            replicas: 2 + meta.index(3),
+            balancer: BalancerKind::JoinShortestQueue,
+            sharing,
+            faults: FaultPlan::none(),
+        };
+        let healthy = serve_cluster(&cost, &topo, &spec, config.clone());
+        let mut armed = config.clone();
+        armed.faults = FaultPlan {
+            schedule: FaultSchedule::none(),
+            // No timeout: with nothing to displace or expire, the
+            // retry machinery must never perturb the event order.
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let with_policy = serve_cluster(&cost, &topo, &spec, armed);
+        assert_eq!(healthy.tracker.records(), with_policy.tracker.records());
+        assert_eq!(
+            healthy.tracker.depth_timeline(),
+            with_policy.tracker.depth_timeline()
+        );
+        assert!(with_policy.tracker.failures().is_empty());
+        assert_eq!(healthy.report(), with_policy.report());
+        assert_eq!(
+            healthy.requests_per_replica,
+            with_policy.requests_per_replica
+        );
+        assert_eq!(healthy.batches, with_policy.batches);
+        assert_eq!(healthy.reestimations, with_policy.reestimations);
+    }
 }
