@@ -313,6 +313,12 @@ pub const REGISTRY: &[Scenario] = &[
         run: scenarios::serve_load_sweep::run,
     },
     Scenario {
+        id: "serve_autoscale",
+        paper_ref: "Serving autoscale",
+        description: "elastic autoscaling: trace shape x policy x SLO cost-vs-attainment frontier",
+        run: scenarios::serve_autoscale::run,
+    },
+    Scenario {
         id: "serve_cluster",
         paper_ref: "Serving cluster",
         description: "multi-replica serving: load balancer x estimator sharing under drift",
@@ -370,14 +376,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_27_experiments() {
-        assert_eq!(REGISTRY.len(), 27);
+    fn registry_covers_all_28_experiments() {
+        assert_eq!(REGISTRY.len(), 28);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 27, "scenario ids must be unique");
+        assert_eq!(ids.len(), 28, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("serve_load_sweep").is_some());
+        assert!(find("serve_autoscale").is_some());
         assert!(find("serve_cluster").is_some());
         assert!(find("serve_contention").is_some());
         assert!(find("serve_faults").is_some());

@@ -77,6 +77,7 @@ fn cluster_config(
         balancer,
         sharing,
         faults: FaultPlan::none(),
+        autoscale: None,
     }
 }
 

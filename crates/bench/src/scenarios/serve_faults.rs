@@ -74,6 +74,7 @@ fn cluster_config(serve: ServeConfig, faults: FaultPlan) -> ClusterConfig {
         balancer: BalancerKind::JoinShortestQueue,
         sharing: EstimatorSharing::Shared,
         faults,
+        autoscale: None,
     }
 }
 

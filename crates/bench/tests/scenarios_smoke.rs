@@ -20,6 +20,7 @@ fn serving_scenarios_are_registered() {
     // (its --list and --only flags resolve through the same registry).
     for id in [
         "serve_load_sweep",
+        "serve_autoscale",
         "serve_cluster",
         "serve_contention",
         "serve_faults",
@@ -94,6 +95,31 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                 "empty schedule must be bit-identical to the healthy path"
             );
             assert_eq!(metric("empty_schedule_p99_delta_ms"), 0.0);
+        }
+        if scenario.id == "serve_autoscale" {
+            let metric = |name: &str| {
+                first
+                    .metrics()
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("serve_autoscale reports {name}"))
+                    .value
+            };
+            // At least one autoscaling policy must strictly beat the
+            // static-min pool on SLO attainment at no more than the
+            // static-max pool's replica-second cost.
+            assert_eq!(
+                metric("frontier_dominates_static_min"),
+                1.0,
+                "no autoscaling policy dominated static_min on the frontier"
+            );
+            // An armed-but-inert autoscaler reproduces the fixed pool
+            // bit for bit.
+            assert_eq!(
+                metric("inert_autoscaler_identical"),
+                1.0,
+                "inert autoscaler must be bit-identical to the fixed pool"
+            );
         }
         if scenario.id == "serve_contention" {
             let headline = first

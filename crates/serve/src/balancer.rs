@@ -11,11 +11,15 @@
 //!   expected completion (server drain time plus queued work over the
 //!   replica's [`capacity`](crate::ServeEngine::capacity)) is soonest.
 //!
-//! All policies route over *healthy* replicas only: a crashed replica
-//! is invisible until its recovery event, even when its (stale) queue
-//! state would make it the argmin. The cluster engine guarantees at
-//! least one healthy replica at every `pick` (a total outage is
-//! handled upstream by the degradation policy, before routing).
+//! All policies route over *routable* replicas only
+//! ([`ReplicaSnapshot::routable`]): a crashed replica is invisible
+//! until its recovery event, a replica the autoscaler is draining
+//! receives nothing new while it finishes its queue, and a freshly
+//! provisioned replica is invisible until its weight reload completes
+//! — even when the excluded replica's (stale) queue state would make
+//! it the argmin. The cluster engine guarantees at least one routable
+//! replica at every `pick` (a total outage is handled upstream by the
+//! degradation policy, before routing).
 //!
 //! Balancers may keep internal state (the round-robin cursor) but must
 //! be deterministic: the cluster engine's bit-reproducibility rests on
@@ -28,8 +32,16 @@ use lina_simcore::SimTime;
 pub struct ReplicaSnapshot {
     /// Replica index.
     pub id: usize,
-    /// Up and accepting work; a crashed replica must never be picked.
+    /// Up and accepting work; a crashed (or decommissioned) replica
+    /// must never be picked.
     pub healthy: bool,
+    /// Being drained for decommission by the autoscaler: it still
+    /// finishes its queued work but receives no new requests.
+    pub draining: bool,
+    /// Still loading weights after an elastic scale-up: it will serve
+    /// once provisioning completes, but receives no requests until
+    /// then.
+    pub provisioning: bool,
     /// Requests routed to this replica but not yet dispatched.
     pub queued_requests: usize,
     /// Tokens routed to this replica but not yet dispatched.
@@ -51,6 +63,13 @@ impl ReplicaSnapshot {
     pub fn outstanding_tokens(&self) -> usize {
         self.queued_tokens + self.in_flight_tokens
     }
+
+    /// Ready to receive new requests: up, not draining toward
+    /// decommission, and past its provisioning weight reload. Every
+    /// shipped balancer routes over the routable subset only.
+    pub fn routable(&self) -> bool {
+        self.healthy && !self.draining && !self.provisioning
+    }
 }
 
 /// A dispatch-time routing policy over replicas.
@@ -59,15 +78,23 @@ pub trait LoadBalancer {
     fn name(&self) -> &'static str;
 
     /// Chooses the replica for a request arriving at `now`. Must
-    /// return the `id` of one of the given *healthy* snapshots; the
-    /// caller guarantees at least one replica is healthy.
+    /// return the `id` of one of the given *routable* snapshots; the
+    /// caller guarantees at least one replica is routable.
     fn pick(&mut self, replicas: &[ReplicaSnapshot], now: SimTime) -> usize;
 }
 
-/// Rotates through the healthy replicas, blind to their load.
+/// Rotates through the routable replicas, blind to their load.
+///
+/// The rotation anchors on the *last picked replica id*, not a
+/// positional cursor into the filtered list: under a mutating replica
+/// set (crashes, recoveries, elastic scale-up/down) a positional
+/// cursor skips or double-hits replicas whenever the filtered list
+/// shifts underneath it, while the id anchor always advances to the
+/// next routable id in cyclic order.
 #[derive(Clone, Debug, Default)]
 pub struct RoundRobin {
-    cursor: usize,
+    /// Id of the replica the previous pick routed to.
+    last: Option<usize>,
 }
 
 impl RoundRobin {
@@ -83,10 +110,17 @@ impl LoadBalancer for RoundRobin {
     }
 
     fn pick(&mut self, replicas: &[ReplicaSnapshot], _now: SimTime) -> usize {
-        let healthy: Vec<&ReplicaSnapshot> = replicas.iter().filter(|r| r.healthy).collect();
-        assert!(!healthy.is_empty(), "round-robin: no healthy replica");
-        let id = healthy[self.cursor % healthy.len()].id;
-        self.cursor = (self.cursor + 1) % healthy.len();
+        // The next routable id strictly after the last pick, wrapping
+        // to the smallest routable id.
+        let after = replicas
+            .iter()
+            .filter(|r| r.routable() && self.last.is_some_and(|l| r.id > l))
+            .map(|r| r.id)
+            .min();
+        let id = after
+            .or_else(|| replicas.iter().filter(|r| r.routable()).map(|r| r.id).min())
+            .expect("round-robin: no routable replica");
+        self.last = Some(id);
         id
     }
 }
@@ -105,9 +139,9 @@ impl LoadBalancer for JoinShortestQueue {
     fn pick(&mut self, replicas: &[ReplicaSnapshot], _now: SimTime) -> usize {
         replicas
             .iter()
-            .filter(|r| r.healthy)
+            .filter(|r| r.routable())
             .min_by_key(|r| (r.outstanding_tokens(), r.id))
-            .expect("at least one healthy replica")
+            .expect("at least one routable replica")
             .id
     }
 }
@@ -137,14 +171,14 @@ impl LoadBalancer for LeastExpectedLatency {
         };
         replicas
             .iter()
-            .filter(|r| r.healthy)
+            .filter(|r| r.routable())
             .min_by(|a, b| {
                 score(a)
                     .partial_cmp(&score(b))
                     .expect("scores are finite or +inf, never NaN")
                     .then(a.id.cmp(&b.id))
             })
-            .expect("at least one healthy replica")
+            .expect("at least one routable replica")
             .id
     }
 }
@@ -189,6 +223,8 @@ mod tests {
         ReplicaSnapshot {
             id,
             healthy: true,
+            draining: false,
+            provisioning: false,
             queued_requests: queued_tokens / 64,
             queued_tokens,
             in_flight_tokens: in_flight,
@@ -255,6 +291,79 @@ mod tests {
         snaps[1].healthy = false;
         let picks: Vec<usize> = (0..4).map(|_| rr.pick(&snaps, SimTime::ZERO)).collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn round_robin_cursor_is_stable_under_a_mutating_replica_set() {
+        // The positional-cursor bug this pins against: with replicas
+        // {0, 1, 2}, picking 0 then 1 and *then* losing replica 1 used
+        // to rewind the rotation to 0 (cursor 2 % 2 == 0), double-
+        // hitting 0 and starving 2. The id-anchored rotation continues
+        // at the next routable id.
+        let mut rr = RoundRobin::new();
+        let three = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(2, 0, 0, 0)];
+        assert_eq!(rr.pick(&three, SimTime::ZERO), 0);
+        assert_eq!(rr.pick(&three, SimTime::ZERO), 1);
+        let mut lost = three.clone();
+        lost[1].healthy = false;
+        assert_eq!(rr.pick(&lost, SimTime::ZERO), 2, "no double-hit of 0");
+        // Replica 1 comes back and a new replica 3 joins (elastic
+        // scale-up): the rotation picks up both without skipping.
+        let mut grown = three.clone();
+        grown.push(snap(3, 0, 0, 0));
+        assert_eq!(rr.pick(&grown, SimTime::ZERO), 3);
+        assert_eq!(
+            rr.pick(&grown, SimTime::ZERO),
+            0,
+            "wraps to the smallest id"
+        );
+        assert_eq!(rr.pick(&grown, SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn round_robin_covers_every_routable_replica_exactly_once_per_cycle() {
+        // Rotation invariant under churn: across any window where the
+        // routable set is fixed, K consecutive picks hit each replica
+        // exactly once (no skips, no double-hits), regardless of what
+        // the rotation saw before.
+        let mut rr = RoundRobin::new();
+        let warm = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(4, 0, 0, 0)];
+        for _ in 0..4 {
+            rr.pick(&warm, SimTime::ZERO);
+        }
+        let stable = vec![
+            snap(0, 0, 0, 0),
+            snap(2, 0, 0, 0),
+            snap(3, 0, 0, 0),
+            snap(5, 0, 0, 0),
+        ];
+        let mut picks: Vec<usize> = (0..4).map(|_| rr.pick(&stable, SimTime::ZERO)).collect();
+        picks.sort_unstable();
+        assert_eq!(picks, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn draining_and_provisioning_replicas_are_never_picked_even_as_argmin() {
+        // Mirror of the health-filter test for the autoscale lifecycle
+        // states: an idle draining replica and an idle provisioning
+        // replica both look ideal on every axis, but only the busy
+        // active replica is routable.
+        let mut draining = snap(0, 0, 0, 0);
+        draining.draining = true;
+        let mut provisioning = snap(1, 0, 0, 0);
+        provisioning.provisioning = true;
+        let busy = snap(2, 512, 256, 9);
+        let snaps = vec![draining, provisioning, busy];
+        let mut rr = RoundRobin::new();
+        for _ in 0..4 {
+            assert_eq!(rr.pick(&snaps, SimTime::ZERO), 2, "round-robin");
+        }
+        assert_eq!(JoinShortestQueue.pick(&snaps, SimTime::ZERO), 2, "jsq");
+        assert_eq!(
+            LeastExpectedLatency.pick(&snaps, SimTime::ZERO),
+            2,
+            "least-latency"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `(time, priority)` order, so the run is deterministic down to the
 //! bit.
 //!
-//! Five event kinds interleave, with the priority breaking ties at one
+//! Six event kinds interleave, with the priority breaking ties at one
 //! instant:
 //!
 //! 1. **faults** — the next [`FaultEvent`] of the configured
@@ -20,21 +20,40 @@
 //! 2. **executor events** — stage boundaries and batch completions
 //!    inside a replica's executor; a completion frees a dispatch slot
 //!    and materializes its members' records;
-//! 3. **admissions** — a request (first arrival or re-admission after
-//!    a fault) is routed by the balancer, which sees only healthy
-//!    replicas; an arrival beats a dispatch at the same instant, so a
-//!    batch-filling arrival still joins the batch, exactly as the
-//!    pre-fault loop's strict `dispatch < horizon` rule had it;
-//! 4. **dispatch commits** — a replica's next batch leaves once no
+//! 3. **control ticks** — the autoscaler (when armed) observes the
+//!    cluster every `interval` and may commission or drain replicas;
+//!    it sees the instant's completions but not its admissions, so a
+//!    decision never depends on work it could not have observed;
+//! 4. **admissions** — a request (first arrival from the lazily
+//!    generated trace stream, or re-admission after a fault) is routed
+//!    by the balancer, which sees only routable replicas; an arrival
+//!    beats a dispatch at the same instant, so a batch-filling arrival
+//!    still joins the batch, exactly as the pre-fault loop's strict
+//!    `dispatch < horizon` rule had it;
+//! 5. **dispatch commits** — a replica's next batch leaves once no
 //!    earlier event can change it;
-//! 5. **timeouts** — a queued request whose sojourn since its
+//! 6. **timeouts** — a queued request whose sojourn since its
 //!    *original* arrival exceeds the policy's `request_timeout`
 //!    becomes an explicit `TimedOut` outcome (a dispatch at the same
 //!    instant wins: the request just made it).
 //!
 //! With an empty schedule and the inert policy ([`FaultPlan::none`])
-//! only kinds 2–4 ever fire, in exactly the pre-fault order — the
-//! healthy path is reproduced bit for bit.
+//! and no autoscaler, only kinds 2, 4, and 5 ever fire, in exactly the
+//! pre-fault order — the healthy path is reproduced bit for bit.
+//!
+//! # Elastic autoscaling
+//!
+//! An armed [`AutoscaleConfig`] turns the fixed pool elastic. At every
+//! control tick the policy sees pool sizes and backlog
+//! ([`ClusterObservation`]) and returns a
+//! [`ScaleDecision`](crate::autoscale::ScaleDecision). **Scale-up**
+//! commissions fresh replicas that pay the shared provisioning weight
+//! reload ([`crate::provisioning::provision_time`] — the same modeled
+//! transfer crash recovery pays) before becoming routable.
+//! **Scale-down** *drains*: the victim stops receiving admissions but
+//! finishes every queued and in-flight request, then retires; its cost
+//! stops accruing at the retire instant. The run's integrated pool
+//! cost is reported as [`ClusterOutcome::replica_seconds`].
 //!
 //! # Failure semantics
 //!
@@ -76,10 +95,12 @@ use lina_runner::{plan_batch, ReplicaExecutor};
 use lina_simcore::{SimDuration, SimTime};
 use lina_workload::{TokenBatch, TokenPath, WorkloadSpec};
 
+use crate::autoscale::{AutoscaleConfig, AutoscalePolicy, ClusterObservation, ScaleDecision};
 use crate::balancer::{BalancerKind, LoadBalancer, ReplicaSnapshot};
 use crate::batcher::{Batcher, Dispatch};
-use crate::engine::{ReestimationWindow, ServeConfig, ServeEngine};
+use crate::engine::{ReestimationWindow, RequestStream, ServeConfig, ServeEngine};
 use crate::faults::{DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+use crate::provisioning;
 use crate::request::{Request, RequestRecord};
 use crate::slo::{FailureRecord, RequestOutcome, SloTracker};
 
@@ -121,6 +142,10 @@ pub struct ClusterConfig {
     /// Fault schedule and graceful-degradation policy
     /// ([`FaultPlan::none`] for the healthy path).
     pub faults: FaultPlan,
+    /// Elastic autoscaling; `None` keeps the pool fixed at `replicas`.
+    /// (Fault schedules target the initial replicas only — elastically
+    /// commissioned replicas are never in a generated schedule.)
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl ClusterConfig {
@@ -134,6 +159,9 @@ impl ClusterConfig {
         self.serve.validate();
         assert!(self.replicas > 0, "cluster: replicas must be > 0");
         self.faults.validate(self.replicas);
+        if let Some(autoscale) = &self.autoscale {
+            autoscale.validate(self.replicas);
+        }
     }
 }
 
@@ -166,6 +194,16 @@ pub struct ClusterOutcome {
     /// instant until every displaced request reached a terminal
     /// outcome (completed elsewhere, dropped, or timed out).
     pub recovery_times: Vec<SimDuration>,
+    /// Replicas commissioned by autoscale scale-up actions.
+    pub scale_ups: usize,
+    /// Replicas put into drain by autoscale scale-down actions.
+    pub scale_downs: usize,
+    /// Peak concurrently commissioned (not yet retired) replicas.
+    pub peak_replicas: usize,
+    /// Integrated pool cost in replica-seconds: each replica accrues
+    /// from its commission instant until it retires (or the last event
+    /// of the run). The currency of the cost-vs-SLO frontier.
+    pub replica_seconds: f64,
 }
 
 impl ClusterOutcome {
@@ -192,6 +230,20 @@ impl ClusterOutcome {
         let total: SimDuration = self.recovery_times.iter().copied().sum();
         total.mul_f64(1.0 / self.recovery_times.len() as f64)
     }
+}
+
+/// Where a replica is in its elastic lifecycle. Every replica of a
+/// fixed-pool run stays [`ReplicaRole::Active`] forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReplicaRole {
+    /// Serving normally (possibly still provisioning until `ready_at`).
+    Active,
+    /// Scale-down victim: receives no new admissions, finishes its
+    /// queued and in-flight work, then retires.
+    Draining,
+    /// Decommissioned; invisible to every part of the loop and no
+    /// longer accruing cost.
+    Retired,
 }
 
 /// One replica's mutable state inside the event loop.
@@ -236,6 +288,16 @@ struct Replica {
     compute_slowdown: f64,
     /// Expert-compute stretch from an active straggler episode.
     straggler: f64,
+    /// Elastic lifecycle state.
+    role: ReplicaRole,
+    /// Instant the provisioning weight reload completes; balancers
+    /// skip the replica before it. The initial pool is ready at time
+    /// zero (its weights were loaded before the run).
+    ready_at: SimTime,
+    /// Instant this replica started accruing cost.
+    commissioned: SimTime,
+    /// Instant it stopped (retired); `None` while commissioned.
+    retired_at: Option<SimTime>,
 }
 
 impl Replica {
@@ -243,11 +305,13 @@ impl Replica {
     /// every executor event at or before the routing instant first, so
     /// in-flight counts here never include batches that already
     /// completed.
-    fn snapshot(&self, id: usize, capacity: f64) -> ReplicaSnapshot {
+    fn snapshot(&self, id: usize, capacity: f64, now: SimTime) -> ReplicaSnapshot {
         let slow = self.compute_slowdown * self.straggler;
         ReplicaSnapshot {
             id,
-            healthy: self.healthy,
+            healthy: self.healthy && self.role != ReplicaRole::Retired,
+            draining: self.role == ReplicaRole::Draining,
+            provisioning: self.healthy && now < self.ready_at,
             queued_requests: self.queue.len() - self.next,
             queued_tokens: self.queued_tokens,
             in_flight_tokens: self.executor.in_flight_tokens(),
@@ -261,11 +325,13 @@ impl Replica {
     }
 }
 
-/// One admission waiting in the global admission heap: a request's
-/// first arrival or a re-admission after displacement. Ordered by
-/// `(at, seq)`; first arrivals use `seq = id` so the heap pops them in
-/// exactly the pre-generated trace order, re-admissions draw fresh
-/// sequence numbers past `n_requests`.
+/// One admission: a request's first arrival (pulled lazily from the
+/// trace stream) or a re-admission waiting in the retry heap after
+/// displacement. Ordered by `(at, seq)`; first arrivals use `seq = id`
+/// — and the stream yields them in exactly that order, so "stream head
+/// vs. retry-heap head, stream wins ties" reproduces the merged-heap
+/// order bit for bit — while re-admissions draw fresh sequence numbers
+/// past `n_requests`.
 struct Admission {
     at: SimTime,
     seq: u64,
@@ -294,12 +360,13 @@ impl Ord for Admission {
 }
 
 /// The next step of the unified event loop, chosen in global
-/// `(time, priority)` order with faults < executor events < admissions
-/// < dispatch commits < timeouts at one instant, and replica ties
-/// breaking toward the lowest index.
+/// `(time, priority)` order with faults < executor events < control
+/// ticks < admissions < dispatch commits < timeouts at one instant,
+/// and replica ties breaking toward the lowest index.
 enum Step {
     Fault,
     Executor(usize, SimTime),
+    Control,
     Admit,
     Dispatch(usize, Dispatch),
     Timeout(SimTime),
@@ -315,6 +382,7 @@ pub struct ClusterEngine<'a> {
     balancer: BalancerKind,
     sharing: EstimatorSharing,
     faults: FaultPlan,
+    autoscale: Option<AutoscaleConfig>,
 }
 
 impl<'a> ClusterEngine<'a> {
@@ -336,6 +404,7 @@ impl<'a> ClusterEngine<'a> {
             balancer: config.balancer,
             sharing: config.sharing,
             faults: config.faults,
+            autoscale: config.autoscale,
         }
     }
 
@@ -353,10 +422,15 @@ impl<'a> ClusterEngine<'a> {
     /// Runs the full cluster simulation.
     pub fn run(&self) -> ClusterOutcome {
         let mut balancer = self.balancer.build();
-        // Only the capacity-aware policy pays for the probe batch.
-        let per_replica_capacity = match self.balancer {
-            BalancerKind::LeastExpectedLatency => self.engine.capacity(),
-            _ => 0.0,
+        // Only the capacity-aware consumers pay for the probe batch:
+        // the least-expected-latency balancer and any armed autoscaler
+        // (the predictive policy sizes the pool against it).
+        let per_replica_capacity = if matches!(self.balancer, BalancerKind::LeastExpectedLatency)
+            || self.autoscale.is_some()
+        {
+            self.engine.capacity()
+        } else {
+            0.0
         };
         run_on(
             &self.engine,
@@ -365,8 +439,22 @@ impl<'a> ClusterEngine<'a> {
             self.sharing,
             per_replica_capacity,
             &self.faults,
+            self.autoscale.as_ref(),
         )
     }
+}
+
+/// An armed autoscaler's runtime state inside the event loop.
+struct AutoscaleRuntime {
+    config: AutoscaleConfig,
+    policy: Box<dyn AutoscalePolicy>,
+    /// Next control tick.
+    next_at: SimTime,
+    /// First-arrival admissions since the previous tick (the
+    /// policies' arrival-rate signal).
+    arrived_since_last: usize,
+    /// What a scale-up pays before the new replica is routable.
+    provision_time: SimDuration,
 }
 
 /// The unified cluster event loop's state.
@@ -390,7 +478,17 @@ struct ClusterSim<'e, 'a> {
     shared_scheduler: Option<TwoPhaseScheduler>,
     shared_window: ReestimationWindow,
     replicas: Vec<Replica>,
+    /// First arrivals, generated lazily in `(arrival, id)` order; the
+    /// run's memory stays bounded by the live backlog, not the trace
+    /// length.
+    stream: std::iter::Peekable<RequestStream<'e>>,
+    /// Re-admissions only (first arrivals come from `stream`).
     admissions: BinaryHeap<Reverse<Admission>>,
+    /// Armed autoscaler, if any.
+    autoscale: Option<AutoscaleRuntime>,
+    /// Instant of the most recently processed event (the loop runs in
+    /// nondecreasing time order); the cost-accounting end of the run.
+    now: SimTime,
     next_fault: usize,
     retry_seq: u64,
     tracker: SloTracker,
@@ -408,6 +506,9 @@ struct ClusterSim<'e, 'a> {
     aborted_batches: usize,
     faults_injected: usize,
     emergency_replacements: usize,
+    scale_ups: usize,
+    scale_downs: usize,
+    peak_replicas: usize,
     /// Open crash groups: the crash instant and the displaced request
     /// ids still lacking a terminal outcome.
     crashes: Vec<(SimTime, BTreeSet<usize>)>,
@@ -441,27 +542,43 @@ impl ClusterSim<'_, '_> {
                 consider(&mut best, t, 1, Step::Executor(i, t));
             }
         }
-        if let Some(Reverse(adm)) = self.admissions.peek() {
-            consider(&mut best, adm.at, 2, Step::Admit);
+        let next_arrival = self.stream.peek().map(|req| req.arrival);
+        let next_retry = self.admissions.peek().map(|Reverse(adm)| adm.at);
+        if let Some(at) = match (next_arrival, next_retry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        } {
+            consider(&mut best, at, 3, Step::Admit);
         }
         let max_inflight = self.engine.config.max_inflight;
         for (i, rep) in self.replicas.iter().enumerate() {
-            if !rep.healthy || rep.executor.in_flight() >= max_inflight {
+            if !rep.healthy
+                || rep.role == ReplicaRole::Retired
+                || rep.executor.in_flight() >= max_inflight
+            {
                 continue;
             }
             if let Some(d) = self
                 .batcher
                 .next_dispatch(&rep.arrivals, rep.next, rep.slot_free)
             {
-                consider(&mut best, d.at, 3, Step::Dispatch(i, d));
+                consider(&mut best, d.at, 4, Step::Dispatch(i, d));
             }
         }
         if let Some(to) = self.policy.request_timeout {
             for rep in &self.replicas {
                 for r in &rep.queue[rep.next..] {
                     let deadline = r.arrival + to;
-                    consider(&mut best, deadline, 4, Step::Timeout(deadline));
+                    consider(&mut best, deadline, 5, Step::Timeout(deadline));
                 }
+            }
+        }
+        // Control ticks recur forever, so one never drives the loop on
+        // its own: the autoscaler only observes while some other event
+        // still gives the run work to do.
+        if let Some(rt) = &self.autoscale {
+            if best.is_some() {
+                consider(&mut best, rt.next_at, 2, Step::Control);
             }
         }
         best.map(|(_, _, step)| step)
@@ -473,15 +590,23 @@ impl ClusterSim<'_, '_> {
                 Step::Fault => {
                     let e = self.schedule.events()[self.next_fault];
                     self.next_fault += 1;
+                    self.now = e.at;
                     self.apply_fault(e);
                 }
-                Step::Executor(i, t) => self.complete_on(i, t),
-                Step::Admit => {
-                    let Reverse(adm) = self.admissions.pop().expect("peeked above");
-                    self.admit(adm);
+                Step::Executor(i, t) => {
+                    self.now = t;
+                    self.complete_on(i, t);
                 }
-                Step::Dispatch(i, d) => self.dispatch(i, d),
-                Step::Timeout(deadline) => self.expire(deadline),
+                Step::Control => self.control(),
+                Step::Admit => self.admit_next(),
+                Step::Dispatch(i, d) => {
+                    self.now = d.at;
+                    self.dispatch(i, d);
+                }
+                Step::Timeout(deadline) => {
+                    self.now = deadline;
+                    self.expire(deadline);
+                }
             }
         }
         self.finish()
@@ -552,6 +677,13 @@ impl ClusterSim<'_, '_> {
         rep.arrivals.truncate(rep.next);
         rep.attempts.truncate(rep.next);
         rep.queued_tokens = 0;
+        // A crashed drain victim has nothing left to finish draining:
+        // retire it on the spot (a recovery would revive a replica the
+        // autoscaler already decided to shed).
+        if rep.role == ReplicaRole::Draining {
+            rep.role = ReplicaRole::Retired;
+            rep.retired_at = Some(at);
+        }
 
         // Open a crash group for time-to-recover accounting; a request
         // displaced a second time migrates to the newest group (its
@@ -607,7 +739,7 @@ impl ClusterSim<'_, '_> {
     fn recover(&mut self, i: usize, at: SimTime) {
         let reload = self.reload;
         let rep = &mut self.replicas[i];
-        if rep.healthy {
+        if rep.healthy || rep.role == ReplicaRole::Retired {
             return;
         }
         rep.healthy = true;
@@ -663,13 +795,212 @@ impl ClusterSim<'_, '_> {
         }
     }
 
+    /// Pops the earliest admission — the trace stream's head or the
+    /// retry heap's head, the stream winning ties (first arrivals
+    /// carry lower sequence numbers than any re-admission).
+    fn admit_next(&mut self) {
+        let take_stream = match (self.stream.peek(), self.admissions.peek()) {
+            (Some(req), Some(Reverse(adm))) => req.arrival <= adm.at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("Step::Admit without a pending admission"),
+        };
+        let adm = if take_stream {
+            let req = self.stream.next().expect("peeked above");
+            Admission {
+                at: req.arrival,
+                seq: req.id as u64,
+                attempts: 0,
+                req,
+            }
+        } else {
+            self.admissions.pop().expect("peeked above").0
+        };
+        self.now = adm.at;
+        if let Some(rt) = &mut self.autoscale {
+            if adm.attempts == 0 {
+                rt.arrived_since_last += 1;
+            }
+        }
+        self.admit(adm);
+    }
+
+    /// One autoscaler control tick: observe the pool and the backlog,
+    /// ask the policy, actuate its decision.
+    fn control(&mut self) {
+        let batch_tokens =
+            self.engine.config.batcher.max_batch_requests * self.engine.config.tokens_per_request;
+        let per_replica_capacity = self.per_replica_capacity;
+        let rt = self
+            .autoscale
+            .as_mut()
+            .expect("control event without an autoscaler");
+        let at = rt.next_at;
+        rt.next_at = at + rt.config.interval;
+        self.now = at;
+        let (mut ready, mut provisioning, mut draining) = (0usize, 0usize, 0usize);
+        let (mut queued_requests, mut outstanding) = (0usize, 0usize);
+        for rep in &self.replicas {
+            if !rep.healthy || rep.role == ReplicaRole::Retired {
+                continue;
+            }
+            match rep.role {
+                ReplicaRole::Draining => draining += 1,
+                ReplicaRole::Active => {
+                    if at < rep.ready_at {
+                        provisioning += 1;
+                    } else {
+                        ready += 1;
+                    }
+                    // A draining replica's leftover work is its own to
+                    // finish; only active replicas' backlog argues for
+                    // more capacity.
+                    queued_requests += rep.queue.len() - rep.next;
+                    outstanding += rep.queued_tokens + rep.executor.in_flight_tokens();
+                }
+                ReplicaRole::Retired => unreachable!(),
+            }
+        }
+        let obs = ClusterObservation {
+            now: at,
+            ready,
+            provisioning,
+            draining,
+            queued_requests,
+            outstanding_tokens: outstanding,
+            arrived_since_last: rt.arrived_since_last,
+            interval: rt.config.interval,
+            batch_tokens,
+            per_replica_capacity,
+            provision_time: rt.provision_time,
+            min_replicas: rt.config.min_replicas,
+            max_replicas: rt.config.max_replicas,
+        };
+        rt.arrived_since_last = 0;
+        match rt.policy.decide(&obs) {
+            ScaleDecision::Hold => {}
+            ScaleDecision::ScaleUp(n) => self.scale_up(n, at),
+            ScaleDecision::ScaleDown(n) => self.scale_down(n, at),
+        }
+    }
+
+    /// Commissions up to `n` fresh replicas. `max_replicas` is a
+    /// hardware budget: it caps every not-yet-retired replica —
+    /// draining (and even crashed) replicas hold their slot until they
+    /// retire. Each new replica pays the provisioning weight reload
+    /// before its first dispatch and stays invisible to the balancers
+    /// until then.
+    fn scale_up(&mut self, n: usize, at: SimTime) {
+        let engine = self.engine;
+        let rt = self
+            .autoscale
+            .as_ref()
+            .expect("scale-up without an autoscaler");
+        let max = rt.config.max_replicas;
+        let ready_at = at + rt.provision_time;
+        for _ in 0..n {
+            let pool = self
+                .replicas
+                .iter()
+                .filter(|r| r.retired_at.is_none())
+                .count();
+            if pool >= max {
+                break;
+            }
+            self.replicas.push(Replica {
+                arrivals: Vec::new(),
+                queue: Vec::new(),
+                attempts: Vec::new(),
+                next: 0,
+                executor: ReplicaExecutor::new(engine.config.network, engine.topo),
+                slot_free: ready_at,
+                queued_tokens: 0,
+                // Starts from the cluster's current shared profile
+                // (per-replica sharing never re-profiles the shared
+                // copy, so this is the offline profile there — the
+                // same starting point the initial pool had).
+                scheduler: self.shared_scheduler.clone(),
+                window: ReestimationWindow::new(engine.config.reestimate_window),
+                batches: 0,
+                healthy: true,
+                devices_lost: 0,
+                compute_slowdown: 1.0,
+                straggler: 1.0,
+                role: ReplicaRole::Active,
+                ready_at,
+                commissioned: at,
+                retired_at: None,
+            });
+            self.requests_per_replica.push(0);
+            self.tokens_per_replica.push(0);
+            self.scale_ups += 1;
+            let live = self
+                .replicas
+                .iter()
+                .filter(|r| r.retired_at.is_none())
+                .count();
+            self.peak_replicas = self.peak_replicas.max(live);
+        }
+    }
+
+    /// Drains up to `n` replicas toward decommission (stopping at
+    /// `min_replicas`): the least-loaded active replica — ties toward
+    /// the newest, so a still-provisioning replica goes first — stops
+    /// receiving admissions and retires once idle.
+    fn scale_down(&mut self, n: usize, at: SimTime) {
+        let min = self
+            .autoscale
+            .as_ref()
+            .expect("scale-down without an autoscaler")
+            .config
+            .min_replicas;
+        for _ in 0..n {
+            let pool = self
+                .replicas
+                .iter()
+                .filter(|r| r.healthy && r.role == ReplicaRole::Active)
+                .count();
+            if pool <= min {
+                break;
+            }
+            let victim = self
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.healthy && r.role == ReplicaRole::Active)
+                .min_by_key(|(i, r)| (r.queued_tokens + r.executor.in_flight_tokens(), Reverse(*i)))
+                .map(|(i, _)| i)
+                .expect("pool above minimum has a drain candidate");
+            self.replicas[victim].role = ReplicaRole::Draining;
+            self.scale_downs += 1;
+            self.try_retire(victim, at);
+        }
+    }
+
+    /// Retires a draining replica the moment it has nothing queued and
+    /// nothing in flight; cost accrual stops at `at`.
+    fn try_retire(&mut self, i: usize, at: SimTime) {
+        let rep = &mut self.replicas[i];
+        if rep.role == ReplicaRole::Draining
+            && rep.next == rep.queue.len()
+            && rep.executor.in_flight() == 0
+        {
+            rep.role = ReplicaRole::Retired;
+            rep.retired_at = Some(at);
+        }
+    }
+
     /// Routes one admission (first arrival or re-admission) through
-    /// the balancer, which sees only healthy replicas; applies the
+    /// the balancer, which sees only routable replicas; applies the
     /// shedding admission controller to first arrivals.
     fn admit(&mut self, adm: Admission) {
         let now = adm.at;
-        let n_healthy = self.replicas.iter().filter(|r| r.healthy).count();
-        if n_healthy == 0 {
+        let n_alive = self
+            .replicas
+            .iter()
+            .filter(|r| r.healthy && r.role != ReplicaRole::Retired)
+            .count();
+        if n_alive == 0 {
             // Total outage. Retry policies park the admission until
             // the next scheduled recovery (the recovery fault fires
             // first at that instant, so a replica is healthy by then);
@@ -704,28 +1035,42 @@ impl ClusterSim<'_, '_> {
             let outstanding: usize = self
                 .replicas
                 .iter()
-                .filter(|r| r.healthy)
+                .filter(|r| r.healthy && r.role != ReplicaRole::Retired)
                 .map(|r| r.queued_tokens + r.executor.in_flight_tokens())
                 .sum();
             let batch_tokens = self.engine.config.batcher.max_batch_requests
                 * self.engine.config.tokens_per_request;
-            let cap = self.policy.shed_batches_per_replica * n_healthy as f64 * batch_tokens as f64;
+            let cap = self.policy.shed_batches_per_replica * n_alive as f64 * batch_tokens as f64;
             if outstanding as f64 > cap {
                 self.fail(adm.req, now, RequestOutcome::Dropped);
                 return;
             }
         }
 
-        let snapshots: Vec<ReplicaSnapshot> = self
+        let mut snapshots: Vec<ReplicaSnapshot> = self
             .replicas
             .iter()
             .enumerate()
-            .map(|(i, r)| r.snapshot(i, self.per_replica_capacity))
+            .map(|(i, r)| r.snapshot(i, self.per_replica_capacity, now))
             .collect();
+        if !snapshots.iter().any(|s| s.routable()) {
+            // Every live replica is draining or still provisioning.
+            // Rather than drop admitted work, un-gate them for this
+            // pick: the request queues behind the drain or the weight
+            // reload (deterministic emergency fallback).
+            for s in &mut snapshots {
+                if s.healthy {
+                    s.draining = false;
+                    s.provisioning = false;
+                }
+            }
+        }
         let target = self.balancer.pick(&snapshots, now);
         assert!(
-            target < self.replicas.len() && self.replicas[target].healthy,
-            "balancer {} picked unhealthy or out-of-range replica {target}",
+            target < self.replicas.len()
+                && self.replicas[target].healthy
+                && self.replicas[target].role != ReplicaRole::Retired,
+            "balancer {} picked unroutable or out-of-range replica {target}",
             self.balancer.name()
         );
         self.requests_per_replica[target] += 1;
@@ -770,6 +1115,8 @@ impl ClusterSim<'_, '_> {
                 self.on_terminal(r.id, fb.completed);
             }
         }
+        // A drain victim decommissions at its last completion.
+        self.try_retire(i, t);
     }
 
     /// Commits the replica's next batch: plan, degrade, submit.
@@ -809,6 +1156,12 @@ impl ClusterSim<'_, '_> {
         let batch_tokens = batch.tokens.len();
         let rep = &mut self.replicas[i];
         rep.executor.submit(batch_id, d.at, plan);
+        // The members' token paths now live in the plan and the
+        // pending map; drop the queue's copies so a long trace's
+        // memory is bounded by the live backlog, not the run length.
+        for slot in &mut rep.queue[rep.next..rep.next + d.count] {
+            slot.tokens = Vec::new();
+        }
         self.pending.insert(batch_id, member_info);
         let backlog = rep.arrivals[rep.next + d.count..]
             .iter()
@@ -932,6 +1285,19 @@ impl ClusterSim<'_, '_> {
         for r in std::mem::take(&mut self.records) {
             self.tracker.record(r);
         }
+        // Pool cost: every replica accrues from commission until it
+        // retired (or the last event of the run for survivors).
+        let end = self.now;
+        let replica_seconds: f64 = self
+            .replicas
+            .iter()
+            .map(|r| {
+                r.retired_at
+                    .unwrap_or(end)
+                    .saturating_since(r.commissioned)
+                    .as_secs_f64()
+            })
+            .sum();
         ClusterOutcome {
             tracker: self.tracker,
             batches: self.total_batches,
@@ -943,6 +1309,10 @@ impl ClusterSim<'_, '_> {
             faults_injected: self.faults_injected,
             emergency_replacements: self.emergency_replacements,
             recovery_times: self.recovery_times,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            peak_replicas: self.peak_replicas,
+            replica_seconds,
         }
     }
 }
@@ -957,16 +1327,15 @@ pub(crate) fn run_on(
     sharing: EstimatorSharing,
     per_replica_capacity: f64,
     faults: &FaultPlan,
+    autoscale: Option<&AutoscaleConfig>,
 ) -> ClusterOutcome {
     let config = &engine.config;
     let seeds = config.seeds();
-    let requests = engine.generate_requests();
-    let n_requests = requests.len();
+    let n_requests = config.n_requests;
     let offline = engine
         .needs_scheduler()
         .then(|| engine.offline_scheduler(seeds.profile));
-    let reload = engine.cost.expert_swap(engine.topo.spec().pcie_bw)
-        * (engine.spec.experts.div_ceil(engine.topo.devices()) as u64);
+    let reload = provisioning::weight_reload(engine.cost, engine.topo, engine.spec.experts);
 
     let replicas: Vec<Replica> = (0..n_replicas)
         .map(|_| Replica {
@@ -984,23 +1353,20 @@ pub(crate) fn run_on(
             devices_lost: 0,
             compute_slowdown: 1.0,
             straggler: 1.0,
+            role: ReplicaRole::Active,
+            ready_at: SimTime::ZERO,
+            commissioned: SimTime::ZERO,
+            retired_at: None,
         })
         .collect();
 
-    // First arrivals use `seq = id`, so the heap pops them in exactly
-    // the trace's (arrival, id) order; re-admissions draw sequence
-    // numbers past `n_requests`.
-    let admissions: BinaryHeap<Reverse<Admission>> = requests
-        .into_iter()
-        .map(|req| {
-            Reverse(Admission {
-                at: req.arrival,
-                seq: req.id as u64,
-                attempts: 0,
-                req,
-            })
-        })
-        .collect();
+    let autoscale = autoscale.map(|cfg| AutoscaleRuntime {
+        policy: cfg.policy.build(cfg.cooldown),
+        next_at: SimTime::ZERO + cfg.interval,
+        arrived_since_last: 0,
+        provision_time: reload,
+        config: cfg.clone(),
+    });
 
     let sim = ClusterSim {
         balancer,
@@ -1022,7 +1388,12 @@ pub(crate) fn run_on(
         shared_scheduler: offline,
         shared_window: ReestimationWindow::new(config.reestimate_window),
         replicas,
-        admissions,
+        // First arrivals stream lazily in `(arrival, id)` order; the
+        // heap holds only re-admissions.
+        stream: engine.request_stream().peekable(),
+        admissions: BinaryHeap::new(),
+        autoscale,
+        now: SimTime::ZERO,
         next_fault: 0,
         retry_seq: 0,
         tracker: SloTracker::new(config.slo),
@@ -1035,6 +1406,9 @@ pub(crate) fn run_on(
         aborted_batches: 0,
         faults_injected: 0,
         emergency_replacements: 0,
+        scale_ups: 0,
+        scale_downs: 0,
+        peak_replicas: n_replicas,
         crashes: Vec::new(),
         req_crash: BTreeMap::new(),
         recovery_times: Vec::new(),
@@ -1100,6 +1474,7 @@ mod tests {
             balancer: BalancerKind::JoinShortestQueue,
             sharing: EstimatorSharing::Shared,
             faults: FaultPlan::none(),
+            autoscale: None,
         }
     }
 
@@ -1460,5 +1835,183 @@ mod tests {
                 "{kind:?} must stretch the run"
             );
         }
+    }
+
+    use crate::autoscale::{AutoscaleConfig, AutoscalePolicyKind, ScaleDecision};
+
+    fn scripted(
+        script: Vec<ScaleDecision>,
+        min: usize,
+        max: usize,
+        interval_ms: u64,
+    ) -> AutoscaleConfig {
+        AutoscaleConfig {
+            policy: AutoscalePolicyKind::Scripted { script },
+            interval: SimDuration::from_millis(interval_ms),
+            cooldown: SimDuration::ZERO,
+            min_replicas: min,
+            max_replicas: max,
+        }
+    }
+
+    #[test]
+    fn armed_inert_autoscaler_matches_the_fixed_cluster() {
+        let (cost, topo, spec) = world();
+        let fixed = serve_cluster(&cost, &topo, &spec, config(InferScheme::Lina, 800.0, 3));
+        let mut c = config(InferScheme::Lina, 800.0, 3);
+        c.autoscale = Some(AutoscaleConfig::inert(3, SimDuration::from_millis(1)));
+        let armed = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(fixed.tracker.records(), armed.tracker.records());
+        assert_eq!(
+            fixed.tracker.depth_timeline(),
+            armed.tracker.depth_timeline()
+        );
+        assert_eq!(fixed.report(), armed.report());
+        assert_eq!(fixed.requests_per_replica, armed.requests_per_replica);
+        assert_eq!(armed.scale_ups, 0);
+        assert_eq!(armed.scale_downs, 0);
+        assert_eq!(armed.peak_replicas, 3);
+        assert_eq!(fixed.replica_seconds, armed.replica_seconds);
+    }
+
+    #[test]
+    fn scripted_scale_up_commissions_a_replica_that_serves() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2000.0, 1);
+        c.balancer = BalancerKind::JoinShortestQueue;
+        c.autoscale = Some(scripted(vec![ScaleDecision::ScaleUp(1)], 1, 4, 1));
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(out.scale_ups, 1);
+        assert_eq!(out.peak_replicas, 2);
+        assert_eq!(out.requests_per_replica.len(), 2);
+        assert!(
+            out.requests_per_replica[1] > 0,
+            "the commissioned replica must serve once provisioned"
+        );
+        assert_eq!(out.report().requests, 96, "nothing is lost while scaling");
+        // The elastic replica commissioned after t=0, so the run costs
+        // strictly less than two replicas held for its full span.
+        assert!(out.replica_seconds > 0.0);
+        assert!(
+            out.replica_seconds < 2.0 * out.report().makespan.as_secs_f64(),
+            "a late commission must cost less than a full-span pair"
+        );
+    }
+
+    #[test]
+    fn scripted_scale_down_drains_before_decommission() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2000.0, 3);
+        c.autoscale = Some(scripted(vec![ScaleDecision::ScaleDown(1)], 1, 3, 1));
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(out.scale_downs, 1);
+        assert_eq!(out.report().requests, 96, "draining loses nothing");
+        assert!(out.tracker.failures().is_empty());
+        // One replica retired early: the integrated cost is below
+        // three full-span replicas.
+        let makespan_cost = 3.0 * out.report().makespan.as_secs_f64();
+        assert!(
+            out.replica_seconds < makespan_cost,
+            "retired replica must stop accruing ({} vs {makespan_cost})",
+            out.replica_seconds
+        );
+    }
+
+    #[test]
+    fn reactive_autoscaler_scales_up_under_a_spike() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 4000.0, 1);
+        c.autoscale = Some(AutoscaleConfig {
+            policy: AutoscalePolicyKind::Reactive {
+                up_threshold: 1.0,
+                down_threshold: 0.1,
+            },
+            interval: SimDuration::from_millis(2),
+            cooldown: SimDuration::from_millis(4),
+            min_replicas: 1,
+            max_replicas: 4,
+        });
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert!(out.scale_ups > 0, "a swamped pool must grow");
+        assert!(out.peak_replicas > 1);
+        assert_eq!(out.report().requests, 96);
+        let fixed = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 4000.0, 1),
+        );
+        assert!(
+            out.report().p99 < fixed.report().p99,
+            "elastic capacity must beat the swamped static pool's tail"
+        );
+    }
+
+    #[test]
+    fn autoscaled_cluster_is_deterministic() {
+        let (cost, topo, spec) = world();
+        for kind in [
+            AutoscalePolicyKind::Reactive {
+                up_threshold: 1.0,
+                down_threshold: 0.1,
+            },
+            AutoscalePolicyKind::Predictive {
+                target_util: 0.7,
+                window: 8,
+            },
+        ] {
+            let mut c = config(InferScheme::Lina, 2500.0, 2);
+            c.autoscale = Some(AutoscaleConfig {
+                policy: kind,
+                interval: SimDuration::from_millis(2),
+                cooldown: SimDuration::from_millis(4),
+                min_replicas: 1,
+                max_replicas: 5,
+            });
+            let a = serve_cluster(&cost, &topo, &spec, c.clone());
+            let b = serve_cluster(&cost, &topo, &spec, c);
+            assert_eq!(a.tracker.records(), b.tracker.records());
+            assert_eq!(a.tracker.failures(), b.tracker.failures());
+            assert_eq!(a.scale_ups, b.scale_ups);
+            assert_eq!(a.scale_downs, b.scale_downs);
+            assert_eq!(a.peak_replicas, b.peak_replicas);
+            assert_eq!(a.replica_seconds, b.replica_seconds);
+        }
+    }
+
+    #[test]
+    fn autoscaling_composes_with_faults() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2500.0, 2);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![crash_at(10, 0), recover_at(30, 0)]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        c.autoscale = Some(AutoscaleConfig {
+            policy: AutoscalePolicyKind::Reactive {
+                up_threshold: 1.0,
+                down_threshold: 0.1,
+            },
+            interval: SimDuration::from_millis(2),
+            cooldown: SimDuration::from_millis(4),
+            min_replicas: 1,
+            max_replicas: 4,
+        });
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(
+            out.report().requests,
+            96,
+            "retries plus elasticity lose nothing"
+        );
+        assert!((out.report().availability - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn autoscale_range_excluding_initial_pool_rejected() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 500.0, 1);
+        c.autoscale = Some(scripted(Vec::new(), 2, 4, 1));
+        ClusterEngine::new(&cost, &topo, &spec, c);
     }
 }

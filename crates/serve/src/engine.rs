@@ -32,7 +32,7 @@ use lina_runner::NetworkMode;
 use lina_simcore::{Rng, SimDuration};
 use lina_workload::{Mode, TokenBatch, TokenPath, TokenSource, WorkloadSpec};
 
-use crate::arrival::ArrivalProcess;
+use crate::arrival::{ArrivalProcess, ArrivalStream};
 use crate::batcher::BatcherConfig;
 use crate::request::Request;
 use crate::slo::{SloReport, SloTracker};
@@ -315,39 +315,36 @@ impl<'a> ServeEngine<'a> {
         TwoPhaseScheduler::new(self.two_phase_config(), estimator)
     }
 
-    /// Pre-generates the open-loop request trace: arrival instants from
-    /// the arrival process, tokens from the workload's gating model,
-    /// with the popular-class ranking rotated every `drift_period`
-    /// requests.
-    pub fn generate_requests(&self) -> Vec<Request> {
-        let mut seeds = self.config.seeds();
-        let arrivals = self
-            .config
-            .arrival
-            .arrival_times(self.config.n_requests, &mut seeds.arrival);
-        let mut source = TokenSource::new(self.spec, self.config.top_k, seeds.token);
+    /// Streams the open-loop request trace lazily: arrival instants
+    /// from the arrival process, tokens from the workload's gating
+    /// model, with the popular-class ranking rotated every
+    /// `drift_period` requests. Yields exactly
+    /// [`ServeConfig::n_requests`] requests in `(arrival, id)` order
+    /// without materializing them, so a million-request diurnal run
+    /// holds only the in-flight backlog in memory. Because every
+    /// substream (arrivals, sizes, tokens) draws from its own seeded
+    /// rng, the streamed trace is bit-identical to the eager one.
+    pub fn request_stream(&self) -> RequestStream<'_> {
+        let seeds = self.config.seeds();
         let nominal = self.config.tokens_per_request as f64;
         let size_lo = ((nominal * (1.0 - self.config.token_spread)).round() as u64).max(1);
         let size_hi = ((nominal * (1.0 + self.config.token_spread)).round() as u64).max(size_lo);
-        arrivals
-            .into_iter()
-            .enumerate()
-            .map(|(id, arrival)| {
-                if let Some(period) = self.config.drift_period {
-                    source.set_class_rotation(id / period);
-                }
-                let size = seeds.sizes.range_inclusive(size_lo, size_hi) as usize;
-                // Sampling each request as a tiny batch keeps the
-                // per-batch topic burstiness: a request is "about"
-                // a few topics, like the paper's skewed batches.
-                let tokens = source.sample_batch(1, size, Mode::Inference).tokens;
-                Request {
-                    id,
-                    arrival,
-                    tokens,
-                }
-            })
-            .collect()
+        RequestStream {
+            arrivals: self.config.arrival.stream(seeds.arrival),
+            source: TokenSource::new(self.spec, self.config.top_k, seeds.token),
+            sizes: seeds.sizes,
+            drift_period: self.config.drift_period,
+            size_lo,
+            size_hi,
+            next_id: 0,
+            remaining: self.config.n_requests,
+        }
+    }
+
+    /// Pre-generates the open-loop request trace eagerly — the
+    /// collecting wrapper over [`ServeEngine::request_stream`].
+    pub fn generate_requests(&self) -> Vec<Request> {
+        self.request_stream().collect()
     }
 
     /// Upper bound on sustainable throughput (requests/s): a full batch
@@ -394,12 +391,58 @@ impl<'a> ServeEngine<'a> {
             crate::EstimatorSharing::Shared,
             0.0,
             &crate::FaultPlan::none(),
+            None,
         );
         ServeOutcome {
             tracker: outcome.tracker,
             batches: outcome.batches,
             reestimations: outcome.reestimations,
         }
+    }
+}
+
+/// The lazy request trace: an iterator yielding the engine's
+/// open-loop requests one at a time, in `(arrival, id)` order. See
+/// [`ServeEngine::request_stream`].
+pub struct RequestStream<'a> {
+    arrivals: ArrivalStream<'a>,
+    source: TokenSource,
+    sizes: Rng,
+    drift_period: Option<usize>,
+    size_lo: u64,
+    size_hi: u64,
+    next_id: usize,
+    remaining: usize,
+}
+
+impl Iterator for RequestStream<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let arrival = self.arrivals.next().expect("arrival streams are infinite");
+        if let Some(period) = self.drift_period {
+            self.source.set_class_rotation(id / period);
+        }
+        let size = self.sizes.range_inclusive(self.size_lo, self.size_hi) as usize;
+        // Sampling each request as a tiny batch keeps the per-batch
+        // topic burstiness: a request is "about" a few topics, like
+        // the paper's skewed batches.
+        let tokens = self.source.sample_batch(1, size, Mode::Inference).tokens;
+        Some(Request {
+            id,
+            arrival,
+            tokens,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 

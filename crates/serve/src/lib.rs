@@ -32,7 +32,20 @@
 //!   losses, link degradations, and stragglers into the cluster event
 //!   loop, and a [`DegradationPolicy`] (fail-fast, retry + failover,
 //!   or retry + failover + load shedding) decides what happens to the
-//!   displaced work.
+//!   displaced work;
+//! * elastic autoscaling — an [`AutoscalePolicy`] (reactive
+//!   queue-depth thresholds with hysteresis, or a predictive forecast
+//!   over an observation window) evaluated at a fixed control interval
+//!   resizes the replica pool: scale-up pays the shared provisioning
+//!   weight-reload cost ([`provisioning`]), scale-down drains in-flight
+//!   work before decommissioning, and the run reports its integrated
+//!   pool cost in replica-seconds — the cost axis of the cost-vs-SLO
+//!   frontier ([`ClusterOutcome::replica_seconds`]);
+//! * diurnal traffic — [`ArrivalProcess::Diurnal`] composes a
+//!   sinusoidal base rate with seeded flash-crowd overlays, and every
+//!   arrival process streams lazily
+//!   ([`ArrivalProcess::stream`]), so million-request traces run in
+//!   constant memory.
 //!
 //! Everything is seeded: the same [`ServeConfig`] produces a
 //! bit-identical request trace, dispatch schedule, and summary.
@@ -40,15 +53,21 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod autoscale;
 pub mod balancer;
 pub mod batcher;
 pub mod cluster;
 pub mod engine;
 pub mod faults;
+pub mod provisioning;
 pub mod request;
 pub mod slo;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalProcess, ArrivalStream};
+pub use autoscale::{
+    AutoscaleConfig, AutoscalePolicy, AutoscalePolicyKind, ClusterObservation, PredictivePolicy,
+    ReactivePolicy, ScaleDecision, ScriptedPolicy,
+};
 pub use balancer::{
     BalancerKind, JoinShortestQueue, LeastExpectedLatency, LoadBalancer, ReplicaSnapshot,
     RoundRobin,
@@ -60,5 +79,6 @@ pub use faults::{
     DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultRateConfig, FaultSchedule, PolicyKind,
 };
 pub use lina_runner::NetworkMode;
+pub use provisioning::{provision_time, weight_reload};
 pub use request::{Request, RequestRecord};
 pub use slo::{FailureRecord, RequestOutcome, SloReport, SloTracker};

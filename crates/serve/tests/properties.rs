@@ -7,9 +7,9 @@ use lina_baselines::InferScheme;
 use lina_model::{CostModel, DeviceSpec, MoeModelConfig};
 use lina_netsim::{ClusterSpec, Topology};
 use lina_serve::{
-    serve, serve_cluster, ArrivalProcess, BalancerKind, Batcher, BatcherConfig, ClusterConfig,
-    DegradationPolicy, EstimatorSharing, FaultPlan, FaultRateConfig, FaultSchedule, NetworkMode,
-    ServeConfig, ServeEngine,
+    serve, serve_cluster, ArrivalProcess, AutoscaleConfig, AutoscalePolicyKind, BalancerKind,
+    Batcher, BatcherConfig, ClusterConfig, DegradationPolicy, EstimatorSharing, FaultPlan,
+    FaultRateConfig, FaultSchedule, NetworkMode, ScaleDecision, ServeConfig, ServeEngine,
 };
 use lina_simcore::{Rng, SimDuration, SimTime};
 use lina_workload::WorkloadSpec;
@@ -183,6 +183,7 @@ fn cluster_conserves_and_is_deterministic_across_policies() {
                 balancer,
                 sharing,
                 faults: FaultPlan::none(),
+                autoscale: None,
             };
             let n = config.serve.n_requests;
             let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -427,6 +428,7 @@ fn faults_conserve_every_request_and_stay_deterministic() {
             balancer: BalancerKind::JoinShortestQueue,
             sharing: EstimatorSharing::Shared,
             faults: FaultPlan { schedule, policy },
+            autoscale: None,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -488,6 +490,7 @@ fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
             balancer: BalancerKind::JoinShortestQueue,
             sharing,
             faults: FaultPlan::none(),
+            autoscale: None,
         };
         let healthy = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -511,5 +514,135 @@ fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
         );
         assert_eq!(healthy.batches, with_policy.batches);
         assert_eq!(healthy.reestimations, with_policy.reestimations);
+    }
+}
+
+/// Conservation and bit-determinism survive *arbitrary* autoscale
+/// decision sequences: a scripted policy replays meta-rng-generated
+/// scale-ups and scale-downs at a random control cadence, and every
+/// request still reaches exactly one terminal outcome with all tokens
+/// accounted for, twice identically.
+#[test]
+fn arbitrary_autoscale_decisions_conserve_and_stay_deterministic() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0xE1A5);
+    for round in 0..6 {
+        let serve_config = arb_config(&mut meta, InferScheme::Lina);
+        let replicas = 1 + meta.index(3);
+        let max_replicas = replicas + 1 + meta.index(4);
+        let script: Vec<ScaleDecision> = (0..12 + meta.index(20))
+            .map(|_| match meta.index(4) {
+                0 => ScaleDecision::Hold,
+                1 => ScaleDecision::ScaleUp(1 + meta.index(2)),
+                2 => ScaleDecision::ScaleDown(1 + meta.index(2)),
+                _ => ScaleDecision::ScaleUp(1),
+            })
+            .collect();
+        let config = ClusterConfig {
+            serve: serve_config,
+            replicas,
+            balancer: match meta.index(3) {
+                0 => BalancerKind::RoundRobin,
+                1 => BalancerKind::JoinShortestQueue,
+                _ => BalancerKind::LeastExpectedLatency,
+            },
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan::none(),
+            autoscale: Some(AutoscaleConfig {
+                policy: AutoscalePolicyKind::Scripted { script },
+                interval: SimDuration::from_micros(meta.below(3_000) + 200),
+                cooldown: SimDuration::ZERO,
+                min_replicas: 1,
+                max_replicas,
+            }),
+        };
+        let n = config.serve.n_requests;
+        let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .sum();
+        let out = serve_cluster(&cost, &topo, &spec, config.clone());
+
+        let mut ids: Vec<usize> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.id)
+            .chain(out.tracker.failures().iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "round {round}: every request exactly one terminal outcome under elasticity"
+        );
+        let terminal_tokens: usize = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.tokens)
+            .chain(out.tracker.failures().iter().map(|f| f.tokens))
+            .sum();
+        assert_eq!(terminal_tokens, offered_tokens, "round {round}: tokens");
+        assert!(
+            out.peak_replicas <= max_replicas,
+            "round {round}: the actuator never exceeds max_replicas"
+        );
+        assert!(out.replica_seconds > 0.0);
+        assert_eq!(
+            out.requests_per_replica.len(),
+            replicas + out.scale_ups,
+            "round {round}: one routing slot per commissioned replica"
+        );
+
+        let again = serve_cluster(&cost, &topo, &spec, config);
+        assert_eq!(out.tracker.records(), again.tracker.records());
+        assert_eq!(out.tracker.failures(), again.tracker.failures());
+        assert_eq!(out.scale_ups, again.scale_ups);
+        assert_eq!(out.scale_downs, again.scale_downs);
+        assert_eq!(out.replica_seconds, again.replica_seconds);
+        assert_eq!(out.report(), again.report(), "round {round}: determinism");
+    }
+}
+
+/// Degeneracy: an *armed* autoscaler whose policy can never trigger
+/// (infinite up-threshold, negative down-threshold) reproduces the
+/// fixed-replica engine bit for bit — control ticks observe but must
+/// not perturb the event order, the records, or the pool.
+#[test]
+fn inert_autoscaler_is_bit_identical_to_fixed_cluster() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x1E27);
+    for _ in 0..4 {
+        let replicas = 1 + meta.index(4);
+        let config = ClusterConfig {
+            serve: arb_config(&mut meta, InferScheme::Lina),
+            replicas,
+            balancer: BalancerKind::JoinShortestQueue,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan::none(),
+            autoscale: None,
+        };
+        let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
+        let mut armed = config.clone();
+        armed.autoscale = Some(AutoscaleConfig::inert(
+            replicas,
+            SimDuration::from_micros(meta.below(2_000) + 100),
+        ));
+        let elastic = serve_cluster(&cost, &topo, &spec, armed);
+        assert_eq!(fixed.tracker.records(), elastic.tracker.records());
+        assert_eq!(
+            fixed.tracker.depth_timeline(),
+            elastic.tracker.depth_timeline()
+        );
+        assert_eq!(fixed.report(), elastic.report());
+        assert_eq!(fixed.requests_per_replica, elastic.requests_per_replica);
+        assert_eq!(fixed.batches, elastic.batches);
+        assert_eq!(fixed.reestimations, elastic.reestimations);
+        assert_eq!(elastic.scale_ups, 0);
+        assert_eq!(elastic.scale_downs, 0);
+        assert_eq!(elastic.peak_replicas, replicas);
+        assert_eq!(fixed.replica_seconds, elastic.replica_seconds);
     }
 }
