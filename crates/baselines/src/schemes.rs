@@ -129,7 +129,7 @@ impl TrainScheme {
 }
 
 /// The inference schemes of Figure 16.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum InferScheme {
     /// DeepSpeed MoE: static one-expert-per-device placement.
     Baseline,

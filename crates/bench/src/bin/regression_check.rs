@@ -8,6 +8,11 @@
 //! only in the current summary are *additions* — logged for the CI
 //! record, never failed — so landing a new experiment does not require
 //! a baseline refresh first.
+//! Two kinds of numbers are informational by design and can never fail
+//! the gate: every metric of the `perf_microbench` scenario (it
+//! measures wall-clock time, which varies with the host) and the
+//! per-scenario `wall_secs` timings, whose deltas are printed as
+//! `INFO` lines so CI logs track simulator throughput over time.
 //! A missing previous file is the first-run case and passes silently,
 //! so the gate bootstraps itself.
 //!
@@ -60,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
 /// compares on.
 type MetricKey = (String, String);
 
+/// Scenarios whose metrics are wall-clock measurements: compared and
+/// reported, but never allowed to fail the gate.
+const INFORMATIONAL_SCENARIOS: &[&str] = &["perf_microbench"];
+
 /// Flattens a summary into `(key, value)` pairs, in document order.
 fn metrics(doc: &Json) -> Result<Vec<(MetricKey, f64)>, String> {
     let scenarios = doc
@@ -89,9 +98,29 @@ fn metrics(doc: &Json) -> Result<Vec<(MetricKey, f64)>, String> {
     Ok(out)
 }
 
-fn load(path: &str) -> Result<Vec<(MetricKey, f64)>, String> {
+/// Per-scenario `wall_secs`, in document order. Purely informational:
+/// wall-clock timings vary with the host, so their deltas are printed
+/// but never gated on.
+fn walls(doc: &Json) -> Vec<(String, f64)> {
+    let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    scenarios
+        .iter()
+        .filter_map(|s| {
+            let id = s.get("id").and_then(Json::as_str)?;
+            let secs = s.get("wall_secs").and_then(Json::as_f64)?;
+            Some((id.to_string(), secs))
+        })
+        .collect()
+}
+
+type Summary = (Vec<(MetricKey, f64)>, Vec<(String, f64)>);
+
+fn load(path: &str) -> Result<Summary, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    metrics(&Json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((metrics(&doc)?, walls(&doc)))
 }
 
 fn main() -> ExitCode {
@@ -109,15 +138,16 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    let (current, previous) = match (load(&args.current), load(&args.previous)) {
-        (Ok(c), Ok(p)) => (c, p),
-        (c, p) => {
-            for e in [c.err(), p.err()].into_iter().flatten() {
-                eprintln!("regression_check: {e}");
+    let ((current, cur_walls), (previous, prev_walls)) =
+        match (load(&args.current), load(&args.previous)) {
+            (Ok(c), Ok(p)) => (c, p),
+            (c, p) => {
+                for e in [c.err(), p.err()].into_iter().flatten() {
+                    eprintln!("regression_check: {e}");
+                }
+                return ExitCode::FAILURE;
             }
-            return ExitCode::FAILURE;
-        }
-    };
+        };
     let cur: std::collections::BTreeMap<_, _> = current.into_iter().collect();
     // Additions: whole scenarios (or single metrics) only in the
     // current summary. Logged, never failed — a new experiment lands
@@ -157,6 +187,12 @@ fn main() -> ExitCode {
         }
         let drift = (now - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
         if !drift.is_finite() || drift > args.tolerance {
+            if INFORMATIONAL_SCENARIOS.contains(&id.as_str()) {
+                // Wall-clock scenario: the drift is host noise, not a
+                // result regression. Surface it, don't gate on it.
+                println!("INFO  {id}/{name}: {prev} -> {now} (informational, not gated)");
+                continue;
+            }
             println!(
                 "FAIL  {id}/{name}: {prev} -> {now} (drift {:.2}% > {:.2}%)",
                 drift * 100.0,
@@ -164,6 +200,22 @@ fn main() -> ExitCode {
             );
             failures += 1;
         }
+    }
+    // Wall-clock throughput trend, per scenario: informational only,
+    // so CI logs show when the simulator itself gets faster or slower.
+    let cur_wall: std::collections::BTreeMap<_, _> = cur_walls.into_iter().collect();
+    for (id, prev_secs) in &prev_walls {
+        let Some(&now_secs) = cur_wall.get(id) else {
+            continue;
+        };
+        let delta = if *prev_secs > 0.0 {
+            (now_secs - prev_secs) / prev_secs * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "INFO  {id}/wall_secs: {prev_secs:.3}s -> {now_secs:.3}s ({delta:+.1}%, informational)"
+        );
     }
     println!(
         "regression_check: {compared} metric(s) compared at tolerance {:.2}%, {failures} failure(s)",

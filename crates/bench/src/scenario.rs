@@ -336,6 +336,12 @@ pub const REGISTRY: &[Scenario] = &[
         description: "fault injection: crash intensity x recovery x degradation policy",
         run: scenarios::serve_faults::run,
     },
+    Scenario {
+        id: "perf_microbench",
+        paper_ref: "Simulator perf",
+        description: "simulator throughput: reference vs fast perf config on one trace",
+        run: scenarios::perf_microbench::run,
+    },
 ];
 
 /// Looks up a scenario by id.
@@ -376,13 +382,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_28_experiments() {
-        assert_eq!(REGISTRY.len(), 28);
+    fn registry_covers_all_29_experiments() {
+        assert_eq!(REGISTRY.len(), 29);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 28, "scenario ids must be unique");
+        assert_eq!(ids.len(), 29, "scenario ids must be unique");
         assert!(find("table1").is_some());
+        assert!(find("perf_microbench").is_some());
         assert!(find("serve_load_sweep").is_some());
         assert!(find("serve_autoscale").is_some());
         assert!(find("serve_cluster").is_some());

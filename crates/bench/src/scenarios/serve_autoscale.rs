@@ -94,6 +94,7 @@ fn serve_config(arrival: ArrivalProcess, slo: SimDuration, n_requests: usize) ->
         network: NetworkMode::Solo,
         max_inflight: 1,
         seed: 0xD1A1,
+        perf: Default::default(),
     }
 }
 

@@ -72,6 +72,7 @@ fn cluster_config(
             network: NetworkMode::Solo,
             max_inflight: 1,
             seed: 0x5EED,
+            perf: Default::default(),
         },
         replicas: REPLICAS,
         balancer,

@@ -64,6 +64,7 @@ fn config(
         network,
         max_inflight: MAX_INFLIGHT,
         seed: 0xC0CE,
+        perf: Default::default(),
     }
 }
 

@@ -64,6 +64,7 @@ fn serve_config(rate: f64, n_requests: usize, tokens_per_request: usize) -> Serv
         network: NetworkMode::Solo,
         max_inflight: 1,
         seed: 0x5EED,
+        perf: Default::default(),
     }
 }
 

@@ -42,6 +42,7 @@ fn config(
         network: NetworkMode::Solo,
         max_inflight: 1,
         seed: 0x10AD,
+        perf: Default::default(),
     }
 }
 

@@ -14,6 +14,7 @@
 //! flow was started with.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lina_simcore::{SimDuration, SimTime};
 
@@ -82,7 +83,7 @@ pub struct NetStats {
 /// The flow-level network simulator.
 #[derive(Clone, Debug)]
 pub struct Network {
-    topo: Topology,
+    topo: Arc<Topology>,
     now: SimTime,
     flows: BTreeMap<FlowId, ActiveFlow>,
     next_id: u64,
@@ -96,6 +97,13 @@ pub struct Network {
 impl Network {
     /// Creates an idle network over the given topology.
     pub fn new(topo: Topology) -> Self {
+        Network::new_shared(Arc::new(topo))
+    }
+
+    /// Creates an idle network over a shared topology handle. Replicas
+    /// of one cluster all price against the same immutable topology, so
+    /// sharing the `Arc` avoids a deep topology clone per network.
+    pub fn new_shared(topo: Arc<Topology>) -> Self {
         Network {
             topo,
             now: SimTime::ZERO,

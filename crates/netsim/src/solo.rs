@@ -15,6 +15,8 @@
 //! the same integer-nanosecond duration it would starting at t = 0.
 //! A unit test below pins that equivalence.
 
+use std::sync::Arc;
+
 use lina_simcore::SimDuration;
 
 use crate::collectives::{CollectiveEngine, CollectiveSpec};
@@ -33,8 +35,14 @@ pub struct SoloTimer {
 impl SoloTimer {
     /// Builds a timer over (a clone of) the topology.
     pub fn new(topo: &Topology) -> Self {
+        SoloTimer::new_shared(Arc::new(topo.clone()))
+    }
+
+    /// Builds a timer over a shared topology handle — no topology clone
+    /// at all, for callers that already hold an `Arc<Topology>`.
+    pub fn new_shared(topo: Arc<Topology>) -> Self {
         SoloTimer {
-            engine: CollectiveEngine::new(Network::new(topo.clone())),
+            engine: CollectiveEngine::new(Network::new_shared(topo)),
         }
     }
 

@@ -21,9 +21,10 @@
 //! completions are known at submit time.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lina_netsim::{CollectiveDone, CollectiveEngine, Network, SoloTimer, Topology};
-use lina_simcore::{EventQueue, SimDuration, SimTime};
+use lina_simcore::{EventQueue, QueueKind, SimDuration, SimTime};
 
 use crate::inference::InferenceReport;
 use crate::plan::ExecutionPlan;
@@ -127,28 +128,40 @@ pub enum ReplicaExecutor {
 }
 
 impl ReplicaExecutor {
-    /// Builds an executor for a replica spanning `topo`.
+    /// Builds an executor for a replica spanning `topo` on the default
+    /// event-queue backend.
     pub fn new(mode: NetworkMode, topo: &Topology) -> Self {
+        ReplicaExecutor::new_shared(mode, Arc::new(topo.clone()), QueueKind::default())
+    }
+
+    /// Builds an executor over a shared topology handle — the cluster
+    /// builds one `Arc<Topology>` per run and every replica shares it
+    /// instead of deep-cloning the topology per executor. `queue`
+    /// selects the contended executor's stage-timer backend (pop order
+    /// is identical across kinds).
+    pub fn new_shared(mode: NetworkMode, topo: Arc<Topology>, queue: QueueKind) -> Self {
         match mode {
             NetworkMode::Solo => ReplicaExecutor::Solo(Box::new(SoloReplica {
-                timer: SoloTimer::new(topo),
+                timer: SoloTimer::new_shared(topo),
                 inflight: Vec::new(),
                 last_completion: SimTime::ZERO,
+                memo: None,
             })),
             NetworkMode::Contended => ReplicaExecutor::Contended(Box::new(ContendedReplica {
-                engine: CollectiveEngine::new(Network::new(topo.clone())),
-                estimator: SoloTimer::new(topo),
-                queue: EventQueue::new(),
+                engine: CollectiveEngine::new(Network::new_shared(topo.clone())),
+                estimator: SoloTimer::new_shared(topo),
+                queue: EventQueue::with_kind(queue),
                 batches: BTreeMap::new(),
                 finished: Vec::new(),
                 last_completion: SimTime::ZERO,
+                memo: None,
             })),
         }
     }
 
     /// Starts a planned batch at `at` (must be `>=` every previously
     /// observed event/submit time).
-    pub fn submit(&mut self, id: u64, at: SimTime, plan: ExecutionPlan) {
+    pub fn submit(&mut self, id: u64, at: SimTime, plan: Arc<ExecutionPlan>) {
         match self {
             ReplicaExecutor::Solo(s) => s.submit(id, at, plan),
             ReplicaExecutor::Contended(c) => c.submit(id, at, plan),
@@ -227,10 +240,15 @@ impl ReplicaExecutor {
     /// collectives included.
     pub fn set_link_scale(&mut self, scale: f64) {
         match self {
-            ReplicaExecutor::Solo(s) => s.timer.set_capacity_scale(scale),
+            ReplicaExecutor::Solo(s) => {
+                s.timer.set_capacity_scale(scale);
+                // Memoized solo reports were priced on the old links.
+                s.memo = None;
+            }
             ReplicaExecutor::Contended(c) => {
                 c.engine.network_mut().set_capacity_scale(scale);
                 c.estimator.set_capacity_scale(scale);
+                c.memo = None;
             }
         }
     }
@@ -264,11 +282,28 @@ pub struct SoloReplica {
     timer: SoloTimer,
     inflight: Vec<FinishedBatch>,
     last_completion: SimTime,
+    /// Last (plan, report) pair priced. Solo pricing is pure in the
+    /// plan and the link scale, so resubmitting the *same* shared plan
+    /// (the plan cache upstream yields identical `Arc`s) skips the
+    /// per-layer collective pricing entirely. `Arc::ptr_eq` keying is
+    /// ABA-safe because the memo holds the plan alive.
+    memo: Option<(Arc<ExecutionPlan>, InferenceReport)>,
 }
 
 impl SoloReplica {
-    fn submit(&mut self, id: u64, at: SimTime, plan: ExecutionPlan) {
-        let report = execute_plan_solo(&plan, &mut self.timer);
+    fn solo_report(&mut self, plan: &Arc<ExecutionPlan>) -> InferenceReport {
+        if let Some((p, r)) = &self.memo {
+            if Arc::ptr_eq(p, plan) {
+                return r.clone();
+            }
+        }
+        let r = execute_plan_solo(plan, &mut self.timer);
+        self.memo = Some((plan.clone(), r.clone()));
+        r
+    }
+
+    fn submit(&mut self, id: u64, at: SimTime, plan: Arc<ExecutionPlan>) {
+        let report = self.solo_report(&plan);
         let completed = at + report.total;
         self.inflight.push(FinishedBatch {
             id,
@@ -318,7 +353,7 @@ struct ContendedBatch {
     id: u64,
     dispatched: SimTime,
     expected_completion: SimTime,
-    plan: ExecutionPlan,
+    plan: Arc<ExecutionPlan>,
     layer: usize,
     next: Step,
     /// Start of the current layer's MoE accounting (after attention).
@@ -350,22 +385,37 @@ pub struct ContendedReplica {
     batches: BTreeMap<u64, ContendedBatch>,
     finished: Vec<FinishedBatch>,
     last_completion: SimTime,
+    /// Memoized solo estimate for the last submitted plan (see
+    /// [`SoloReplica::memo`]); keyed by `Arc` identity and link scale
+    /// (invalidated on [`ReplicaExecutor::set_link_scale`]).
+    memo: Option<(Arc<ExecutionPlan>, SimDuration)>,
 }
 
 impl ContendedReplica {
-    fn submit(&mut self, id: u64, at: SimTime, plan: ExecutionPlan) {
+    fn solo_total(&mut self, plan: &Arc<ExecutionPlan>) -> SimDuration {
+        if let Some((p, t)) = &self.memo {
+            if Arc::ptr_eq(p, plan) {
+                return *t;
+            }
+        }
+        let t = execute_plan_solo(plan, &mut self.estimator).total;
+        self.memo = Some((plan.clone(), t));
+        t
+    }
+
+    fn submit(&mut self, id: u64, at: SimTime, plan: Arc<ExecutionPlan>) {
         // Process anything due before the dispatch instant, then pin the
         // network clock to it so collective launches are stamped at `at`.
         self.drive(at);
         for d in self.engine.advance_to(at) {
             self.on_collective_done(d);
         }
-        let solo = execute_plan_solo(&plan, &mut self.estimator);
+        let solo_total = self.solo_total(&plan);
         let n = plan.layers.len();
         let b = ContendedBatch {
             id,
             dispatched: at,
-            expected_completion: at + solo.total,
+            expected_completion: at + solo_total,
             plan,
             layer: 0,
             next: Step::PreDispatch,
@@ -584,12 +634,12 @@ mod tests {
         (cost, topo, scheduler, batches)
     }
 
-    fn plans(scheme: InferScheme) -> (Topology, Vec<ExecutionPlan>) {
+    fn plans(scheme: InferScheme) -> (Topology, Vec<Arc<ExecutionPlan>>) {
         let (cost, topo, sched, batches) = setup();
         let config = InferenceConfig { scheme, top_k: 1 };
         let plans = batches
             .iter()
-            .map(|b| plan_batch(&cost, &topo, &config, Some(&sched), b))
+            .map(|b| Arc::new(plan_batch(&cost, &topo, &config, Some(&sched), b)))
             .collect();
         (topo, plans)
     }
@@ -786,7 +836,7 @@ mod tests {
         let (topo, plans) = plans(InferScheme::Baseline);
         let mut timer = SoloTimer::new(&topo);
         let base = execute_plan_solo(&plans[0], &mut timer);
-        let mut scaled = plans[0].clone();
+        let mut scaled = (*plans[0]).clone();
         scaled.scale_compute(1.5);
         let slow = execute_plan_solo(&scaled, &mut timer);
         assert!(slow.total > base.total);

@@ -16,6 +16,7 @@ pub mod engine;
 pub mod exec;
 pub mod inference;
 pub mod plan;
+pub mod plan_cache;
 pub mod session;
 pub mod sweep;
 pub mod train;
@@ -26,6 +27,7 @@ pub use inference::{
     run_inference_batch, run_inference_batches, InferenceConfig, InferenceReport, InferenceSummary,
 };
 pub use plan::{plan_batch, ExecutionPlan, LayerPlan};
+pub use plan_cache::{hash_batch_content, Fnv128, PlanCache, PlanCacheStats, PlanKey};
 pub use session::{run_lina_session, SessionConfig, SessionReport};
 pub use sweep::{default_threads, parallel_map};
 pub use train::{

@@ -224,7 +224,10 @@ pub fn plan_batch(
 
         // Scheduling: decide this layer's placement and its blocking
         // cost (the phase-one overlap remainder is the executor's).
-        let mut placement = static_placement.clone();
+        // `None` means the static one-expert-per-device placement —
+        // Baseline/Ideal and non-estimated layers borrow it instead of
+        // cloning it per layer per batch.
+        let mut placement: Option<ExpertPlacement> = None;
         let mut sched_block = SimDuration::ZERO;
         let mut swapped_late = false;
         let mut estimated = false;
@@ -234,7 +237,7 @@ pub fn plan_batch(
             InferScheme::Baseline | InferScheme::Ideal => {}
             InferScheme::LinaNoEstimation => {
                 let s = scheduler.expect("checked above");
-                placement = s.schedule_from_actual(&routing);
+                placement = Some(s.schedule_from_actual(&routing));
                 // Reactive scheduling blocks the layer entirely.
                 sched_block += s.config().schedule_time;
                 swapped_late = true;
@@ -254,24 +257,28 @@ pub fn plan_batch(
                         match s.phase_two(&p1, &routing) {
                             PhaseTwo::Resume => {
                                 sched_block += s.config().resume_time;
-                                placement = p1.placement;
+                                placement = Some(p1.placement);
                             }
                             PhaseTwo::Finetune(p) => {
                                 sched_block += s.config().schedule_time;
                                 finetuned = true;
-                                placement = p;
+                                placement = Some(p);
                                 swapped_late = true;
                             }
                         }
                     } else {
                         // w/o fine-tuning: trust the estimate blindly.
-                        placement = p1.placement;
+                        placement = Some(p1.placement);
                     }
                 }
             }
         }
 
-        let dispatch_plan = assign_replicas(&routing, &placement, topo);
+        let dispatch_plan = assign_replicas(
+            &routing,
+            placement.as_ref().unwrap_or(&static_placement),
+            topo,
+        );
         let dispatch = a2a_spec(topo, &dispatch_plan.sizes, model.token_bytes());
 
         // Expert computation per device: sequential over hosted

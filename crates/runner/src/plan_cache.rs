@@ -1,0 +1,261 @@
+//! A memoization cache for [`crate::plan_batch`].
+//!
+//! Planning is pure: for a fixed cost model, topology, inference
+//! config, and scheduler state, the same batch content always lowers to
+//! the same [`ExecutionPlan`]. The serving cluster re-plans thousands
+//! of batches per run, and under the `Ideal` scheme (a balanced gate)
+//! the plan depends only on the batch *size* — so a cache turns the
+//! dominant cost of the serving hot path into a hash lookup.
+//!
+//! Correctness hinges on the key capturing everything the planner
+//! reads:
+//!
+//! * **scheme + top_k** — the inference config,
+//! * **epoch** — a counter the owner bumps whenever the scheduler's
+//!   observable state changes (periodic re-estimation, emergency
+//!   re-placement after device loss). Schemes without a scheduler never
+//!   bump it.
+//! * **content** — a 128-bit FNV-1a digest of the batch: its length
+//!   and, for schemes that read token paths, every token's class and
+//!   expert selections. `Ideal` hashes only the length, because a
+//!   balanced gate ignores the actual paths — which is exactly why its
+//!   hit rate approaches 100%.
+//!
+//! Cached plans are [`Arc`]-shared: executors downstream memoize their
+//! own pure per-plan work (solo pricing) by `Arc` identity, so a cache
+//! hit also skips re-pricing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lina_baselines::InferScheme;
+use lina_workload::TokenPath;
+
+use crate::plan::ExecutionPlan;
+
+/// Cache key: everything [`crate::plan_batch`] reads that can vary
+/// across submissions within one run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey {
+    /// Inference scheme the batch was planned under.
+    pub scheme: InferScheme,
+    /// Experts per token.
+    pub top_k: usize,
+    /// Scheduler-state epoch (0 for scheduler-less schemes).
+    pub epoch: u64,
+    /// 128-bit digest of the batch content (see [`hash_batch_content`]).
+    pub content: u128,
+}
+
+/// Hit/miss counters, surfaced in the `perf_microbench` scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a cached plan.
+    pub hits: u64,
+    /// Lookups that missed (the caller plans and inserts).
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Entry cap: planning state is epoch-versioned, so stale entries are
+/// unreachable garbage; clearing wholesale on overflow keeps the cache
+/// bounded without an eviction order to maintain.
+const CACHE_CAP: usize = 1024;
+
+/// The plan cache. One instance per cluster run.
+#[derive(Default)]
+pub struct PlanCache {
+    map: HashMap<PlanKey, Arc<ExecutionPlan>>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Looks up a plan, counting the hit or miss.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<ExecutionPlan>> {
+        match self.map.get(key) {
+            Some(plan) => {
+                self.stats.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly planned batch.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<ExecutionPlan>) {
+        if self.map.len() >= CACHE_CAP {
+            self.map.clear();
+        }
+        self.map.insert(key, plan);
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Incremental 128-bit FNV-1a over `u64` words. 64-bit digests would
+/// make a silent collision (and therefore a wrong cached plan)
+/// plausible over billions of batches; at 128 bits it is negligible.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv128(u128);
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128(FNV128_OFFSET)
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv128::default()
+    }
+
+    /// Folds one word into the digest, byte by byte.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+/// Digest of a batch's planner-visible content. `Ideal` plans from the
+/// batch length alone (balanced gate); every other scheme reads the
+/// token paths, so their classes and per-layer expert selections are
+/// folded in.
+pub fn hash_batch_content<'a>(
+    scheme: InferScheme,
+    len: usize,
+    tokens: impl IntoIterator<Item = &'a TokenPath>,
+) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_u64(len as u64);
+    if scheme != InferScheme::Ideal {
+        for tok in tokens {
+            h.write_u64(tok.class as u64);
+            for layer in &tok.selections {
+                h.write_u64(layer.len() as u64);
+                for &e in layer {
+                    h.write_u64(e as u64);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExecutionPlan;
+
+    fn dummy_plan(tokens: usize) -> Arc<ExecutionPlan> {
+        Arc::new(ExecutionPlan {
+            tokens,
+            layers: Vec::new(),
+        })
+    }
+
+    fn key(epoch: u64, content: u128) -> PlanKey {
+        PlanKey {
+            scheme: InferScheme::Baseline,
+            top_k: 1,
+            epoch,
+            content,
+        }
+    }
+
+    #[test]
+    fn hit_returns_same_arc_and_counts() {
+        let mut cache = PlanCache::new();
+        let k = key(0, 42);
+        assert!(cache.get(&k).is_none());
+        let plan = dummy_plan(8);
+        cache.insert(k, plan.clone());
+        let hit = cache.get(&k).expect("inserted");
+        assert!(Arc::ptr_eq(&hit, &plan));
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_isolates_entries() {
+        let mut cache = PlanCache::new();
+        cache.insert(key(0, 42), dummy_plan(8));
+        assert!(cache.get(&key(1, 42)).is_none());
+        assert!(cache.get(&key(0, 42)).is_some());
+    }
+
+    #[test]
+    fn overflow_clears_rather_than_grows() {
+        let mut cache = PlanCache::new();
+        for i in 0..(CACHE_CAP + 10) as u128 {
+            cache.insert(key(0, i), dummy_plan(1));
+        }
+        assert!(cache.len() <= CACHE_CAP);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn ideal_content_ignores_token_paths() {
+        let a = TokenPath {
+            class: 1,
+            selections: vec![vec![0, 3]],
+        };
+        let b = TokenPath {
+            class: 7,
+            selections: vec![vec![2, 5]],
+        };
+        let ha = hash_batch_content(InferScheme::Ideal, 2, [&a, &a]);
+        let hb = hash_batch_content(InferScheme::Ideal, 2, [&b, &b]);
+        assert_eq!(ha, hb, "Ideal plans depend only on batch length");
+        let ba = hash_batch_content(InferScheme::Baseline, 2, [&a, &a]);
+        let bb = hash_batch_content(InferScheme::Baseline, 2, [&b, &b]);
+        assert_ne!(ba, bb, "content schemes must see the paths");
+        assert_ne!(
+            hash_batch_content(InferScheme::Ideal, 2, []),
+            hash_batch_content(InferScheme::Ideal, 3, []),
+            "length is always part of the digest"
+        );
+    }
+}

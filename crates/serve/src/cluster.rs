@@ -85,20 +85,23 @@
 //! * **Per-replica** — each replica re-profiles only from batches it
 //!   served itself, as K isolated single-server deployments would.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use lina_model::CostModel;
 use lina_netsim::Topology;
 use lina_runner::inference::InferenceConfig;
-use lina_runner::{plan_batch, ReplicaExecutor};
-use lina_simcore::{SimDuration, SimTime};
-use lina_workload::{TokenBatch, TokenPath, WorkloadSpec};
+use lina_runner::{
+    hash_batch_content, plan_batch, PlanCache, PlanCacheStats, PlanKey, ReplicaExecutor,
+};
+use lina_simcore::{EventQueue, SimDuration, SimTime};
+use lina_workload::{TokenBatch, WorkloadSpec};
 
 use crate::autoscale::{AutoscaleConfig, AutoscalePolicy, ClusterObservation, ScaleDecision};
-use crate::balancer::{BalancerKind, LoadBalancer, ReplicaSnapshot};
+use crate::balancer::{BalancerKind, LoadBalancer, ReplicaSnapshot, RoundRobin};
 use crate::batcher::{Batcher, Dispatch};
-use crate::engine::{ReestimationWindow, RequestStream, ServeConfig, ServeEngine};
+use crate::engine::{ReestimationWindow, ServeConfig, ServeEngine};
 use crate::faults::{DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 use crate::provisioning;
 use crate::request::{Request, RequestRecord};
@@ -204,6 +207,11 @@ pub struct ClusterOutcome {
     /// from its commission instant until it retires (or the last event
     /// of the run). The currency of the cost-vs-SLO frontier.
     pub replica_seconds: f64,
+    /// Instant of the last event the loop processed — the simulated
+    /// span of the run (throughput denominators, shard merging).
+    pub last_event: SimTime,
+    /// Plan-cache counters (all zero when the cache is off).
+    pub plan_cache: PlanCacheStats,
 }
 
 impl ClusterOutcome {
@@ -274,6 +282,11 @@ struct Replica {
     /// This replica's scheduler (per-replica sharing; unused while the
     /// cluster runs a shared scheduler).
     scheduler: Option<TwoPhaseScheduler>,
+    /// Plan-cache epoch of `scheduler`: a run-global counter value
+    /// stamped at every rebuild, so two replicas share a cache entry
+    /// only while their scheduler state is provably identical (the
+    /// initial offline profile, epoch 0).
+    epoch: u64,
     /// This replica's re-profiling window (per-replica sharing).
     window: ReestimationWindow,
     /// Batches this replica has dispatched.
@@ -326,37 +339,16 @@ impl Replica {
 }
 
 /// One admission: a request's first arrival (pulled lazily from the
-/// trace stream) or a re-admission waiting in the retry heap after
-/// displacement. Ordered by `(at, seq)`; first arrivals use `seq = id`
-/// — and the stream yields them in exactly that order, so "stream head
-/// vs. retry-heap head, stream wins ties" reproduces the merged-heap
-/// order bit for bit — while re-admissions draw fresh sequence numbers
-/// past `n_requests`.
+/// trace stream) or a re-admission waiting in the retry queue after
+/// displacement. The retry [`EventQueue`] orders by `(at, push order)`,
+/// and re-admissions are pushed in strictly increasing sequence — the
+/// same order the old explicit-sequence heap produced — while "stream
+/// head vs. retry head, stream wins ties" reproduces the merged order
+/// bit for bit.
 struct Admission {
     at: SimTime,
-    seq: u64,
     attempts: u32,
     req: Request,
-}
-
-impl PartialEq for Admission {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-
-impl Eq for Admission {}
-
-impl PartialOrd for Admission {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Admission {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// The next step of the unified event loop, chosen in global
@@ -421,6 +413,22 @@ impl<'a> ClusterEngine<'a> {
 
     /// Runs the full cluster simulation.
     pub fn run(&self) -> ClusterOutcome {
+        self.run_inner(None)
+    }
+
+    /// Runs the cluster over a pre-generated request trace instead of
+    /// the engine's lazy arrival stream. The trace must be in
+    /// `(arrival, id)` order — [`ServeEngine::generate_requests`]
+    /// produces exactly that. Lets benchmarks time the event loop
+    /// without arrival-generation cost inside the measured region, and
+    /// replay one trace under several perf configurations. Takes the
+    /// trace by value so the sequential path moves requests into the
+    /// loop instead of deep-cloning their token paths.
+    pub fn run_trace(&self, trace: Vec<Request>) -> ClusterOutcome {
+        self.run_inner(Some(trace))
+    }
+
+    fn run_inner(&self, trace: Option<Vec<Request>>) -> ClusterOutcome {
         let mut balancer = self.balancer.build();
         // Only the capacity-aware consumers pay for the probe batch:
         // the least-expected-latency balancer and any armed autoscaler
@@ -432,7 +440,7 @@ impl<'a> ClusterEngine<'a> {
         } else {
             0.0
         };
-        run_on(
+        run_cluster(
             &self.engine,
             self.replicas,
             balancer.as_mut(),
@@ -440,6 +448,7 @@ impl<'a> ClusterEngine<'a> {
             per_replica_capacity,
             &self.faults,
             self.autoscale.as_ref(),
+            trace,
         )
     }
 }
@@ -460,6 +469,10 @@ struct AutoscaleRuntime {
 /// The unified cluster event loop's state.
 struct ClusterSim<'e, 'a> {
     engine: &'e ServeEngine<'a>,
+    /// One shared topology handle for every executor the run creates
+    /// (initial pool and elastic scale-ups alike): one deep clone per
+    /// run instead of one per replica.
+    topo: Arc<Topology>,
     balancer: &'e mut dyn LoadBalancer,
     schedule: &'e FaultSchedule,
     policy: DegradationPolicy,
@@ -468,7 +481,6 @@ struct ClusterSim<'e, 'a> {
     two_phase: TwoPhaseConfig,
     sharing: EstimatorSharing,
     per_replica_capacity: f64,
-    n_requests: usize,
     /// Modeled PCIe transfer to (re)load one device's expert shard:
     /// `expert_swap * ceil(experts / devices)`. Charged before the
     /// first dispatch after a recovery (parallel per-device weight
@@ -477,20 +489,30 @@ struct ClusterSim<'e, 'a> {
     reload: SimDuration,
     shared_scheduler: Option<TwoPhaseScheduler>,
     shared_window: ReestimationWindow,
+    /// Plan-cache epoch of the shared scheduler (see [`Replica::epoch`]).
+    shared_epoch: u64,
+    /// Run-global epoch allocator: every scheduler rebuild anywhere in
+    /// the cluster draws a fresh value, so no two distinct scheduler
+    /// states ever share a plan-cache key.
+    epoch_counter: u64,
+    /// Plan memoization across submissions ([`PerfConfig::plan_cache`](crate::PerfConfig)).
+    plan_cache: Option<PlanCache>,
     replicas: Vec<Replica>,
-    /// First arrivals, generated lazily in `(arrival, id)` order; the
-    /// run's memory stays bounded by the live backlog, not the trace
-    /// length.
-    stream: std::iter::Peekable<RequestStream<'e>>,
+    /// First arrivals in `(arrival, id)` order: the lazily generated
+    /// trace stream, a shard's filtered view of it, or a pre-generated
+    /// trace under test. Memory stays bounded by the live backlog.
+    stream: std::iter::Peekable<Box<dyn Iterator<Item = Request> + 'e>>,
     /// Re-admissions only (first arrivals come from `stream`).
-    admissions: BinaryHeap<Reverse<Admission>>,
+    admissions: EventQueue<Admission>,
+    /// Reused balancer-snapshot buffer: `admit` is per-request hot, so
+    /// it must not allocate in steady state.
+    snapshot_scratch: Vec<ReplicaSnapshot>,
     /// Armed autoscaler, if any.
     autoscale: Option<AutoscaleRuntime>,
     /// Instant of the most recently processed event (the loop runs in
     /// nondecreasing time order); the cost-accounting end of the run.
     now: SimTime,
     next_fault: usize,
-    retry_seq: u64,
     tracker: SloTracker,
     /// Per-request records materialize at the completion *event*,
     /// which under concurrent replicas need not follow dispatch order;
@@ -519,6 +541,10 @@ struct ClusterSim<'e, 'a> {
     /// Conservation audit: ids that reached a terminal outcome.
     #[cfg(debug_assertions)]
     terminal_ids: BTreeSet<usize>,
+    /// Conservation audit: ids pulled from the trace stream (a shard's
+    /// stream sees only its slice of the trace).
+    #[cfg(debug_assertions)]
+    admitted_ids: BTreeSet<usize>,
 }
 
 impl ClusterSim<'_, '_> {
@@ -543,7 +569,7 @@ impl ClusterSim<'_, '_> {
             }
         }
         let next_arrival = self.stream.peek().map(|req| req.arrival);
-        let next_retry = self.admissions.peek().map(|Reverse(adm)| adm.at);
+        let next_retry = self.admissions.peek_time();
         if let Some(at) = match (next_arrival, next_retry) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -670,12 +696,14 @@ impl ClusterSim<'_, '_> {
             );
         }
         let rep = &mut self.replicas[i];
-        for k in rep.next..rep.queue.len() {
-            displaced.push((rep.queue[k].clone(), rep.attempts[k]));
-        }
-        rep.queue.truncate(rep.next);
+        // Drain the undispatched tail by move — a displaced request's
+        // token paths travel to the retry queue without a deep clone.
+        displaced.extend(
+            rep.queue
+                .drain(rep.next..)
+                .zip(rep.attempts.drain(rep.next..)),
+        );
         rep.arrivals.truncate(rep.next);
-        rep.attempts.truncate(rep.next);
         rep.queued_tokens = 0;
         // A crashed drain victim has nothing left to finish draining:
         // retire it on the spot (a recovery would revive a replica the
@@ -724,13 +752,14 @@ impl ClusterSim<'_, '_> {
                     continue;
                 }
             }
-            self.retry_seq += 1;
-            self.admissions.push(Reverse(Admission {
-                at: retry_at,
-                seq: self.n_requests as u64 + self.retry_seq,
-                attempts: n,
-                req,
-            }));
+            self.admissions.push(
+                retry_at,
+                Admission {
+                    at: retry_at,
+                    attempts: n,
+                    req,
+                },
+            );
         }
     }
 
@@ -781,14 +810,19 @@ impl ClusterSim<'_, '_> {
                         let estimator = self.shared_window.profile(path_length);
                         self.shared_scheduler =
                             Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
+                        self.epoch_counter += 1;
+                        self.shared_epoch = self.epoch_counter;
                     }
                 }
                 EstimatorSharing::PerReplica => {
+                    self.epoch_counter += 1;
+                    let epoch = self.epoch_counter;
                     let rep = &mut self.replicas[i];
                     if !rep.window.is_empty() {
                         let estimator = rep.window.profile(path_length);
                         rep.scheduler =
                             Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
+                        rep.epoch = epoch;
                     }
                 }
             }
@@ -796,25 +830,26 @@ impl ClusterSim<'_, '_> {
     }
 
     /// Pops the earliest admission — the trace stream's head or the
-    /// retry heap's head, the stream winning ties (first arrivals
-    /// carry lower sequence numbers than any re-admission).
+    /// retry queue's head, the stream winning ties (a first arrival
+    /// always precedes any re-admission at the same instant).
     fn admit_next(&mut self) {
-        let take_stream = match (self.stream.peek(), self.admissions.peek()) {
-            (Some(req), Some(Reverse(adm))) => req.arrival <= adm.at,
+        let take_stream = match (self.stream.peek(), self.admissions.peek_time()) {
+            (Some(req), Some(at)) => req.arrival <= at,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => unreachable!("Step::Admit without a pending admission"),
         };
         let adm = if take_stream {
             let req = self.stream.next().expect("peeked above");
+            #[cfg(debug_assertions)]
+            self.admitted_ids.insert(req.id);
             Admission {
                 at: req.arrival,
-                seq: req.id as u64,
                 attempts: 0,
                 req,
             }
         } else {
-            self.admissions.pop().expect("peeked above").0
+            self.admissions.pop().expect("peeked above").1
         };
         self.now = adm.at;
         if let Some(rt) = &mut self.autoscale {
@@ -912,7 +947,11 @@ impl ClusterSim<'_, '_> {
                 queue: Vec::new(),
                 attempts: Vec::new(),
                 next: 0,
-                executor: ReplicaExecutor::new(engine.config.network, engine.topo),
+                executor: ReplicaExecutor::new_shared(
+                    engine.config.network,
+                    self.topo.clone(),
+                    engine.config.perf.queue,
+                ),
                 slot_free: ready_at,
                 queued_tokens: 0,
                 // Starts from the cluster's current shared profile
@@ -920,6 +959,7 @@ impl ClusterSim<'_, '_> {
                 // copy, so this is the offline profile there — the
                 // same starting point the initial pool had).
                 scheduler: self.shared_scheduler.clone(),
+                epoch: self.shared_epoch,
                 window: ReestimationWindow::new(engine.config.reestimate_window),
                 batches: 0,
                 healthy: true,
@@ -1014,13 +1054,14 @@ impl ClusterSim<'_, '_> {
                             return;
                         }
                     }
-                    self.retry_seq += 1;
-                    self.admissions.push(Reverse(Admission {
-                        at: rec,
-                        seq: self.n_requests as u64 + self.retry_seq,
-                        attempts: adm.attempts,
-                        req: adm.req,
-                    }));
+                    self.admissions.push(
+                        rec,
+                        Admission {
+                            at: rec,
+                            attempts: adm.attempts,
+                            req: adm.req,
+                        },
+                    );
                     return;
                 }
             }
@@ -1047,12 +1088,17 @@ impl ClusterSim<'_, '_> {
             }
         }
 
-        let mut snapshots: Vec<ReplicaSnapshot> = self
-            .replicas
-            .iter()
-            .enumerate()
-            .map(|(i, r)| r.snapshot(i, self.per_replica_capacity, now))
-            .collect();
+        // Build the balancer's view into the reusable scratch buffer:
+        // one admission per request makes this the loop's hottest
+        // allocation site without it.
+        let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+        snapshots.clear();
+        snapshots.extend(
+            self.replicas
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.snapshot(i, self.per_replica_capacity, now)),
+        );
         if !snapshots.iter().any(|s| s.routable()) {
             // Every live replica is draining or still provisioning.
             // Rather than drop admitted work, un-gate them for this
@@ -1073,6 +1119,7 @@ impl ClusterSim<'_, '_> {
             "balancer {} picked unroutable or out-of-range replica {target}",
             self.balancer.name()
         );
+        self.snapshot_scratch = snapshots;
         self.requests_per_replica[target] += 1;
         self.tokens_per_replica[target] += adm.req.tokens.len();
         let rep = &mut self.replicas[target];
@@ -1119,49 +1166,100 @@ impl ClusterSim<'_, '_> {
         self.try_retire(i, t);
     }
 
-    /// Commits the replica's next batch: plan, degrade, submit.
+    /// Commits the replica's next batch: plan (or fetch the memoized
+    /// plan), degrade, submit.
     fn dispatch(&mut self, i: usize, d: Dispatch) {
         let rep = &self.replicas[i];
         let members = &rep.queue[rep.next..rep.next + d.count];
-        let member_info: Vec<(Request, u32)> = members
-            .iter()
-            .cloned()
-            .zip(rep.attempts[rep.next..rep.next + d.count].iter().copied())
-            .collect();
-        let tokens: Vec<TokenPath> = members
-            .iter()
-            .flat_map(|r| r.tokens.iter().cloned())
-            .collect();
         let slow = rep.compute_slowdown * rep.straggler;
-        let batch = TokenBatch {
-            tokens,
+        let batch_tokens: usize = members.iter().map(|r| r.tokens.len()).sum();
+        // Key the cache on everything the planner reads: scheme/top_k,
+        // the scheduler-state epoch, and the batch-content digest
+        // (hashed straight off the queued requests — no intermediate
+        // token vector on the lookup path).
+        let key = self.plan_cache.is_some().then(|| PlanKey {
+            scheme: self.infer.scheme,
+            top_k: self.infer.top_k,
+            epoch: match self.sharing {
+                EstimatorSharing::Shared => self.shared_epoch,
+                EstimatorSharing::PerReplica => rep.epoch,
+            },
+            content: hash_batch_content(
+                self.infer.scheme,
+                batch_tokens,
+                members.iter().flat_map(|r| r.tokens.iter()),
+            ),
+        });
+        let cached = match (&key, &mut self.plan_cache) {
+            (Some(k), Some(cache)) => cache.get(k),
+            _ => None,
+        };
+        // The re-estimation window consumes the materialized batch, so
+        // estimating runs always build it; otherwise a cache hit skips
+        // the token-path copy entirely.
+        let needs_window = self.engine.estimates() && self.engine.config.reestimate_every.is_some();
+        let rep = &self.replicas[i];
+        let members = &rep.queue[rep.next..rep.next + d.count];
+        let batch = (needs_window || cached.is_none()).then(|| TokenBatch {
+            tokens: members
+                .iter()
+                .flat_map(|r| r.tokens.iter().cloned())
+                .collect(),
             devices: self.engine.topo.devices(),
             experts: self.engine.spec.experts,
+        });
+        let base_plan = match cached {
+            Some(plan) => plan,
+            None => {
+                let scheduler = match self.sharing {
+                    EstimatorSharing::Shared => self.shared_scheduler.as_ref(),
+                    EstimatorSharing::PerReplica => self.replicas[i].scheduler.as_ref(),
+                };
+                let plan = Arc::new(plan_batch(
+                    self.engine.cost,
+                    self.engine.topo,
+                    &self.infer,
+                    scheduler,
+                    batch.as_ref().expect("a cache miss materializes the batch"),
+                ));
+                if let (Some(k), Some(cache)) = (key, &mut self.plan_cache) {
+                    cache.insert(k, plan.clone());
+                }
+                plan
+            }
         };
-        let scheduler = match self.sharing {
-            EstimatorSharing::Shared => self.shared_scheduler.as_ref(),
-            EstimatorSharing::PerReplica => self.replicas[i].scheduler.as_ref(),
+        // Degraded replicas stretch a private copy — the pristine plan
+        // stays cached (and the executor's solo memo keys on the Arc,
+        // so a degraded copy never poisons it).
+        let plan = if slow > 1.0 {
+            let mut degraded = (*base_plan).clone();
+            degraded.scale_compute(slow);
+            Arc::new(degraded)
+        } else {
+            base_plan
         };
-        let mut plan = plan_batch(
-            self.engine.cost,
-            self.engine.topo,
-            &self.infer,
-            scheduler,
-            &batch,
-        );
-        if slow > 1.0 {
-            plan.scale_compute(slow);
-        }
         let batch_id = self.total_batches as u64;
-        let batch_tokens = batch.tokens.len();
         let rep = &mut self.replicas[i];
         rep.executor.submit(batch_id, d.at, plan);
-        // The members' token paths now live in the plan and the
-        // pending map; drop the queue's copies so a long trace's
-        // memory is bounded by the live backlog, not the run length.
-        for slot in &mut rep.queue[rep.next..rep.next + d.count] {
-            slot.tokens = Vec::new();
-        }
+        // Move the members into the pending map — taking each slot's
+        // token paths rather than deep-cloning them (a crash can still
+        // re-admit the request with its paths intact). The emptied
+        // queue slots also bound a long trace's memory by the live
+        // backlog, not the run length.
+        let member_info: Vec<(Request, u32)> = rep.queue[rep.next..rep.next + d.count]
+            .iter_mut()
+            .zip(rep.attempts[rep.next..rep.next + d.count].iter().copied())
+            .map(|(slot, attempts)| {
+                (
+                    Request {
+                        id: slot.id,
+                        arrival: slot.arrival,
+                        tokens: std::mem::take(&mut slot.tokens),
+                    },
+                    attempts,
+                )
+            })
+            .collect();
         self.pending.insert(batch_id, member_info);
         let backlog = rep.arrivals[rep.next + d.count..]
             .iter()
@@ -1174,10 +1272,12 @@ impl ClusterSim<'_, '_> {
         self.total_batches += 1;
 
         // Online re-placement: pool observations cluster-wide (shared)
-        // or keep them replica-local (per-replica).
-        if self.engine.estimates() {
+        // or keep them replica-local (per-replica). Every rebuild
+        // stamps a fresh plan-cache epoch.
+        if needs_window {
             if let Some(every) = self.engine.config.reestimate_every {
                 let path_length = self.engine.config.path_length;
+                let batch = batch.expect("estimating runs materialize the batch");
                 match self.sharing {
                     EstimatorSharing::Shared => {
                         self.shared_window.push(batch);
@@ -1186,9 +1286,13 @@ impl ClusterSim<'_, '_> {
                             self.shared_scheduler =
                                 Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
                             self.reestimations += 1;
+                            self.epoch_counter += 1;
+                            self.shared_epoch = self.epoch_counter;
                         }
                     }
                     EstimatorSharing::PerReplica => {
+                        self.epoch_counter += 1;
+                        let epoch = self.epoch_counter;
                         let rep = &mut self.replicas[i];
                         rep.window.push(batch);
                         if rep.batches.is_multiple_of(every) {
@@ -1196,6 +1300,7 @@ impl ClusterSim<'_, '_> {
                             rep.scheduler =
                                 Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
                             self.reestimations += 1;
+                            rep.epoch = epoch;
                         }
                     }
                 }
@@ -1272,9 +1377,8 @@ impl ClusterSim<'_, '_> {
             for rep in &self.replicas {
                 assert_eq!(rep.queue.len(), rep.next, "queued requests left behind");
             }
-            let expect: BTreeSet<usize> = (0..self.n_requests).collect();
             assert_eq!(
-                self.terminal_ids, expect,
+                self.terminal_ids, self.admitted_ids,
                 "every admitted request must reach exactly one terminal outcome"
             );
         }
@@ -1313,6 +1417,12 @@ impl ClusterSim<'_, '_> {
             scale_downs: self.scale_downs,
             peak_replicas: self.peak_replicas,
             replica_seconds,
+            last_event: end,
+            plan_cache: self
+                .plan_cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
         }
     }
 }
@@ -1329,13 +1439,267 @@ pub(crate) fn run_on(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
 ) -> ClusterOutcome {
+    run_cluster(
+        engine,
+        n_replicas,
+        balancer,
+        sharing,
+        per_replica_capacity,
+        faults,
+        autoscale,
+        None,
+    )
+}
+
+/// Dispatches between the sequential loop and the sharded fast path;
+/// `trace` substitutes a pre-generated request trace for the engine's
+/// lazy stream (the `perf_microbench` timed region).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_cluster<'x>(
+    engine: &'x ServeEngine<'_>,
+    n_replicas: usize,
+    balancer: &mut dyn LoadBalancer,
+    sharing: EstimatorSharing,
+    per_replica_capacity: f64,
+    faults: &FaultPlan,
+    autoscale: Option<&AutoscaleConfig>,
+    trace: Option<Vec<Request>>,
+) -> ClusterOutcome {
+    if shardable(
+        engine,
+        n_replicas,
+        balancer.name(),
+        sharing,
+        faults,
+        autoscale,
+    ) {
+        return run_sharded(
+            engine,
+            n_replicas,
+            sharing,
+            per_replica_capacity,
+            trace.as_deref(),
+        );
+    }
+    let stream: Box<dyn Iterator<Item = Request> + 'x> = match trace {
+        Some(t) => Box::new(t.into_iter()),
+        None => Box::new(engine.request_stream()),
+    };
+    run_stream(
+        engine,
+        n_replicas,
+        balancer,
+        sharing,
+        per_replica_capacity,
+        faults,
+        autoscale,
+        stream,
+    )
+}
+
+/// True when the replicas are provably independent, so the run can be
+/// sharded one replica per thread and merged bit-identically:
+/// round-robin routing (request `i` goes to replica `i mod K`, load
+/// blind), no faults, no shedding or timeouts (no cross-replica
+/// displacement), no autoscaler, and no *shared* online re-estimation
+/// coupling the schedulers.
+fn shardable(
+    engine: &ServeEngine<'_>,
+    n_replicas: usize,
+    balancer_name: &str,
+    sharing: EstimatorSharing,
+    faults: &FaultPlan,
+    autoscale: Option<&AutoscaleConfig>,
+) -> bool {
+    engine.config.perf.shard_threads > 1
+        && n_replicas > 1
+        && balancer_name == "round-robin"
+        && faults.schedule.events().is_empty()
+        && faults.policy.request_timeout.is_none()
+        && !faults.policy.sheds()
+        && autoscale.is_none()
+        && (sharing == EstimatorSharing::PerReplica
+            || !engine.estimates()
+            || engine.config.reestimate_every.is_none())
+}
+
+/// Runs each replica as an independent 1-replica simulation over its
+/// `id mod K` slice of the trace, shards spread across
+/// [`PerfConfig::shard_threads`](crate::PerfConfig) OS threads, then
+/// merges the per-shard outcomes into exactly the sequential result:
+/// global batch ids are re-derived from the `(dispatch instant,
+/// replica, local order)` order — the order the unified event loop
+/// commits batches in — and the records and depth timeline are rebuilt
+/// from it.
+fn run_sharded(
+    engine: &ServeEngine<'_>,
+    n_replicas: usize,
+    sharing: EstimatorSharing,
+    per_replica_capacity: f64,
+    trace: Option<&[Request]>,
+) -> ClusterOutcome {
+    let threads = engine.config.perf.shard_threads.min(n_replicas);
+    let run_shard = |r: usize| -> ClusterOutcome {
+        let mut rr = RoundRobin::new();
+        let stream: Box<dyn Iterator<Item = Request> + '_> = match trace {
+            Some(t) => Box::new(
+                t.iter()
+                    .filter(move |req| req.id % n_replicas == r)
+                    .cloned(),
+            ),
+            None => Box::new(
+                engine
+                    .request_stream()
+                    .filter(move |req| req.id % n_replicas == r),
+            ),
+        };
+        run_stream(
+            engine,
+            1,
+            &mut rr,
+            sharing,
+            per_replica_capacity,
+            &FaultPlan::none(),
+            None,
+            stream,
+        )
+    };
+    let mut shards: Vec<Option<ClusterOutcome>> = (0..n_replicas).map(|_| None).collect();
+    if threads <= 1 {
+        for (r, slot) in shards.iter_mut().enumerate() {
+            *slot = Some(run_shard(r));
+        }
+    } else {
+        let run_shard = &run_shard;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (t..n_replicas)
+                            .step_by(threads)
+                            .map(|r| (r, run_shard(r)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (r, out) in handle.join().expect("shard thread panicked") {
+                    shards[r] = Some(out);
+                }
+            }
+        });
+    }
+    let shards: Vec<ClusterOutcome> = shards
+        .into_iter()
+        .map(|s| s.expect("every shard ran"))
+        .collect();
+    merge_shards(engine, shards)
+}
+
+/// Stitches per-shard outcomes back into the sequential result.
+fn merge_shards(engine: &ServeEngine<'_>, shards: Vec<ClusterOutcome>) -> ClusterOutcome {
+    let n_replicas = shards.len();
+    // Re-derive global batch ids. The unified loop commits same-instant
+    // dispatches lowest-replica-first, and a replica's own dispatches in
+    // local order — so sorting (instant, replica, local id) reproduces
+    // the sequential numbering exactly. Each shard's depth timeline has
+    // one sample per dispatch, in the same local order.
+    let mut batches: Vec<(SimTime, usize, usize)> = Vec::new();
+    for (r, shard) in shards.iter().enumerate() {
+        let mut seen = BTreeMap::new();
+        for rec in shard.tracker.records() {
+            seen.entry(rec.batch).or_insert(rec.dispatched);
+        }
+        batches.extend(seen.into_iter().map(|(local, at)| (at, r, local)));
+    }
+    batches.sort_unstable_by_key(|&(at, r, local)| (at, r, local));
+    let global_id: BTreeMap<(usize, usize), usize> = batches
+        .iter()
+        .enumerate()
+        .map(|(g, &(_, r, local))| ((r, local), g))
+        .collect();
+
+    let mut tracker = SloTracker::new(engine.config.slo);
+    for &(at, r, local) in &batches {
+        let depth = shards[r].tracker.depth_timeline()[local].1;
+        debug_assert_eq!(shards[r].tracker.depth_timeline()[local].0, at);
+        tracker.record_depth(at, depth);
+    }
+    let global_id = &global_id;
+    let mut records: Vec<RequestRecord> = shards
+        .iter()
+        .enumerate()
+        .flat_map(|(r, shard)| {
+            shard.tracker.records().iter().map(move |rec| {
+                let mut rec = rec.clone();
+                rec.batch = global_id[&(r, rec.batch)];
+                rec
+            })
+        })
+        .collect();
+    records.sort_by_key(|rec| (rec.batch, rec.id));
+    for rec in records {
+        tracker.record(rec);
+    }
+
+    // The sequential loop's clock ends at the last event anywhere; its
+    // replica_seconds is K repeated f64 additions of that instant.
+    let end = shards
+        .iter()
+        .map(|s| s.last_event)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let replica_seconds: f64 = (0..n_replicas)
+        .map(|_| end.saturating_since(SimTime::ZERO).as_secs_f64())
+        .sum();
+    let plan_cache = shards
+        .iter()
+        .fold(PlanCacheStats::default(), |acc, s| PlanCacheStats {
+            hits: acc.hits + s.plan_cache.hits,
+            misses: acc.misses + s.plan_cache.misses,
+        });
+    ClusterOutcome {
+        tracker,
+        batches: batches.len(),
+        reestimations: shards.iter().map(|s| s.reestimations).sum(),
+        requests_per_replica: shards.iter().map(|s| s.requests_per_replica[0]).collect(),
+        tokens_per_replica: shards.iter().map(|s| s.tokens_per_replica[0]).collect(),
+        batches_per_replica: shards.iter().map(|s| s.batches_per_replica[0]).collect(),
+        aborted_batches: 0,
+        faults_injected: 0,
+        emergency_replacements: 0,
+        recovery_times: Vec::new(),
+        scale_ups: 0,
+        scale_downs: 0,
+        peak_replicas: n_replicas,
+        replica_seconds,
+        last_event: end,
+        plan_cache,
+    }
+}
+
+/// The sequential K-server event loop over an explicit admission
+/// stream (the engine's lazy trace, one shard's filtered slice of it,
+/// or a pre-generated trace), in `(arrival, id)` order.
+#[allow(clippy::too_many_arguments)]
+fn run_stream<'x>(
+    engine: &'x ServeEngine<'_>,
+    n_replicas: usize,
+    balancer: &mut dyn LoadBalancer,
+    sharing: EstimatorSharing,
+    per_replica_capacity: f64,
+    faults: &FaultPlan,
+    autoscale: Option<&AutoscaleConfig>,
+    stream: Box<dyn Iterator<Item = Request> + 'x>,
+) -> ClusterOutcome {
     let config = &engine.config;
     let seeds = config.seeds();
-    let n_requests = config.n_requests;
     let offline = engine
         .needs_scheduler()
         .then(|| engine.offline_scheduler(seeds.profile));
     let reload = provisioning::weight_reload(engine.cost, engine.topo, engine.spec.experts);
+    // One topology clone per run, shared by every executor.
+    let topo = Arc::new(engine.topo.clone());
 
     let replicas: Vec<Replica> = (0..n_replicas)
         .map(|_| Replica {
@@ -1343,10 +1707,11 @@ pub(crate) fn run_on(
             queue: Vec::new(),
             attempts: Vec::new(),
             next: 0,
-            executor: ReplicaExecutor::new(config.network, engine.topo),
+            executor: ReplicaExecutor::new_shared(config.network, topo.clone(), config.perf.queue),
             slot_free: SimTime::ZERO,
             queued_tokens: 0,
             scheduler: offline.clone(),
+            epoch: 0,
             window: ReestimationWindow::new(config.reestimate_window),
             batches: 0,
             healthy: true,
@@ -1380,22 +1745,24 @@ pub(crate) fn run_on(
         two_phase: engine.two_phase_config(),
         sharing,
         per_replica_capacity,
-        n_requests,
         reload,
         // Shared-mode scheduler and window (used when sharing == Shared
         // or the scheme never re-estimates; per-replica mode uses the
         // copies inside each Replica instead).
         shared_scheduler: offline,
         shared_window: ReestimationWindow::new(config.reestimate_window),
+        shared_epoch: 0,
+        epoch_counter: 0,
+        plan_cache: config.perf.plan_cache.then(PlanCache::new),
         replicas,
         // First arrivals stream lazily in `(arrival, id)` order; the
-        // heap holds only re-admissions.
-        stream: engine.request_stream().peekable(),
-        admissions: BinaryHeap::new(),
+        // retry queue holds only re-admissions.
+        stream: stream.peekable(),
+        admissions: EventQueue::with_kind(config.perf.queue),
+        snapshot_scratch: Vec::new(),
         autoscale,
         now: SimTime::ZERO,
         next_fault: 0,
-        retry_seq: 0,
         tracker: SloTracker::new(config.slo),
         records: Vec::new(),
         pending: BTreeMap::new(),
@@ -1414,7 +1781,10 @@ pub(crate) fn run_on(
         recovery_times: Vec::new(),
         #[cfg(debug_assertions)]
         terminal_ids: BTreeSet::new(),
+        #[cfg(debug_assertions)]
+        admitted_ids: BTreeSet::new(),
         engine,
+        topo,
     };
     sim.run()
 }
@@ -1469,6 +1839,7 @@ mod tests {
                 network: lina_runner::NetworkMode::Solo,
                 max_inflight: 1,
                 seed: 0xC1A5,
+                perf: Default::default(),
             },
             replicas,
             balancer: BalancerKind::JoinShortestQueue,

@@ -103,6 +103,10 @@ pub struct ServeConfig {
     /// Master seed: arrivals, request tokens, and the offline profile
     /// all derive from it.
     pub seed: u64,
+    /// Simulator performance knobs ([`crate::PerfConfig`]). Purely an
+    /// implementation setting: any value must reproduce the default's
+    /// outcomes bit for bit.
+    pub perf: crate::PerfConfig,
 }
 
 /// The seed substreams every consumer of a [`ServeConfig`] derives
@@ -177,6 +181,7 @@ impl ServeConfig {
             );
         }
         assert!(self.max_inflight > 0, "serve: max_inflight must be > 0");
+        self.perf.validate();
     }
 }
 
@@ -492,6 +497,7 @@ mod tests {
             network: NetworkMode::Solo,
             max_inflight: 1,
             seed: 0x5EED,
+            perf: crate::PerfConfig::default(),
         }
     }
 

@@ -59,6 +59,7 @@ pub mod batcher;
 pub mod cluster;
 pub mod engine;
 pub mod faults;
+pub mod perf;
 pub mod provisioning;
 pub mod request;
 pub mod slo;
@@ -79,6 +80,8 @@ pub use faults::{
     DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultRateConfig, FaultSchedule, PolicyKind,
 };
 pub use lina_runner::NetworkMode;
+pub use lina_simcore::QueueKind;
+pub use perf::PerfConfig;
 pub use provisioning::{provision_time, weight_reload};
 pub use request::{Request, RequestRecord};
 pub use slo::{FailureRecord, RequestOutcome, SloReport, SloTracker};

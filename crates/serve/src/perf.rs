@@ -1,0 +1,106 @@
+//! Performance knobs for the serving simulator.
+//!
+//! Every knob defaults to the pre-optimization behaviour, and every
+//! non-default setting is required to produce *bit-identical* outcomes
+//! (the equivalence tests in `tests/properties.rs` enforce this): the
+//! knobs change how fast the simulator runs, never what it computes.
+//!
+//! * [`PerfConfig::queue`] — the event-queue backend behind each
+//!   replica's contended network and the cluster re-admission queue
+//!   ([`lina_simcore::QueueKind`]): binary heap (default) or bucketed
+//!   calendar queue.
+//! * [`PerfConfig::plan_cache`] — memoize [`lina_runner::plan_batch`]
+//!   across submissions keyed on (scheme, batch content, scheduler
+//!   epoch); executors then memoize their pure per-plan pricing by
+//!   `Arc` identity, so a hit skips both planning and solo pricing.
+//! * [`PerfConfig::shard_threads`] — run independent replicas on
+//!   separate threads when the scenario has no cross-replica coupling
+//!   (round-robin balancing, no faults, no shedding, no timeout, no
+//!   autoscaler), merging the per-replica timelines deterministically.
+
+use lina_simcore::QueueKind;
+
+/// Simulator performance knobs. [`Default`] is the reference
+/// configuration: binary-heap event queues, no plan cache, one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Event-queue backend for the contended-network executors and the
+    /// cluster re-admission queue.
+    pub queue: QueueKind,
+    /// Memoize execution plans across submissions.
+    pub plan_cache: bool,
+    /// Threads for shard-per-replica parallelism (1 = sequential; the
+    /// sharded path only engages when the scenario is shardable, and
+    /// falls back to the sequential loop otherwise).
+    pub shard_threads: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            queue: QueueKind::BinaryHeap,
+            plan_cache: false,
+            shard_threads: 1,
+        }
+    }
+}
+
+impl PerfConfig {
+    /// The reference configuration (all optimizations off).
+    pub fn reference() -> Self {
+        PerfConfig::default()
+    }
+
+    /// Everything on: calendar queue, plan cache, and as many shard
+    /// threads as the machine offers.
+    pub fn fast() -> Self {
+        PerfConfig {
+            queue: QueueKind::Calendar,
+            plan_cache: true,
+            shard_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shard threads.
+    pub fn validate(&self) {
+        assert!(self.shard_threads > 0, "perf: shard_threads must be > 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reference_behaviour() {
+        let p = PerfConfig::default();
+        assert_eq!(p.queue, QueueKind::BinaryHeap);
+        assert!(!p.plan_cache);
+        assert_eq!(p.shard_threads, 1);
+        assert_eq!(p, PerfConfig::reference());
+    }
+
+    #[test]
+    fn fast_turns_everything_on() {
+        let p = PerfConfig::fast();
+        assert_eq!(p.queue, QueueKind::Calendar);
+        assert!(p.plan_cache);
+        assert!(p.shard_threads >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_threads")]
+    fn zero_threads_rejected() {
+        PerfConfig {
+            shard_threads: 0,
+            ..PerfConfig::default()
+        }
+        .validate();
+    }
+}

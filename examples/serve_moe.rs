@@ -43,6 +43,7 @@ fn config(scheme: InferScheme, rate: f64, n_requests: usize) -> ServeConfig {
         network: NetworkMode::Solo,
         max_inflight: 1,
         seed: 0x11A,
+        perf: Default::default(),
     }
 }
 

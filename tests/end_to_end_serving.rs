@@ -44,6 +44,7 @@ fn config(scheme: InferScheme, rate: f64) -> ServeConfig {
         network: NetworkMode::Solo,
         max_inflight: 1,
         seed: 0xE2E,
+        perf: Default::default(),
     }
 }
 
