@@ -331,6 +331,12 @@ pub const REGISTRY: &[Scenario] = &[
         run: scenarios::serve_contention::run,
     },
     Scenario {
+        id: "serve_resharding",
+        paper_ref: "Serving resharding",
+        description: "proactive expert re-sharding: drift rate x policy x transfer cost vs epoch re-placement",
+        run: scenarios::serve_resharding::run,
+    },
+    Scenario {
         id: "serve_faults",
         paper_ref: "Serving faults",
         description: "fault injection: crash intensity x recovery x degradation policy",
@@ -382,12 +388,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_29_experiments() {
-        assert_eq!(REGISTRY.len(), 29);
+    fn registry_covers_all_30_experiments() {
+        assert_eq!(REGISTRY.len(), 30);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 29, "scenario ids must be unique");
+        assert_eq!(ids.len(), 30, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("perf_microbench").is_some());
         assert!(find("serve_load_sweep").is_some());
@@ -395,6 +401,7 @@ mod tests {
         assert!(find("serve_cluster").is_some());
         assert!(find("serve_contention").is_some());
         assert!(find("serve_faults").is_some());
+        assert!(find("serve_resharding").is_some());
         assert!(find("nope").is_none());
     }
 

@@ -74,6 +74,7 @@ fn cluster_config(serve: ServeConfig) -> ClusterConfig {
         sharing: EstimatorSharing::Shared,
         faults: FaultPlan::none(),
         autoscale: None,
+        resharding: None,
     }
 }
 

@@ -110,6 +110,7 @@ fn cluster_config(
         sharing: EstimatorSharing::Shared,
         faults: FaultPlan::none(),
         autoscale,
+        resharding: None,
     }
 }
 

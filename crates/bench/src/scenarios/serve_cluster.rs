@@ -79,6 +79,7 @@ fn cluster_config(
         sharing,
         faults: FaultPlan::none(),
         autoscale: None,
+        resharding: None,
     }
 }
 

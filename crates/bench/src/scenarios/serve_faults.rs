@@ -76,6 +76,7 @@ fn cluster_config(serve: ServeConfig, faults: FaultPlan) -> ClusterConfig {
         sharing: EstimatorSharing::Shared,
         faults,
         autoscale: None,
+        resharding: None,
     }
 }
 

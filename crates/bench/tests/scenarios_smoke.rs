@@ -24,6 +24,7 @@ fn serving_scenarios_are_registered() {
         "serve_cluster",
         "serve_contention",
         "serve_faults",
+        "serve_resharding",
     ] {
         assert!(
             lina_bench::find(id).is_some(),
@@ -119,6 +120,29 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                 metric("inert_autoscaler_identical"),
                 1.0,
                 "inert autoscaler must be bit-identical to the fixed pool"
+            );
+        }
+        if scenario.id == "serve_resharding" {
+            let metric = |name: &str| {
+                first
+                    .metrics()
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("serve_resharding reports {name}"))
+                    .value
+            };
+            // Proactive re-sharding must match or beat Lina's
+            // epoch-based re-placement on p99 under the drifting trace.
+            assert!(
+                metric("reshard_over_epoch_p99") >= 1.0,
+                "proactive re-sharding must not lose to epoch-based re-placement"
+            );
+            // An armed-but-inert re-sharder reproduces the fixed
+            // cluster bit for bit.
+            assert_eq!(
+                metric("inert_resharding_identical"),
+                1.0,
+                "inert re-sharder must be bit-identical to the fixed cluster"
             );
         }
         if scenario.id == "serve_contention" {

@@ -183,6 +183,30 @@ pub fn plan_batch(
     scheduler: Option<&TwoPhaseScheduler>,
     batch: &TokenBatch,
 ) -> ExecutionPlan {
+    plan_batch_on(cost, topo, config, scheduler, batch, None)
+}
+
+/// [`plan_batch`] against an explicit base shard map: layers that
+/// would fall back to the static one-expert-per-device placement use
+/// `base` instead (the serving cluster's proactive re-sharding
+/// publishes its mutated shard map here, including devices hosting
+/// *replicated* experts — [`assign_replicas`] splits such an expert's
+/// tokens across its replicas). The Lina schemes' per-layer scheduled
+/// placements still take precedence. `base: None` is bit-identical to
+/// [`plan_batch`].
+///
+/// # Panics
+///
+/// Panics if a Lina scheme is requested without a scheduler, or if
+/// `base` leaves some expert hostless.
+pub fn plan_batch_on(
+    cost: &CostModel,
+    topo: &Topology,
+    config: &InferenceConfig,
+    scheduler: Option<&TwoPhaseScheduler>,
+    batch: &TokenBatch,
+    base: Option<&ExpertPlacement>,
+) -> ExecutionPlan {
     let model = &cost.model;
     let devices = topo.devices();
     let layers = model.layers;
@@ -201,7 +225,10 @@ pub fn plan_batch(
         config.scheme
     );
 
-    let static_placement = ExpertPlacement::one_per_device(model.experts, devices);
+    let static_placement = match base {
+        Some(p) => p.clone(),
+        None => ExpertPlacement::one_per_device(model.experts, devices),
+    };
     let attention = cost.attention_fwd(tokens_per_device);
     let gate = cost.gate_fwd(tokens_per_device);
     let combine = cost.combine(tokens_per_device);

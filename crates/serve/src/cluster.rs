@@ -11,8 +11,8 @@
 //! `(time, priority)` order, so the run is deterministic down to the
 //! bit.
 //!
-//! Six event kinds interleave, with the priority breaking ties at one
-//! instant:
+//! Seven event kinds interleave, with the priority breaking ties at
+//! one instant:
 //!
 //! 1. **faults** — the next [`FaultEvent`] of the configured
 //!    [`FaultSchedule`]; a crash at the same instant as a completion
@@ -24,22 +24,44 @@
 //!    cluster every `interval` and may commission or drain replicas;
 //!    it sees the instant's completions but not its admissions, so a
 //!    decision never depends on work it could not have observed;
-//! 4. **admissions** — a request (first arrival from the lazily
+//! 4. **re-shard ticks** — the proactive re-sharder (when armed)
+//!    profiles its per-expert load monitor every `interval` and may
+//!    replicate, evict, or migrate expert replicas
+//!    ([`ReshardPolicy`](crate::ReshardPolicy)); actuation charges the
+//!    modeled PCIe transfer and bumps the plan-cache placement epoch;
+//! 5. **admissions** — a request (first arrival from the lazily
 //!    generated trace stream, or re-admission after a fault) is routed
 //!    by the balancer, which sees only routable replicas; an arrival
 //!    beats a dispatch at the same instant, so a batch-filling arrival
 //!    still joins the batch, exactly as the pre-fault loop's strict
 //!    `dispatch < horizon` rule had it;
-//! 5. **dispatch commits** — a replica's next batch leaves once no
+//! 6. **dispatch commits** — a replica's next batch leaves once no
 //!    earlier event can change it;
-//! 6. **timeouts** — a queued request whose sojourn since its
+//! 7. **timeouts** — a queued request whose sojourn since its
 //!    *original* arrival exceeds the policy's `request_timeout`
 //!    becomes an explicit `TimedOut` outcome (a dispatch at the same
 //!    instant wins: the request just made it).
 //!
-//! With an empty schedule and the inert policy ([`FaultPlan::none`])
-//! and no autoscaler, only kinds 2, 4, and 5 ever fire, in exactly the
-//! pre-fault order — the healthy path is reproduced bit for bit.
+//! With an empty schedule and the inert policy ([`FaultPlan::none`]),
+//! no autoscaler, and no re-sharder, only kinds 2, 5, and 6 ever fire,
+//! in exactly the pre-fault order — the healthy path is reproduced bit
+//! for bit.
+//!
+//! # Proactive re-sharding
+//!
+//! An armed [`ReshardConfig`] turns the static expert placement
+//! dynamic. At every re-shard tick the policy sees each expert's share
+//! of the token-selections in a sliding monitoring window (the same
+//! [`ReestimationWindow`] machinery the online re-estimator uses) and
+//! may emit [`ReshardAction`]s. Applying any action charges every
+//! healthy replica the modeled PCIe transfer for the weights moved
+//! ([`provisioning::reshard_transfer`]), flushes every monitoring and
+//! re-estimation window (their samples predate the new map), and bumps
+//! the plan-cache placement epoch so no memoized plan computed against
+//! the old shard map can ever be served again. Dispatch then plans
+//! against the live shard map — a replicated expert's tokens split
+//! across its replicas inside
+//! [`plan_batch_on`](lina_runner::plan_batch_on).
 //!
 //! # Elastic autoscaling
 //!
@@ -89,11 +111,11 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use lina_model::CostModel;
-use lina_netsim::Topology;
+use lina_model::{CostModel, ExpertPlacement};
+use lina_netsim::{DeviceId, Topology};
 use lina_runner::inference::InferenceConfig;
 use lina_runner::{
-    hash_batch_content, plan_batch, PlanCache, PlanCacheStats, PlanKey, ReplicaExecutor,
+    hash_batch_content, plan_batch_on, PlanCache, PlanCacheStats, PlanKey, ReplicaExecutor,
 };
 use lina_simcore::{EventQueue, SimDuration, SimTime};
 use lina_workload::{TokenBatch, WorkloadSpec};
@@ -105,6 +127,7 @@ use crate::engine::{ReestimationWindow, ServeConfig, ServeEngine};
 use crate::faults::{DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 use crate::provisioning;
 use crate::request::{Request, RequestRecord};
+use crate::resharding::{ReshardAction, ReshardConfig, ReshardObservation, ReshardPolicy};
 use crate::slo::{FailureRecord, RequestOutcome, SloTracker};
 
 use lina_core::{TwoPhaseConfig, TwoPhaseScheduler};
@@ -149,6 +172,9 @@ pub struct ClusterConfig {
     /// (Fault schedules target the initial replicas only — elastically
     /// commissioned replicas are never in a generated schedule.)
     pub autoscale: Option<AutoscaleConfig>,
+    /// Proactive expert re-sharding; `None` keeps the canonical
+    /// expert-per-device placement for the whole run.
+    pub resharding: Option<ReshardConfig>,
 }
 
 impl ClusterConfig {
@@ -164,6 +190,9 @@ impl ClusterConfig {
         self.faults.validate(self.replicas);
         if let Some(autoscale) = &self.autoscale {
             autoscale.validate(self.replicas);
+        }
+        if let Some(resharding) = &self.resharding {
+            resharding.validate();
         }
     }
 }
@@ -201,6 +230,12 @@ pub struct ClusterOutcome {
     pub scale_ups: usize,
     /// Replicas put into drain by autoscale scale-down actions.
     pub scale_downs: usize,
+    /// Expert replicas added by the proactive re-sharder.
+    pub replications: usize,
+    /// Expert replicas dropped by the proactive re-sharder.
+    pub evictions: usize,
+    /// Experts moved wholesale by the proactive re-sharder.
+    pub migrations: usize,
     /// Peak concurrently commissioned (not yet retired) replicas.
     pub peak_replicas: usize,
     /// Integrated pool cost in replica-seconds: each replica accrues
@@ -353,12 +388,13 @@ struct Admission {
 
 /// The next step of the unified event loop, chosen in global
 /// `(time, priority)` order with faults < executor events < control
-/// ticks < admissions < dispatch commits < timeouts at one instant,
-/// and replica ties breaking toward the lowest index.
+/// ticks < re-shard ticks < admissions < dispatch commits < timeouts
+/// at one instant, and replica ties breaking toward the lowest index.
 enum Step {
     Fault,
     Executor(usize, SimTime),
     Control,
+    Reshard,
     Admit,
     Dispatch(usize, Dispatch),
     Timeout(SimTime),
@@ -375,6 +411,7 @@ pub struct ClusterEngine<'a> {
     sharing: EstimatorSharing,
     faults: FaultPlan,
     autoscale: Option<AutoscaleConfig>,
+    resharding: Option<ReshardConfig>,
 }
 
 impl<'a> ClusterEngine<'a> {
@@ -397,6 +434,7 @@ impl<'a> ClusterEngine<'a> {
             sharing: config.sharing,
             faults: config.faults,
             autoscale: config.autoscale,
+            resharding: config.resharding,
         }
     }
 
@@ -448,6 +486,7 @@ impl<'a> ClusterEngine<'a> {
             per_replica_capacity,
             &self.faults,
             self.autoscale.as_ref(),
+            self.resharding.as_ref(),
             trace,
         )
     }
@@ -464,6 +503,101 @@ struct AutoscaleRuntime {
     arrived_since_last: usize,
     /// What a scale-up pays before the new replica is routable.
     provision_time: SimDuration,
+}
+
+/// An armed proactive re-sharder's runtime state inside the event loop.
+struct ReshardRuntime {
+    config: ReshardConfig,
+    policy: Box<dyn ReshardPolicy>,
+    /// Next re-shard tick.
+    next_at: SimTime,
+    /// The per-expert load monitor: a sliding window over recently
+    /// dispatched batches, flushed on every shard-map change so stale
+    /// pre-change samples never drive the next decision.
+    window: ReestimationWindow,
+    /// The live shard map every dispatch plans against once `dirty`.
+    shard_map: ExpertPlacement,
+    /// True once the map diverges from the canonical expert-per-device
+    /// layout; while false, dispatch plans exactly as an unarmed run
+    /// would, so an inert policy is bit-identical off-path.
+    dirty: bool,
+    replications: usize,
+    evictions: usize,
+    migrations: usize,
+}
+
+/// Experts hosted per device under `map` (the crowding signal the
+/// deterministic actuation rules break ties on).
+fn device_load(map: &ExpertPlacement, devices: usize) -> Vec<usize> {
+    let mut load = vec![0usize; devices];
+    for hosts in &map.hosts {
+        for d in hosts {
+            load[d.0 as usize] += 1;
+        }
+    }
+    load
+}
+
+/// Adds a replica of expert `e` on the least-crowded device not
+/// already hosting it (ties toward the lowest id), respecting the
+/// per-device cap. Returns false when no eligible device exists.
+fn add_replica(map: &mut ExpertPlacement, e: usize, devices: usize, cap: usize) -> bool {
+    let load = device_load(map, devices);
+    let target = (0..devices)
+        .filter(|&d| load[d] < cap && !map.hosts[e].contains(&DeviceId(d as u32)))
+        .min_by_key(|&d| (load[d], d));
+    match target {
+        Some(d) => {
+            map.hosts[e].push(DeviceId(d as u32));
+            map.shares[e].push(1.0);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Drops expert `e`'s replica on its most-crowded host (ties toward
+/// the highest device id); refuses to drop the last replica — an
+/// expert must always stay hosted somewhere or planning would panic.
+fn drop_replica(map: &mut ExpertPlacement, e: usize, devices: usize) -> bool {
+    if map.hosts[e].len() <= 1 {
+        return false;
+    }
+    let load = device_load(map, devices);
+    let idx = map.hosts[e]
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, d)| (load[d.0 as usize], d.0))
+        .map(|(idx, _)| idx)
+        .expect("multi-replica expert has hosts");
+    map.hosts[e].remove(idx);
+    map.shares[e].remove(idx);
+    true
+}
+
+/// Moves expert `e` from its most-crowded host to the least-crowded
+/// eligible device, but only when the move strictly reduces crowding;
+/// otherwise a no-op.
+fn migrate_replica(map: &mut ExpertPlacement, e: usize, devices: usize, cap: usize) -> bool {
+    let load = device_load(map, devices);
+    let (idx, src) = match map.hosts[e]
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, d)| (load[d.0 as usize], d.0))
+    {
+        Some((idx, d)) => (idx, *d),
+        None => return false,
+    };
+    let dst = (0..devices)
+        .filter(|&d| load[d] < cap && !map.hosts[e].contains(&DeviceId(d as u32)))
+        .min_by_key(|&d| (load[d], d));
+    match dst {
+        Some(d) if load[d] + 1 < load[src.0 as usize] => {
+            map.hosts[e][idx] = DeviceId(d as u32);
+            true
+        }
+        _ => false,
+    }
 }
 
 /// The unified cluster event loop's state.
@@ -509,6 +643,8 @@ struct ClusterSim<'e, 'a> {
     snapshot_scratch: Vec<ReplicaSnapshot>,
     /// Armed autoscaler, if any.
     autoscale: Option<AutoscaleRuntime>,
+    /// Armed proactive re-sharder, if any.
+    resharding: Option<ReshardRuntime>,
     /// Instant of the most recently processed event (the loop runs in
     /// nondecreasing time order); the cost-accounting end of the run.
     now: SimTime,
@@ -574,7 +710,7 @@ impl ClusterSim<'_, '_> {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         } {
-            consider(&mut best, at, 3, Step::Admit);
+            consider(&mut best, at, 4, Step::Admit);
         }
         let max_inflight = self.engine.config.max_inflight;
         for (i, rep) in self.replicas.iter().enumerate() {
@@ -588,23 +724,28 @@ impl ClusterSim<'_, '_> {
                 .batcher
                 .next_dispatch(&rep.arrivals, rep.next, rep.slot_free)
             {
-                consider(&mut best, d.at, 4, Step::Dispatch(i, d));
+                consider(&mut best, d.at, 5, Step::Dispatch(i, d));
             }
         }
         if let Some(to) = self.policy.request_timeout {
             for rep in &self.replicas {
                 for r in &rep.queue[rep.next..] {
                     let deadline = r.arrival + to;
-                    consider(&mut best, deadline, 5, Step::Timeout(deadline));
+                    consider(&mut best, deadline, 6, Step::Timeout(deadline));
                 }
             }
         }
-        // Control ticks recur forever, so one never drives the loop on
-        // its own: the autoscaler only observes while some other event
-        // still gives the run work to do.
+        // Control and re-shard ticks recur forever, so one never
+        // drives the loop on its own: the controllers only observe
+        // while some other event still gives the run work to do.
         if let Some(rt) = &self.autoscale {
             if best.is_some() {
                 consider(&mut best, rt.next_at, 2, Step::Control);
+            }
+        }
+        if let Some(rt) = &self.resharding {
+            if best.is_some() {
+                consider(&mut best, rt.next_at, 3, Step::Reshard);
             }
         }
         best.map(|(_, _, step)| step)
@@ -624,6 +765,7 @@ impl ClusterSim<'_, '_> {
                     self.complete_on(i, t);
                 }
                 Step::Control => self.control(),
+                Step::Reshard => self.reshard(),
                 Step::Admit => self.admit_next(),
                 Step::Dispatch(i, d) => {
                     self.now = d.at;
@@ -776,6 +918,12 @@ impl ClusterSim<'_, '_> {
         rep.compute_slowdown = 1.0;
         rep.straggler = 1.0;
         rep.executor.set_link_scale(1.0);
+        // The replica's own monitoring samples predate the crash:
+        // flush them so a per-replica re-profile after recovery starts
+        // from post-recovery observations only. (Under shared sharing
+        // dispatch never fills the per-replica window, so this is a
+        // no-op there — the pooled shared window survives untouched.)
+        rep.window.clear();
         rep.slot_free = rep.slot_free.max(at + reload);
     }
 
@@ -799,9 +947,22 @@ impl ClusterSim<'_, '_> {
         rep.compute_slowdown = devices as f64 / (devices - rep.devices_lost) as f64;
         rep.slot_free = rep.slot_free.max(at + reload);
         self.emergency_replacements += 1;
+        // The emergency re-placement rebuilt the expert layout, so
+        // every memoized plan was computed against a placement that no
+        // longer exists: bump the plan-cache epoch *unconditionally* —
+        // even for non-estimating schemes and empty windows — or a
+        // same-content batch after the loss would be served a stale
+        // cached plan.
+        self.epoch_counter += 1;
+        match self.sharing {
+            EstimatorSharing::Shared => self.shared_epoch = self.epoch_counter,
+            EstimatorSharing::PerReplica => self.replicas[i].epoch = self.epoch_counter,
+        }
         // Re-profile immediately from whatever the window holds — an
         // out-of-cycle rebuild (not counted as a periodic
-        // re-estimation) so the next plan reflects current popularity.
+        // re-estimation) so the next plan reflects current popularity
+        // — then flush the source window: its samples were gathered
+        // under the pre-loss placement.
         if self.engine.estimates() {
             let path_length = self.engine.config.path_length;
             match self.sharing {
@@ -810,22 +971,28 @@ impl ClusterSim<'_, '_> {
                         let estimator = self.shared_window.profile(path_length);
                         self.shared_scheduler =
                             Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
-                        self.epoch_counter += 1;
-                        self.shared_epoch = self.epoch_counter;
+                        self.shared_window.clear();
                     }
                 }
                 EstimatorSharing::PerReplica => {
-                    self.epoch_counter += 1;
-                    let epoch = self.epoch_counter;
                     let rep = &mut self.replicas[i];
                     if !rep.window.is_empty() {
                         let estimator = rep.window.profile(path_length);
                         rep.scheduler =
                             Some(TwoPhaseScheduler::new(self.two_phase.clone(), estimator));
-                        rep.epoch = epoch;
+                        rep.window.clear();
                     }
                 }
             }
+        }
+        // A dynamic shard map does not survive the loss either: the
+        // emergency re-replication restores the canonical layout, and
+        // the proactive controller restarts from scratch.
+        if let Some(rt) = &mut self.resharding {
+            rt.shard_map =
+                ExpertPlacement::one_per_device(self.engine.spec.experts, self.engine.topo.devices());
+            rt.dirty = false;
+            rt.window.clear();
         }
     }
 
@@ -1030,6 +1197,106 @@ impl ClusterSim<'_, '_> {
         }
     }
 
+    /// One proactive re-sharding tick: profile the monitoring window
+    /// into per-expert load shares, ask the policy, apply its shard-map
+    /// mutations deterministically, and — when anything changed —
+    /// charge the modeled PCIe transfer for the weights moved, flush
+    /// every monitoring and re-estimation window, and bump the
+    /// plan-cache placement epochs so no plan computed against the old
+    /// map survives.
+    fn reshard(&mut self) {
+        let experts = self.engine.spec.experts;
+        let devices = self.engine.topo.devices();
+        let rt = self
+            .resharding
+            .as_mut()
+            .expect("reshard event without a re-sharder");
+        let at = rt.next_at;
+        rt.next_at = at + rt.config.interval;
+        self.now = at;
+        let counts = rt.window.expert_token_counts(experts);
+        let total: u64 = counts.iter().sum();
+        let share: Vec<f64> = counts
+            .iter()
+            .map(|&c| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            })
+            .collect();
+        let replicas_per_expert: Vec<usize> = rt.shard_map.hosts.iter().map(Vec::len).collect();
+        // Per-device capacity: the canonical density plus one slot of
+        // headroom, so replication always has somewhere to go without
+        // letting the map degenerate into every-expert-everywhere.
+        let cap = experts.div_ceil(devices) + 1;
+        let actions = rt.policy.decide(&ReshardObservation {
+            now: at,
+            expert_share: &share,
+            replicas: &replicas_per_expert,
+            devices,
+            max_experts_per_device: cap,
+        });
+        let mut moved = 0usize;
+        let mut applied = false;
+        for action in actions {
+            match action {
+                ReshardAction::Replicate(e) => {
+                    if add_replica(&mut rt.shard_map, e, devices, cap) {
+                        rt.replications += 1;
+                        moved += 1;
+                        applied = true;
+                    }
+                }
+                ReshardAction::Evict(e) => {
+                    if drop_replica(&mut rt.shard_map, e, devices) {
+                        rt.evictions += 1;
+                        applied = true;
+                    }
+                }
+                ReshardAction::Migrate(e) => {
+                    if migrate_replica(&mut rt.shard_map, e, devices, cap) {
+                        rt.migrations += 1;
+                        moved += 1;
+                        applied = true;
+                    }
+                }
+            }
+        }
+        if !applied {
+            return;
+        }
+        rt.dirty = rt.shard_map != ExpertPlacement::one_per_device(experts, devices);
+        rt.window.clear();
+        // Actuation: each healthy replica stalls behind the PCIe
+        // transfer for the replicas that moved (evictions are free),
+        // priced by the same primitive recovery reloads use.
+        if moved > 0 {
+            let charge = provisioning::reshard_transfer(
+                self.engine.cost,
+                self.engine.topo,
+                moved,
+                rt.config.transfer_cost,
+            );
+            for rep in &mut self.replicas {
+                if rep.healthy && rep.role != ReplicaRole::Retired {
+                    rep.slot_free = rep.slot_free.max(at + charge);
+                }
+            }
+        }
+        // The placement changed: no memoized plan and no window sample
+        // gathered under the old map may survive it.
+        self.epoch_counter += 1;
+        self.shared_epoch = self.epoch_counter;
+        self.shared_window.clear();
+        for rep in &mut self.replicas {
+            self.epoch_counter += 1;
+            rep.epoch = self.epoch_counter;
+            rep.window.clear();
+        }
+    }
+
     /// Routes one admission (first arrival or re-admission) through
     /// the balancer, which sees only routable replicas; applies the
     /// shedding admission controller to first arrivals.
@@ -1194,13 +1461,15 @@ impl ClusterSim<'_, '_> {
             (Some(k), Some(cache)) => cache.get(k),
             _ => None,
         };
-        // The re-estimation window consumes the materialized batch, so
-        // estimating runs always build it; otherwise a cache hit skips
-        // the token-path copy entirely.
-        let needs_window = self.engine.estimates() && self.engine.config.reestimate_every.is_some();
+        // The re-estimation and re-shard monitoring windows consume
+        // the materialized batch, so estimating and re-sharding runs
+        // always build it; otherwise a cache hit skips the token-path
+        // copy entirely.
+        let reestimates = self.engine.estimates() && self.engine.config.reestimate_every.is_some();
+        let needs_window = reestimates || self.resharding.is_some();
         let rep = &self.replicas[i];
         let members = &rep.queue[rep.next..rep.next + d.count];
-        let batch = (needs_window || cached.is_none()).then(|| TokenBatch {
+        let mut batch = (needs_window || cached.is_none()).then(|| TokenBatch {
             tokens: members
                 .iter()
                 .flat_map(|r| r.tokens.iter().cloned())
@@ -1215,12 +1484,21 @@ impl ClusterSim<'_, '_> {
                     EstimatorSharing::Shared => self.shared_scheduler.as_ref(),
                     EstimatorSharing::PerReplica => self.replicas[i].scheduler.as_ref(),
                 };
-                let plan = Arc::new(plan_batch(
+                // A dirty shard map overrides the planner's static
+                // placement; while canonical, planning is untouched —
+                // an armed-but-inert re-sharder stays bit-identical.
+                let base = self
+                    .resharding
+                    .as_ref()
+                    .filter(|rt| rt.dirty)
+                    .map(|rt| &rt.shard_map);
+                let plan = Arc::new(plan_batch_on(
                     self.engine.cost,
                     self.engine.topo,
                     &self.infer,
                     scheduler,
                     batch.as_ref().expect("a cache miss materializes the batch"),
+                    base,
                 ));
                 if let (Some(k), Some(cache)) = (key, &mut self.plan_cache) {
                     cache.insert(k, plan.clone());
@@ -1271,10 +1549,23 @@ impl ClusterSim<'_, '_> {
         rep.batches += 1;
         self.total_batches += 1;
 
+        // The re-shard load monitor samples every dispatched batch
+        // (sharing the materialized copy with the re-estimator when
+        // both are armed).
+        if let Some(rt) = &mut self.resharding {
+            let sample = if reestimates {
+                batch.clone()
+            } else {
+                batch.take()
+            };
+            rt.window
+                .push(sample.expect("armed re-sharding materializes the batch"));
+        }
+
         // Online re-placement: pool observations cluster-wide (shared)
         // or keep them replica-local (per-replica). Every rebuild
         // stamps a fresh plan-cache epoch.
-        if needs_window {
+        if reestimates {
             if let Some(every) = self.engine.config.reestimate_every {
                 let path_length = self.engine.config.path_length;
                 let batch = batch.expect("estimating runs materialize the batch");
@@ -1415,6 +1706,9 @@ impl ClusterSim<'_, '_> {
             recovery_times: self.recovery_times,
             scale_ups: self.scale_ups,
             scale_downs: self.scale_downs,
+            replications: self.resharding.as_ref().map_or(0, |rt| rt.replications),
+            evictions: self.resharding.as_ref().map_or(0, |rt| rt.evictions),
+            migrations: self.resharding.as_ref().map_or(0, |rt| rt.migrations),
             peak_replicas: self.peak_replicas,
             replica_seconds,
             last_event: end,
@@ -1430,6 +1724,7 @@ impl ClusterSim<'_, '_> {
 /// The K-server event loop. `ServeEngine::run` delegates here with one
 /// replica and no faults, so the single-server timeline *is* this loop
 /// at K = 1.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_on(
     engine: &ServeEngine<'_>,
     n_replicas: usize,
@@ -1438,6 +1733,7 @@ pub(crate) fn run_on(
     per_replica_capacity: f64,
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
+    resharding: Option<&ReshardConfig>,
 ) -> ClusterOutcome {
     run_cluster(
         engine,
@@ -1447,6 +1743,7 @@ pub(crate) fn run_on(
         per_replica_capacity,
         faults,
         autoscale,
+        resharding,
         None,
     )
 }
@@ -1463,6 +1760,7 @@ pub(crate) fn run_cluster<'x>(
     per_replica_capacity: f64,
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
+    resharding: Option<&ReshardConfig>,
     trace: Option<Vec<Request>>,
 ) -> ClusterOutcome {
     if shardable(
@@ -1472,6 +1770,7 @@ pub(crate) fn run_cluster<'x>(
         sharing,
         faults,
         autoscale,
+        resharding,
     ) {
         return run_sharded(
             engine,
@@ -1493,6 +1792,7 @@ pub(crate) fn run_cluster<'x>(
         per_replica_capacity,
         faults,
         autoscale,
+        resharding,
         stream,
     )
 }
@@ -1501,8 +1801,10 @@ pub(crate) fn run_cluster<'x>(
 /// sharded one replica per thread and merged bit-identically:
 /// round-robin routing (request `i` goes to replica `i mod K`, load
 /// blind), no faults, no shedding or timeouts (no cross-replica
-/// displacement), no autoscaler, and no *shared* online re-estimation
-/// coupling the schedulers.
+/// displacement), no autoscaler, no re-sharder (a shard-map change is
+/// cluster-global), and no *shared* online re-estimation coupling the
+/// schedulers.
+#[allow(clippy::too_many_arguments)]
 fn shardable(
     engine: &ServeEngine<'_>,
     n_replicas: usize,
@@ -1510,6 +1812,7 @@ fn shardable(
     sharing: EstimatorSharing,
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
+    resharding: Option<&ReshardConfig>,
 ) -> bool {
     engine.config.perf.shard_threads > 1
         && n_replicas > 1
@@ -1518,6 +1821,7 @@ fn shardable(
         && faults.policy.request_timeout.is_none()
         && !faults.policy.sheds()
         && autoscale.is_none()
+        && resharding.is_none()
         && (sharing == EstimatorSharing::PerReplica
             || !engine.estimates()
             || engine.config.reestimate_every.is_none())
@@ -1560,6 +1864,7 @@ fn run_sharded(
             sharing,
             per_replica_capacity,
             &FaultPlan::none(),
+            None,
             None,
             stream,
         )
@@ -1671,6 +1976,9 @@ fn merge_shards(engine: &ServeEngine<'_>, shards: Vec<ClusterOutcome>) -> Cluste
         recovery_times: Vec::new(),
         scale_ups: 0,
         scale_downs: 0,
+        replications: 0,
+        evictions: 0,
+        migrations: 0,
         peak_replicas: n_replicas,
         replica_seconds,
         last_event: end,
@@ -1690,6 +1998,7 @@ fn run_stream<'x>(
     per_replica_capacity: f64,
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
+    resharding: Option<&ReshardConfig>,
     stream: Box<dyn Iterator<Item = Request> + 'x>,
 ) -> ClusterOutcome {
     let config = &engine.config;
@@ -1733,6 +2042,18 @@ fn run_stream<'x>(
         config: cfg.clone(),
     });
 
+    let resharding = resharding.map(|cfg| ReshardRuntime {
+        policy: cfg.policy.build(),
+        next_at: SimTime::ZERO + cfg.interval,
+        window: ReestimationWindow::new(cfg.window),
+        shard_map: ExpertPlacement::one_per_device(engine.spec.experts, engine.topo.devices()),
+        dirty: false,
+        replications: 0,
+        evictions: 0,
+        migrations: 0,
+        config: cfg.clone(),
+    });
+
     let sim = ClusterSim {
         balancer,
         schedule: &faults.schedule,
@@ -1761,6 +2082,7 @@ fn run_stream<'x>(
         admissions: EventQueue::with_kind(config.perf.queue),
         snapshot_scratch: Vec::new(),
         autoscale,
+        resharding,
         now: SimTime::ZERO,
         next_fault: 0,
         tracker: SloTracker::new(config.slo),
@@ -1846,6 +2168,7 @@ mod tests {
             sharing: EstimatorSharing::Shared,
             faults: FaultPlan::none(),
             autoscale: None,
+            resharding: None,
         }
     }
 
@@ -2384,5 +2707,133 @@ mod tests {
         let mut c = config(InferScheme::Baseline, 500.0, 1);
         c.autoscale = Some(scripted(Vec::new(), 2, 4, 1));
         ClusterEngine::new(&cost, &topo, &spec, c);
+    }
+
+    use crate::resharding::{ReshardAction, ReshardConfig, ReshardPolicyKind};
+
+    fn scripted_reshard(script: Vec<Vec<ReshardAction>>, interval_ms: u64) -> ReshardConfig {
+        ReshardConfig {
+            policy: ReshardPolicyKind::Scripted { script },
+            interval: SimDuration::from_millis(interval_ms),
+            window: 8,
+            transfer_cost: 1.0,
+        }
+    }
+
+    #[test]
+    fn armed_inert_resharder_matches_the_fixed_cluster() {
+        let (cost, topo, spec) = world();
+        let fixed = serve_cluster(&cost, &topo, &spec, config(InferScheme::Lina, 800.0, 3));
+        let mut c = config(InferScheme::Lina, 800.0, 3);
+        c.resharding = Some(ReshardConfig::inert(SimDuration::from_millis(1)));
+        let armed = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(fixed.tracker.records(), armed.tracker.records());
+        assert_eq!(
+            fixed.tracker.depth_timeline(),
+            armed.tracker.depth_timeline()
+        );
+        assert_eq!(fixed.report(), armed.report());
+        assert_eq!(fixed.requests_per_replica, armed.requests_per_replica);
+        assert_eq!(fixed.reestimations, armed.reestimations);
+        assert_eq!(fixed.batches, armed.batches);
+        assert_eq!(armed.replications, 0);
+        assert_eq!(armed.evictions, 0);
+        assert_eq!(armed.migrations, 0);
+        assert_eq!(fixed.replica_seconds, armed.replica_seconds);
+    }
+
+    #[test]
+    fn scripted_replication_splits_the_hot_expert_and_serves() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2000.0, 1);
+        c.resharding = Some(scripted_reshard(vec![vec![ReshardAction::Replicate(0)]], 1));
+        let out = serve_cluster(&cost, &topo, &spec, c.clone());
+        assert_eq!(out.replications, 1, "the scripted replication lands");
+        assert_eq!(out.report().requests, 96, "re-sharding loses nothing");
+        assert!(out.tracker.failures().is_empty());
+        // Bit-identical replay: actuation is deterministic.
+        let again = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(out.tracker.records(), again.tracker.records());
+        assert_eq!(out.replications, again.replications);
+        // The replicated map diverges from the unsharded timeline: the
+        // transfer charge and the split expert must show somewhere.
+        let fixed = serve_cluster(&cost, &topo, &spec, config(InferScheme::Baseline, 2000.0, 1));
+        assert_ne!(
+            fixed.tracker.records(),
+            out.tracker.records(),
+            "an applied replication must change the timeline"
+        );
+    }
+
+    #[test]
+    fn replicate_then_evict_returns_to_the_canonical_map() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 2000.0, 1);
+        c.resharding = Some(scripted_reshard(
+            vec![
+                vec![ReshardAction::Replicate(0)],
+                vec![ReshardAction::Evict(0)],
+            ],
+            1,
+        ));
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(out.replications, 1);
+        assert_eq!(out.evictions, 1, "the replicated expert can shed its copy");
+        assert_eq!(out.report().requests, 96);
+        assert!(out.tracker.failures().is_empty());
+    }
+
+    #[test]
+    fn eviction_never_strands_a_single_homed_expert() {
+        let (cost, topo, spec) = world();
+        let fixed = serve_cluster(&cost, &topo, &spec, config(InferScheme::Baseline, 2000.0, 1));
+        let mut c = config(InferScheme::Baseline, 2000.0, 1);
+        // Every expert starts single-homed: the eviction must refuse
+        // (planning panics on a hostless expert) and the refused no-op
+        // must leave the run bit-identical to the fixed cluster.
+        c.resharding = Some(scripted_reshard(vec![vec![ReshardAction::Evict(3)]], 1));
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(out.evictions, 0, "the last replica is never evicted");
+        assert_eq!(fixed.tracker.records(), out.tracker.records());
+        assert_eq!(fixed.report(), out.report());
+    }
+
+    /// Regression test for the placement-consistency bug: an emergency
+    /// device-loss re-placement (which also resets a dynamic shard map
+    /// to canonical) must bump the plan-cache epoch *unconditionally*,
+    /// or a post-loss batch whose content digest collides with a
+    /// pre-loss one is served a plan computed against the old map.
+    /// With the bump, memoized and unmemoized runs are bit-identical.
+    #[test]
+    fn device_loss_bumps_the_plan_cache_epoch() {
+        let (cost, topo, spec) = world();
+        // Ideal hashes batch content by token count only, so every
+        // full batch shares one cache key per epoch — maximal stale
+        // reuse if the loss fails to bump.
+        let mut c = config(InferScheme::Ideal, 2000.0, 1);
+        c.serve.reestimate_every = None;
+        c.resharding = Some(scripted_reshard(vec![vec![ReshardAction::Replicate(0)]], 1));
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![FaultEvent {
+                at: SimTime::from_millis(5),
+                replica: 0,
+                kind: FaultKind::DeviceLoss,
+            }]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let mut memoized = c.clone();
+        memoized.serve.perf.plan_cache = true;
+        let plain = serve_cluster(&cost, &topo, &spec, c);
+        let memo = serve_cluster(&cost, &topo, &spec, memoized);
+        assert!(
+            memo.plan_cache.hits > 0,
+            "the cache must actually be exercised"
+        );
+        assert_eq!(
+            plain.tracker.records(),
+            memo.tracker.records(),
+            "memoization must never change the timeline across a loss"
+        );
+        assert_eq!(plain.report(), memo.report());
     }
 }

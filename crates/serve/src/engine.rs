@@ -220,6 +220,31 @@ impl ReestimationWindow {
     pub(crate) fn is_empty(&self) -> bool {
         self.batches.is_empty()
     }
+
+    /// Drops every windowed batch. Called when the shard map changes
+    /// (re-placement, recovery, re-sharding): samples observed under
+    /// the old placement would otherwise blend into post-placement
+    /// cost estimates.
+    pub(crate) fn clear(&mut self) {
+        self.batches.clear();
+    }
+
+    /// Token-selections routed to each expert across the windowed
+    /// batches, summed over every layer — the per-expert load signal
+    /// the re-sharding monitor reads.
+    pub(crate) fn expert_token_counts(&self, experts: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; experts];
+        for batch in &self.batches {
+            for tok in &batch.tokens {
+                for layer in &tok.selections {
+                    for &e in layer {
+                        counts[e as usize] += 1;
+                    }
+                }
+            }
+        }
+        counts
+    }
 }
 
 /// Everything a serving run produced.
@@ -396,6 +421,7 @@ impl<'a> ServeEngine<'a> {
             crate::EstimatorSharing::Shared,
             0.0,
             &crate::FaultPlan::none(),
+            None,
             None,
         );
         ServeOutcome {

@@ -41,6 +41,12 @@
 //!   work before decommissioning, and the run reports its integrated
 //!   pool cost in replica-seconds — the cost axis of the cost-vs-SLO
 //!   frontier ([`ClusterOutcome::replica_seconds`]);
+//! * proactive expert re-sharding — a [`ReshardPolicy`] fed by an
+//!   online per-expert load monitor replicates hot experts, evicts
+//!   cold replicas, and migrates experts mid-serving
+//!   ([`resharding`]); actuation pays the modeled PCIe transfer
+//!   ([`provisioning::reshard_transfer`]) and bumps the plan-cache
+//!   placement epoch so executors re-plan against the new shard map;
 //! * diurnal traffic — [`ArrivalProcess::Diurnal`] composes a
 //!   sinusoidal base rate with seeded flash-crowd overlays, and every
 //!   arrival process streams lazily
@@ -62,6 +68,7 @@ pub mod faults;
 pub mod perf;
 pub mod provisioning;
 pub mod request;
+pub mod resharding;
 pub mod slo;
 
 pub use arrival::{ArrivalProcess, ArrivalStream};
@@ -82,6 +89,10 @@ pub use faults::{
 pub use lina_runner::NetworkMode;
 pub use lina_simcore::QueueKind;
 pub use perf::PerfConfig;
-pub use provisioning::{provision_time, weight_reload};
+pub use provisioning::{provision_time, reshard_transfer, weight_reload};
 pub use request::{Request, RequestRecord};
+pub use resharding::{
+    InertPolicy, ReshardAction, ReshardConfig, ReshardObservation, ReshardPolicy,
+    ReshardPolicyKind, ScriptedReshardPolicy, ThresholdReshardPolicy,
+};
 pub use slo::{FailureRecord, RequestOutcome, SloReport, SloTracker};

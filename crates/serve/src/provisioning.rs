@@ -37,6 +37,22 @@ pub fn provision_time(cost: &CostModel, topo: &Topology, experts: usize) -> SimD
     weight_reload(cost, topo, experts)
 }
 
+/// Wall-clock cost of a proactive re-sharding actuation that moves
+/// `moved` expert-weight replicas (replications and migrations copy
+/// one replica each; evictions are free). Priced as `moved` serial
+/// [`expert_swap`](CostModel::expert_swap)s over PCIe, scaled by the
+/// configured `transfer_cost` — the same transfer primitive the
+/// reload helpers above charge, so reactive recovery and proactive
+/// re-sharding can never drift apart on what moving weights costs.
+pub fn reshard_transfer(
+    cost: &CostModel,
+    topo: &Topology,
+    moved: usize,
+    transfer_cost: f64,
+) -> SimDuration {
+    (cost.expert_swap(topo.spec().pcie_bw) * (moved as u64)).mul_f64(transfer_cost)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +71,21 @@ mod tests {
             cost.expert_swap(topo.spec().pcie_bw) * (8usize.div_ceil(topo.devices()) as u64);
         assert_eq!(weight_reload(&cost, &topo, 8), inline);
         assert_eq!(provision_time(&cost, &topo, 8), inline);
+    }
+
+    #[test]
+    fn reshard_transfer_prices_serial_swaps() {
+        let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
+        let topo = Topology::new(ClusterSpec::with_total_gpus(8));
+        let cost = CostModel::new(DeviceSpec::a100_inference(), model);
+        let swap = cost.expert_swap(topo.spec().pcie_bw);
+        assert_eq!(reshard_transfer(&cost, &topo, 3, 1.0), swap * 3);
+        assert_eq!(reshard_transfer(&cost, &topo, 2, 0.5), swap);
+        assert_eq!(
+            reshard_transfer(&cost, &topo, 5, 0.0),
+            SimDuration::ZERO,
+            "free transfers model an idealized interconnect"
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use lina_netsim::{ClusterSpec, Topology};
 use lina_serve::{
     serve, serve_cluster, ArrivalProcess, AutoscaleConfig, AutoscalePolicyKind, BalancerKind,
     Batcher, BatcherConfig, ClusterConfig, DegradationPolicy, EstimatorSharing, FaultPlan,
-    FaultRateConfig, FaultSchedule, NetworkMode, PerfConfig, QueueKind, ScaleDecision, ServeConfig,
-    ServeEngine,
+    FaultRateConfig, FaultSchedule, NetworkMode, PerfConfig, QueueKind, ReshardAction,
+    ReshardConfig, ReshardPolicyKind, ScaleDecision, ServeConfig, ServeEngine,
 };
 use lina_simcore::{Rng, SimDuration, SimTime};
 use lina_workload::WorkloadSpec;
@@ -186,6 +186,7 @@ fn cluster_conserves_and_is_deterministic_across_policies() {
                 sharing,
                 faults: FaultPlan::none(),
                 autoscale: None,
+                resharding: None,
             };
             let n = config.serve.n_requests;
             let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -432,6 +433,7 @@ fn faults_conserve_every_request_and_stay_deterministic() {
             sharing: EstimatorSharing::Shared,
             faults: FaultPlan { schedule, policy },
             autoscale: None,
+            resharding: None,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -494,6 +496,7 @@ fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
             sharing,
             faults: FaultPlan::none(),
             autoscale: None,
+            resharding: None,
         };
         let healthy = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -558,6 +561,7 @@ fn arbitrary_autoscale_decisions_conserve_and_stay_deterministic() {
                 min_replicas: 1,
                 max_replicas,
             }),
+            resharding: None,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -626,6 +630,7 @@ fn inert_autoscaler_is_bit_identical_to_fixed_cluster() {
             sharing: EstimatorSharing::Shared,
             faults: FaultPlan::none(),
             autoscale: None,
+            resharding: None,
         };
         let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -647,6 +652,136 @@ fn inert_autoscaler_is_bit_identical_to_fixed_cluster() {
         assert_eq!(elastic.scale_downs, 0);
         assert_eq!(elastic.peak_replicas, replicas);
         assert_eq!(fixed.replica_seconds, elastic.replica_seconds);
+    }
+}
+
+/// Conservation and bit-determinism survive *arbitrary* re-shard
+/// schedules: a scripted policy replays meta-rng-generated
+/// replications, evictions, and migrations at a random control cadence
+/// under every balancer, and every request still reaches exactly one
+/// terminal outcome with all tokens accounted for, twice identically.
+#[test]
+fn arbitrary_reshard_schedules_conserve_and_stay_deterministic() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x2E5A);
+    for (round, balancer) in [
+        BalancerKind::RoundRobin,
+        BalancerKind::JoinShortestQueue,
+        BalancerKind::LeastExpectedLatency,
+    ]
+    .into_iter()
+    .cycle()
+    .take(6)
+    .enumerate()
+    {
+        let scheme = if meta.bernoulli(0.5) {
+            InferScheme::Lina
+        } else {
+            InferScheme::Baseline
+        };
+        let experts = spec.experts;
+        let script: Vec<Vec<ReshardAction>> = (0..8 + meta.index(16))
+            .map(|_| {
+                (0..meta.index(3))
+                    .map(|_| match meta.index(3) {
+                        0 => ReshardAction::Replicate(meta.index(experts)),
+                        1 => ReshardAction::Evict(meta.index(experts)),
+                        _ => ReshardAction::Migrate(meta.index(experts)),
+                    })
+                    .collect()
+            })
+            .collect();
+        let config = ClusterConfig {
+            serve: arb_config(&mut meta, scheme),
+            replicas: 1 + meta.index(3),
+            balancer,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan::none(),
+            autoscale: None,
+            resharding: Some(ReshardConfig {
+                policy: ReshardPolicyKind::Scripted { script },
+                interval: SimDuration::from_micros(meta.below(3_000) + 200),
+                window: 4 + meta.index(8),
+                transfer_cost: meta.uniform(0.0, 2.0),
+            }),
+        };
+        let n = config.serve.n_requests;
+        let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .sum();
+        let out = serve_cluster(&cost, &topo, &spec, config.clone());
+
+        let mut ids: Vec<usize> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.id)
+            .chain(out.tracker.failures().iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "round {round}: every request exactly one terminal outcome under re-sharding"
+        );
+        let terminal_tokens: usize = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.tokens)
+            .chain(out.tracker.failures().iter().map(|f| f.tokens))
+            .sum();
+        assert_eq!(terminal_tokens, offered_tokens, "round {round}: tokens");
+
+        let again = serve_cluster(&cost, &topo, &spec, config);
+        assert_eq!(out.tracker.records(), again.tracker.records());
+        assert_eq!(out.tracker.failures(), again.tracker.failures());
+        assert_eq!(out.replications, again.replications);
+        assert_eq!(out.evictions, again.evictions);
+        assert_eq!(out.migrations, again.migrations);
+        assert_eq!(out.report(), again.report(), "round {round}: determinism");
+    }
+}
+
+/// Degeneracy: an *armed* re-sharder running the inert policy observes
+/// at every tick but can never mutate the shard map — it must
+/// reproduce the fixed cluster bit for bit, mirroring the autoscale
+/// and fault degeneracy suites.
+#[test]
+fn inert_resharder_is_bit_identical_to_fixed_cluster() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x12E5);
+    for _ in 0..4 {
+        let config = ClusterConfig {
+            serve: arb_config(&mut meta, InferScheme::Lina),
+            replicas: 1 + meta.index(4),
+            balancer: BalancerKind::JoinShortestQueue,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan::none(),
+            autoscale: None,
+            resharding: None,
+        };
+        let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
+        let mut armed = config.clone();
+        armed.resharding = Some(ReshardConfig::inert(SimDuration::from_micros(
+            meta.below(2_000) + 100,
+        )));
+        let dynamic = serve_cluster(&cost, &topo, &spec, armed);
+        assert_eq!(fixed.tracker.records(), dynamic.tracker.records());
+        assert_eq!(
+            fixed.tracker.depth_timeline(),
+            dynamic.tracker.depth_timeline()
+        );
+        assert_eq!(fixed.report(), dynamic.report());
+        assert_eq!(fixed.requests_per_replica, dynamic.requests_per_replica);
+        assert_eq!(fixed.batches, dynamic.batches);
+        assert_eq!(fixed.reestimations, dynamic.reestimations);
+        assert_eq!(dynamic.replications, 0);
+        assert_eq!(dynamic.evictions, 0);
+        assert_eq!(dynamic.migrations, 0);
+        assert_eq!(fixed.replica_seconds, dynamic.replica_seconds);
     }
 }
 
@@ -715,6 +850,7 @@ fn perf_knobs_are_bit_identical_to_reference() {
             },
             faults,
             autoscale: None,
+            resharding: None,
         };
         let reference = serve_cluster(&cost, &topo, &spec, config.clone());
         for perf in variants {
@@ -769,6 +905,7 @@ fn sharded_execution_is_bit_identical_to_sequential() {
             sharing,
             faults: FaultPlan::none(),
             autoscale: None,
+            resharding: None,
         };
         let sequential = serve_cluster(&cost, &topo, &spec, config.clone());
         for threads in [2, 5] {
@@ -816,6 +953,7 @@ fn unshardable_scenario_falls_back_to_sequential() {
         sharing: EstimatorSharing::Shared,
         faults: FaultPlan::none(),
         autoscale: None,
+        resharding: None,
     };
     let sequential = serve_cluster(&cost, &topo, &spec, config.clone());
     let mut tuned = config.clone();

@@ -354,11 +354,22 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        // Integer part per the JSON grammar: a lone `0`, or a nonzero
+        // digit followed by any digits (no leading zeros).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit in number")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
@@ -368,14 +379,24 @@ impl Parser<'_> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(&format!("invalid number {text:?}")))
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number {text:?}")))?;
+        // A magnitude past f64 range would silently re-serialize as
+        // `null` (the serializer maps non-finite to `null`); refuse it
+        // instead of losing the value.
+        if !v.is_finite() {
+            return Err(self.err(&format!("number {text:?} overflows f64")));
+        }
+        Ok(Json::Num(v))
     }
 }
 
@@ -483,6 +504,66 @@ mod tests {
     }
 
     #[test]
+    fn parse_round_trips_exponent_notation_losslessly() {
+        // Exponent-notation numbers come from external tools, never
+        // from this serializer; they must parse to the exact value and
+        // survive a render -> parse cycle bit for bit.
+        for (text, value) in [
+            ("1e-3", 1e-3),
+            ("1E-3", 1e-3),
+            ("2.5e10", 2.5e10),
+            ("-1.25E-7", -1.25e-7),
+            ("5e+0", 5.0),
+            ("9.109383e-31", 9.109383e-31),
+            ("6.02214076e23", 6.02214076e23),
+            ("0e0", 0.0),
+        ] {
+            let parsed = Json::parse(text).unwrap();
+            assert_eq!(parsed, Json::Num(value), "{text}");
+            let rendered = parsed.render_compact();
+            let back = Json::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), value.to_bits(), "{text} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn fuzzed_numbers_round_trip_bit_for_bit() {
+        // Property: every finite f64 bit pattern the serializer can
+        // emit survives render -> parse -> render unchanged.
+        let mut rng = crate::Rng::new(0x12E5);
+        let mut checked = 0;
+        while checked < 2_000 {
+            let v = f64::from_bits(rng.next_u64());
+            if !v.is_finite() {
+                continue;
+            }
+            checked += 1;
+            let doc = Json::Arr(vec![Json::Num(v)]);
+            let rendered = doc.render_compact();
+            let parsed = Json::parse(&rendered).unwrap();
+            let back = parsed.as_arr().unwrap()[0].as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {rendered}");
+            assert_eq!(parsed.render_compact(), rendered);
+        }
+        // And random exponent-notation inputs agree with Rust's own
+        // float parser — overflow to infinity is a parse error, not a
+        // silent `null` on re-serialization.
+        for _ in 0..500 {
+            let mantissa = (rng.next_u64() % 2_000_001) as i64 - 1_000_000;
+            let frac = rng.next_u64() % 1_000;
+            let exp = (rng.next_u64() % 641) as i64 - 320;
+            let text = format!("{mantissa}.{frac:03}e{exp}");
+            let expect: f64 = text.parse().unwrap();
+            if expect.is_finite() {
+                let parsed = Json::parse(&text).unwrap().as_f64().unwrap();
+                assert_eq!(parsed.to_bits(), expect.to_bits(), "{text}");
+            } else {
+                Json::parse(&text).expect_err(&text);
+            }
+        }
+    }
+
+    #[test]
     fn parse_rejects_malformed_documents() {
         for bad in [
             "",
@@ -496,6 +577,15 @@ mod tests {
             "{\"a\":1} trailing",
             "\"bad \\q escape\"",
             "\"\\ud800\"",
+            // Strict JSON number grammar.
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "1e+",
+            "-",
+            "--1",
+            "1e999",
         ] {
             let e = Json::parse(bad).expect_err(bad);
             assert!(e.contains("json parse error at byte"), "{bad}: {e}");
