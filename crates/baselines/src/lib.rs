@@ -7,8 +7,10 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod policies;
 pub mod schemes;
 
+pub use affinity::affinity_placement;
 pub use policies::{FairSharePolicy, FixedSchedulePolicy, NaivePriorityPolicy};
 pub use schemes::{InferScheme, TrainScheme};

@@ -201,6 +201,15 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
+    // Locality-fraction trend: how much dispatch traffic the current
+    // placements keep off the wire. Informational — the gated p99 and
+    // attainment metrics already fail on regressions; these lines let
+    // CI logs track the placement quality that produced them.
+    for ((id, name), value) in cur.iter() {
+        if name.contains("locality_fraction") {
+            println!("INFO  {id}/{name}: {value:.4} (informational, not gated)");
+        }
+    }
     // Wall-clock throughput trend, per scenario: informational only,
     // so CI logs show when the simulator itself gets faster or slower.
     let cur_wall: std::collections::BTreeMap<_, _> = cur_walls.into_iter().collect();

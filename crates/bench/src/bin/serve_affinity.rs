@@ -1,0 +1,8 @@
+//! Thin wrapper: runs the `serve_affinity` scenario from the registry
+//! at the `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/serve_affinity.rs` for the
+//! experiment body.
+
+fn main() {
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
+}

@@ -337,6 +337,12 @@ pub const REGISTRY: &[Scenario] = &[
         run: scenarios::serve_resharding::run,
     },
     Scenario {
+        id: "serve_affinity",
+        paper_ref: "Serving affinity",
+        description: "inter-layer affinity placement: map correlation x placement arm under locality-aware all-to-alls",
+        run: scenarios::serve_affinity::run,
+    },
+    Scenario {
         id: "serve_faults",
         paper_ref: "Serving faults",
         description: "fault injection: crash intensity x recovery x degradation policy",
@@ -388,12 +394,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_30_experiments() {
-        assert_eq!(REGISTRY.len(), 30);
+    fn registry_covers_all_31_experiments() {
+        assert_eq!(REGISTRY.len(), 31);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 30, "scenario ids must be unique");
+        assert_eq!(ids.len(), 31, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("perf_microbench").is_some());
         assert!(find("serve_load_sweep").is_some());
@@ -402,6 +408,7 @@ mod tests {
         assert!(find("serve_contention").is_some());
         assert!(find("serve_faults").is_some());
         assert!(find("serve_resharding").is_some());
+        assert!(find("serve_affinity").is_some());
         assert!(find("nope").is_none());
     }
 

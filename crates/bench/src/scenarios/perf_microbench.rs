@@ -75,6 +75,8 @@ fn cluster_config(serve: ServeConfig) -> ClusterConfig {
         faults: FaultPlan::none(),
         autoscale: None,
         resharding: None,
+        placement: None,
+        locality: false,
     }
 }
 

@@ -111,6 +111,8 @@ fn cluster_config(
         faults: FaultPlan::none(),
         autoscale,
         resharding: None,
+        placement: None,
+        locality: false,
     }
 }
 

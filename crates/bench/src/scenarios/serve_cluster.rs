@@ -80,6 +80,8 @@ fn cluster_config(
         faults: FaultPlan::none(),
         autoscale: None,
         resharding: None,
+        placement: None,
+        locality: false,
     }
 }
 

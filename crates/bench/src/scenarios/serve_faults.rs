@@ -77,6 +77,8 @@ fn cluster_config(serve: ServeConfig, faults: FaultPlan) -> ClusterConfig {
         faults,
         autoscale: None,
         resharding: None,
+        placement: None,
+        locality: false,
     }
 }
 

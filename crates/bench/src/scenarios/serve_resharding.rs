@@ -106,6 +106,8 @@ fn cluster_config(serve: ServeConfig, resharding: Option<ReshardConfig>) -> Clus
         faults: FaultPlan::none(),
         autoscale: None,
         resharding,
+        placement: None,
+        locality: false,
     }
 }
 

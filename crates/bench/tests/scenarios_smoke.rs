@@ -25,6 +25,7 @@ fn serving_scenarios_are_registered() {
         "serve_contention",
         "serve_faults",
         "serve_resharding",
+        "serve_affinity",
     ] {
         assert!(
             lina_bench::find(id).is_some(),
@@ -143,6 +144,30 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                 metric("inert_resharding_identical"),
                 1.0,
                 "inert re-sharder must be bit-identical to the fixed cluster"
+            );
+        }
+        if scenario.id == "serve_affinity" {
+            let metric = |name: &str| {
+                first
+                    .metrics()
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("serve_affinity reports {name}"))
+                    .value
+            };
+            // Affinity-aware placement must match or beat the
+            // canonical layout's tail under the same locality pricing
+            // at the strongest swept correlation.
+            assert!(
+                metric("affinity_over_independent_p99") >= 1.0,
+                "affinity placement must not lose to the independent layout"
+            );
+            // An armed-but-canonical layered base with locality off
+            // reproduces the plain cluster bit for bit.
+            assert_eq!(
+                metric("uniform_layered_identical"),
+                1.0,
+                "canonical layered base must be bit-identical to the plain run"
             );
         }
         if scenario.id == "serve_contention" {

@@ -18,4 +18,4 @@ pub use config::{BatchShape, ModelKind, MoeModelConfig};
 pub use cost::{CostModel, DeviceSpec};
 pub use graph::{CommClass, CommMeta, Op, OpGraph, OpId, OpKind};
 pub use passes::{balanced_routing, build_train_step, A2aChunking, GradCommMode, TrainStepOptions};
-pub use routing::{assign_replicas, DispatchPlan, ExpertPlacement, LayerRouting};
+pub use routing::{assign_replicas, DispatchPlan, ExpertPlacement, LayerRouting, LayeredPlacement};

@@ -209,6 +209,166 @@ impl ExpertPlacement {
     pub fn is_complete(&self) -> bool {
         self.hosts.iter().all(|hs| !hs.is_empty())
     }
+
+    /// Experts hosted per device (the crowding signal the
+    /// deterministic shard-map mutations below break ties on).
+    pub fn device_load(&self, devices: usize) -> Vec<usize> {
+        let mut load = vec![0usize; devices];
+        for hosts in &self.hosts {
+            for d in hosts {
+                load[d.0 as usize] += 1;
+            }
+        }
+        load
+    }
+
+    /// Adds a replica of expert `e` on the least-crowded device not
+    /// already hosting it (ties toward the lowest id), respecting the
+    /// per-device cap. Returns false when no eligible device exists.
+    pub fn add_replica(&mut self, e: usize, devices: usize, cap: usize) -> bool {
+        let load = self.device_load(devices);
+        let target = (0..devices)
+            .filter(|&d| load[d] < cap && !self.hosts[e].contains(&DeviceId(d as u32)))
+            .min_by_key(|&d| (load[d], d));
+        match target {
+            Some(d) => {
+                self.hosts[e].push(DeviceId(d as u32));
+                self.shares[e].push(1.0);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops expert `e`'s replica on its most-crowded host (ties toward
+    /// the highest device id); refuses to drop the last replica — an
+    /// expert must always stay hosted somewhere or planning would panic.
+    pub fn drop_replica(&mut self, e: usize, devices: usize) -> bool {
+        if self.hosts[e].len() <= 1 {
+            return false;
+        }
+        let load = self.device_load(devices);
+        let idx = self.hosts[e]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| (load[d.0 as usize], d.0))
+            .map(|(idx, _)| idx)
+            .expect("multi-replica expert has hosts");
+        self.hosts[e].remove(idx);
+        self.shares[e].remove(idx);
+        true
+    }
+
+    /// Moves expert `e` from its most-crowded host to the least-crowded
+    /// eligible device, but only when the move strictly reduces
+    /// crowding; otherwise a no-op.
+    pub fn migrate_replica(&mut self, e: usize, devices: usize, cap: usize) -> bool {
+        let load = self.device_load(devices);
+        let (idx, src) = match self.hosts[e]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| (load[d.0 as usize], d.0))
+        {
+            Some((idx, d)) => (idx, *d),
+            None => return false,
+        };
+        let dst = (0..devices)
+            .filter(|&d| load[d] < cap && !self.hosts[e].contains(&DeviceId(d as u32)))
+            .min_by_key(|&d| (load[d], d));
+        match dst {
+            Some(d) if load[d] + 1 < load[src.0 as usize] => {
+                self.hosts[e][idx] = DeviceId(d as u32);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One [`ExpertPlacement`] per MoE layer.
+///
+/// Historically a single placement was applied identically to every
+/// layer; a `LayeredPlacement` makes the per-layer structure first
+/// class so an affinity-aware placer can co-locate experts that are
+/// chosen *in sequence* by the same token — the planner then prices
+/// each layer's all-to-all against that layer's own map. The
+/// [`uniform`](Self::uniform) constructor reproduces the historical
+/// behavior bit for bit: every layer shares one map, and planning
+/// reduces to exactly the single-map walk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayeredPlacement {
+    layers: Vec<ExpertPlacement>,
+}
+
+impl LayeredPlacement {
+    /// The historical shape: one placement applied to every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn uniform(placement: ExpertPlacement, layers: usize) -> Self {
+        assert!(layers > 0, "LayeredPlacement: zero layers");
+        LayeredPlacement {
+            layers: vec![placement; layers],
+        }
+    }
+
+    /// A genuinely per-layer placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or the layers disagree on the
+    /// expert count.
+    pub fn from_layers(layers: Vec<ExpertPlacement>) -> Self {
+        assert!(!layers.is_empty(), "LayeredPlacement: zero layers");
+        let experts = layers[0].experts();
+        assert!(
+            layers.iter().all(|p| p.experts() == experts),
+            "LayeredPlacement: layers disagree on expert count"
+        );
+        LayeredPlacement { layers }
+    }
+
+    /// The placement for layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer(&self, l: usize) -> &ExpertPlacement {
+        &self.layers[l]
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Experts per layer.
+    pub fn experts(&self) -> usize {
+        self.layers[0].experts()
+    }
+
+    /// All per-layer placements, in layer order.
+    pub fn layers(&self) -> &[ExpertPlacement] {
+        &self.layers
+    }
+
+    /// Mutable access to every layer's placement (the serving
+    /// cluster's re-sharder actuates one action across all layers).
+    pub fn layers_mut(&mut self) -> &mut [ExpertPlacement] {
+        &mut self.layers
+    }
+
+    /// True when every layer shares one identical map (the historical
+    /// shape the bit-identity contract pins).
+    pub fn is_uniform(&self) -> bool {
+        self.layers.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// True if every expert has a host on every layer.
+    pub fn is_complete(&self) -> bool {
+        self.layers.iter().all(ExpertPlacement::is_complete)
+    }
 }
 
 /// Result of mapping a routing onto a placement.
@@ -543,5 +703,95 @@ mod tests {
         let mut r = LayerRouting::empty(16, 1);
         r.counts[0][0] = 5;
         assign_replicas(&r, &p, &topo);
+    }
+
+    #[test]
+    fn device_load_counts_hosted_replicas() {
+        let mut p = ExpertPlacement::one_per_device(4, 8);
+        assert_eq!(p.device_load(8), vec![1, 1, 1, 1, 0, 0, 0, 0]);
+        p.hosts[0].push(DeviceId(4));
+        p.shares[0].push(1.0);
+        assert_eq!(p.device_load(8), vec![1, 1, 1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn add_replica_prefers_least_crowded_lowest_id() {
+        let mut p = ExpertPlacement::one_per_device(4, 8);
+        assert!(p.add_replica(0, 8, 2));
+        // Devices 4..8 are empty; the lowest id wins.
+        assert_eq!(p.hosts[0], vec![DeviceId(0), DeviceId(4)]);
+        assert_eq!(p.shares[0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_replica_respects_cap_and_existing_hosts() {
+        // Every device already hosts one expert; cap 1 leaves nowhere.
+        let mut p = ExpertPlacement::one_per_device(4, 4);
+        assert!(!p.add_replica(0, 4, 1));
+        // Cap 2 allows a second tenant (lowest id not hosting 0 is 1).
+        assert!(p.add_replica(0, 4, 2));
+        assert_eq!(p.hosts[0], vec![DeviceId(0), DeviceId(1)]);
+    }
+
+    #[test]
+    fn drop_replica_refuses_last_and_picks_most_crowded() {
+        let mut p = ExpertPlacement::one_per_device(4, 4);
+        assert!(!p.drop_replica(0, 4), "last replica must survive");
+        assert!(p.add_replica(0, 4, 2));
+        // Device 1 now hosts two experts (1 and the new replica of 0):
+        // it is the most crowded, so the drop peels the replica there.
+        assert!(p.drop_replica(0, 4));
+        assert_eq!(p.hosts[0], vec![DeviceId(0)]);
+        assert_eq!(p.shares[0], vec![1.0]);
+    }
+
+    #[test]
+    fn migrate_replica_only_when_strictly_better() {
+        // Expert 0 shares device 0 with experts 1 and 2; devices 2 and
+        // 3 are empty — migrating strictly reduces crowding.
+        let mut p = ExpertPlacement::uniform(vec![
+            vec![DeviceId(0)],
+            vec![DeviceId(0)],
+            vec![DeviceId(0)],
+        ]);
+        assert!(p.migrate_replica(0, 4, 2));
+        assert_eq!(p.hosts[0], vec![DeviceId(1)]);
+        // A balanced map has no strictly better home: no-op.
+        let mut q = ExpertPlacement::one_per_device(4, 4);
+        assert!(!q.migrate_replica(0, 4, 2));
+        assert_eq!(q.hosts[0], vec![DeviceId(0)]);
+    }
+
+    #[test]
+    fn uniform_layered_placement_replicates_one_map() {
+        let base = ExpertPlacement::one_per_device(4, 8);
+        let lp = LayeredPlacement::uniform(base.clone(), 6);
+        assert_eq!(lp.n_layers(), 6);
+        assert_eq!(lp.experts(), 4);
+        assert!(lp.is_uniform());
+        assert!(lp.is_complete());
+        for l in 0..6 {
+            assert_eq!(lp.layer(l), &base);
+        }
+    }
+
+    #[test]
+    fn from_layers_keeps_per_layer_maps() {
+        let a = ExpertPlacement::one_per_device(4, 8);
+        let mut b = a.clone();
+        assert!(b.add_replica(2, 8, 2));
+        let lp = LayeredPlacement::from_layers(vec![a.clone(), b.clone()]);
+        assert_eq!(lp.layer(0), &a);
+        assert_eq!(lp.layer(1), &b);
+        assert!(!lp.is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on expert count")]
+    fn from_layers_rejects_mismatched_experts() {
+        LayeredPlacement::from_layers(vec![
+            ExpertPlacement::one_per_device(4, 8),
+            ExpertPlacement::one_per_device(5, 8),
+        ]);
     }
 }

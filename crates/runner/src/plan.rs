@@ -15,7 +15,7 @@
 
 use lina_baselines::InferScheme;
 use lina_core::{PhaseOne, PhaseTwo, TwoPhaseScheduler};
-use lina_model::{assign_replicas, CostModel, ExpertPlacement, LayerRouting};
+use lina_model::{assign_replicas, CostModel, ExpertPlacement, LayerRouting, LayeredPlacement};
 use lina_netsim::{AllToAllAlgo, CollectiveSpec, DeviceId, Topology};
 use lina_simcore::SimDuration;
 use lina_workload::TokenBatch;
@@ -97,12 +97,31 @@ pub struct ExecutionPlan {
     pub tokens: usize,
     /// Per-layer stages in execution order.
     pub layers: Vec<LayerPlan>,
+    /// Under locality-aware pricing: token-hops that skipped the
+    /// dispatch wire (the layer's expert already lived on the token's
+    /// device, or on the device that computed its previous layer's
+    /// expert). Always 0 when locality pricing is off.
+    pub local_hops: u64,
+    /// Under locality-aware pricing: token-hops whose dispatch crossed
+    /// the wire. Always 0 when locality pricing is off.
+    pub routed_hops: u64,
 }
 
 impl ExecutionPlan {
     /// Number of model layers.
     pub fn n_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Fraction of token-hops that skipped the dispatch wire under
+    /// locality-aware pricing (0 when the plan was priced without it).
+    pub fn locality_fraction(&self) -> f64 {
+        let total = self.local_hops + self.routed_hops;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hops as f64 / total as f64
+        }
     }
 
     /// Stretches every per-device expert-compute segment by `factor`
@@ -207,6 +226,80 @@ pub fn plan_batch_on(
     batch: &TokenBatch,
     base: Option<&ExpertPlacement>,
 ) -> ExecutionPlan {
+    let spec = PlanSpec {
+        base: base.map(BasePlacement::Single),
+        locality: false,
+    };
+    plan_batch_with(cost, topo, config, scheduler, batch, &spec)
+}
+
+/// [`plan_batch`] against per-layer base placements: every layer that
+/// would fall back to the static map uses its *own* entry of the
+/// [`LayeredPlacement`] instead. `spec.locality` additionally turns on
+/// locality-aware all-to-all pricing (see [`PlanSpec`]).
+/// `PlanSpec::default()` is bit-identical to [`plan_batch`], and a
+/// [`LayeredPlacement::uniform`] base is bit-identical to
+/// [`plan_batch_on`] with the same single map.
+///
+/// # Panics
+///
+/// Panics if a Lina scheme is requested without a scheduler, if a
+/// layered base disagrees with the model's layer or expert count, or
+/// if a base leaves some expert hostless.
+pub fn plan_batch_layered(
+    cost: &CostModel,
+    topo: &Topology,
+    config: &InferenceConfig,
+    scheduler: Option<&TwoPhaseScheduler>,
+    batch: &TokenBatch,
+    base: Option<&LayeredPlacement>,
+    locality: bool,
+) -> ExecutionPlan {
+    let spec = PlanSpec {
+        base: base.map(BasePlacement::Layered),
+        locality,
+    };
+    plan_batch_with(cost, topo, config, scheduler, batch, &spec)
+}
+
+/// The planner's base-placement source: the canonical static map, one
+/// map shared by every layer, or a first-class per-layer map.
+#[derive(Clone, Copy, Debug)]
+pub enum BasePlacement<'a> {
+    /// One map applied identically to every layer (the historical
+    /// shape; the serving re-sharder's single shard map).
+    Single(&'a ExpertPlacement),
+    /// A per-layer map (affinity-aware placement).
+    Layered(&'a LayeredPlacement),
+}
+
+/// Planner options beyond the scheme: the base placement and the
+/// locality-aware pricing toggle.
+///
+/// With `locality` on, a token whose layer-`l` expert lives on the
+/// device that computed its layer-`l-1` expert (or on its own
+/// attention shard) contributes **no dispatch bytes** for that hop:
+/// the activation is already resident, so the all-to-all is priced on
+/// the actually-crossing token counts. Both executors inherit this
+/// automatically — Solo and Contended price collectives from the
+/// [`CollectiveSpec`]s built here. The default (`locality: false`,
+/// `base: None`) reproduces the historical planner bit for bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanSpec<'a> {
+    /// Base placement for layers without a scheduled one.
+    pub base: Option<BasePlacement<'a>>,
+    /// Price all-to-alls on actually-crossing token counts.
+    pub locality: bool,
+}
+
+fn plan_batch_with(
+    cost: &CostModel,
+    topo: &Topology,
+    config: &InferenceConfig,
+    scheduler: Option<&TwoPhaseScheduler>,
+    batch: &TokenBatch,
+    spec: &PlanSpec<'_>,
+) -> ExecutionPlan {
     let model = &cost.model;
     let devices = topo.devices();
     let layers = model.layers;
@@ -225,10 +318,38 @@ pub fn plan_batch_on(
         config.scheme
     );
 
-    let static_placement = match base {
-        Some(p) => p.clone(),
-        None => ExpertPlacement::one_per_device(model.experts, devices),
+    if let Some(BasePlacement::Layered(lp)) = spec.base {
+        assert_eq!(
+            lp.n_layers(),
+            layers,
+            "plan: layered base has {} layers, model has {layers}",
+            lp.n_layers()
+        );
+        assert_eq!(
+            lp.experts(),
+            model.experts,
+            "plan: layered base has {} experts, model has {}",
+            lp.experts(),
+            model.experts
+        );
+    }
+    // Built lazily only when no base was supplied; per-layer lookups
+    // borrow instead of cloning a map per layer per batch.
+    let canonical = spec
+        .base
+        .is_none()
+        .then(|| ExpertPlacement::one_per_device(model.experts, devices));
+    let static_for = |layer: usize| -> &ExpertPlacement {
+        match spec.base {
+            Some(BasePlacement::Single(p)) => p,
+            Some(BasePlacement::Layered(lp)) => lp.layer(layer),
+            None => canonical.as_ref().expect("built when base is None"),
+        }
     };
+    // The Ideal scheme's balanced routing is synthetic — it does not
+    // correspond to the batch's token paths, so there is no resident
+    // copy to ride on.
+    let locality = spec.locality && config.scheme != InferScheme::Ideal;
     let attention = cost.attention_fwd(tokens_per_device);
     let gate = cost.gate_fwd(tokens_per_device);
     let combine = cost.combine(tokens_per_device);
@@ -237,8 +358,18 @@ pub fn plan_batch_on(
     let mut plan = ExecutionPlan {
         tokens: batch.len(),
         layers: Vec::with_capacity(layers),
+        local_hops: 0,
+        routed_hops: 0,
     };
     let mut pending_phase_one: Option<PhaseOne> = None;
+    // Locality pricing tracks, per token, the device that computed its
+    // previous layer's (primary) expert — `None` at layer 0 or when
+    // the expert was replicated (the ride target is ambiguous).
+    let mut prev_host: Vec<Option<DeviceId>> = if locality {
+        vec![None; batch.len()]
+    } else {
+        Vec::new()
+    };
 
     for layer in 0..layers {
         // Actual routing (Ideal forces a balanced gate).
@@ -301,12 +432,51 @@ pub fn plan_batch_on(
             }
         }
 
-        let dispatch_plan = assign_replicas(
-            &routing,
-            placement.as_ref().unwrap_or(&static_placement),
-            topo,
-        );
-        let dispatch = a2a_spec(topo, &dispatch_plan.sizes, model.token_bytes());
+        let used_placement = placement.as_ref().unwrap_or_else(|| static_for(layer));
+        let dispatch_plan = assign_replicas(&routing, used_placement, topo);
+        // Locality-aware pricing: a token whose layer-l expert lives
+        // where its layer-(l-1) expert computed (or on its own
+        // attention shard) never touches the dispatch wire — its
+        // activation is already resident. The collective is priced on
+        // the reduced, actually-crossing matrix; compute is untouched
+        // (every token still runs on its expert's device). Only the
+        // top-1 copy can ride; with `top_k > 1` the secondary copies
+        // always dispatch from the token's shard. Replicated experts
+        // are priced conservatively (no ride — which replica serves
+        // the token is a load-balancing decision, not a residency
+        // guarantee).
+        let dispatch = if locality {
+            let host_of: Vec<Option<DeviceId>> = used_placement
+                .hosts
+                .iter()
+                .map(|hs| if hs.len() == 1 { Some(hs[0]) } else { None })
+                .collect();
+            let mut sizes = dispatch_plan.sizes.clone();
+            for t in 0..batch.len() {
+                let Some(&e) = batch.tokens[t]
+                    .selections
+                    .get(layer)
+                    .and_then(|sel| sel.first())
+                else {
+                    continue;
+                };
+                let this_host = host_of[e as usize];
+                let home = batch.device_of(t);
+                match this_host {
+                    Some(h) if h.0 as usize == home => plan.local_hops += 1,
+                    Some(h) if prev_host[t] == Some(h) => {
+                        plan.local_hops += 1;
+                        debug_assert!(sizes[home][h.0 as usize] > 0);
+                        sizes[home][h.0 as usize] -= 1;
+                    }
+                    _ => plan.routed_hops += 1,
+                }
+                prev_host[t] = this_host;
+            }
+            a2a_spec(topo, &sizes, model.token_bytes())
+        } else {
+            a2a_spec(topo, &dispatch_plan.sizes, model.token_bytes())
+        };
 
         // Expert computation per device: sequential over hosted
         // experts with double-buffered weight swaps; a post-gate

@@ -20,6 +20,11 @@
 //!   expert selections. `Ideal` hashes only the length, because a
 //!   balanced gate ignores the actual paths — which is exactly why its
 //!   hit rate approaches 100%.
+//! * **placement** — a 128-bit digest of the per-layer base placement
+//!   and the locality-pricing toggle (see [`hash_layered_placement`]);
+//!   0 for the canonical static map. Two runs' dispatches that share
+//!   scheduler state and batch content but plan against different
+//!   layered placements must never share a plan.
 //!
 //! Cached plans are [`Arc`]-shared: executors downstream memoize their
 //! own pure per-plan work (solo pricing) by `Arc` identity, so a cache
@@ -29,6 +34,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lina_baselines::InferScheme;
+use lina_model::LayeredPlacement;
 use lina_workload::TokenPath;
 
 use crate::plan::ExecutionPlan;
@@ -45,6 +51,10 @@ pub struct PlanKey {
     pub epoch: u64,
     /// 128-bit digest of the batch content (see [`hash_batch_content`]).
     pub content: u128,
+    /// 128-bit digest of the per-layer base placement and locality
+    /// toggle (see [`hash_layered_placement`]); 0 for the canonical
+    /// static map without locality pricing.
+    pub placement: u128,
 }
 
 /// Hit/miss counters, surfaced in the `perf_microbench` scenario.
@@ -184,15 +194,43 @@ pub fn hash_batch_content<'a>(
     h.finish()
 }
 
+/// Digest of the planner's base-placement inputs for [`PlanKey`]: the
+/// locality-pricing toggle plus, per layer, every expert's replica
+/// hosts and share weights. Returns 0 for the canonical configuration
+/// (`base: None`, locality off) so legacy keys are unchanged.
+pub fn hash_layered_placement(base: Option<&LayeredPlacement>, locality: bool) -> u128 {
+    if base.is_none() && !locality {
+        return 0;
+    }
+    let mut h = Fnv128::new();
+    h.write_u64(locality as u64);
+    if let Some(lp) = base {
+        h.write_u64(lp.n_layers() as u64);
+        for layer in lp.layers() {
+            for (hosts, shares) in layer.hosts.iter().zip(&layer.shares) {
+                h.write_u64(hosts.len() as u64);
+                for (d, &w) in hosts.iter().zip(shares) {
+                    h.write_u64(d.0 as u64);
+                    h.write_u64(w.to_bits());
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::plan::ExecutionPlan;
+    use lina_model::ExpertPlacement;
 
     fn dummy_plan(tokens: usize) -> Arc<ExecutionPlan> {
         Arc::new(ExecutionPlan {
             tokens,
             layers: Vec::new(),
+            local_hops: 0,
+            routed_hops: 0,
         })
     }
 
@@ -202,6 +240,7 @@ mod tests {
             top_k: 1,
             epoch,
             content,
+            placement: 0,
         }
     }
 
@@ -234,6 +273,37 @@ mod tests {
         }
         assert!(cache.len() <= CACHE_CAP);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn placement_digest_separates_layouts() {
+        assert_eq!(
+            hash_layered_placement(None, false),
+            0,
+            "canonical configuration keeps the legacy zero digest"
+        );
+        assert_ne!(hash_layered_placement(None, true), 0);
+        let a = LayeredPlacement::uniform(ExpertPlacement::one_per_device(4, 4), 2);
+        let swapped = ExpertPlacement::uniform(
+            (0..4u32)
+                .map(|e| vec![lina_netsim::DeviceId(3 - e)])
+                .collect(),
+        );
+        let b = LayeredPlacement::uniform(swapped, 2);
+        assert_eq!(
+            hash_layered_placement(Some(&a), true),
+            hash_layered_placement(Some(&a), true)
+        );
+        assert_ne!(
+            hash_layered_placement(Some(&a), true),
+            hash_layered_placement(Some(&b), true),
+            "different layouts must never share a plan"
+        );
+        assert_ne!(
+            hash_layered_placement(Some(&a), true),
+            hash_layered_placement(Some(&a), false),
+            "the locality toggle changes pricing, so it changes the key"
+        );
     }
 
     #[test]

@@ -111,11 +111,12 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use lina_model::{CostModel, ExpertPlacement};
-use lina_netsim::{DeviceId, Topology};
+use lina_model::{CostModel, ExpertPlacement, LayeredPlacement};
+use lina_netsim::Topology;
 use lina_runner::inference::InferenceConfig;
 use lina_runner::{
-    hash_batch_content, plan_batch_on, PlanCache, PlanCacheStats, PlanKey, ReplicaExecutor,
+    hash_batch_content, hash_layered_placement, plan_batch_layered, PlanCache, PlanCacheStats,
+    PlanKey, ReplicaExecutor,
 };
 use lina_simcore::{EventQueue, SimDuration, SimTime};
 use lina_workload::{TokenBatch, WorkloadSpec};
@@ -175,6 +176,16 @@ pub struct ClusterConfig {
     /// Proactive expert re-sharding; `None` keeps the canonical
     /// expert-per-device placement for the whole run.
     pub resharding: Option<ReshardConfig>,
+    /// Per-layer base expert placement every replica plans against;
+    /// `None` keeps the canonical expert-per-device map at every
+    /// layer. An armed re-sharder starts from this map and mutates
+    /// every layer in lockstep; a device loss resets back to it.
+    pub placement: Option<LayeredPlacement>,
+    /// Locality-aware all-to-all pricing: tokens whose consecutive
+    /// primary experts are co-located skip the dispatch wire (see
+    /// [`lina_runner::plan_batch_layered`]). Off reproduces the
+    /// historical pricing bit for bit.
+    pub locality: bool,
 }
 
 impl ClusterConfig {
@@ -245,6 +256,13 @@ pub struct ClusterOutcome {
     /// Instant of the last event the loop processed — the simulated
     /// span of the run (throughput denominators, shard merging).
     pub last_event: SimTime,
+    /// Primary-expert hops across all planned batches that were priced
+    /// as local handoffs under locality-aware pricing (zero with
+    /// locality off).
+    pub local_hops: u64,
+    /// Primary-expert hops that paid the dispatch wire (zero with
+    /// locality off — the planner only counts when it prices).
+    pub routed_hops: u64,
     /// Plan-cache counters (all zero when the cache is off).
     pub plan_cache: PlanCacheStats,
 }
@@ -261,6 +279,18 @@ impl ClusterOutcome {
         let max = self.requests_per_replica.iter().copied().max().unwrap_or(0);
         let min = self.requests_per_replica.iter().copied().min().unwrap_or(0);
         max as f64 / (min as f64).max(1.0)
+    }
+
+    /// Fraction of primary-expert hops priced as local handoffs under
+    /// locality-aware pricing; zero when locality was off (no hops
+    /// were counted at all).
+    pub fn locality_fraction(&self) -> f64 {
+        let total = self.local_hops + self.routed_hops;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hops as f64 / total as f64
+        }
     }
 
     /// Mean time from a work-displacing crash until all of its
@@ -412,6 +442,8 @@ pub struct ClusterEngine<'a> {
     faults: FaultPlan,
     autoscale: Option<AutoscaleConfig>,
     resharding: Option<ReshardConfig>,
+    placement: Option<LayeredPlacement>,
+    locality: bool,
 }
 
 impl<'a> ClusterEngine<'a> {
@@ -419,7 +451,9 @@ impl<'a> ClusterEngine<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the config is invalid (see [`ClusterConfig::validate`]).
+    /// Panics if the config is invalid (see [`ClusterConfig::validate`]),
+    /// or if a base placement disagrees with the model's layer count or
+    /// the workload's expert count, or leaves an expert unhosted.
     pub fn new(
         cost: &'a CostModel,
         topo: &'a Topology,
@@ -427,6 +461,22 @@ impl<'a> ClusterEngine<'a> {
         config: ClusterConfig,
     ) -> Self {
         config.validate();
+        if let Some(p) = &config.placement {
+            assert_eq!(
+                p.n_layers(),
+                cost.model.layers,
+                "cluster: base placement layer count must match the model"
+            );
+            assert_eq!(
+                p.experts(),
+                spec.experts,
+                "cluster: base placement expert count must match the workload"
+            );
+            assert!(
+                p.is_complete(),
+                "cluster: base placement must host every expert at every layer"
+            );
+        }
         ClusterEngine {
             engine: ServeEngine::new(cost, topo, spec, config.serve),
             replicas: config.replicas,
@@ -435,6 +485,8 @@ impl<'a> ClusterEngine<'a> {
             faults: config.faults,
             autoscale: config.autoscale,
             resharding: config.resharding,
+            placement: config.placement,
+            locality: config.locality,
         }
     }
 
@@ -487,6 +539,8 @@ impl<'a> ClusterEngine<'a> {
             &self.faults,
             self.autoscale.as_ref(),
             self.resharding.as_ref(),
+            self.placement.as_ref(),
+            self.locality,
             trace,
         )
     }
@@ -515,88 +569,34 @@ struct ReshardRuntime {
     /// dispatched batches, flushed on every shard-map change so stale
     /// pre-change samples never drive the next decision.
     window: ReestimationWindow,
-    /// The live shard map every dispatch plans against once `dirty`.
-    shard_map: ExpertPlacement,
-    /// True once the map diverges from the canonical expert-per-device
-    /// layout; while false, dispatch plans exactly as an unarmed run
-    /// would, so an inert policy is bit-identical off-path.
+    /// The live per-layer shard map every dispatch plans against once
+    /// `dirty`. Actuation mutates every layer in lockstep (see
+    /// [`ExpertPlacement::add_replica`] and friends), so a uniform
+    /// starting map stays uniform and the historical single-map counts
+    /// are reproduced exactly.
+    shard_map: LayeredPlacement,
+    /// True once the map diverges from the run's base layout (the
+    /// configured placement, or canonical expert-per-device); while
+    /// false, dispatch plans exactly as an unarmed run would, so an
+    /// inert policy is bit-identical off-path.
     dirty: bool,
     replications: usize,
     evictions: usize,
     migrations: usize,
 }
 
-/// Experts hosted per device under `map` (the crowding signal the
-/// deterministic actuation rules break ties on).
-fn device_load(map: &ExpertPlacement, devices: usize) -> Vec<usize> {
-    let mut load = vec![0usize; devices];
-    for hosts in &map.hosts {
-        for d in hosts {
-            load[d.0 as usize] += 1;
-        }
-    }
-    load
-}
-
-/// Adds a replica of expert `e` on the least-crowded device not
-/// already hosting it (ties toward the lowest id), respecting the
-/// per-device cap. Returns false when no eligible device exists.
-fn add_replica(map: &mut ExpertPlacement, e: usize, devices: usize, cap: usize) -> bool {
-    let load = device_load(map, devices);
-    let target = (0..devices)
-        .filter(|&d| load[d] < cap && !map.hosts[e].contains(&DeviceId(d as u32)))
-        .min_by_key(|&d| (load[d], d));
-    match target {
-        Some(d) => {
-            map.hosts[e].push(DeviceId(d as u32));
-            map.shares[e].push(1.0);
-            true
-        }
-        None => false,
-    }
-}
-
-/// Drops expert `e`'s replica on its most-crowded host (ties toward
-/// the highest device id); refuses to drop the last replica — an
-/// expert must always stay hosted somewhere or planning would panic.
-fn drop_replica(map: &mut ExpertPlacement, e: usize, devices: usize) -> bool {
-    if map.hosts[e].len() <= 1 {
-        return false;
-    }
-    let load = device_load(map, devices);
-    let idx = map.hosts[e]
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, d)| (load[d.0 as usize], d.0))
-        .map(|(idx, _)| idx)
-        .expect("multi-replica expert has hosts");
-    map.hosts[e].remove(idx);
-    map.shares[e].remove(idx);
-    true
-}
-
-/// Moves expert `e` from its most-crowded host to the least-crowded
-/// eligible device, but only when the move strictly reduces crowding;
-/// otherwise a no-op.
-fn migrate_replica(map: &mut ExpertPlacement, e: usize, devices: usize, cap: usize) -> bool {
-    let load = device_load(map, devices);
-    let (idx, src) = match map.hosts[e]
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, d)| (load[d.0 as usize], d.0))
-    {
-        Some((idx, d)) => (idx, *d),
-        None => return false,
-    };
-    let dst = (0..devices)
-        .filter(|&d| load[d] < cap && !map.hosts[e].contains(&DeviceId(d as u32)))
-        .min_by_key(|&d| (load[d], d));
-    match dst {
-        Some(d) if load[d] + 1 < load[src.0 as usize] => {
-            map.hosts[e][idx] = DeviceId(d as u32);
-            true
-        }
-        _ => false,
+/// The base per-layer map a run plans against while no re-shard
+/// action has diverged from it: the configured placement, or the
+/// canonical expert-per-device layout repeated at every layer.
+fn default_shard_map(
+    base: Option<&LayeredPlacement>,
+    experts: usize,
+    devices: usize,
+    layers: usize,
+) -> LayeredPlacement {
+    match base {
+        Some(p) => p.clone(),
+        None => LayeredPlacement::uniform(ExpertPlacement::one_per_device(experts, devices), layers),
     }
 }
 
@@ -631,6 +631,23 @@ struct ClusterSim<'e, 'a> {
     epoch_counter: u64,
     /// Plan memoization across submissions ([`PerfConfig::plan_cache`](crate::PerfConfig)).
     plan_cache: Option<PlanCache>,
+    /// The configured per-layer base placement; `None` plans against
+    /// the canonical expert-per-device map at every layer.
+    base_map: Option<&'e LayeredPlacement>,
+    /// Locality-aware all-to-all pricing toggle (see
+    /// [`lina_runner::plan_batch_layered`]).
+    locality: bool,
+    /// [`PlanKey::placement`] for this run, computed once: the base
+    /// placement and locality toggle never change mid-run, and every
+    /// dynamic shard-map change already bumps the plan-cache epoch, so
+    /// the digest never needs a refresh.
+    placement_digest: u128,
+    /// Primary-expert hops priced as local handoffs, accumulated from
+    /// every planned batch (cache hits included — a memoized plan's
+    /// counters are as real as a fresh one's).
+    local_hops: u64,
+    /// Primary-expert hops that paid the dispatch wire.
+    routed_hops: u64,
     replicas: Vec<Replica>,
     /// First arrivals in `(arrival, id)` order: the lazily generated
     /// trace stream, a shard's filtered view of it, or a pre-generated
@@ -986,11 +1003,16 @@ impl ClusterSim<'_, '_> {
             }
         }
         // A dynamic shard map does not survive the loss either: the
-        // emergency re-replication restores the canonical layout, and
+        // emergency re-replication restores the run's base layout, and
         // the proactive controller restarts from scratch.
+        let base_map = self.base_map;
         if let Some(rt) = &mut self.resharding {
-            rt.shard_map =
-                ExpertPlacement::one_per_device(self.engine.spec.experts, self.engine.topo.devices());
+            rt.shard_map = default_shard_map(
+                base_map,
+                self.engine.spec.experts,
+                self.engine.topo.devices(),
+                self.engine.cost.model.layers,
+            );
             rt.dirty = false;
             rt.window.clear();
         }
@@ -1207,6 +1229,8 @@ impl ClusterSim<'_, '_> {
     fn reshard(&mut self) {
         let experts = self.engine.spec.experts;
         let devices = self.engine.topo.devices();
+        let layers = self.engine.cost.model.layers;
+        let base_map = self.base_map;
         let rt = self
             .resharding
             .as_mut()
@@ -1226,7 +1250,10 @@ impl ClusterSim<'_, '_> {
                 }
             })
             .collect();
-        let replicas_per_expert: Vec<usize> = rt.shard_map.hosts.iter().map(Vec::len).collect();
+        // The policy sees one layer's replica counts: actuation keeps
+        // every layer in lockstep, so layer 0 speaks for the map.
+        let replicas_per_expert: Vec<usize> =
+            rt.shard_map.layer(0).hosts.iter().map(Vec::len).collect();
         // Per-device capacity: the canonical density plus one slot of
         // headroom, so replication always has somewhere to go without
         // letting the map degenerate into every-expert-everywhere.
@@ -1238,25 +1265,42 @@ impl ClusterSim<'_, '_> {
             devices,
             max_experts_per_device: cap,
         });
+        // Each action mutates every layer of the map in lockstep; a
+        // layer where the deterministic rule finds no eligible move is
+        // skipped, and the action counts once if any layer moved. On a
+        // uniform map every layer accepts or refuses identically, so
+        // the historical single-map counts are reproduced exactly.
         let mut moved = 0usize;
         let mut applied = false;
         for action in actions {
             match action {
                 ReshardAction::Replicate(e) => {
-                    if add_replica(&mut rt.shard_map, e, devices, cap) {
+                    let mut ok = false;
+                    for layer in rt.shard_map.layers_mut() {
+                        ok |= layer.add_replica(e, devices, cap);
+                    }
+                    if ok {
                         rt.replications += 1;
                         moved += 1;
                         applied = true;
                     }
                 }
                 ReshardAction::Evict(e) => {
-                    if drop_replica(&mut rt.shard_map, e, devices) {
+                    let mut ok = false;
+                    for layer in rt.shard_map.layers_mut() {
+                        ok |= layer.drop_replica(e, devices);
+                    }
+                    if ok {
                         rt.evictions += 1;
                         applied = true;
                     }
                 }
                 ReshardAction::Migrate(e) => {
-                    if migrate_replica(&mut rt.shard_map, e, devices, cap) {
+                    let mut ok = false;
+                    for layer in rt.shard_map.layers_mut() {
+                        ok |= layer.migrate_replica(e, devices, cap);
+                    }
+                    if ok {
                         rt.migrations += 1;
                         moved += 1;
                         applied = true;
@@ -1267,7 +1311,7 @@ impl ClusterSim<'_, '_> {
         if !applied {
             return;
         }
-        rt.dirty = rt.shard_map != ExpertPlacement::one_per_device(experts, devices);
+        rt.dirty = rt.shard_map != default_shard_map(base_map, experts, devices, layers);
         rt.window.clear();
         // Actuation: each healthy replica stalls behind the PCIe
         // transfer for the replicas that moved (evictions are free),
@@ -1456,6 +1500,7 @@ impl ClusterSim<'_, '_> {
                 batch_tokens,
                 members.iter().flat_map(|r| r.tokens.iter()),
             ),
+            placement: self.placement_digest,
         });
         let cached = match (&key, &mut self.plan_cache) {
             (Some(k), Some(cache)) => cache.get(k),
@@ -1484,21 +1529,25 @@ impl ClusterSim<'_, '_> {
                     EstimatorSharing::Shared => self.shared_scheduler.as_ref(),
                     EstimatorSharing::PerReplica => self.replicas[i].scheduler.as_ref(),
                 };
-                // A dirty shard map overrides the planner's static
-                // placement; while canonical, planning is untouched —
-                // an armed-but-inert re-sharder stays bit-identical.
+                // A dirty shard map overrides the configured base
+                // placement; while at the base, planning sees exactly
+                // the configured map (or the canonical one when none
+                // was set) — an armed-but-inert re-sharder stays
+                // bit-identical.
                 let base = self
                     .resharding
                     .as_ref()
                     .filter(|rt| rt.dirty)
-                    .map(|rt| &rt.shard_map);
-                let plan = Arc::new(plan_batch_on(
+                    .map(|rt| &rt.shard_map)
+                    .or(self.base_map);
+                let plan = Arc::new(plan_batch_layered(
                     self.engine.cost,
                     self.engine.topo,
                     &self.infer,
                     scheduler,
                     batch.as_ref().expect("a cache miss materializes the batch"),
                     base,
+                    self.locality,
                 ));
                 if let (Some(k), Some(cache)) = (key, &mut self.plan_cache) {
                     cache.insert(k, plan.clone());
@@ -1506,6 +1555,8 @@ impl ClusterSim<'_, '_> {
                 plan
             }
         };
+        self.local_hops += base_plan.local_hops;
+        self.routed_hops += base_plan.routed_hops;
         // Degraded replicas stretch a private copy — the pristine plan
         // stays cached (and the executor's solo memo keys on the Arc,
         // so a degraded copy never poisons it).
@@ -1712,6 +1763,8 @@ impl ClusterSim<'_, '_> {
             peak_replicas: self.peak_replicas,
             replica_seconds,
             last_event: end,
+            local_hops: self.local_hops,
+            routed_hops: self.routed_hops,
             plan_cache: self
                 .plan_cache
                 .as_ref()
@@ -1745,6 +1798,8 @@ pub(crate) fn run_on(
         autoscale,
         resharding,
         None,
+        false,
+        None,
     )
 }
 
@@ -1761,6 +1816,8 @@ pub(crate) fn run_cluster<'x>(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
     resharding: Option<&ReshardConfig>,
+    placement: Option<&'x LayeredPlacement>,
+    locality: bool,
     trace: Option<Vec<Request>>,
 ) -> ClusterOutcome {
     if shardable(
@@ -1777,6 +1834,8 @@ pub(crate) fn run_cluster<'x>(
             n_replicas,
             sharing,
             per_replica_capacity,
+            placement,
+            locality,
             trace.as_deref(),
         );
     }
@@ -1793,6 +1852,8 @@ pub(crate) fn run_cluster<'x>(
         faults,
         autoscale,
         resharding,
+        placement,
+        locality,
         stream,
     )
 }
@@ -1840,6 +1901,8 @@ fn run_sharded(
     n_replicas: usize,
     sharing: EstimatorSharing,
     per_replica_capacity: f64,
+    placement: Option<&LayeredPlacement>,
+    locality: bool,
     trace: Option<&[Request]>,
 ) -> ClusterOutcome {
     let threads = engine.config.perf.shard_threads.min(n_replicas);
@@ -1866,6 +1929,8 @@ fn run_sharded(
             &FaultPlan::none(),
             None,
             None,
+            placement,
+            locality,
             stream,
         )
     };
@@ -1982,6 +2047,8 @@ fn merge_shards(engine: &ServeEngine<'_>, shards: Vec<ClusterOutcome>) -> Cluste
         peak_replicas: n_replicas,
         replica_seconds,
         last_event: end,
+        local_hops: shards.iter().map(|s| s.local_hops).sum(),
+        routed_hops: shards.iter().map(|s| s.routed_hops).sum(),
         plan_cache,
     }
 }
@@ -1999,6 +2066,8 @@ fn run_stream<'x>(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
     resharding: Option<&ReshardConfig>,
+    placement: Option<&'x LayeredPlacement>,
+    locality: bool,
     stream: Box<dyn Iterator<Item = Request> + 'x>,
 ) -> ClusterOutcome {
     let config = &engine.config;
@@ -2046,7 +2115,12 @@ fn run_stream<'x>(
         policy: cfg.policy.build(),
         next_at: SimTime::ZERO + cfg.interval,
         window: ReestimationWindow::new(cfg.window),
-        shard_map: ExpertPlacement::one_per_device(engine.spec.experts, engine.topo.devices()),
+        shard_map: default_shard_map(
+            placement,
+            engine.spec.experts,
+            engine.topo.devices(),
+            engine.cost.model.layers,
+        ),
         dirty: false,
         replications: 0,
         evictions: 0,
@@ -2075,6 +2149,11 @@ fn run_stream<'x>(
         shared_epoch: 0,
         epoch_counter: 0,
         plan_cache: config.perf.plan_cache.then(PlanCache::new),
+        base_map: placement,
+        locality,
+        placement_digest: hash_layered_placement(placement, locality),
+        local_hops: 0,
+        routed_hops: 0,
         replicas,
         // First arrivals stream lazily in `(arrival, id)` order; the
         // retry queue holds only re-admissions.
@@ -2169,6 +2248,8 @@ mod tests {
             faults: FaultPlan::none(),
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         }
     }
 

@@ -4,7 +4,7 @@
 //! saturation.
 
 use lina_baselines::InferScheme;
-use lina_model::{CostModel, DeviceSpec, MoeModelConfig};
+use lina_model::{CostModel, DeviceSpec, ExpertPlacement, LayeredPlacement, MoeModelConfig};
 use lina_netsim::{ClusterSpec, Topology};
 use lina_serve::{
     serve, serve_cluster, ArrivalProcess, AutoscaleConfig, AutoscalePolicyKind, BalancerKind,
@@ -187,6 +187,8 @@ fn cluster_conserves_and_is_deterministic_across_policies() {
                 faults: FaultPlan::none(),
                 autoscale: None,
                 resharding: None,
+                placement: None,
+                locality: false,
             };
             let n = config.serve.n_requests;
             let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -434,6 +436,8 @@ fn faults_conserve_every_request_and_stay_deterministic() {
             faults: FaultPlan { schedule, policy },
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -497,6 +501,8 @@ fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
             faults: FaultPlan::none(),
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let healthy = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -562,6 +568,8 @@ fn arbitrary_autoscale_decisions_conserve_and_stay_deterministic() {
                 max_replicas,
             }),
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -631,6 +639,8 @@ fn inert_autoscaler_is_bit_identical_to_fixed_cluster() {
             faults: FaultPlan::none(),
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -704,6 +714,8 @@ fn arbitrary_reshard_schedules_conserve_and_stay_deterministic() {
                 window: 4 + meta.index(8),
                 transfer_cost: meta.uniform(0.0, 2.0),
             }),
+            placement: None,
+            locality: false,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -762,6 +774,8 @@ fn inert_resharder_is_bit_identical_to_fixed_cluster() {
             faults: FaultPlan::none(),
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -851,6 +865,8 @@ fn perf_knobs_are_bit_identical_to_reference() {
             faults,
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let reference = serve_cluster(&cost, &topo, &spec, config.clone());
         for perf in variants {
@@ -906,6 +922,8 @@ fn sharded_execution_is_bit_identical_to_sequential() {
             faults: FaultPlan::none(),
             autoscale: None,
             resharding: None,
+            placement: None,
+            locality: false,
         };
         let sequential = serve_cluster(&cost, &topo, &spec, config.clone());
         for threads in [2, 5] {
@@ -954,6 +972,8 @@ fn unshardable_scenario_falls_back_to_sequential() {
         faults: FaultPlan::none(),
         autoscale: None,
         resharding: None,
+        placement: None,
+        locality: false,
     };
     let sequential = serve_cluster(&cost, &topo, &spec, config.clone());
     let mut tuned = config.clone();
@@ -969,4 +989,81 @@ fn unshardable_scenario_falls_back_to_sequential() {
     );
     assert_eq!(sequential.report(), out.report());
     assert_eq!(sequential.requests_per_replica, out.requests_per_replica);
+}
+
+/// Arming an explicit base placement that *is* the canonical layout
+/// (uniform one-expert-per-device across every layer, locality off)
+/// must be invisible: per-request records, depth timeline, report,
+/// replica accounting, and pool cost all reproduce the plain run bit
+/// for bit, and no locality hops are counted. This pins the serving
+/// side of the layered-placement contract — the armed code path prices
+/// every batch through `plan_batch_layered` and a non-zero plan-cache
+/// placement digest, yet nothing observable may move.
+#[test]
+fn uniform_layered_base_is_bit_identical_to_plain() {
+    let (cost, topo, spec) = world();
+    let canonical = LayeredPlacement::uniform(
+        ExpertPlacement::one_per_device(spec.experts, topo.devices()),
+        cost.model.layers,
+    );
+    let mut meta = Rng::new(0xA11F);
+    for scheme in [InferScheme::Baseline, InferScheme::Lina, InferScheme::Ideal] {
+        for resharding in [
+            None,
+            Some(ReshardConfig {
+                policy: ReshardPolicyKind::Threshold {
+                    hot: 1.8,
+                    cold: 0.2,
+                    hysteresis: 2,
+                    transfer_budget: 2,
+                },
+                interval: SimDuration::from_micros(800),
+                window: 6,
+                transfer_cost: 0.5,
+            }),
+        ] {
+            let plain = ClusterConfig {
+                serve: arb_config(&mut meta, scheme),
+                replicas: 2 + meta.index(2),
+                balancer: BalancerKind::RoundRobin,
+                sharing: EstimatorSharing::Shared,
+                faults: FaultPlan::none(),
+                autoscale: None,
+                resharding: resharding.clone(),
+                placement: None,
+                locality: false,
+            };
+            let mut armed = plain.clone();
+            armed.placement = Some(canonical.clone());
+            let base = serve_cluster(&cost, &topo, &spec, plain);
+            let out = serve_cluster(&cost, &topo, &spec, armed);
+            let tag = format!("{scheme:?} resharding={}", resharding.is_some());
+            assert_eq!(
+                base.tracker.records(),
+                out.tracker.records(),
+                "{tag}: records diverged under a canonical armed base"
+            );
+            assert_eq!(
+                base.tracker.depth_timeline(),
+                out.tracker.depth_timeline(),
+                "{tag}: depth timeline diverged"
+            );
+            assert_eq!(base.report(), out.report(), "{tag}: report diverged");
+            assert_eq!(base.requests_per_replica, out.requests_per_replica);
+            assert_eq!(base.tokens_per_replica, out.tokens_per_replica);
+            assert_eq!(base.batches_per_replica, out.batches_per_replica);
+            assert_eq!(base.replica_seconds, out.replica_seconds);
+            assert_eq!(base.replications, out.replications);
+            assert_eq!(
+                (base.local_hops, base.routed_hops),
+                (0, 0),
+                "{tag}: plain run must not count locality hops"
+            );
+            assert_eq!(
+                (out.local_hops, out.routed_hops),
+                (0, 0),
+                "{tag}: locality off must not count hops even when armed"
+            );
+        }
+    }
 }

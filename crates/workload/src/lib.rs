@@ -10,11 +10,13 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod gating;
 pub mod patterns;
 pub mod spec;
 pub mod tokens;
 
+pub use affinity::AffinityStats;
 pub use gating::{GatingModel, Mode};
 pub use patterns::{mean_pattern_ratio, pattern_ratio, popularity, popularity_skew, top_experts};
 pub use spec::WorkloadSpec;

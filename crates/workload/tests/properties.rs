@@ -2,7 +2,7 @@
 //! deterministic seeds.
 
 use lina_simcore::Rng;
-use lina_workload::{pattern_ratio, popularity, Mode, TokenSource, WorkloadSpec};
+use lina_workload::{pattern_ratio, popularity, AffinityStats, Mode, TokenSource, WorkloadSpec};
 
 /// Batches always have the requested shape and in-range selections.
 #[test]
@@ -76,6 +76,51 @@ fn pattern_ratio_is_fraction_monotone_in_k() {
                 last = r;
             }
         }
+    }
+}
+
+/// Measured inter-layer affinity rises with `map_correlation` and
+/// collapses to (near) zero when consecutive layers select
+/// independently.
+#[test]
+fn affinity_rises_with_map_correlation() {
+    let mut meta = Rng::new(0xAF1A);
+    for _ in 0..4 {
+        let seed = meta.next_u64();
+        let mut scores = Vec::new();
+        for &corr in &[0.0, 0.3, 0.6, 0.9] {
+            let mut spec = WorkloadSpec::enwik8(8, 6);
+            // Fine class granularity: with only ~experts classes, a
+            // layer's expert nearly identifies the class and the class
+            // carries affinity on its own even at zero correlation.
+            spec.classes = 256;
+            // Bursts correlate layers through the per-batch topic
+            // boost (both layers skew toward the topic classes), which
+            // is real affinity but not the map correlation under test.
+            spec.burst_strength = 0.0;
+            spec.map_correlation = corr;
+            let mut src = TokenSource::new(&spec, 1, seed);
+            let batches: Vec<_> = (0..4)
+                .map(|_| src.sample_batch(4, 512, Mode::Inference))
+                .collect();
+            let stats = AffinityStats::from_batches(&batches, 6, 8);
+            scores.push(stats.affinity_score());
+        }
+        assert!(
+            scores[0].abs() < 0.05,
+            "independent layers must score near zero, got {}",
+            scores[0]
+        );
+        for w in scores.windows(2) {
+            assert!(
+                w[1] + 0.02 > w[0],
+                "affinity fell as correlation grew: {scores:?}"
+            );
+        }
+        assert!(
+            scores[3] > scores[0] + 0.1,
+            "full correlation must clearly beat independence: {scores:?}"
+        );
     }
 }
 
