@@ -48,7 +48,7 @@ pub fn affinity_placement(
         let prev = &per_layer[l - 1];
         // No measured hop (model deeper than the profiled paths):
         // repeat the previous layer's layout so chains stay co-located.
-        if l - 1 >= stats.hops() {
+        if l > stats.hops() {
             let copy = prev.clone();
             per_layer.push(copy);
             continue;

@@ -1,0 +1,7 @@
+//! Thin wrapper: runs the `serve_gray` scenario from the registry at the
+//! `Full` tier, printing the same banner and tables as always.
+//! See `crates/bench/src/scenarios/serve_gray.rs` for the experiment body.
+
+fn main() {
+    lina_bench::run_standalone(env!("CARGO_BIN_NAME"));
+}

@@ -349,6 +349,12 @@ pub const REGISTRY: &[Scenario] = &[
         run: scenarios::serve_faults::run,
     },
     Scenario {
+        id: "serve_gray",
+        paper_ref: "Serving gray faults",
+        description: "gray-failure detection and hedged dispatch: gray intensity x {oracle, detector, detector+hedging}",
+        run: scenarios::serve_gray::run,
+    },
+    Scenario {
         id: "perf_microbench",
         paper_ref: "Simulator perf",
         description: "simulator throughput: reference vs fast perf config on one trace",
@@ -394,12 +400,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_31_experiments() {
-        assert_eq!(REGISTRY.len(), 31);
+    fn registry_covers_all_32_experiments() {
+        assert_eq!(REGISTRY.len(), 32);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 31, "scenario ids must be unique");
+        assert_eq!(ids.len(), 32, "scenario ids must be unique");
         assert!(find("table1").is_some());
         assert!(find("perf_microbench").is_some());
         assert!(find("serve_load_sweep").is_some());
@@ -407,6 +413,7 @@ mod tests {
         assert!(find("serve_cluster").is_some());
         assert!(find("serve_contention").is_some());
         assert!(find("serve_faults").is_some());
+        assert!(find("serve_gray").is_some());
         assert!(find("serve_resharding").is_some());
         assert!(find("serve_affinity").is_some());
         assert!(find("nope").is_none());

@@ -31,6 +31,7 @@ pub mod serve_autoscale;
 pub mod serve_cluster;
 pub mod serve_contention;
 pub mod serve_faults;
+pub mod serve_gray;
 pub mod serve_load_sweep;
 pub mod serve_resharding;
 pub mod table1;

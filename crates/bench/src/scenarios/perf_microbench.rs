@@ -77,6 +77,8 @@ fn cluster_config(serve: ServeConfig) -> ClusterConfig {
         resharding: None,
         placement: None,
         locality: false,
+        health: lina_serve::HealthConfig::oracle(),
+        hedging: None,
     }
 }
 

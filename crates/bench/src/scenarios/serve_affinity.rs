@@ -101,6 +101,8 @@ fn cluster_config(
         resharding: None,
         placement,
         locality,
+        health: lina_serve::HealthConfig::oracle(),
+        hedging: None,
     }
 }
 
@@ -150,10 +152,8 @@ pub fn run(ctx: &ScenarioCtx) -> Report {
         LOAD * 100.0,
     ));
 
-    let canonical = LayeredPlacement::uniform(
-        ExpertPlacement::one_per_device(EXPERTS, devices),
-        layers,
-    );
+    let canonical =
+        LayeredPlacement::uniform(ExpertPlacement::one_per_device(EXPERTS, devices), layers);
 
     // Sweep: inter-layer map correlation x placement arm.
     let correlations = ctx.pick(&[0.0, 0.45, 0.9], &[0.0, 0.9]);

@@ -113,6 +113,8 @@ fn cluster_config(
         resharding: None,
         placement: None,
         locality: false,
+        health: lina_serve::HealthConfig::oracle(),
+        hedging: None,
     }
 }
 

@@ -79,6 +79,8 @@ fn cluster_config(serve: ServeConfig, faults: FaultPlan) -> ClusterConfig {
         resharding: None,
         placement: None,
         locality: false,
+        health: lina_serve::HealthConfig::oracle(),
+        hedging: None,
     }
 }
 

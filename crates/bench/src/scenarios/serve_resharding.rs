@@ -108,6 +108,8 @@ fn cluster_config(serve: ServeConfig, resharding: Option<ReshardConfig>) -> Clus
         resharding,
         placement: None,
         locality: false,
+        health: lina_serve::HealthConfig::oracle(),
+        hedging: None,
     }
 }
 
@@ -322,7 +324,12 @@ pub fn run(ctx: &ScenarioCtx) -> Report {
         slo,
         probe_requests,
     );
-    let plain = serve_cluster(&cost, &topo, &spec, cluster_config(probe_serve.clone(), None));
+    let plain = serve_cluster(
+        &cost,
+        &topo,
+        &spec,
+        cluster_config(probe_serve.clone(), None),
+    );
     let armed = serve_cluster(
         &cost,
         &topo,

@@ -24,6 +24,7 @@ fn serving_scenarios_are_registered() {
         "serve_cluster",
         "serve_contention",
         "serve_faults",
+        "serve_gray",
         "serve_resharding",
         "serve_affinity",
     ] {
@@ -97,6 +98,45 @@ fn every_scenario_runs_at_smoke_tier_and_is_deterministic() {
                 "empty schedule must be bit-identical to the healthy path"
             );
             assert_eq!(metric("empty_schedule_p99_delta_ms"), 0.0);
+        }
+        if scenario.id == "serve_gray" {
+            let metric = |name: &str| {
+                first
+                    .metrics()
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("serve_gray reports {name}"))
+                    .value
+            };
+            // The phi detector must claw back at least half of the
+            // p99 inflation the blind oracle arm suffers under the
+            // gray straggler.
+            assert!(
+                metric("detector_recovers_oracle_gap_frac") >= 0.5,
+                "the detector must recover at least half the gray p99 gap, got {}",
+                metric("detector_recovers_oracle_gap_frac")
+            );
+            // Hedged dispatch must not lose tail latency on top of
+            // detection.
+            assert!(
+                metric("hedged_over_unhedged_p99") >= 1.0,
+                "hedging must not inflate the detector arm's p99, got {}",
+                metric("hedged_over_unhedged_p99")
+            );
+            // Hedges only fire for genuinely late batches, so wasted
+            // compute stays bounded.
+            assert!(
+                metric("hedge_wasted_compute_frac") <= 0.15,
+                "hedge wasted-compute fraction too high: {}",
+                metric("hedge_wasted_compute_frac")
+            );
+            // An armed-but-inert hedge runtime over the same gray
+            // schedule reproduces the blind arm bit for bit.
+            assert_eq!(
+                metric("oracle_inert_hedging_identical"),
+                1.0,
+                "inert hedging must be bit-identical to the blind arm"
+            );
         }
         if scenario.id == "serve_autoscale" {
             let metric = |name: &str| {

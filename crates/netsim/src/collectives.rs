@@ -398,6 +398,26 @@ impl CollectiveEngine {
         self.net.cancel_all_flows();
     }
 
+    /// Cancels every running collective carrying `tag` (and its flows)
+    /// without reporting a completion — the batch driving it was
+    /// aborted (e.g. a hedged duplicate lost the race). Returns how
+    /// many collectives were cancelled; surviving collectives re-share
+    /// the freed links from the current instant onward.
+    pub fn cancel_tagged(&mut self, tag: u64) -> usize {
+        let ids: Vec<CollectiveId> = self
+            .running
+            .iter()
+            .filter(|(_, rc)| rc.tag == tag)
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &ids {
+            self.running.remove(&id);
+            // Flows are tagged with the collective id, not the caller tag.
+            self.net.cancel_flows_with_tag(id.0);
+        }
+        ids.len()
+    }
+
     /// Next instant at which anything changes: a flow event or an
     /// empty-phase promotion.
     pub fn next_event(&mut self) -> Option<SimTime> {
@@ -577,6 +597,45 @@ mod tests {
         assert!(
             (secs - expected).abs() / expected < 0.05,
             "allreduce took {secs}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn cancel_tagged_drops_only_the_matching_collective() {
+        // Alone, a send completes in its solo transfer time. Starting a
+        // contending send and cancelling it mid-flight must return the
+        // survivor to roughly its solo completion.
+        let spec = |dst| CollectiveSpec::Send {
+            src: DeviceId(0),
+            dst: DeviceId(dst),
+            bytes: 1e9,
+        };
+        let mut solo = engine();
+        solo.start(&spec(4), 1);
+        let solo_at = solo.run_to_idle()[0].at;
+
+        let mut e = engine();
+        e.start(&spec(4), 1);
+        e.start(&spec(8), 2);
+        assert_eq!(e.active(), 2);
+        // Cancel an unknown tag: a no-op.
+        assert_eq!(e.cancel_tagged(7), 0);
+        // Drive partway, then cancel the contender.
+        let done = e.advance_to(SimTime::from_millis(10));
+        assert!(done.is_empty());
+        assert_eq!(e.cancel_tagged(2), 1);
+        assert_eq!(e.active(), 1);
+        let done = e.run_to_idle();
+        assert_eq!(done.len(), 1, "only the survivor completes");
+        assert_eq!(done[0].tag, 1);
+        // Sharing the NIC for 10ms then running alone: strictly later
+        // than solo but far sooner than a fully halved share.
+        assert!(done[0].at > solo_at, "{} vs solo {}", done[0].at, solo_at);
+        assert!(
+            done[0].at < solo_at + SimDuration::from_millis(20),
+            "cancelled contender kept slowing the survivor: {} vs solo {}",
+            done[0].at,
+            solo_at
         );
     }
 

@@ -147,6 +147,18 @@ impl Network {
         self.rates_valid = false;
     }
 
+    /// Cancels every active flow carrying `tag` without completing it
+    /// (no completion is reported and no stats are counted) — the
+    /// collective driving them was aborted. Other flows re-share the
+    /// freed bandwidth from the current instant onward.
+    pub fn cancel_flows_with_tag(&mut self, tag: u64) {
+        let before = self.flows.len();
+        self.flows.retain(|_, f| f.tag != tag);
+        if self.flows.len() != before {
+            self.rates_valid = false;
+        }
+    }
+
     /// The topology.
     pub fn topology(&self) -> &Topology {
         &self.topo

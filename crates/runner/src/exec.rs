@@ -233,6 +233,25 @@ impl ReplicaExecutor {
         }
     }
 
+    /// Aborts one in-flight batch — a hedged duplicate lost the race.
+    /// No completion is ever reported for it; other batches are
+    /// untouched (contended survivors re-share the freed links from the
+    /// current instant onward). Returns whether the batch was found.
+    ///
+    /// A batch completing exactly at the abort instant but not yet
+    /// drained is aborted too — the abort wins ties, mirroring
+    /// [`ReplicaExecutor::abort_all`] at a crash instant.
+    pub fn abort(&mut self, id: u64) -> bool {
+        match self {
+            ReplicaExecutor::Solo(s) => {
+                let before = s.inflight.len();
+                s.inflight.retain(|f| f.id != id);
+                s.inflight.len() != before
+            }
+            ReplicaExecutor::Contended(c) => c.abort(id),
+        }
+    }
+
     /// Scales the replica's link bandwidth (fault injection: 1.0 =
     /// healthy, < 1.0 = degraded NIC). Solo pricing charges subsequent
     /// plans their closed-form time on the degraded links; contended
@@ -472,6 +491,23 @@ impl ContendedReplica {
         let mut out: Vec<FinishedBatch> = self.finished.drain(..).collect();
         out.sort_by_key(|f| (f.completed, f.id));
         out
+    }
+
+    /// See [`ReplicaExecutor::abort`]. A live batch blocks on exactly
+    /// one thing — a collective (tagged with its id) or a stage timer —
+    /// so whichever of the two cancellations misses, the other hits.
+    fn abort(&mut self, id: u64) -> bool {
+        if self.batches.remove(&id).is_some() {
+            if self.engine.cancel_tagged(id) == 0 {
+                self.queue.retain(|&b| b != id);
+            }
+            return true;
+        }
+        // Completed at this very instant but not yet drained: the abort
+        // wins the tie.
+        let before = self.finished.len();
+        self.finished.retain(|f| f.id != id);
+        self.finished.len() != before
     }
 
     fn on_timer(&mut self, id: u64, at: SimTime) {
@@ -793,6 +829,62 @@ mod tests {
             assert_eq!(done.len(), 1, "{mode:?}");
             assert_eq!(done[0].id, 2);
         }
+    }
+
+    /// Aborting a single batch never reports its completion, leaves the
+    /// other in-flight batch to finish normally, and is a no-op for
+    /// unknown or already-drained ids — in both modes.
+    #[test]
+    fn abort_drops_one_batch_and_spares_the_rest() {
+        for mode in [NetworkMode::Solo, NetworkMode::Contended] {
+            let (topo, plans) = plans(InferScheme::Baseline);
+            let mut exec = ReplicaExecutor::new(mode, &topo);
+            exec.submit(0, SimTime::ZERO, plans[0].clone());
+            exec.submit(1, SimTime::from_micros(40), plans[1].clone());
+            assert_eq!(exec.in_flight(), 2, "{mode:?}");
+            assert!(!exec.abort(99), "{mode:?}: unknown id aborted");
+            assert!(exec.abort(0), "{mode:?}");
+            assert!(!exec.abort(0), "{mode:?}: double abort succeeded");
+            assert_eq!(exec.in_flight(), 1, "{mode:?}");
+            let done = exec.advance_to(SimTime::MAX);
+            assert_eq!(done.len(), 1, "{mode:?}: survivor finishes once");
+            assert_eq!(done[0].id, 1, "{mode:?}");
+            assert_eq!(exec.in_flight(), 0, "{mode:?}");
+            // The replica keeps serving after the abort.
+            exec.submit(2, SimTime::from_millis(400), plans[2].clone());
+            let done = exec.advance_to(SimTime::MAX);
+            assert_eq!(done.len(), 1, "{mode:?}");
+            assert_eq!(done[0].id, 2);
+        }
+    }
+
+    /// Aborting mid-collective frees the wire: a survivor contending
+    /// with the aborted batch speeds up relative to both running fully
+    /// contended.
+    #[test]
+    fn contended_abort_releases_link_share() {
+        let (topo, plans) = plans(InferScheme::Baseline);
+        let run = |abort_partner: bool| {
+            let mut exec = ReplicaExecutor::new(NetworkMode::Contended, &topo);
+            exec.submit(0, SimTime::ZERO, plans[0].clone());
+            exec.submit(1, SimTime::ZERO, plans[0].clone());
+            // Let both progress into their first all-to-alls.
+            let mid = SimTime::from_micros(400);
+            let early = exec.advance_to(mid);
+            assert!(early.is_empty(), "nothing should finish this early");
+            if abort_partner {
+                assert!(exec.abort(1));
+            }
+            let done = exec.advance_to(SimTime::MAX);
+            let fb = done.iter().find(|f| f.id == 0).expect("batch 0 finishes");
+            fb.completed
+        };
+        let contended = run(false);
+        let relieved = run(true);
+        assert!(
+            relieved < contended,
+            "freed bandwidth must speed the survivor: {relieved} vs {contended}"
+        );
     }
 
     /// A degraded link stretches all-to-all pricing in both modes, and

@@ -452,7 +452,7 @@ fn plan_batch_with(
                 .map(|hs| if hs.len() == 1 { Some(hs[0]) } else { None })
                 .collect();
             let mut sizes = dispatch_plan.sizes.clone();
-            for t in 0..batch.len() {
+            for (t, prev) in prev_host.iter_mut().enumerate() {
                 let Some(&e) = batch.tokens[t]
                     .selections
                     .get(layer)
@@ -464,14 +464,14 @@ fn plan_batch_with(
                 let home = batch.device_of(t);
                 match this_host {
                     Some(h) if h.0 as usize == home => plan.local_hops += 1,
-                    Some(h) if prev_host[t] == Some(h) => {
+                    Some(h) if *prev == Some(h) => {
                         plan.local_hops += 1;
                         debug_assert!(sizes[home][h.0 as usize] > 0);
                         sizes[home][h.0 as usize] -= 1;
                     }
                     _ => plan.routed_hops += 1,
                 }
-                prev_host[t] = this_host;
+                *prev = this_host;
             }
             a2a_spec(topo, &sizes, model.token_bytes())
         } else {

@@ -79,7 +79,10 @@ fn uniform_layered_matches_single_map() {
         let (cost, topo, scheduler, batches) = world(experts);
         let mut replicated = ExpertPlacement::one_per_device(experts, experts);
         assert!(replicated.add_replica(0, experts, 2));
-        for map in [ExpertPlacement::one_per_device(experts, experts), replicated] {
+        for map in [
+            ExpertPlacement::one_per_device(experts, experts),
+            replicated,
+        ] {
             let uniform = LayeredPlacement::uniform(map.clone(), cost.model.layers);
             for scheme in InferScheme::all() {
                 let config = InferenceConfig { scheme, top_k: 1 };

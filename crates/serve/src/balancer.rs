@@ -21,6 +21,15 @@
 //! replica at every `pick` (a total outage is handled upstream by the
 //! degradation policy, before routing).
 //!
+//! Replica health arrives as a continuous *suspicion* score from the
+//! gray-failure detector ([`crate::HealthMonitor`]), not a bool: `0.0`
+//! is indistinguishable from baseline, `>= 1.0` excludes the replica
+//! from the routable set (infinity marks a crashed or retired
+//! replica), and intermediate values penalize the replica under
+//! [`LeastExpectedLatency`] without excluding it. Under the oracle
+//! detector every live replica's suspicion is exactly `0.0`, so the
+//! historical health-bit routing is reproduced bit for bit.
+//!
 //! Balancers may keep internal state (the round-robin cursor) but must
 //! be deterministic: the cluster engine's bit-reproducibility rests on
 //! every `pick` being a pure function of the snapshots and that state.
@@ -32,9 +41,12 @@ use lina_simcore::SimTime;
 pub struct ReplicaSnapshot {
     /// Replica index.
     pub id: usize,
-    /// Up and accepting work; a crashed (or decommissioned) replica
-    /// must never be picked.
-    pub healthy: bool,
+    /// Gray-failure suspicion: `0.0` baseline-healthy, `>= 1.0`
+    /// excluded from routing, `f64::INFINITY` for a crashed or
+    /// decommissioned replica (which must never be picked). Values in
+    /// `(0, 1)` keep the replica routable but penalize it under
+    /// [`LeastExpectedLatency`].
+    pub suspicion: f64,
     /// Being drained for decommission by the autoscaler: it still
     /// finishes its queued work but receives no new requests.
     pub draining: bool,
@@ -64,11 +76,13 @@ impl ReplicaSnapshot {
         self.queued_tokens + self.in_flight_tokens
     }
 
-    /// Ready to receive new requests: up, not draining toward
-    /// decommission, and past its provisioning weight reload. Every
-    /// shipped balancer routes over the routable subset only.
+    /// Ready to receive new requests: suspicion under the exclusion
+    /// threshold (which also excludes crashed replicas, whose
+    /// suspicion is infinite), not draining toward decommission, and
+    /// past its provisioning weight reload. Every shipped balancer
+    /// routes over the routable subset only.
     pub fn routable(&self) -> bool {
-        self.healthy && !self.draining && !self.provisioning
+        self.suspicion < 1.0 && !self.draining && !self.provisioning
     }
 }
 
@@ -148,7 +162,9 @@ impl LoadBalancer for JoinShortestQueue {
 
 /// Joins the healthy replica with the least expected completion
 /// latency: remaining server busy time plus the queued requests (and
-/// the new one) drained at the replica's probed capacity.
+/// the new one) drained at the replica's probed capacity, stretched
+/// by `1 + suspicion` so a partially suspected replica keeps serving
+/// at reduced weight (an exact no-op at suspicion zero).
 /// Capacity-aware, so it generalizes JSQ to heterogeneous or degraded
 /// replicas.
 #[derive(Clone, Debug, Default)]
@@ -167,7 +183,7 @@ impl LoadBalancer for LeastExpectedLatency {
             } else {
                 f64::INFINITY
             };
-            busy + (r.queued_requests as f64 + 1.0) / rate
+            (busy + (r.queued_requests as f64 + 1.0) / rate) * (1.0 + r.suspicion)
         };
         replicas
             .iter()
@@ -222,7 +238,7 @@ mod tests {
     fn snap(id: usize, queued_tokens: usize, in_flight: usize, free_ms: u64) -> ReplicaSnapshot {
         ReplicaSnapshot {
             id,
-            healthy: true,
+            suspicion: 0.0,
             draining: false,
             provisioning: false,
             queued_requests: queued_tokens / 64,
@@ -269,7 +285,7 @@ mod tests {
         // Replica 0 looks *ideal* on every axis — empty queue, idle
         // server — but it is down. Every policy must route around it.
         let mut down = snap(0, 0, 0, 0);
-        down.healthy = false;
+        down.suspicion = f64::INFINITY;
         let busy = snap(1, 512, 256, 9);
         let snaps = vec![down, busy];
         let mut rr = RoundRobin::new();
@@ -288,7 +304,7 @@ mod tests {
     fn round_robin_rotation_skips_the_dead() {
         let mut rr = RoundRobin::new();
         let mut snaps = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(2, 0, 0, 0)];
-        snaps[1].healthy = false;
+        snaps[1].suspicion = f64::INFINITY;
         let picks: Vec<usize> = (0..4).map(|_| rr.pick(&snaps, SimTime::ZERO)).collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
     }
@@ -305,7 +321,7 @@ mod tests {
         assert_eq!(rr.pick(&three, SimTime::ZERO), 0);
         assert_eq!(rr.pick(&three, SimTime::ZERO), 1);
         let mut lost = three.clone();
-        lost[1].healthy = false;
+        lost[1].suspicion = f64::INFINITY;
         assert_eq!(rr.pick(&lost, SimTime::ZERO), 2, "no double-hit of 0");
         // Replica 1 comes back and a new replica 3 joins (elastic
         // scale-up): the rotation picks up both without skipping.

@@ -11,7 +11,7 @@
 //! `(time, priority)` order, so the run is deterministic down to the
 //! bit.
 //!
-//! Seven event kinds interleave, with the priority breaking ties at
+//! Eight event kinds interleave, with the priority breaking ties at
 //! one instant:
 //!
 //! 1. **faults** — the next [`FaultEvent`] of the configured
@@ -20,32 +20,56 @@
 //! 2. **executor events** — stage boundaries and batch completions
 //!    inside a replica's executor; a completion frees a dispatch slot
 //!    and materializes its members' records;
-//! 3. **control ticks** — the autoscaler (when armed) observes the
+//! 3. **hedge timers** — an in-flight batch outlived the hedge delay
+//!    ([`HedgeConfig`]): re-dispatch it speculatively to the
+//!    least-suspected alternate replica. Placed right after executor
+//!    events so a primary completing exactly at the deadline wins (its
+//!    completion removes the timer before the timer can fire), and
+//!    before admissions so an arrival at the same instant sees the
+//!    hedge's in-flight work;
+//! 4. **control ticks** — the autoscaler (when armed) observes the
 //!    cluster every `interval` and may commission or drain replicas;
 //!    it sees the instant's completions but not its admissions, so a
 //!    decision never depends on work it could not have observed;
-//! 4. **re-shard ticks** — the proactive re-sharder (when armed)
+//! 5. **re-shard ticks** — the proactive re-sharder (when armed)
 //!    profiles its per-expert load monitor every `interval` and may
 //!    replicate, evict, or migrate expert replicas
 //!    ([`ReshardPolicy`](crate::ReshardPolicy)); actuation charges the
 //!    modeled PCIe transfer and bumps the plan-cache placement epoch;
-//! 5. **admissions** — a request (first arrival from the lazily
+//! 6. **admissions** — a request (first arrival from the lazily
 //!    generated trace stream, or re-admission after a fault) is routed
 //!    by the balancer, which sees only routable replicas; an arrival
 //!    beats a dispatch at the same instant, so a batch-filling arrival
 //!    still joins the batch, exactly as the pre-fault loop's strict
 //!    `dispatch < horizon` rule had it;
-//! 6. **dispatch commits** — a replica's next batch leaves once no
+//! 7. **dispatch commits** — a replica's next batch leaves once no
 //!    earlier event can change it;
-//! 7. **timeouts** — a queued request whose sojourn since its
+//! 8. **timeouts** — a queued request whose sojourn since its
 //!    *original* arrival exceeds the policy's `request_timeout`
 //!    becomes an explicit `TimedOut` outcome (a dispatch at the same
 //!    instant wins: the request just made it).
 //!
 //! With an empty schedule and the inert policy ([`FaultPlan::none`]),
-//! no autoscaler, and no re-sharder, only kinds 2, 5, and 6 ever fire,
-//! in exactly the pre-fault order — the healthy path is reproduced bit
-//! for bit.
+//! no autoscaler, no re-sharder, and no hedging, only kinds 2, 6, and
+//! 7 ever fire, in exactly the pre-fault order — the healthy path is
+//! reproduced bit for bit.
+//!
+//! # Gray failures, suspicion, and hedging
+//!
+//! A [`FaultKind::GrayDegrade`] slows a replica *without telling the
+//! control plane*: the health bit stays up and the oracle detector
+//! keeps routing into the degraded replica at full weight. An armed
+//! phi-accrual detector ([`HealthConfig`], [`crate::HealthMonitor`])
+//! instead infers per-replica suspicion from observed batch completion
+//! latencies; balancers consume the continuous score through
+//! [`ReplicaSnapshot::routable`]. Hedged dispatch ([`HedgeConfig`])
+//! covers the residual tail: when an in-flight batch outlives a
+//! quantile-derived delay, the batch is speculatively re-submitted on
+//! the least-suspected alternate replica, the first completion wins,
+//! and the loser is cancelled (per-batch abort). Every request still
+//! reaches exactly one terminal outcome — the conservation audit runs
+//! with hedging armed — and the wasted-compute fraction of hedging is
+//! reported on [`ClusterOutcome`].
 //!
 //! # Proactive re-sharding
 //!
@@ -112,13 +136,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use lina_model::{CostModel, ExpertPlacement, LayeredPlacement};
-use lina_netsim::Topology;
+use lina_netsim::{SoloTimer, Topology};
 use lina_runner::inference::InferenceConfig;
 use lina_runner::{
-    hash_batch_content, hash_layered_placement, plan_batch_layered, PlanCache, PlanCacheStats,
-    PlanKey, ReplicaExecutor,
+    execute_plan_solo, hash_batch_content, hash_layered_placement, plan_batch_layered,
+    ExecutionPlan, FinishedBatch, PlanCache, PlanCacheStats, PlanKey, ReplicaExecutor,
 };
-use lina_simcore::{EventQueue, SimDuration, SimTime};
+use lina_simcore::{EventQueue, Rng, SimDuration, SimTime};
 use lina_workload::{TokenBatch, WorkloadSpec};
 
 use crate::autoscale::{AutoscaleConfig, AutoscalePolicy, ClusterObservation, ScaleDecision};
@@ -126,6 +150,7 @@ use crate::balancer::{BalancerKind, LoadBalancer, ReplicaSnapshot, RoundRobin};
 use crate::batcher::{Batcher, Dispatch};
 use crate::engine::{ReestimationWindow, ServeConfig, ServeEngine};
 use crate::faults::{DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+use crate::health::{DetectorKind, HealthConfig, HealthMonitor, HedgeConfig};
 use crate::provisioning;
 use crate::request::{Request, RequestRecord};
 use crate::resharding::{ReshardAction, ReshardConfig, ReshardObservation, ReshardPolicy};
@@ -186,6 +211,12 @@ pub struct ClusterConfig {
     /// [`lina_runner::plan_batch_layered`]). Off reproduces the
     /// historical pricing bit for bit.
     pub locality: bool,
+    /// Gray-failure detector ([`HealthConfig::oracle`] reproduces the
+    /// historical oracle-health-bit routing bit for bit).
+    pub health: HealthConfig,
+    /// Hedged dispatch for tail batches; `None` never hedges (the
+    /// historical behaviour, bit for bit).
+    pub hedging: Option<HedgeConfig>,
 }
 
 impl ClusterConfig {
@@ -204,6 +235,10 @@ impl ClusterConfig {
         }
         if let Some(resharding) = &self.resharding {
             resharding.validate();
+        }
+        self.health.validate();
+        if let Some(hedging) = &self.hedging {
+            hedging.validate();
         }
     }
 }
@@ -265,6 +300,16 @@ pub struct ClusterOutcome {
     pub routed_hops: u64,
     /// Plan-cache counters (all zero when the cache is off).
     pub plan_cache: PlanCacheStats,
+    /// Hedges actually issued (a timer that fired and found an
+    /// alternate replica); zero with hedging off.
+    pub hedges_issued: usize,
+    /// Hedges that completed before their primary (the primary was
+    /// cancelled and the hedge's completion served the requests).
+    pub hedges_won: usize,
+    /// Compute spent on cancelled duplicates (the losing side of every
+    /// resolved hedge race, plus hedges orphaned by crashes) as a
+    /// fraction of all batch compute; zero with hedging off.
+    pub hedge_wasted_frac: f64,
 }
 
 impl ClusterOutcome {
@@ -366,6 +411,15 @@ struct Replica {
     compute_slowdown: f64,
     /// Expert-compute stretch from an active straggler episode.
     straggler: f64,
+    /// Expert-compute stretch from an active *gray* degradation
+    /// ([`FaultKind::GrayDegrade`]). Deliberately excluded from the
+    /// balancer snapshot's capacity: the control plane is never told
+    /// about gray faults, only the detector can infer them.
+    gray_compute: f64,
+    /// Speculative hedge batches currently executing here. Excluded
+    /// from dispatch-slot accounting so a hedge never blocks the
+    /// replica's own primary dispatches.
+    hedges_in_flight: usize,
     /// Elastic lifecycle state.
     role: ReplicaRole,
     /// Instant the provisioning weight reload completes; balancers
@@ -382,12 +436,21 @@ impl Replica {
     /// The balancer's view at a routing instant. The event loop fires
     /// every executor event at or before the routing instant first, so
     /// in-flight counts here never include batches that already
-    /// completed.
-    fn snapshot(&self, id: usize, capacity: f64, now: SimTime) -> ReplicaSnapshot {
+    /// completed. `suspicion` comes from the run's [`HealthMonitor`]:
+    /// crashed and retired replicas are reported as infinitely suspect
+    /// (the balancer contract for "unroutable"), everything else gets
+    /// the detector's continuous score. Note the advertised capacity
+    /// deliberately ignores `gray_compute`: the control plane never
+    /// sees a gray fault directly.
+    fn snapshot(&self, id: usize, capacity: f64, now: SimTime, suspicion: f64) -> ReplicaSnapshot {
         let slow = self.compute_slowdown * self.straggler;
         ReplicaSnapshot {
             id,
-            healthy: self.healthy && self.role != ReplicaRole::Retired,
+            suspicion: if self.healthy && self.role != ReplicaRole::Retired {
+                suspicion
+            } else {
+                f64::INFINITY
+            },
             draining: self.role == ReplicaRole::Draining,
             provisioning: self.healthy && now < self.ready_at,
             queued_requests: self.queue.len() - self.next,
@@ -417,12 +480,16 @@ struct Admission {
 }
 
 /// The next step of the unified event loop, chosen in global
-/// `(time, priority)` order with faults < executor events < control
-/// ticks < re-shard ticks < admissions < dispatch commits < timeouts
-/// at one instant, and replica ties breaking toward the lowest index.
+/// `(time, priority)` order with faults < executor events < hedge
+/// deadlines < control ticks < re-shard ticks < admissions < dispatch
+/// commits < timeouts at one instant, and replica ties breaking
+/// toward the lowest index.
 enum Step {
     Fault,
     Executor(usize, SimTime),
+    /// A hedge timer fired: the primary batch (id carried) is still in
+    /// flight past its hedge deadline.
+    Hedge(SimTime, u64),
     Control,
     Reshard,
     Admit,
@@ -444,6 +511,8 @@ pub struct ClusterEngine<'a> {
     resharding: Option<ReshardConfig>,
     placement: Option<LayeredPlacement>,
     locality: bool,
+    health: HealthConfig,
+    hedging: Option<HedgeConfig>,
 }
 
 impl<'a> ClusterEngine<'a> {
@@ -487,6 +556,8 @@ impl<'a> ClusterEngine<'a> {
             resharding: config.resharding,
             placement: config.placement,
             locality: config.locality,
+            health: config.health,
+            hedging: config.hedging,
         }
     }
 
@@ -539,6 +610,8 @@ impl<'a> ClusterEngine<'a> {
             &self.faults,
             self.autoscale.as_ref(),
             self.resharding.as_ref(),
+            self.health.clone(),
+            self.hedging.clone(),
             self.placement.as_ref(),
             self.locality,
             trace,
@@ -585,6 +658,127 @@ struct ReshardRuntime {
     migrations: usize,
 }
 
+/// Batch-id namespace for speculative hedge dispatches. Primary ids
+/// are dense counters from zero; hedge ids live in the top half of the
+/// `u64` space so the two streams can share one executor without
+/// collision and a hedge id is recognizable at a glance in a debugger.
+const HEDGE_BASE: u64 = 1 << 63;
+
+/// A speculative duplicate of one primary batch, in flight on an
+/// alternate replica.
+struct HedgeFlight {
+    /// The hedge's own batch id (`HEDGE_BASE + seq`).
+    id: u64,
+    /// Replica executing the hedge.
+    replica: usize,
+    /// Instant the hedge was dispatched.
+    dispatched: SimTime,
+}
+
+/// Per-primary hedge bookkeeping, from dispatch commit until both the
+/// primary and any hedge reach a terminal state.
+struct HedgeState {
+    /// Replica executing the primary.
+    primary_replica: usize,
+    /// Instant the primary was dispatched (latency sample base).
+    primary_dispatched: SimTime,
+    /// When the hedge timer fires if the primary is still running.
+    deadline: SimTime,
+    /// The primary's execution plan as planned against the *base*
+    /// shard map (cloned cheaply; a hedge re-runs the same plan on the
+    /// alternate replica).
+    plan: Arc<ExecutionPlan>,
+    /// Set when the primary's replica crashed with the hedge still
+    /// live; the hedge is then the batch's only path to completion.
+    primary_gone: bool,
+    /// The live hedge, if the timer already fired.
+    hedge: Option<HedgeFlight>,
+}
+
+/// An armed hedged-dispatch runtime: quantile-tracked completion
+/// latencies, per-primary timers, and waste accounting.
+struct HedgeRuntime {
+    config: HedgeConfig,
+    /// Observed primary batch service times, kept sorted for O(log n)
+    /// insertion and O(1) quantile lookup.
+    samples: Vec<SimDuration>,
+    /// Armed hedge timers keyed `(deadline, primary batch id)`.
+    timers: BTreeMap<(SimTime, u64), ()>,
+    /// Live hedge state per primary batch id.
+    live: BTreeMap<u64, HedgeState>,
+    /// Reverse index: hedge batch id → primary batch id.
+    by_hedge: BTreeMap<u64, u64>,
+    /// Allocator for hedge batch ids.
+    next_hedge_seq: u64,
+    issued: usize,
+    won: usize,
+    /// Executor time burned by hedges that lost (or primaries that
+    /// lost to their hedge) — the duplicated work.
+    wasted: SimDuration,
+    /// Executor time of winning flights — the useful work baseline for
+    /// the waste fraction.
+    useful: SimDuration,
+}
+
+impl HedgeRuntime {
+    fn new(config: HedgeConfig) -> Self {
+        HedgeRuntime {
+            config,
+            samples: Vec::new(),
+            timers: BTreeMap::new(),
+            live: BTreeMap::new(),
+            by_hedge: BTreeMap::new(),
+            next_hedge_seq: 0,
+            issued: 0,
+            won: 0,
+            wasted: SimDuration::ZERO,
+            useful: SimDuration::ZERO,
+        }
+    }
+
+    /// Records one observed primary service time (sorted insert).
+    fn observe(&mut self, service: SimDuration) {
+        let at = self.samples.partition_point(|&s| s <= service);
+        self.samples.insert(at, service);
+    }
+
+    /// The hedge delay once enough samples exist: the configured
+    /// quantile of observed service times, scaled by the multiplier.
+    fn delay(&self) -> Option<SimDuration> {
+        if self.samples.len() < self.config.min_samples {
+            return None;
+        }
+        let idx = (((self.samples.len() - 1) as f64) * self.config.quantile).round() as usize;
+        Some(self.samples[idx].mul_f64(self.config.multiplier))
+    }
+}
+
+/// Prices dispatched plans at nominal speed — no degradation, clean
+/// links, solo collectives — for the health detector's expected-latency
+/// estimate. The detector compares each completion against this
+/// expectation, so batch size and composition drop out of the signal
+/// entirely: a healthy solo replica observes exactly ratio 1.0.
+/// Memoized by plan identity (consecutive batches overwhelmingly share
+/// the cached plan `Arc`), and only constructed when a non-oracle
+/// detector is armed — the oracle path never prices an expectation.
+struct ExpectedPricer {
+    timer: SoloTimer,
+    memo: Option<(Arc<ExecutionPlan>, SimDuration)>,
+}
+
+impl ExpectedPricer {
+    fn total(&mut self, plan: &Arc<ExecutionPlan>) -> SimDuration {
+        if let Some((p, total)) = &self.memo {
+            if Arc::ptr_eq(p, plan) {
+                return *total;
+            }
+        }
+        let total = execute_plan_solo(plan, &mut self.timer).total;
+        self.memo = Some((plan.clone(), total));
+        total
+    }
+}
+
 /// The base per-layer map a run plans against while no re-shard
 /// action has diverged from it: the configured placement, or the
 /// canonical expert-per-device layout repeated at every layer.
@@ -596,7 +790,9 @@ fn default_shard_map(
 ) -> LayeredPlacement {
     match base {
         Some(p) => p.clone(),
-        None => LayeredPlacement::uniform(ExpertPlacement::one_per_device(experts, devices), layers),
+        None => {
+            LayeredPlacement::uniform(ExpertPlacement::one_per_device(experts, devices), layers)
+        }
     }
 }
 
@@ -662,6 +858,23 @@ struct ClusterSim<'e, 'a> {
     autoscale: Option<AutoscaleRuntime>,
     /// Armed proactive re-sharder, if any.
     resharding: Option<ReshardRuntime>,
+    /// The health detector the balancer consults. An
+    /// [`DetectorKind::Oracle`] monitor reports zero suspicion for
+    /// every commissioned replica, reproducing the historical boolean
+    /// health bit exactly.
+    monitor: HealthMonitor,
+    /// Nominal-latency pricer feeding the detector's expectations;
+    /// `None` under the oracle detector.
+    expect: Option<ExpectedPricer>,
+    /// Expected nominal totals of in-flight batches (primaries and
+    /// hedges alike), consumed at completion to form the detector's
+    /// actual-over-expected observation.
+    expected_service: BTreeMap<u64, SimDuration>,
+    /// Armed hedged dispatch, if any.
+    hedging: Option<HedgeRuntime>,
+    /// Seed stream for per-request retry-backoff jitter (inert at
+    /// `jitter == 0`).
+    retry: Rng,
     /// Instant of the most recently processed event (the loop runs in
     /// nondecreasing time order); the cost-accounting end of the run.
     now: SimTime,
@@ -721,19 +934,29 @@ impl ClusterSim<'_, '_> {
                 consider(&mut best, t, 1, Step::Executor(i, t));
             }
         }
+        // Hedge timers never drive the loop alone: one only exists
+        // while its primary batch is in flight, which keeps an
+        // executor event pending too. No `best.is_some()` gate needed.
+        if let Some(rt) = &self.hedging {
+            if let Some((&(t, primary), ())) = rt.timers.iter().next() {
+                consider(&mut best, t, 2, Step::Hedge(t, primary));
+            }
+        }
         let next_arrival = self.stream.peek().map(|req| req.arrival);
         let next_retry = self.admissions.peek_time();
         if let Some(at) = match (next_arrival, next_retry) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         } {
-            consider(&mut best, at, 4, Step::Admit);
+            consider(&mut best, at, 5, Step::Admit);
         }
         let max_inflight = self.engine.config.max_inflight;
         for (i, rep) in self.replicas.iter().enumerate() {
+            // Hedges ride along outside the slot budget: a replica's
+            // own dispatch pipeline only counts primary batches.
             if !rep.healthy
                 || rep.role == ReplicaRole::Retired
-                || rep.executor.in_flight() >= max_inflight
+                || rep.executor.in_flight() - rep.hedges_in_flight >= max_inflight
             {
                 continue;
             }
@@ -741,14 +964,14 @@ impl ClusterSim<'_, '_> {
                 .batcher
                 .next_dispatch(&rep.arrivals, rep.next, rep.slot_free)
             {
-                consider(&mut best, d.at, 5, Step::Dispatch(i, d));
+                consider(&mut best, d.at, 6, Step::Dispatch(i, d));
             }
         }
         if let Some(to) = self.policy.request_timeout {
             for rep in &self.replicas {
                 for r in &rep.queue[rep.next..] {
                     let deadline = r.arrival + to;
-                    consider(&mut best, deadline, 6, Step::Timeout(deadline));
+                    consider(&mut best, deadline, 7, Step::Timeout(deadline));
                 }
             }
         }
@@ -757,12 +980,12 @@ impl ClusterSim<'_, '_> {
         // while some other event still gives the run work to do.
         if let Some(rt) = &self.autoscale {
             if best.is_some() {
-                consider(&mut best, rt.next_at, 2, Step::Control);
+                consider(&mut best, rt.next_at, 3, Step::Control);
             }
         }
         if let Some(rt) = &self.resharding {
             if best.is_some() {
-                consider(&mut best, rt.next_at, 3, Step::Reshard);
+                consider(&mut best, rt.next_at, 4, Step::Reshard);
             }
         }
         best.map(|(_, _, step)| step)
@@ -780,6 +1003,10 @@ impl ClusterSim<'_, '_> {
                 Step::Executor(i, t) => {
                     self.now = t;
                     self.complete_on(i, t);
+                }
+                Step::Hedge(t, primary) => {
+                    self.now = t;
+                    self.fire_hedge(t, primary);
                 }
                 Step::Control => self.control(),
                 Step::Reshard => self.reshard(),
@@ -829,6 +1056,26 @@ impl ClusterSim<'_, '_> {
                     rep.straggler = 1.0;
                 }
             }
+            // Gray faults degrade silently: service stretches but the
+            // health bit stays up, so only the detector (if armed with
+            // one that actually looks) can notice.
+            FaultKind::GrayDegrade {
+                compute_scale,
+                nic_scale,
+            } => {
+                let rep = &mut self.replicas[e.replica];
+                if rep.healthy {
+                    rep.gray_compute = compute_scale;
+                    rep.executor.set_link_scale(nic_scale);
+                }
+            }
+            FaultKind::GrayClear => {
+                let rep = &mut self.replicas[e.replica];
+                if rep.healthy {
+                    rep.gray_compute = 1.0;
+                    rep.executor.set_link_scale(1.0);
+                }
+            }
         }
     }
 
@@ -844,10 +1091,51 @@ impl ClusterSim<'_, '_> {
         rep.devices_lost = 0;
         rep.compute_slowdown = 1.0;
         rep.straggler = 1.0;
+        rep.gray_compute = 1.0;
         let aborted = rep.executor.abort_all();
+        rep.hedges_in_flight = 0;
+        self.monitor.reset(i);
         self.aborted_batches += aborted.len();
         let mut displaced: Vec<(Request, u32)> = Vec::new();
         for id in aborted {
+            // An aborted flight never completes, so its expectation is
+            // never consumed — drop it here.
+            self.expected_service.remove(&id);
+            if id >= HEDGE_BASE {
+                // A speculative hedge died with its host replica. The
+                // primary (elsewhere) usually still carries the batch;
+                // only if it had already crashed too do the members
+                // finally displace.
+                let rt = self.hedging.as_mut().expect("hedge id without a runtime");
+                let primary = rt.by_hedge.remove(&id).expect("hedge id was registered");
+                let st = rt.live.get_mut(&primary).expect("hedge had live state");
+                let hf = st.hedge.take().expect("hedge flight was recorded");
+                rt.wasted += at.saturating_since(hf.dispatched);
+                if st.primary_gone {
+                    rt.live.remove(&primary);
+                    displaced.extend(
+                        self.pending
+                            .remove(&primary)
+                            .expect("orphaned batch was committed"),
+                    );
+                }
+                continue;
+            }
+            if let Some(rt) = self.hedging.as_mut() {
+                if let Some(st) = rt.live.get_mut(&id) {
+                    if st.hedge.is_some() {
+                        // A hedge is still racing this batch elsewhere:
+                        // the members ride the hedge instead of being
+                        // displaced, so the crash costs them nothing
+                        // beyond the head start they lose.
+                        st.primary_gone = true;
+                        continue;
+                    }
+                    // Timer armed but never fired: disarm it.
+                    rt.timers.remove(&(st.deadline, id));
+                    rt.live.remove(&id);
+                }
+            }
             displaced.extend(
                 self.pending
                     .remove(&id)
@@ -903,7 +1191,7 @@ impl ClusterSim<'_, '_> {
                 self.fail(req, at, RequestOutcome::Dropped);
                 continue;
             }
-            let retry_at = at + self.policy.backoff(n);
+            let retry_at = at + self.policy.backoff_jittered(n, req.id, &self.retry);
             if let Some(to) = self.policy.request_timeout {
                 let deadline = req.arrival + to;
                 if retry_at > deadline {
@@ -934,6 +1222,7 @@ impl ClusterSim<'_, '_> {
         rep.devices_lost = 0;
         rep.compute_slowdown = 1.0;
         rep.straggler = 1.0;
+        rep.gray_compute = 1.0;
         rep.executor.set_link_scale(1.0);
         // The replica's own monitoring samples predate the crash:
         // flush them so a per-replica re-profile after recovery starts
@@ -942,6 +1231,9 @@ impl ClusterSim<'_, '_> {
         // no-op there — the pooled shared window survives untouched.)
         rep.window.clear();
         rep.slot_free = rep.slot_free.max(at + reload);
+        // Post-recovery hardware is fresh: pre-crash latency history
+        // (and any suspicion it earned) no longer describes it.
+        self.monitor.reset(i);
     }
 
     /// One GPU dies but the replica survives: emergency re-placement
@@ -1155,11 +1447,14 @@ impl ClusterSim<'_, '_> {
                 devices_lost: 0,
                 compute_slowdown: 1.0,
                 straggler: 1.0,
+                gray_compute: 1.0,
+                hedges_in_flight: 0,
                 role: ReplicaRole::Active,
                 ready_at,
                 commissioned: at,
                 retired_at: None,
             });
+            self.monitor.ensure(self.replicas.len());
             self.requests_per_replica.push(0);
             self.tokens_per_replica.push(0);
             self.scale_ups += 1;
@@ -1404,19 +1699,20 @@ impl ClusterSim<'_, '_> {
         // allocation site without it.
         let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
         snapshots.clear();
-        snapshots.extend(
-            self.replicas
-                .iter()
-                .enumerate()
-                .map(|(i, r)| r.snapshot(i, self.per_replica_capacity, now)),
-        );
+        let monitor = &self.monitor;
+        snapshots.extend(self.replicas.iter().enumerate().map(|(i, r)| {
+            r.snapshot(i, self.per_replica_capacity, now, monitor.suspicion(i, now))
+        }));
         if !snapshots.iter().any(|s| s.routable()) {
-            // Every live replica is draining or still provisioning.
-            // Rather than drop admitted work, un-gate them for this
-            // pick: the request queues behind the drain or the weight
-            // reload (deterministic emergency fallback).
+            // Every live replica is draining, still provisioning, or
+            // fully suspected. Rather than drop admitted work, un-gate
+            // the live ones for this pick: the request queues behind
+            // the drain, the weight reload, or the suspect replica
+            // (deterministic emergency fallback). Infinite suspicion
+            // means crashed/retired and stays out of bounds.
             for s in &mut snapshots {
-                if s.healthy {
+                if s.suspicion.is_finite() {
+                    s.suspicion = 0.0;
                     s.draining = false;
                     s.provisioning = false;
                 }
@@ -1441,19 +1737,57 @@ impl ClusterSim<'_, '_> {
     }
 
     /// Fires the replica's executor events at `t`; completions free
-    /// dispatch slots and materialize their members' records.
+    /// dispatch slots, feed the health detector, resolve hedge races,
+    /// and materialize their members' records.
     fn complete_on(&mut self, i: usize, t: SimTime) {
         let max_inflight = self.engine.config.max_inflight;
         let rep = &mut self.replicas[i];
-        let mut inflight = rep.executor.in_flight();
+        // Slot accounting counts primary batches only: hedges ride
+        // along outside the dispatch budget.
+        let mut inflight = rep.executor.in_flight() - rep.hedges_in_flight;
         let finished = rep.executor.advance_to(t);
         for fb in &finished {
+            if fb.id >= HEDGE_BASE {
+                rep.hedges_in_flight -= 1;
+                continue;
+            }
             inflight -= 1;
             if inflight == max_inflight - 1 {
                 rep.slot_free = fb.completed;
             }
         }
         for fb in finished {
+            // Every real completion on this replica is a latency
+            // observation for the detector, hedge duplicates included:
+            // actual service over the batch's nominal expectation. The
+            // map only ever holds entries when a non-oracle detector
+            // priced them at dispatch.
+            if let Some(nominal) = self.expected_service.remove(&fb.id) {
+                self.monitor
+                    .observe(i, nominal, fb.report.total, fb.completed);
+            }
+            if fb.id >= HEDGE_BASE {
+                self.hedge_finished(fb, t);
+                continue;
+            }
+            if let Some(rt) = self.hedging.as_mut() {
+                rt.observe(fb.report.total);
+                rt.useful += fb.report.total;
+                if let Some(st) = rt.live.remove(&fb.id) {
+                    rt.timers.remove(&(st.deadline, fb.id));
+                    if let Some(hf) = st.hedge {
+                        // The primary beat its hedge: cancel the
+                        // speculative copy and charge its burn.
+                        rt.by_hedge.remove(&hf.id);
+                        rt.wasted += t.saturating_since(hf.dispatched);
+                        self.expected_service.remove(&hf.id);
+                        let hrep = &mut self.replicas[hf.replica];
+                        let ok = hrep.executor.abort(hf.id);
+                        debug_assert!(ok, "live hedge was in flight");
+                        hrep.hedges_in_flight -= 1;
+                    }
+                }
+            }
             let members = self
                 .pending
                 .remove(&fb.id)
@@ -1477,12 +1811,149 @@ impl ClusterSim<'_, '_> {
         self.try_retire(i, t);
     }
 
+    /// A hedge batch completed: it wins whatever race is still open
+    /// (the executor's abort-wins-ties rule already purged it if the
+    /// primary resolved first this instant) and its members' records
+    /// materialize against the *primary* batch id.
+    fn hedge_finished(&mut self, fb: FinishedBatch, t: SimTime) {
+        let max_inflight = self.engine.config.max_inflight;
+        let rt = self.hedging.as_mut().expect("hedge id without a runtime");
+        let primary = rt
+            .by_hedge
+            .remove(&fb.id)
+            .expect("finished hedge was registered");
+        let st = rt
+            .live
+            .remove(&primary)
+            .expect("finished hedge had live state");
+        rt.won += 1;
+        rt.useful += fb.report.total;
+        if !st.primary_gone {
+            // The hedge beat a still-running primary: abort the
+            // original and free its dispatch slot now.
+            rt.wasted += t.saturating_since(st.primary_dispatched);
+            self.expected_service.remove(&primary);
+            let prep = &mut self.replicas[st.primary_replica];
+            let ok = prep.executor.abort(primary);
+            debug_assert!(ok, "raced primary was in flight");
+            if prep.executor.in_flight() - prep.hedges_in_flight == max_inflight - 1 {
+                prep.slot_free = t;
+            }
+        }
+        let members = self
+            .pending
+            .remove(&primary)
+            .expect("hedged batch was committed");
+        for (r, _) in members {
+            self.records.push(RequestRecord {
+                id: r.id,
+                arrival: r.arrival,
+                // The winning flight's timeline: the batch completed
+                // via the hedge's dispatch.
+                dispatched: fb.dispatched,
+                completed: fb.completed,
+                tokens: r.tokens.len(),
+                batch: primary as usize,
+                service: fb.report.total,
+            });
+            self.on_terminal(r.id, fb.completed);
+        }
+        if !st.primary_gone {
+            // The abort may have emptied a drain victim.
+            self.try_retire(st.primary_replica, t);
+        }
+    }
+
+    /// A hedge timer fired: the primary is still running past its
+    /// deadline. Duplicate the batch onto the least-suspected routable
+    /// alternate with spare executor capacity; first completion wins.
+    fn fire_hedge(&mut self, t: SimTime, primary: u64) {
+        let max_inflight = self.engine.config.max_inflight;
+        let rt = self
+            .hedging
+            .as_mut()
+            .expect("hedge timer without a runtime");
+        rt.timers.remove(&(t, primary));
+        let primary_replica = rt
+            .live
+            .get(&primary)
+            .expect("hedge timer had live state")
+            .primary_replica;
+        // Candidate pool: commissioned, not the primary's host, with a
+        // genuinely free executor slot (the hedge consumes capacity
+        // even though it skips the dispatch budget). Least suspicion
+        // wins; ties break toward the lighter backlog, then the lower
+        // index — fully deterministic.
+        let monitor = &self.monitor;
+        let candidate = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|&(j, r)| {
+                j != primary_replica
+                    && r.healthy
+                    && r.role == ReplicaRole::Active
+                    && t >= r.ready_at
+                    && r.executor.in_flight() < max_inflight
+            })
+            .min_by(|&(a, ra), &(b, rb)| {
+                monitor
+                    .suspicion(a, t)
+                    .total_cmp(&monitor.suspicion(b, t))
+                    .then_with(|| {
+                        ra.executor
+                            .in_flight_tokens()
+                            .cmp(&rb.executor.in_flight_tokens())
+                    })
+                    .then_with(|| a.cmp(&b))
+            })
+            .map(|(j, _)| j);
+        let Some(target) = candidate else {
+            // Nowhere to hedge (single live replica, or everyone
+            // saturated): the primary keeps the batch alone.
+            return;
+        };
+        let rt = self.hedging.as_mut().expect("checked above");
+        let id = HEDGE_BASE + rt.next_hedge_seq;
+        rt.next_hedge_seq += 1;
+        rt.issued += 1;
+        rt.by_hedge.insert(id, primary);
+        let st = rt.live.get_mut(&primary).expect("checked above");
+        st.hedge = Some(HedgeFlight {
+            id,
+            replica: target,
+            dispatched: t,
+        });
+        let base = st.plan.clone();
+        // The hedge's completion feeds the detector like any other, so
+        // it needs the same nominal expectation as its primary.
+        if let Some(nominal) = self.expect.as_mut().map(|exp| exp.total(&base)) {
+            self.expected_service.insert(id, nominal);
+        }
+        let trep = &mut self.replicas[target];
+        trep.hedges_in_flight += 1;
+        // The duplicate runs at the target's true speed — visible
+        // degradation and silent gray stretch alike.
+        let slow = trep.compute_slowdown * trep.straggler * trep.gray_compute;
+        let plan = if slow > 1.0 {
+            let mut degraded = (*base).clone();
+            degraded.scale_compute(slow);
+            Arc::new(degraded)
+        } else {
+            base
+        };
+        trep.executor.submit(id, t, plan);
+    }
+
     /// Commits the replica's next batch: plan (or fetch the memoized
     /// plan), degrade, submit.
     fn dispatch(&mut self, i: usize, d: Dispatch) {
         let rep = &self.replicas[i];
         let members = &rep.queue[rep.next..rep.next + d.count];
-        let slow = rep.compute_slowdown * rep.straggler;
+        // Gray degradation stretches service exactly like a visible
+        // slowdown would — it is only the *control plane* that cannot
+        // see it.
+        let slow = rep.compute_slowdown * rep.straggler * rep.gray_compute;
         let batch_tokens: usize = members.iter().map(|r| r.tokens.len()).sum();
         // Key the cache on everything the planner reads: scheme/top_k,
         // the scheduler-state epoch, and the batch-content digest
@@ -1557,6 +2028,15 @@ impl ClusterSim<'_, '_> {
         };
         self.local_hops += base_plan.local_hops;
         self.routed_hops += base_plan.routed_hops;
+        // A hedge re-runs the pristine base plan on an alternate (its
+        // own degradation applied at issue time), so capture the Arc
+        // before the degraded-copy branch moves it.
+        let hedge_plan = self.hedging.is_some().then(|| base_plan.clone());
+        // The armed detector's expectation: the pristine plan at
+        // nominal replica speed, priced before degradation stretches a
+        // copy. Whatever the replica silently adds on top of this is
+        // exactly the gray signal.
+        let nominal = self.expect.as_mut().map(|exp| exp.total(&base_plan));
         // Degraded replicas stretch a private copy — the pristine plan
         // stays cached (and the executor's solo memo keys on the Arc,
         // so a degraded copy never poisons it).
@@ -1568,6 +2048,9 @@ impl ClusterSim<'_, '_> {
             base_plan
         };
         let batch_id = self.total_batches as u64;
+        if let Some(nominal) = nominal {
+            self.expected_service.insert(batch_id, nominal);
+        }
         let rep = &mut self.replicas[i];
         rep.executor.submit(batch_id, d.at, plan);
         // Move the members into the pending map — taking each slot's
@@ -1599,6 +2082,29 @@ impl ClusterSim<'_, '_> {
         rep.next += d.count;
         rep.batches += 1;
         self.total_batches += 1;
+
+        // Arm the hedge timer: once enough service samples exist to
+        // estimate the delay quantile, any primary still running past
+        // it gets a speculative duplicate.
+        if let Some(rt) = &mut self.hedging {
+            if let Some(delay) = rt.delay() {
+                let deadline = d.at + delay;
+                rt.timers.insert((deadline, batch_id), ());
+                rt.live.insert(
+                    batch_id,
+                    HedgeState {
+                        primary_replica: i,
+                        primary_dispatched: d.at,
+                        deadline,
+                        plan: hedge_plan
+                            .clone()
+                            .expect("armed hedging captured the base plan"),
+                        primary_gone: false,
+                        hedge: None,
+                    },
+                );
+            }
+        }
 
         // The re-shard load monitor samples every dispatched batch
         // (sharing the materialized copy with the re-estimator when
@@ -1714,6 +2220,12 @@ impl ClusterSim<'_, '_> {
             self.pending.is_empty(),
             "every committed batch must complete or abort"
         );
+        if let Some(rt) = &self.hedging {
+            assert!(
+                rt.live.is_empty() && rt.timers.is_empty() && rt.by_hedge.is_empty(),
+                "every hedge race must resolve by the end of the run"
+            );
+        }
         #[cfg(debug_assertions)]
         {
             for rep in &self.replicas {
@@ -1731,6 +2243,21 @@ impl ClusterSim<'_, '_> {
         for r in std::mem::take(&mut self.records) {
             self.tracker.record(r);
         }
+        let (hedges_issued, hedges_won, hedge_wasted_frac) = match &self.hedging {
+            Some(rt) => {
+                let useful = rt.useful.as_secs_f64();
+                let wasted = rt.wasted.as_secs_f64();
+                let frac = if useful + wasted > 0.0 {
+                    wasted / (useful + wasted)
+                } else {
+                    0.0
+                };
+                (rt.issued, rt.won, frac)
+            }
+            None => (0, 0, 0.0),
+        };
+        self.tracker
+            .record_hedges(hedges_issued, hedges_won, hedge_wasted_frac);
         // Pool cost: every replica accrues from commission until it
         // retired (or the last event of the run for survivors).
         let end = self.now;
@@ -1761,6 +2288,9 @@ impl ClusterSim<'_, '_> {
             evictions: self.resharding.as_ref().map_or(0, |rt| rt.evictions),
             migrations: self.resharding.as_ref().map_or(0, |rt| rt.migrations),
             peak_replicas: self.peak_replicas,
+            hedges_issued,
+            hedges_won,
+            hedge_wasted_frac,
             replica_seconds,
             last_event: end,
             local_hops: self.local_hops,
@@ -1787,6 +2317,8 @@ pub(crate) fn run_on(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
     resharding: Option<&ReshardConfig>,
+    health: HealthConfig,
+    hedging: Option<HedgeConfig>,
 ) -> ClusterOutcome {
     run_cluster(
         engine,
@@ -1797,6 +2329,8 @@ pub(crate) fn run_on(
         faults,
         autoscale,
         resharding,
+        health,
+        hedging,
         None,
         false,
         None,
@@ -1816,6 +2350,8 @@ pub(crate) fn run_cluster<'x>(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
     resharding: Option<&ReshardConfig>,
+    health: HealthConfig,
+    hedging: Option<HedgeConfig>,
     placement: Option<&'x LayeredPlacement>,
     locality: bool,
     trace: Option<Vec<Request>>,
@@ -1828,6 +2364,8 @@ pub(crate) fn run_cluster<'x>(
         faults,
         autoscale,
         resharding,
+        &health,
+        hedging.as_ref(),
     ) {
         return run_sharded(
             engine,
@@ -1852,6 +2390,8 @@ pub(crate) fn run_cluster<'x>(
         faults,
         autoscale,
         resharding,
+        health,
+        hedging,
         placement,
         locality,
         stream,
@@ -1863,8 +2403,9 @@ pub(crate) fn run_cluster<'x>(
 /// round-robin routing (request `i` goes to replica `i mod K`, load
 /// blind), no faults, no shedding or timeouts (no cross-replica
 /// displacement), no autoscaler, no re-sharder (a shard-map change is
-/// cluster-global), and no *shared* online re-estimation coupling the
-/// schedulers.
+/// cluster-global), no phi-accrual detector and no hedging (both read
+/// cross-replica latency state), and no *shared* online re-estimation
+/// coupling the schedulers.
 #[allow(clippy::too_many_arguments)]
 fn shardable(
     engine: &ServeEngine<'_>,
@@ -1874,6 +2415,8 @@ fn shardable(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
     resharding: Option<&ReshardConfig>,
+    health: &HealthConfig,
+    hedging: Option<&HedgeConfig>,
 ) -> bool {
     engine.config.perf.shard_threads > 1
         && n_replicas > 1
@@ -1883,6 +2426,8 @@ fn shardable(
         && !faults.policy.sheds()
         && autoscale.is_none()
         && resharding.is_none()
+        && health.detector == DetectorKind::Oracle
+        && hedging.is_none()
         && (sharing == EstimatorSharing::PerReplica
             || !engine.estimates()
             || engine.config.reestimate_every.is_none())
@@ -1928,6 +2473,8 @@ fn run_sharded(
             per_replica_capacity,
             &FaultPlan::none(),
             None,
+            None,
+            HealthConfig::oracle(),
             None,
             placement,
             locality,
@@ -2045,6 +2592,9 @@ fn merge_shards(engine: &ServeEngine<'_>, shards: Vec<ClusterOutcome>) -> Cluste
         evictions: 0,
         migrations: 0,
         peak_replicas: n_replicas,
+        hedges_issued: 0,
+        hedges_won: 0,
+        hedge_wasted_frac: 0.0,
         replica_seconds,
         last_event: end,
         local_hops: shards.iter().map(|s| s.local_hops).sum(),
@@ -2066,6 +2616,8 @@ fn run_stream<'x>(
     faults: &FaultPlan,
     autoscale: Option<&AutoscaleConfig>,
     resharding: Option<&ReshardConfig>,
+    health: HealthConfig,
+    hedging: Option<HedgeConfig>,
     placement: Option<&'x LayeredPlacement>,
     locality: bool,
     stream: Box<dyn Iterator<Item = Request> + 'x>,
@@ -2096,12 +2648,24 @@ fn run_stream<'x>(
             devices_lost: 0,
             compute_slowdown: 1.0,
             straggler: 1.0,
+            gray_compute: 1.0,
+            hedges_in_flight: 0,
             role: ReplicaRole::Active,
             ready_at: SimTime::ZERO,
             commissioned: SimTime::ZERO,
             retired_at: None,
         })
         .collect();
+
+    // The phi detector needs a per-batch nominal expectation to compare
+    // completions against; the oracle never looks, so the pricer (and
+    // its per-dispatch solo pricing cost) only exists when armed.
+    let expect = (health.detector != DetectorKind::Oracle).then(|| ExpectedPricer {
+        timer: SoloTimer::new_shared(topo.clone()),
+        memo: None,
+    });
+    let monitor = HealthMonitor::new(health, n_replicas);
+    let hedging = hedging.map(HedgeRuntime::new);
 
     let autoscale = autoscale.map(|cfg| AutoscaleRuntime {
         policy: cfg.policy.build(cfg.cooldown),
@@ -2162,6 +2726,11 @@ fn run_stream<'x>(
         snapshot_scratch: Vec::new(),
         autoscale,
         resharding,
+        monitor,
+        expect,
+        expected_service: BTreeMap::new(),
+        hedging,
+        retry: seeds.retry,
         now: SimTime::ZERO,
         next_fault: 0,
         tracker: SloTracker::new(config.slo),
@@ -2250,6 +2819,8 @@ mod tests {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         }
     }
 
@@ -2838,7 +3409,12 @@ mod tests {
         assert_eq!(out.replications, again.replications);
         // The replicated map diverges from the unsharded timeline: the
         // transfer charge and the split expert must show somewhere.
-        let fixed = serve_cluster(&cost, &topo, &spec, config(InferScheme::Baseline, 2000.0, 1));
+        let fixed = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 2000.0, 1),
+        );
         assert_ne!(
             fixed.tracker.records(),
             out.tracker.records(),
@@ -2867,7 +3443,12 @@ mod tests {
     #[test]
     fn eviction_never_strands_a_single_homed_expert() {
         let (cost, topo, spec) = world();
-        let fixed = serve_cluster(&cost, &topo, &spec, config(InferScheme::Baseline, 2000.0, 1));
+        let fixed = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 2000.0, 1),
+        );
         let mut c = config(InferScheme::Baseline, 2000.0, 1);
         // Every expert starts single-homed: the eviction must refuse
         // (planning panics on a hostless expert) and the refused no-op
@@ -2916,5 +3497,244 @@ mod tests {
             "memoization must never change the timeline across a loss"
         );
         assert_eq!(plain.report(), memo.report());
+    }
+
+    #[test]
+    fn gray_degrade_stretches_service_without_tripping_the_health_bit() {
+        let (cost, topo, spec) = world();
+        let healthy = serve_cluster(
+            &cost,
+            &topo,
+            &spec,
+            config(InferScheme::Baseline, 2000.0, 1),
+        );
+        let mut c = config(InferScheme::Baseline, 2000.0, 1);
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![FaultEvent {
+                at: SimTime::ZERO,
+                replica: 0,
+                kind: FaultKind::GrayDegrade {
+                    compute_scale: 4.0,
+                    nic_scale: 0.5,
+                },
+            }]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let gray = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(gray.report().requests, 96, "gray never displaces work");
+        assert_eq!(gray.aborted_batches, 0, "the health bit never trips");
+        assert!(
+            gray.report().makespan > healthy.report().makespan,
+            "a gray fault must stretch the run"
+        );
+    }
+
+    #[test]
+    fn gray_clear_restores_the_healthy_timeline_tail() {
+        let (cost, topo, spec) = world();
+        let mut forever = config(InferScheme::Baseline, 2000.0, 1);
+        forever.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![FaultEvent {
+                at: SimTime::ZERO,
+                replica: 0,
+                kind: FaultKind::GrayDegrade {
+                    compute_scale: 4.0,
+                    nic_scale: 1.0,
+                },
+            }]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let mut cleared = config(InferScheme::Baseline, 2000.0, 1);
+        cleared.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![
+                FaultEvent {
+                    at: SimTime::ZERO,
+                    replica: 0,
+                    kind: FaultKind::GrayDegrade {
+                        compute_scale: 4.0,
+                        nic_scale: 1.0,
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_millis(10),
+                    replica: 0,
+                    kind: FaultKind::GrayClear,
+                },
+            ]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let slow = serve_cluster(&cost, &topo, &spec, forever);
+        let recovered = serve_cluster(&cost, &topo, &spec, cleared);
+        assert_eq!(recovered.report().requests, 96);
+        assert!(
+            recovered.report().makespan < slow.report().makespan,
+            "clearing the gray fault must speed the tail back up"
+        );
+    }
+
+    #[test]
+    fn armed_phi_detector_is_bit_identical_on_the_healthy_path() {
+        let (cost, topo, spec) = world();
+        let oracle = serve_cluster(&cost, &topo, &spec, config(InferScheme::Lina, 800.0, 3));
+        let mut c = config(InferScheme::Lina, 800.0, 3);
+        c.balancer = BalancerKind::LeastExpectedLatency;
+        c.health = HealthConfig::phi_accrual();
+        let mut o = config(InferScheme::Lina, 800.0, 3);
+        o.balancer = BalancerKind::LeastExpectedLatency;
+        let detector = serve_cluster(&cost, &topo, &spec, c);
+        let oracle_lel = serve_cluster(&cost, &topo, &spec, o);
+        // With no faults the detector must never manufacture suspicion
+        // that changes routing: the latency-aware balancer sees the
+        // same scores an oracle run does (all well under exclusion),
+        // and every request still completes exactly once.
+        assert_eq!(detector.report().requests, 96);
+        assert_eq!(
+            detector.report().requests,
+            oracle.report().requests,
+            "an armed detector loses nothing on the healthy path"
+        );
+        assert_eq!(
+            detector.requests_per_replica.iter().sum::<usize>(),
+            oracle_lel.requests_per_replica.iter().sum::<usize>(),
+        );
+        assert!(detector.tracker.failures().is_empty());
+    }
+
+    #[test]
+    fn phi_detector_routes_around_a_gray_replica() {
+        let (cost, topo, spec) = world();
+        let gray_fault = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![FaultEvent {
+                at: SimTime::ZERO,
+                replica: 0,
+                kind: FaultKind::GrayDegrade {
+                    compute_scale: 8.0,
+                    nic_scale: 1.0,
+                },
+            }]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let mut blind = config(InferScheme::Baseline, 1500.0, 3);
+        blind.balancer = BalancerKind::LeastExpectedLatency;
+        blind.faults = gray_fault.clone();
+        let mut seeing = blind.clone();
+        seeing.health = HealthConfig::phi_accrual();
+        let blind = serve_cluster(&cost, &topo, &spec, blind);
+        let seeing = serve_cluster(&cost, &topo, &spec, seeing);
+        assert_eq!(blind.report().requests, 96);
+        assert_eq!(seeing.report().requests, 96);
+        assert!(
+            seeing.requests_per_replica[0] < blind.requests_per_replica[0],
+            "the detector must divert traffic off the gray replica \
+             (detector {} vs oracle {})",
+            seeing.requests_per_replica[0],
+            blind.requests_per_replica[0]
+        );
+        assert!(
+            seeing.report().p99 < blind.report().p99,
+            "diverting off the gray replica must cut tail latency"
+        );
+    }
+
+    #[test]
+    fn armed_inert_hedging_matches_the_unhedged_cluster() {
+        let (cost, topo, spec) = world();
+        let plain = serve_cluster(&cost, &topo, &spec, config(InferScheme::Lina, 800.0, 3));
+        let mut c = config(InferScheme::Lina, 800.0, 3);
+        // min_samples beyond the run's batch count: armed but inert.
+        c.hedging = Some(HedgeConfig {
+            quantile: 0.95,
+            multiplier: 2.0,
+            min_samples: 1_000_000,
+        });
+        let armed = serve_cluster(&cost, &topo, &spec, c);
+        assert_eq!(plain.tracker.records(), armed.tracker.records());
+        assert_eq!(
+            plain.tracker.depth_timeline(),
+            armed.tracker.depth_timeline()
+        );
+        assert_eq!(armed.hedges_issued, 0);
+        assert_eq!(armed.report().requests, plain.report().requests);
+    }
+
+    #[test]
+    fn hedging_conserves_requests_under_a_straggler() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 1500.0, 3);
+        c.health = HealthConfig::phi_accrual();
+        // Median-based delay: the service distribution under a gray
+        // straggler is bimodal, so a high quantile would land in the
+        // straggler's own band and never fire.
+        c.hedging = Some(HedgeConfig {
+            quantile: 0.5,
+            multiplier: 1.2,
+            min_samples: 4,
+        });
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![FaultEvent {
+                at: SimTime::ZERO,
+                replica: 0,
+                kind: FaultKind::GrayDegrade {
+                    compute_scale: 8.0,
+                    nic_scale: 1.0,
+                },
+            }]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        let mut ids: Vec<usize> = out.tracker.records().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..96).collect::<Vec<_>>(),
+            "hedging must serve every request exactly once"
+        );
+        assert!(
+            out.hedges_issued > 0,
+            "an 8x gray straggler must trigger hedges"
+        );
+        assert!(out.hedges_won <= out.hedges_issued);
+        assert!((0.0..=1.0).contains(&out.hedge_wasted_frac));
+        assert_eq!(out.report().hedges_issued, out.hedges_issued);
+        assert_eq!(out.report().hedges_won, out.hedges_won);
+    }
+
+    #[test]
+    fn hedging_survives_a_crash_of_the_primary_replica() {
+        let (cost, topo, spec) = world();
+        let mut c = config(InferScheme::Baseline, 1500.0, 3);
+        c.hedging = Some(HedgeConfig {
+            quantile: 0.5,
+            multiplier: 1.0,
+            min_samples: 2,
+        });
+        c.faults = FaultPlan {
+            schedule: FaultSchedule::from_script(vec![
+                FaultEvent {
+                    at: SimTime::ZERO,
+                    replica: 0,
+                    kind: FaultKind::GrayDegrade {
+                        compute_scale: 16.0,
+                        nic_scale: 1.0,
+                    },
+                },
+                crash_at(20, 0),
+                recover_at(40, 0),
+            ]),
+            policy: DegradationPolicy::retry_failover(None),
+        };
+        let out = serve_cluster(&cost, &topo, &spec, c);
+        // Conservation under the nastiest interleaving: hedges in
+        // flight when their primary's replica crashes, primaries dying
+        // with live hedges, and recovery mid-run.
+        let mut terminal: Vec<usize> = out.tracker.records().iter().map(|r| r.id).collect();
+        terminal.extend(out.tracker.failures().iter().map(|f| f.id));
+        terminal.sort_unstable();
+        terminal.dedup();
+        assert_eq!(
+            terminal,
+            (0..96).collect::<Vec<_>>(),
+            "every request reaches exactly one terminal outcome"
+        );
     }
 }

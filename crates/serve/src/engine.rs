@@ -125,6 +125,13 @@ pub(crate) struct Seeds {
     /// drawing from it never perturbs the other streams, so a zero
     /// `token_spread` reproduces the fixed-size traces bit for bit).
     pub sizes: Rng,
+    /// The retry-backoff jitter substream (a pure `derive(3)` of the
+    /// root; [`DegradationPolicy::backoff_jittered`] sub-derives
+    /// per-(request, attempt) streams from it, and a zero jitter never
+    /// draws at all).
+    ///
+    /// [`DegradationPolicy::backoff_jittered`]: crate::DegradationPolicy::backoff_jittered
+    pub retry: Rng,
 }
 
 impl ServeConfig {
@@ -134,6 +141,7 @@ impl ServeConfig {
         let mut root = Rng::new(self.seed);
         let arrival = root.derive(1);
         let sizes = root.derive(2);
+        let retry = root.derive(3);
         let token = root.next_u64();
         let profile = root.next_u64();
         Seeds {
@@ -141,6 +149,7 @@ impl ServeConfig {
             profile,
             arrival,
             sizes,
+            retry,
         }
     }
 
@@ -422,6 +431,8 @@ impl<'a> ServeEngine<'a> {
             0.0,
             &crate::FaultPlan::none(),
             None,
+            None,
+            crate::HealthConfig::oracle(),
             None,
         );
         ServeOutcome {

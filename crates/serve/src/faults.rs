@@ -65,6 +65,21 @@ pub enum FaultKind {
     },
     /// The straggler recovers to full speed.
     StragglerEnd,
+    /// A *gray* failure: the replica silently degrades — expert compute
+    /// stretches by `compute_scale` (>= 1) and link bandwidth drops to
+    /// `nic_scale` of nominal — but keeps answering, and **the control
+    /// plane is never told**: unlike every other fault kind, the health
+    /// bit stays up and only a latency-inference detector
+    /// ([`crate::health`]) can notice.
+    GrayDegrade {
+        /// Compute slowdown factor (1.0 = none).
+        compute_scale: f64,
+        /// Remaining fraction of nominal link bandwidth.
+        nic_scale: f64,
+    },
+    /// The gray episode ends: compute and link return to nominal
+    /// (again without telling the control plane).
+    GrayClear,
 }
 
 /// One timed fault on one replica.
@@ -101,6 +116,21 @@ pub struct FaultRateConfig {
     pub straggler_factor: f64,
     /// Mean straggler episode length.
     pub mean_straggle: SimDuration,
+    /// Gray-failure onset rate (silent compute + NIC degradation).
+    pub gray_rate: f64,
+    /// Compute slowdown during a gray episode.
+    pub gray_compute: f64,
+    /// Surviving link-bandwidth fraction during a gray episode.
+    pub gray_nic: f64,
+    /// Mean gray episode length.
+    pub mean_gray: SimDuration,
+    /// Flapping-link onset rate: short NIC-only gray episodes that keep
+    /// toggling, the classic probation-testing pattern.
+    pub flap_rate: f64,
+    /// Surviving link-bandwidth fraction during a flap.
+    pub flap_nic: f64,
+    /// Mean flap episode length (short relative to `mean_gray`).
+    pub mean_flap: SimDuration,
 }
 
 impl FaultRateConfig {
@@ -117,6 +147,26 @@ impl FaultRateConfig {
             straggler_rate: 0.0,
             straggler_factor: 2.0,
             mean_straggle: SimDuration::ZERO,
+            gray_rate: 0.0,
+            gray_compute: 2.0,
+            gray_nic: 1.0,
+            mean_gray: SimDuration::ZERO,
+            flap_rate: 0.0,
+            flap_nic: 0.5,
+            mean_flap: SimDuration::ZERO,
+        }
+    }
+
+    /// A schedule of gray failures only: silent (`compute` stretch x
+    /// `nic` bandwidth fraction) episodes at `rate` per replica-second
+    /// with `mean_gray` episode lengths. Nothing flips the health bit.
+    pub fn gray(rate: f64, compute: f64, nic: f64, mean_gray: SimDuration) -> Self {
+        FaultRateConfig {
+            gray_rate: rate,
+            gray_compute: compute,
+            gray_nic: nic,
+            mean_gray,
+            ..FaultRateConfig::crashes(0.0, SimDuration::ZERO)
         }
     }
 }
@@ -125,19 +175,32 @@ impl FaultRateConfig {
 #[derive(Clone, Debug, Default)]
 pub struct FaultSchedule {
     events: Vec<FaultEvent>,
+    /// Sorted [`FaultKind::ReplicaRecover`] instants, precomputed so
+    /// [`FaultSchedule::next_recovery_after`] (called per event-loop
+    /// iteration during a total outage) is a binary search instead of a
+    /// linear scan over the whole script.
+    recoveries: Vec<SimTime>,
 }
 
 impl FaultSchedule {
     /// The empty schedule: nothing ever fails.
     pub fn none() -> Self {
-        FaultSchedule { events: Vec::new() }
+        FaultSchedule {
+            events: Vec::new(),
+            recoveries: Vec::new(),
+        }
     }
 
     /// A scripted schedule; events are stably sorted by injection time
     /// (equal-time events keep script order).
     pub fn from_script(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by_key(|e| e.at);
-        FaultSchedule { events }
+        let recoveries = events
+            .iter()
+            .filter(|e| e.kind == FaultKind::ReplicaRecover)
+            .map(|e| e.at)
+            .collect();
+        FaultSchedule { events, recoveries }
     }
 
     /// Generates a seeded rate-driven schedule over `[0, horizon)` for
@@ -244,8 +307,92 @@ impl FaultSchedule {
                     t += exp(&mut rng, rates.straggler_rate);
                 }
             }
+            if rates.gray_rate > 0.0 {
+                let mut rng = root.derive(5 + 8 * replica as u64);
+                let mut t = exp(&mut rng, rates.gray_rate);
+                while t < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::GrayDegrade {
+                            compute_scale: rates.gray_compute,
+                            nic_scale: rates.gray_nic,
+                        },
+                    });
+                    t += exp(
+                        &mut rng,
+                        1.0 / rates.mean_gray.as_secs_f64().max(f64::MIN_POSITIVE),
+                    );
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::GrayClear,
+                    });
+                    t += exp(&mut rng, rates.gray_rate);
+                }
+            }
+            if rates.flap_rate > 0.0 {
+                // Flaps are NIC-only gray episodes on an independent
+                // stream; overlaps with the main gray stream are
+                // suppressed below.
+                let mut rng = root.derive(6 + 8 * replica as u64);
+                let mut t = exp(&mut rng, rates.flap_rate);
+                while t < horizon_s {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::GrayDegrade {
+                            compute_scale: 1.0,
+                            nic_scale: rates.flap_nic,
+                        },
+                    });
+                    t += exp(
+                        &mut rng,
+                        1.0 / rates.mean_flap.as_secs_f64().max(f64::MIN_POSITIVE),
+                    );
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(t),
+                        replica,
+                        kind: FaultKind::GrayClear,
+                    });
+                    t += exp(&mut rng, rates.flap_rate);
+                }
+            }
         }
-        FaultSchedule::from_script(events)
+        events.sort_by_key(|e| e.at);
+        FaultSchedule::from_script(Self::suppress_overlaps(events, replicas))
+    }
+
+    /// Drops generated events that would start an episode already in
+    /// progress (or end one that is not): per replica, straggler and
+    /// gray episodes each follow a strict start/end alternation, so
+    /// independent rate streams (e.g. gray + flap, or a future second
+    /// straggler source) can never stack or emit dangling clears.
+    /// `events` must already be sorted by time.
+    fn suppress_overlaps(events: Vec<FaultEvent>, replicas: usize) -> Vec<FaultEvent> {
+        let mut straggling = vec![false; replicas];
+        let mut gray = vec![false; replicas];
+        events
+            .into_iter()
+            .filter(|e| {
+                let flag = match e.kind {
+                    FaultKind::StragglerStart { .. } | FaultKind::StragglerEnd => {
+                        &mut straggling[e.replica]
+                    }
+                    FaultKind::GrayDegrade { .. } | FaultKind::GrayClear => &mut gray[e.replica],
+                    _ => return true,
+                };
+                let starts = matches!(
+                    e.kind,
+                    FaultKind::StragglerStart { .. } | FaultKind::GrayDegrade { .. }
+                );
+                if *flag == starts {
+                    return false; // already in (or out of) the episode
+                }
+                *flag = starts;
+                true
+            })
+            .collect()
     }
 
     /// The events, ascending by time.
@@ -262,10 +409,8 @@ impl FaultSchedule {
     /// replica) — when a request finds every replica down, the retry
     /// policies defer its admission to this instant.
     pub fn next_recovery_after(&self, t: SimTime) -> Option<SimTime> {
-        self.events
-            .iter()
-            .find(|e| e.at > t && e.kind == FaultKind::ReplicaRecover)
-            .map(|e| e.at)
+        let i = self.recoveries.partition_point(|&r| r <= t);
+        self.recoveries.get(i).copied()
     }
 
     /// Validates event targets against the cluster shape.
@@ -292,6 +437,19 @@ impl FaultSchedule {
                     factor.is_finite() && factor >= 1.0,
                     "straggler factor {factor} below 1"
                 ),
+                FaultKind::GrayDegrade {
+                    compute_scale,
+                    nic_scale,
+                } => {
+                    assert!(
+                        compute_scale.is_finite() && compute_scale >= 1.0,
+                        "gray compute scale {compute_scale} below 1"
+                    );
+                    assert!(
+                        nic_scale > 0.0 && nic_scale <= 1.0,
+                        "gray nic scale {nic_scale} outside (0, 1]"
+                    );
+                }
                 _ => {}
             }
         }
@@ -345,6 +503,13 @@ pub struct DegradationPolicy {
     /// the healthy replicas' outstanding tokens exceed
     /// `shed_batches_per_replica * healthy * max_batch_tokens`.
     pub shed_batches_per_replica: f64,
+    /// Retry-jitter width in `[0, 1]`: attempt `n`'s backoff is
+    /// multiplied by a seeded per-(request, attempt) factor uniform in
+    /// `[1 - jitter/2, 1 + jitter/2]`, de-synchronizing the retry
+    /// stampede after a mass displacement (a crash dumps a whole
+    /// queue's worth of requests onto identical backoff timers). `0.0`
+    /// reproduces the unjittered timeline bit for bit.
+    pub jitter: f64,
 }
 
 impl DegradationPolicy {
@@ -358,6 +523,7 @@ impl DegradationPolicy {
             backoff_cap: SimDuration::ZERO,
             request_timeout: None,
             shed_batches_per_replica: f64::INFINITY,
+            jitter: 0.0,
         }
     }
 
@@ -371,6 +537,7 @@ impl DegradationPolicy {
             backoff_cap: SimDuration::from_millis(8),
             request_timeout: timeout,
             shed_batches_per_replica: f64::INFINITY,
+            jitter: 0.0,
         }
     }
 
@@ -407,12 +574,28 @@ impl DegradationPolicy {
         wait.min(self.backoff_cap)
     }
 
+    /// [`DegradationPolicy::backoff`] with seeded per-(request, attempt)
+    /// jitter off the `retry` substream of
+    /// [`crate::engine::ServeConfig::seeds`]. Deriving a fresh stream
+    /// per (request, attempt) keeps the factor independent of retry
+    /// *order*, so timelines stay reproducible under failover races.
+    /// With `jitter == 0.0` this IS `backoff` — the multiply is skipped
+    /// entirely, so the unjittered timeline is reproduced bit for bit.
+    pub fn backoff_jittered(&self, attempt: u32, request: usize, retry: &Rng) -> SimDuration {
+        let base = self.backoff(attempt);
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let mut rng = retry.derive(((request as u64) << 8) | u64::from(attempt & 0xFF));
+        base.mul_f64(1.0 + self.jitter * (rng.f64() - 0.5))
+    }
+
     /// Validates the knobs.
     ///
     /// # Panics
     ///
-    /// Panics on a zero timeout, a backoff cap below the base, or a
-    /// non-positive shed threshold.
+    /// Panics on a zero timeout, a backoff cap below the base, a
+    /// non-positive shed threshold, or a jitter outside `[0, 1]`.
     pub fn validate(&self) {
         assert!(
             self.request_timeout != Some(SimDuration::ZERO),
@@ -427,6 +610,11 @@ impl DegradationPolicy {
         assert!(
             self.shed_batches_per_replica > 0.0,
             "faults: shed threshold must be > 0"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "faults: retry jitter {} outside [0, 1]",
+            self.jitter
         );
     }
 }
@@ -514,6 +702,115 @@ mod tests {
         }
     }
 
+    /// Even with gray and flap streams racing on the same replicas, the
+    /// generator never stacks episodes: every replica's gray events (and
+    /// straggler events) strictly alternate start → clear, and the
+    /// flap stream's NIC-only onsets survive only outside gray episodes.
+    #[test]
+    fn gray_and_flap_streams_never_overlap() {
+        let mut rates = FaultRateConfig::gray(2.0, 4.0, 0.25, SimDuration::from_millis(400));
+        rates.flap_rate = 5.0;
+        rates.flap_nic = 0.5;
+        rates.mean_flap = SimDuration::from_millis(50);
+        rates.straggler_rate = 3.0;
+        rates.straggler_factor = 2.0;
+        rates.mean_straggle = SimDuration::from_millis(100);
+        for seed in 0..32u64 {
+            let s = FaultSchedule::generate(&rates, 3, SimDuration::from_secs_f64(5.0), seed);
+            assert!(!s.is_empty(), "seed {seed}");
+            let mut saw_flap_onset = false;
+            for r in 0..3 {
+                let mut gray = false;
+                let mut straggling = false;
+                for e in s.events().iter().filter(|e| e.replica == r) {
+                    match e.kind {
+                        FaultKind::GrayDegrade { compute_scale, .. } => {
+                            assert!(!gray, "seed {seed}: replica {r} double gray onset");
+                            gray = true;
+                            saw_flap_onset |= compute_scale == 1.0;
+                        }
+                        FaultKind::GrayClear => {
+                            assert!(gray, "seed {seed}: replica {r} dangling gray clear");
+                            gray = false;
+                        }
+                        FaultKind::StragglerStart { .. } => {
+                            assert!(!straggling, "seed {seed}: replica {r} double straggler");
+                            straggling = true;
+                        }
+                        FaultKind::StragglerEnd => {
+                            assert!(straggling, "seed {seed}: replica {r} dangling end");
+                            straggling = false;
+                        }
+                        other => panic!("unexpected kind {other:?}"),
+                    }
+                }
+            }
+            if saw_flap_onset {
+                return; // both streams contributed at least once
+            }
+        }
+        panic!("no flap onset survived across 32 seeds");
+    }
+
+    #[test]
+    fn generated_gray_schedules_validate_and_are_deterministic() {
+        let rates = FaultRateConfig::gray(1.0, 8.0, 0.1, SimDuration::from_millis(300));
+        let a = FaultSchedule::generate(&rates, 2, SimDuration::from_secs_f64(4.0), 7);
+        let b = FaultSchedule::generate(&rates, 2, SimDuration::from_secs_f64(4.0), 7);
+        assert_eq!(a.events(), b.events());
+        a.validate(2);
+        assert!(
+            a.events()
+                .iter()
+                .all(|e| matches!(e.kind, FaultKind::GrayDegrade { .. } | FaultKind::GrayClear)),
+            "gray() rates must emit only gray events"
+        );
+        assert_eq!(
+            a.next_recovery_after(SimTime::ZERO),
+            None,
+            "gray events never flip the health bit, so there is nothing to recover"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gray compute scale")]
+    fn sub_unity_gray_compute_rejected() {
+        FaultSchedule::from_script(vec![FaultEvent {
+            at: SimTime::ZERO,
+            replica: 0,
+            kind: FaultKind::GrayDegrade {
+                compute_scale: 0.5,
+                nic_scale: 1.0,
+            },
+        }])
+        .validate(1);
+    }
+
+    /// The precomputed recovery index answers exactly like the linear
+    /// scan it replaced, including between, at, and past event times.
+    #[test]
+    fn recovery_index_matches_linear_scan() {
+        let rates = FaultRateConfig::crashes(3.0, SimDuration::from_millis(150));
+        let s = FaultSchedule::generate(&rates, 4, SimDuration::from_secs_f64(3.0), 11);
+        let probes: Vec<SimTime> = std::iter::once(SimTime::ZERO)
+            .chain(s.events().iter().flat_map(|e| {
+                [
+                    e.at,
+                    e.at + SimDuration::from_nanos(1),
+                    e.at + SimDuration::from_millis(1),
+                ]
+            }))
+            .collect();
+        for t in probes {
+            let linear = s
+                .events()
+                .iter()
+                .find(|e| e.at > t && e.kind == FaultKind::ReplicaRecover)
+                .map(|e| e.at);
+            assert_eq!(s.next_recovery_after(t), linear, "probe at {t}");
+        }
+    }
+
     #[test]
     fn backoff_is_capped_exponential() {
         let p = DegradationPolicy::retry_failover(None);
@@ -522,6 +819,59 @@ mod tests {
         assert_eq!(p.backoff(3), SimDuration::from_millis(4));
         assert_eq!(p.backoff(4), SimDuration::from_millis(8));
         assert_eq!(p.backoff(10), SimDuration::from_millis(8), "capped");
+    }
+
+    /// jitter = 0 must reproduce `backoff` bit for bit (the multiply is
+    /// skipped, not rounded through); jitter > 0 spreads identical
+    /// (attempt) pairs across requests deterministically and within the
+    /// +/- jitter/2 envelope.
+    #[test]
+    fn retry_jitter_degenerates_to_plain_backoff_and_spreads_requests() {
+        let rng = Rng::new(0xDECAF);
+        let plain = DegradationPolicy::retry_failover(None);
+        for attempt in 1..6 {
+            for request in [0usize, 1, 97] {
+                assert_eq!(
+                    plain.backoff_jittered(attempt, request, &rng),
+                    plain.backoff(attempt),
+                    "jitter=0 must be the identity"
+                );
+            }
+        }
+        let mut jittered = plain;
+        jittered.jitter = 0.5;
+        jittered.validate();
+        let waits: Vec<SimDuration> = (0..64)
+            .map(|request| jittered.backoff_jittered(2, request, &rng))
+            .collect();
+        let base = plain.backoff(2);
+        let lo = base.mul_f64(0.75);
+        let hi = base.mul_f64(1.25);
+        for (request, &w) in waits.iter().enumerate() {
+            assert!(
+                (lo..=hi).contains(&w),
+                "request {request}: {w} outside envelope"
+            );
+            assert_eq!(
+                w,
+                jittered.backoff_jittered(2, request, &rng),
+                "same (request, attempt) must re-draw the same factor"
+            );
+        }
+        let distinct: std::collections::BTreeSet<SimDuration> = waits.iter().copied().collect();
+        assert!(
+            distinct.len() > 32,
+            "stampede not spread: {} distinct waits of 64",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "retry jitter")]
+    fn out_of_range_jitter_rejected() {
+        let mut p = DegradationPolicy::retry_failover(None);
+        p.jitter = 1.5;
+        p.validate();
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Gray-failure detection: continuous per-replica *suspicion* scores
+//! replacing the oracle health bit, plus the hedged-dispatch knobs.
+//!
+//! A gray-degraded replica ([`FaultKind::GrayDegrade`]) keeps its
+//! health bit up — the control plane is never told — so bit-consuming
+//! balancers would keep routing into it at full weight. The
+//! [`HealthMonitor`] closes the loop from the *data plane* instead:
+//! every completed batch feeds the ratio of the serving replica's
+//! observed completion latency over the batch's *expected* latency
+//! (the pristine plan priced at nominal replica speed) into a
+//! phi-accrual-style estimator, and routing consumes the resulting
+//! suspicion score in place of the raw bool. Normalizing by the
+//! per-batch expectation — rather than by token count — keeps batch
+//! size and composition out of the signal: a healthy replica sits at
+//! ratio 1.0 whether it served two requests or twenty, so whatever
+//! stretch a gray fault adds stands directly against the baseline.
+//!
+//! * Suspicion is continuous: `0.0` is a replica indistinguishable from
+//!   the cluster baseline; `>= 1.0` excludes it from routing (the
+//!   [`ReplicaSnapshot::routable`] gate), and values in between
+//!   penalize the replica under the latency-aware balancer without
+//!   excluding it.
+//! * An excluded replica receives no traffic and therefore no fresh
+//!   samples, which would deadlock it out of the pool forever.
+//!   Suspicion decays deterministically with the time since the
+//!   replica's last sample ([`HealthConfig::half_life`]), so an
+//!   excluded replica periodically drops back under the threshold and
+//!   earns a probe request that refreshes its estimate.
+//! * A suspected replica re-enters through *probation*: until
+//!   [`HealthConfig::probation`] consecutive clean samples accrue, its
+//!   suspicion is floored at 0.5 — routable, but penalized — so a
+//!   flapping link cannot oscillate the pool at full amplitude.
+//! * [`DetectorKind::Oracle`] is the degeneracy mode: `observe` is a
+//!   no-op and suspicion is identically zero, reproducing the
+//!   historical oracle-health-bit behaviour bit for bit.
+//!
+//! The monitor is deterministic: suspicion is a pure function of the
+//! observation sequence and the query instant, so the cluster loop's
+//! bit-reproducibility survives the detector being armed.
+//!
+//! [`FaultKind::GrayDegrade`]: crate::FaultKind::GrayDegrade
+//! [`ReplicaSnapshot::routable`]: crate::ReplicaSnapshot::routable
+
+use lina_simcore::{SimDuration, SimTime};
+
+/// Which gray-failure detector the cluster runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// The historical control-plane oracle: suspicion is identically
+    /// zero, so routing sees exactly the raw health bit (crashes still
+    /// exclude a replica — the oracle knows about those).
+    Oracle,
+    /// Phi-accrual-style detection over observed batch completion
+    /// latencies versus each batch's expected latency: suspicion grows
+    /// with how many baseline standard deviations the replica's
+    /// smoothed actual-over-expected ratio sits above the cluster
+    /// mean.
+    PhiAccrual,
+}
+
+/// Gray-failure detector configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// The detector to run.
+    pub detector: DetectorKind,
+    /// Phi — baseline standard deviations above the cluster mean — at
+    /// which suspicion reaches 1.0 and the replica stops being
+    /// routable.
+    pub suspect_threshold: f64,
+    /// Cluster-wide completed-batch samples before the detector arms;
+    /// until the baseline holds this many, suspicion is zero
+    /// everywhere.
+    pub warmup_samples: usize,
+    /// EWMA smoothing factor for the per-replica service estimate
+    /// (higher reacts faster, flaps harder).
+    pub ewma_alpha: f64,
+    /// Consecutive clean samples a suspected replica must serve before
+    /// its probation floor lifts.
+    pub probation: usize,
+    /// Half-life of the deterministic time-decay applied to suspicion
+    /// since the replica's last sample — the probe-window escape hatch
+    /// that keeps an excluded replica from starving forever.
+    pub half_life: SimDuration,
+}
+
+impl HealthConfig {
+    /// The oracle degeneracy mode: suspicion identically zero, routing
+    /// bit-identical to the historical health-bit behaviour.
+    pub fn oracle() -> Self {
+        HealthConfig {
+            detector: DetectorKind::Oracle,
+            suspect_threshold: 4.0,
+            warmup_samples: 16,
+            ewma_alpha: 0.2,
+            probation: 4,
+            half_life: SimDuration::from_millis(20),
+        }
+    }
+
+    /// The phi-accrual detector with default thresholds.
+    pub fn phi_accrual() -> Self {
+        HealthConfig {
+            detector: DetectorKind::PhiAccrual,
+            ..HealthConfig::oracle()
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive threshold or half-life, an EWMA factor
+    /// outside `(0, 1]`, or a zero probation length.
+    pub fn validate(&self) {
+        assert!(
+            self.suspect_threshold > 0.0 && self.suspect_threshold.is_finite(),
+            "health: suspect threshold {} must be positive and finite",
+            self.suspect_threshold
+        );
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "health: ewma alpha {} outside (0, 1]",
+            self.ewma_alpha
+        );
+        assert!(self.probation > 0, "health: probation must be > 0");
+        assert!(
+            self.half_life > SimDuration::ZERO,
+            "health: half-life must be positive"
+        );
+    }
+}
+
+/// Hedged-dispatch configuration: when an in-flight batch outlives a
+/// quantile-derived delay, the cluster re-dispatches it speculatively
+/// to the least-suspected alternate replica and the first completion
+/// wins (the loser is cancelled). `None` in
+/// [`ClusterConfig::hedging`](crate::ClusterConfig::hedging) never
+/// hedges — the historical behaviour, bit for bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Quantile of observed batch service times the hedge delay is
+    /// derived from (e.g. 0.95).
+    pub quantile: f64,
+    /// The hedge fires after `multiplier ×` the quantile service time.
+    pub multiplier: f64,
+    /// Completed batches observed before hedging arms; until then no
+    /// batch is ever hedged (there is no delay estimate to trust).
+    pub min_samples: usize,
+}
+
+impl HedgeConfig {
+    /// Hedge at 2× the observed p95 service time, after 16 samples.
+    pub fn p95x2() -> Self {
+        HedgeConfig {
+            quantile: 0.95,
+            multiplier: 2.0,
+            min_samples: 16,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a quantile outside `(0, 1)`, a multiplier below 1, or
+    /// a zero sample floor.
+    pub fn validate(&self) {
+        assert!(
+            self.quantile > 0.0 && self.quantile < 1.0,
+            "hedge: quantile {} outside (0, 1)",
+            self.quantile
+        );
+        assert!(
+            self.multiplier >= 1.0 && self.multiplier.is_finite(),
+            "hedge: multiplier {} must be >= 1",
+            self.multiplier
+        );
+        assert!(self.min_samples > 0, "hedge: min_samples must be > 0");
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// One replica's detector state.
+#[derive(Clone, Debug, Default)]
+struct ReplicaHealth {
+    /// Smoothed actual-over-expected service ratio; `None` before the
+    /// first sample.
+    ewma: Option<f64>,
+    /// Instant of the most recent sample (drives the time decay).
+    last_sample: Option<SimTime>,
+    /// Suspicion crossed 1.0 and the probation streak has not yet
+    /// cleared it.
+    suspected: bool,
+    /// Consecutive clean samples while suspected.
+    good_streak: usize,
+}
+
+/// The per-replica gray-failure detector: feed it every completed
+/// batch's service observation, query a suspicion score at routing
+/// instants. See the [module docs](self) for the model.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    /// Cluster-wide actual-over-expected ratio baseline. Samples whose
+    /// own z-score already exceeds the suspect threshold are kept out
+    /// (a gray replica's service ratios would poison the very mean and
+    /// variance the detection compares against).
+    baseline: Welford,
+    replicas: Vec<ReplicaHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor over `n` replicas with no observations yet.
+    pub fn new(config: HealthConfig, n: usize) -> Self {
+        HealthMonitor {
+            config,
+            baseline: Welford::default(),
+            replicas: vec![ReplicaHealth::default(); n],
+        }
+    }
+
+    /// Grows the tracked pool to `n` replicas (elastic scale-up); the
+    /// new replicas start with blank state.
+    pub fn ensure(&mut self, n: usize) {
+        if self.replicas.len() < n {
+            self.replicas.resize(n, ReplicaHealth::default());
+        }
+    }
+
+    /// Raw phi (baseline standard deviations above the mean) of a
+    /// replica's current estimate; zero while unarmed or unwarmed. The
+    /// standard deviation is floored at 5% of the mean: under solo
+    /// pricing a healthy replica's actual-over-expected ratio is
+    /// *exactly* 1.0 every sample, so the raw baseline variance
+    /// degenerates to zero and an unfloored phi would explode on the
+    /// first speck of noise.
+    fn phi(&self, replica: usize) -> f64 {
+        if self.config.detector == DetectorKind::Oracle
+            || self.baseline.count < self.config.warmup_samples as u64
+        {
+            return 0.0;
+        }
+        let Some(ewma) = self.replicas[replica].ewma else {
+            return 0.0;
+        };
+        let std = self
+            .baseline
+            .std()
+            .max(0.05 * self.baseline.mean)
+            .max(f64::MIN_POSITIVE);
+        ((ewma - self.baseline.mean) / std).max(0.0)
+    }
+
+    /// Feeds one completed batch's observation: `service` actually
+    /// spent on `replica` against the batch's `expected` nominal
+    /// latency, completing at `now`. A no-op under the oracle
+    /// detector.
+    pub fn observe(
+        &mut self,
+        replica: usize,
+        expected: SimDuration,
+        service: SimDuration,
+        now: SimTime,
+    ) {
+        if self.config.detector == DetectorKind::Oracle {
+            return;
+        }
+        let x = service.as_secs_f64() / expected.as_secs_f64().max(f64::MIN_POSITIVE);
+        let alpha = self.config.ewma_alpha;
+        let rh = &mut self.replicas[replica];
+        rh.ewma = Some(match rh.ewma {
+            Some(prev) => alpha * x + (1.0 - alpha) * prev,
+            None => x,
+        });
+        rh.last_sample = Some(now);
+        // Anomalous samples stay out of the baseline: admitting a gray
+        // replica's service ratios would drag the mean up and inflate
+        // the variance in lockstep with the replica's own EWMA, and
+        // phi would chase the threshold without ever crossing it. The
+        // gate is per-sample (the sample's own z-score against the
+        // current baseline), not the replica's suspected flag — the
+        // flag lags by design.
+        let armed = self.baseline.count >= self.config.warmup_samples as u64;
+        let clean = !armed || {
+            let std = self
+                .baseline
+                .std()
+                .max(0.05 * self.baseline.mean)
+                .max(f64::MIN_POSITIVE);
+            (x - self.baseline.mean) / std < self.config.suspect_threshold
+        };
+        if clean {
+            self.baseline.push(x);
+        }
+        let phi = self.phi(replica);
+        let norm = phi / self.config.suspect_threshold;
+        let rh = &mut self.replicas[replica];
+        if norm >= 1.0 {
+            rh.suspected = true;
+            rh.good_streak = 0;
+        } else if rh.suspected {
+            if norm < 0.5 {
+                rh.good_streak += 1;
+                if rh.good_streak >= self.config.probation {
+                    rh.suspected = false;
+                    rh.good_streak = 0;
+                }
+            } else {
+                rh.good_streak = 0;
+            }
+        }
+    }
+
+    /// The replica's suspicion at `now`: `0.0` is baseline-healthy,
+    /// `>= 1.0` should be excluded from routing. Deterministic in the
+    /// observation history and `now`.
+    pub fn suspicion(&self, replica: usize, now: SimTime) -> f64 {
+        if self.config.detector == DetectorKind::Oracle {
+            return 0.0;
+        }
+        let rh = &self.replicas[replica];
+        let mut score = self.phi(replica) / self.config.suspect_threshold;
+        // Decay since the last sample: an excluded replica earns a
+        // probe once its score halves under the threshold.
+        if let Some(last) = rh.last_sample {
+            let elapsed = now.saturating_since(last).as_secs_f64();
+            score *=
+                (-elapsed / self.config.half_life.as_secs_f64() * std::f64::consts::LN_2).exp();
+        }
+        // Probation: a suspected replica stays penalized (but
+        // routable) until its clean streak clears it.
+        if rh.suspected {
+            score = score.max(0.5);
+        }
+        score
+    }
+
+    /// True while the replica is in the suspected/probation regime.
+    pub fn suspected(&self, replica: usize) -> bool {
+        self.replicas[replica].suspected
+    }
+
+    /// Forgets a replica's history (crash or recovery: the hardware
+    /// behind the estimate is gone).
+    pub fn reset(&mut self, replica: usize) {
+        self.replicas[replica] = ReplicaHealth::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    /// Nominal expected service of the synthetic test batches.
+    const EXPECTED: SimDuration = SimDuration::from_micros(640);
+
+    /// Feeds `monitor` one healthy (ratio 1.0) round-robin sample per
+    /// replica.
+    fn feed_healthy(monitor: &mut HealthMonitor, replicas: usize, round: u64) {
+        for r in 0..replicas {
+            monitor.observe(r, EXPECTED, EXPECTED, ms(round * 2));
+        }
+    }
+
+    #[test]
+    fn oracle_suspicion_is_identically_zero() {
+        let mut m = HealthMonitor::new(HealthConfig::oracle(), 2);
+        for round in 0..32 {
+            feed_healthy(&mut m, 2, round);
+            // Even a grossly slow sample moves nothing.
+            m.observe(1, EXPECTED, SimDuration::from_millis(64), ms(round * 2 + 1));
+        }
+        assert_eq!(m.suspicion(0, ms(100)), 0.0);
+        assert_eq!(m.suspicion(1, ms(100)), 0.0);
+        assert!(!m.suspected(1));
+    }
+
+    #[test]
+    fn warmup_gates_detection() {
+        let mut m = HealthMonitor::new(HealthConfig::phi_accrual(), 2);
+        // A handful of wildly slow samples before the baseline holds
+        // `warmup_samples` must not suspect anything.
+        for i in 0..4 {
+            m.observe(1, EXPECTED, SimDuration::from_millis(64), ms(i));
+        }
+        assert_eq!(m.suspicion(1, ms(4)), 0.0);
+    }
+
+    #[test]
+    fn slow_replica_crosses_the_threshold_and_peers_stay_clear() {
+        let mut m = HealthMonitor::new(HealthConfig::phi_accrual(), 3);
+        for round in 0..16 {
+            feed_healthy(&mut m, 3, round);
+        }
+        // Replica 2 turns gray: 4x the baseline per-token service.
+        for i in 0..8 {
+            m.observe(2, EXPECTED, SimDuration::from_micros(2560), ms(40 + i));
+        }
+        let now = ms(48);
+        assert!(
+            m.suspicion(2, now) >= 1.0,
+            "gray replica suspicion {} must exclude it",
+            m.suspicion(2, now)
+        );
+        assert!(m.suspected(2));
+        assert!(m.suspicion(0, now) < 0.5, "healthy peers stay routable");
+        assert!(m.suspicion(1, now) < 0.5);
+    }
+
+    #[test]
+    fn decay_reopens_a_probe_window() {
+        let mut m = HealthMonitor::new(HealthConfig::phi_accrual(), 2);
+        for round in 0..16 {
+            feed_healthy(&mut m, 2, round);
+        }
+        for i in 0..8 {
+            m.observe(1, EXPECTED, SimDuration::from_micros(2560), ms(40 + i));
+        }
+        assert!(m.suspicion(1, ms(48)) >= 1.0);
+        // Long after its last sample the score has decayed under the
+        // exclusion threshold (probation floors it at 0.5, routable).
+        let later = ms(48) + SimDuration::from_millis(500);
+        let decayed = m.suspicion(1, later);
+        assert!(
+            (0.5..1.0).contains(&decayed),
+            "decayed suspicion {decayed} must re-admit the replica as penalized"
+        );
+    }
+
+    #[test]
+    fn probation_clears_after_a_clean_streak() {
+        let config = HealthConfig::phi_accrual();
+        let probation = config.probation;
+        let mut m = HealthMonitor::new(config, 2);
+        for round in 0..16 {
+            feed_healthy(&mut m, 2, round);
+        }
+        for i in 0..8 {
+            m.observe(1, EXPECTED, SimDuration::from_micros(2560), ms(40 + i));
+        }
+        assert!(m.suspected(1));
+        // Clean samples: the EWMA drifts back down; the suspected flag
+        // holds (with its 0.5 floor) until the streak clears it.
+        let mut cleared_at = None;
+        for i in 0..64 {
+            m.observe(1, EXPECTED, EXPECTED, ms(100 + i));
+            if !m.suspected(1) {
+                cleared_at = Some(i);
+                break;
+            }
+        }
+        let cleared_at = cleared_at.expect("a clean streak must clear probation");
+        assert!(
+            cleared_at + 1 >= probation as u64,
+            "probation cleared after only {cleared_at} samples"
+        );
+        assert!(
+            m.suspicion(1, ms(200)) < 0.5,
+            "cleared replica is unfloored"
+        );
+    }
+
+    #[test]
+    fn reset_forgets_the_history() {
+        let mut m = HealthMonitor::new(HealthConfig::phi_accrual(), 2);
+        for round in 0..16 {
+            feed_healthy(&mut m, 2, round);
+        }
+        for i in 0..8 {
+            m.observe(1, EXPECTED, SimDuration::from_micros(2560), ms(40 + i));
+        }
+        assert!(m.suspicion(1, ms(48)) >= 1.0);
+        m.reset(1);
+        assert_eq!(m.suspicion(1, ms(48)), 0.0, "fresh hardware, fresh slate");
+        assert!(!m.suspected(1));
+    }
+
+    #[test]
+    fn ensure_grows_with_blank_state() {
+        let mut m = HealthMonitor::new(HealthConfig::phi_accrual(), 1);
+        for i in 0..32 {
+            m.observe(0, EXPECTED, EXPECTED, ms(i));
+        }
+        m.ensure(3);
+        assert_eq!(m.suspicion(2, ms(32)), 0.0);
+        m.ensure(2); // never shrinks
+        assert_eq!(m.suspicion(2, ms(32)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspect threshold")]
+    fn non_positive_threshold_rejected() {
+        let mut c = HealthConfig::phi_accrual();
+        c.suspect_threshold = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ewma alpha")]
+    fn out_of_range_alpha_rejected() {
+        let mut c = HealthConfig::phi_accrual();
+        c.ewma_alpha = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_hedge_quantile_rejected() {
+        let mut c = HedgeConfig::p95x2();
+        c.quantile = 1.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn sub_unity_hedge_multiplier_rejected() {
+        let mut c = HedgeConfig::p95x2();
+        c.multiplier = 0.5;
+        c.validate();
+    }
+}

@@ -33,6 +33,15 @@
 //!   loop, and a [`DegradationPolicy`] (fail-fast, retry + failover,
 //!   or retry + failover + load shedding) decides what happens to the
 //!   displaced work;
+//! * gray-failure detection and hedged dispatch — *gray* faults
+//!   ([`FaultKind::GrayDegrade`]) slow a replica without tripping its
+//!   health bit; a phi-accrual-style [`HealthMonitor`] turns observed
+//!   batch latencies into a continuous suspicion score the balancers
+//!   route on ([`HealthConfig`]), and an optional [`HedgeConfig`]
+//!   re-dispatches a quantile-late batch to the least-suspected
+//!   alternate, first completion winning; the default
+//!   [`DetectorKind::Oracle`] reproduces the historical boolean health
+//!   bit bit-for-bit;
 //! * elastic autoscaling — an [`AutoscalePolicy`] (reactive
 //!   queue-depth thresholds with hysteresis, or a predictive forecast
 //!   over an observation window) evaluated at a fixed control interval
@@ -65,6 +74,7 @@ pub mod batcher;
 pub mod cluster;
 pub mod engine;
 pub mod faults;
+pub mod health;
 pub mod perf;
 pub mod provisioning;
 pub mod request;
@@ -86,6 +96,7 @@ pub use engine::{serve, ServeConfig, ServeEngine, ServeOutcome};
 pub use faults::{
     DegradationPolicy, FaultEvent, FaultKind, FaultPlan, FaultRateConfig, FaultSchedule, PolicyKind,
 };
+pub use health::{DetectorKind, HealthConfig, HealthMonitor, HedgeConfig};
 pub use lina_runner::NetworkMode;
 pub use lina_simcore::QueueKind;
 pub use perf::PerfConfig;

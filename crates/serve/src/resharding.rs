@@ -338,11 +338,7 @@ impl ReshardConfig {
 mod tests {
     use super::*;
 
-    fn obs<'a>(
-        share: &'a [f64],
-        replicas: &'a [usize],
-        devices: usize,
-    ) -> ReshardObservation<'a> {
+    fn obs<'a>(share: &'a [f64], replicas: &'a [usize], devices: usize) -> ReshardObservation<'a> {
         ReshardObservation {
             now: SimTime::ZERO,
             expert_share: share,

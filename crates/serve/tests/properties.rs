@@ -9,11 +9,21 @@ use lina_netsim::{ClusterSpec, Topology};
 use lina_serve::{
     serve, serve_cluster, ArrivalProcess, AutoscaleConfig, AutoscalePolicyKind, BalancerKind,
     Batcher, BatcherConfig, ClusterConfig, DegradationPolicy, EstimatorSharing, FaultPlan,
-    FaultRateConfig, FaultSchedule, NetworkMode, PerfConfig, QueueKind, ReshardAction,
-    ReshardConfig, ReshardPolicyKind, ScaleDecision, ServeConfig, ServeEngine,
+    FaultRateConfig, FaultSchedule, HealthConfig, HedgeConfig, NetworkMode, PerfConfig, QueueKind,
+    ReshardAction, ReshardConfig, ReshardPolicyKind, ScaleDecision, ServeConfig, ServeEngine,
 };
 use lina_simcore::{Rng, SimDuration, SimTime};
 use lina_workload::WorkloadSpec;
+
+/// How many randomized rounds a sweep runs. The nightly soak job
+/// raises this through `LINA_PROP_ROUNDS`; the default keeps the
+/// ordinary test tier fast.
+fn rounds(default: usize) -> usize {
+    std::env::var("LINA_PROP_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn world() -> (CostModel, Topology, WorkloadSpec) {
     let model = MoeModelConfig::transformer_xl(6, 8).for_inference();
@@ -189,6 +199,8 @@ fn cluster_conserves_and_is_deterministic_across_policies() {
                 resharding: None,
                 placement: None,
                 locality: false,
+                health: HealthConfig::oracle(),
+                hedging: None,
             };
             let n = config.serve.n_requests;
             let offered: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -254,7 +266,7 @@ fn adversarial_arrivals(meta: &mut Rng, n: usize, max_wait: SimDuration) -> Vec<
 #[test]
 fn batcher_dispatch_invariants_under_adversarial_traces() {
     let mut meta = Rng::new(0xBA7C4);
-    for round in 0..40 {
+    for round in 0..rounds(40) {
         let cap = 1 + meta.index(8);
         let max_wait = SimDuration::from_micros(meta.below(4_000) + 50);
         let batcher = Batcher::new(BatcherConfig {
@@ -403,7 +415,7 @@ fn arb_policy(meta: &mut Rng) -> DegradationPolicy {
 fn faults_conserve_every_request_and_stay_deterministic() {
     let (cost, topo, spec) = world();
     let mut meta = Rng::new(0xFA1175);
-    for round in 0..6 {
+    for round in 0..rounds(6) {
         let serve_config = arb_config(&mut meta, InferScheme::Lina);
         let replicas = 2 + meta.index(3);
         let rates = FaultRateConfig {
@@ -416,6 +428,13 @@ fn faults_conserve_every_request_and_stay_deterministic() {
             straggler_rate: meta.uniform(0.0, 5.0),
             straggler_factor: meta.uniform(1.0, 4.0),
             mean_straggle: SimDuration::from_millis(meta.below(30) + 5),
+            gray_rate: 0.0,
+            gray_compute: 1.0,
+            gray_nic: 1.0,
+            mean_gray: SimDuration::from_millis(10),
+            flap_rate: 0.0,
+            flap_nic: 1.0,
+            mean_flap: SimDuration::from_millis(2),
         };
         let schedule = FaultSchedule::generate(
             &rates,
@@ -438,6 +457,8 @@ fn faults_conserve_every_request_and_stay_deterministic() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -503,6 +524,8 @@ fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let healthy = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -538,7 +561,7 @@ fn empty_fault_schedule_is_bit_identical_to_healthy_path() {
 fn arbitrary_autoscale_decisions_conserve_and_stay_deterministic() {
     let (cost, topo, spec) = world();
     let mut meta = Rng::new(0xE1A5);
-    for round in 0..6 {
+    for round in 0..rounds(6) {
         let serve_config = arb_config(&mut meta, InferScheme::Lina);
         let replicas = 1 + meta.index(3);
         let max_replicas = replicas + 1 + meta.index(4);
@@ -570,6 +593,8 @@ fn arbitrary_autoscale_decisions_conserve_and_stay_deterministic() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -641,6 +666,8 @@ fn inert_autoscaler_is_bit_identical_to_fixed_cluster() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -716,6 +743,8 @@ fn arbitrary_reshard_schedules_conserve_and_stay_deterministic() {
             }),
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let n = config.serve.n_requests;
         let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
@@ -776,6 +805,8 @@ fn inert_resharder_is_bit_identical_to_fixed_cluster() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let fixed = serve_cluster(&cost, &topo, &spec, config.clone());
         let mut armed = config.clone();
@@ -822,7 +853,7 @@ fn perf_knobs_are_bit_identical_to_reference() {
             ..PerfConfig::reference()
         },
     ];
-    for round in 0..4 {
+    for round in 0..rounds(4) {
         let scheme = match round % 3 {
             0 => InferScheme::Lina,
             1 => InferScheme::Ideal,
@@ -840,6 +871,13 @@ fn perf_knobs_are_bit_identical_to_reference() {
                 straggler_rate: meta.uniform(0.0, 4.0),
                 straggler_factor: meta.uniform(1.0, 3.0),
                 mean_straggle: SimDuration::from_millis(meta.below(20) + 5),
+                gray_rate: 0.0,
+                gray_compute: 1.0,
+                gray_nic: 1.0,
+                mean_gray: SimDuration::from_millis(10),
+                flap_rate: 0.0,
+                flap_nic: 1.0,
+                mean_flap: SimDuration::from_millis(2),
             };
             FaultPlan {
                 schedule: FaultSchedule::generate(
@@ -867,6 +905,8 @@ fn perf_knobs_are_bit_identical_to_reference() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let reference = serve_cluster(&cost, &topo, &spec, config.clone());
         for perf in variants {
@@ -924,6 +964,8 @@ fn sharded_execution_is_bit_identical_to_sequential() {
             resharding: None,
             placement: None,
             locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
         };
         let sequential = serve_cluster(&cost, &topo, &spec, config.clone());
         for threads in [2, 5] {
@@ -974,6 +1016,8 @@ fn unshardable_scenario_falls_back_to_sequential() {
         resharding: None,
         placement: None,
         locality: false,
+        health: HealthConfig::oracle(),
+        hedging: None,
     };
     let sequential = serve_cluster(&cost, &topo, &spec, config.clone());
     let mut tuned = config.clone();
@@ -1032,6 +1076,8 @@ fn uniform_layered_base_is_bit_identical_to_plain() {
                 resharding: resharding.clone(),
                 placement: None,
                 locality: false,
+                health: HealthConfig::oracle(),
+                hedging: None,
             };
             let mut armed = plain.clone();
             armed.placement = Some(canonical.clone());
@@ -1065,5 +1111,273 @@ fn uniform_layered_base_is_bit_identical_to_plain() {
                 "{tag}: locality off must not count hops even when armed"
             );
         }
+    }
+}
+
+/// Under generated gray/flap fault schedules — optionally mixed with
+/// crashes — every combination of balancer, detector, and hedging
+/// still conserves requests and tokens, reports consistent hedge
+/// counters, stays bit-deterministic, and is invariant under the
+/// shard-threads knob (gray runs are unshardable, so the knob must
+/// fall back to the sequential loop bit for bit).
+#[test]
+fn gray_faults_with_hedging_conserve_and_stay_deterministic() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x62A9F);
+    for round in 0..rounds(6) {
+        let serve_config = arb_config(&mut meta, InferScheme::Lina);
+        let replicas = 2 + meta.index(3);
+        let mut rates = FaultRateConfig::gray(
+            meta.uniform(2.0, 12.0),
+            meta.uniform(2.0, 8.0),
+            meta.uniform(0.3, 1.0),
+            SimDuration::from_millis(meta.below(40) + 10),
+        );
+        rates.flap_rate = meta.uniform(0.0, 6.0);
+        rates.flap_nic = meta.uniform(0.2, 0.9);
+        rates.mean_flap = SimDuration::from_millis(meta.below(5) + 1);
+        if meta.bernoulli(0.5) {
+            rates.crash_rate = meta.uniform(1.0, 10.0);
+            rates.mean_recovery = SimDuration::from_millis(meta.below(30) + 5);
+        }
+        let schedule = FaultSchedule::generate(
+            &rates,
+            replicas,
+            SimDuration::from_secs_f64(2.0),
+            meta.next_u64(),
+        );
+        let balancer = match meta.index(3) {
+            0 => BalancerKind::RoundRobin,
+            1 => BalancerKind::JoinShortestQueue,
+            _ => BalancerKind::LeastExpectedLatency,
+        };
+        let health = if meta.bernoulli(0.5) {
+            HealthConfig::phi_accrual()
+        } else {
+            HealthConfig::oracle()
+        };
+        let hedging = meta.bernoulli(0.7).then(|| HedgeConfig {
+            quantile: meta.uniform(0.5, 0.95),
+            multiplier: meta.uniform(1.2, 3.0),
+            min_samples: 4 + meta.index(16),
+        });
+        let config = ClusterConfig {
+            serve: serve_config,
+            replicas,
+            balancer,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan {
+                schedule,
+                policy: arb_policy(&mut meta),
+            },
+            autoscale: None,
+            resharding: None,
+            placement: None,
+            locality: false,
+            health,
+            hedging,
+        };
+        let n = config.serve.n_requests;
+        let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .sum();
+        let out = serve_cluster(&cost, &topo, &spec, config.clone());
+
+        // Exactly one terminal outcome per request, tokens conserved.
+        let mut ids: Vec<usize> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.id)
+            .chain(out.tracker.failures().iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "round {round}: every request exactly one terminal outcome under gray faults"
+        );
+        let terminal_tokens: usize = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.tokens)
+            .chain(out.tracker.failures().iter().map(|f| f.tokens))
+            .sum();
+        assert_eq!(terminal_tokens, offered_tokens, "round {round}: tokens");
+
+        // Hedge counters are internally consistent and mirrored into
+        // the report.
+        let report = out.report();
+        assert!(out.hedges_won <= out.hedges_issued, "round {round}");
+        assert!(
+            (0.0..=1.0).contains(&out.hedge_wasted_frac),
+            "round {round}: wasted frac {}",
+            out.hedge_wasted_frac
+        );
+        assert_eq!(report.hedges_issued, out.hedges_issued);
+        assert_eq!(report.hedges_won, out.hedges_won);
+        assert_eq!(report.hedge_wasted_frac, out.hedge_wasted_frac);
+
+        // Bit-determinism.
+        let again = serve_cluster(&cost, &topo, &spec, config.clone());
+        assert_eq!(out.tracker.records(), again.tracker.records());
+        assert_eq!(out.tracker.failures(), again.tracker.failures());
+        assert_eq!(report, again.report(), "round {round}: determinism");
+
+        // Shard-threads invariance: gray schedules (and any non-oracle
+        // detector or armed hedging) are unshardable, so the knob must
+        // be an exact no-op.
+        let mut tuned = config;
+        tuned.serve.perf = PerfConfig {
+            shard_threads: 4,
+            ..PerfConfig::reference()
+        };
+        let sharded = serve_cluster(&cost, &topo, &spec, tuned);
+        assert_eq!(
+            out.tracker.records(),
+            sharded.tracker.records(),
+            "round {round}: shard-threads must not perturb gray runs"
+        );
+        assert_eq!(report, sharded.report());
+    }
+}
+
+/// Degeneracy: an explicitly armed oracle detector plus a hedging
+/// runtime that can never reach its sample floor reproduces the plain
+/// unhedged run bit for bit on every balancer — records, depth
+/// timeline, report, and per-replica accounting — and issues zero
+/// hedges.
+#[test]
+fn armed_oracle_and_inert_hedging_reproduce_the_plain_run() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x1DE47);
+    for balancer in [
+        BalancerKind::RoundRobin,
+        BalancerKind::JoinShortestQueue,
+        BalancerKind::LeastExpectedLatency,
+    ] {
+        let config = ClusterConfig {
+            serve: arb_config(&mut meta, InferScheme::Lina),
+            replicas: 2 + meta.index(3),
+            balancer,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan::none(),
+            autoscale: None,
+            resharding: None,
+            placement: None,
+            locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
+        };
+        let plain = serve_cluster(&cost, &topo, &spec, config.clone());
+        let mut armed = config.clone();
+        armed.hedging = Some(HedgeConfig {
+            quantile: 0.95,
+            multiplier: 2.0,
+            // Unreachable sample floor: the runtime is armed but can
+            // never derive a delay, so no batch is ever hedged.
+            min_samples: usize::MAX,
+        });
+        let out = serve_cluster(&cost, &topo, &spec, armed);
+        assert_eq!(
+            plain.tracker.records(),
+            out.tracker.records(),
+            "{balancer:?}: records diverged under armed-but-inert hedging"
+        );
+        assert_eq!(plain.tracker.depth_timeline(), out.tracker.depth_timeline());
+        assert_eq!(
+            plain.report(),
+            out.report(),
+            "{balancer:?}: report diverged"
+        );
+        assert_eq!(plain.requests_per_replica, out.requests_per_replica);
+        assert_eq!(plain.batches, out.batches);
+        assert_eq!(out.hedges_issued, 0, "{balancer:?}: inert runtime hedged");
+    }
+}
+
+/// Seeded retry jitter keeps every conservation invariant: with a
+/// non-zero jitter fraction on the backoff, crashes still leave each
+/// request exactly one terminal outcome, all tokens accounted for, and
+/// the run bit-deterministic; with jitter zero, the armed field is
+/// invisible against the unjittered run.
+#[test]
+fn jittered_backoff_conserves_and_stays_deterministic() {
+    let (cost, topo, spec) = world();
+    let mut meta = Rng::new(0x717E4);
+    for round in 0..rounds(4) {
+        let serve_config = arb_config(&mut meta, InferScheme::Lina);
+        let replicas = 2 + meta.index(3);
+        let rates = FaultRateConfig::crashes(
+            meta.uniform(5.0, 30.0),
+            SimDuration::from_millis(meta.below(30) + 5),
+        );
+        let schedule = FaultSchedule::generate(
+            &rates,
+            replicas,
+            SimDuration::from_secs_f64(2.0),
+            meta.next_u64(),
+        );
+        let mut policy = arb_policy(&mut meta);
+        policy.jitter = meta.uniform(0.05, 0.5);
+        let config = ClusterConfig {
+            serve: serve_config,
+            replicas,
+            balancer: BalancerKind::JoinShortestQueue,
+            sharing: EstimatorSharing::Shared,
+            faults: FaultPlan { schedule, policy },
+            autoscale: None,
+            resharding: None,
+            placement: None,
+            locality: false,
+            health: HealthConfig::oracle(),
+            hedging: None,
+        };
+        let n = config.serve.n_requests;
+        let offered_tokens: usize = ServeEngine::new(&cost, &topo, &spec, config.serve.clone())
+            .generate_requests()
+            .iter()
+            .map(|r| r.tokens.len())
+            .sum();
+        let out = serve_cluster(&cost, &topo, &spec, config.clone());
+        let mut ids: Vec<usize> = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.id)
+            .chain(out.tracker.failures().iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "round {round}: jittered retries lost or duplicated a request"
+        );
+        let terminal_tokens: usize = out
+            .tracker
+            .records()
+            .iter()
+            .map(|r| r.tokens)
+            .chain(out.tracker.failures().iter().map(|f| f.tokens))
+            .sum();
+        assert_eq!(terminal_tokens, offered_tokens, "round {round}: tokens");
+        let again = serve_cluster(&cost, &topo, &spec, config.clone());
+        assert_eq!(out.tracker.records(), again.tracker.records());
+        assert_eq!(out.tracker.failures(), again.tracker.failures());
+        assert_eq!(out.report(), again.report(), "round {round}: determinism");
+
+        // Jitter zero is bit-invisible: the field rides the same seeded
+        // stream but multiplies it away before it can reorder anything.
+        let mut flat = config.clone();
+        flat.faults.policy.jitter = 0.0;
+        let mut plain = config;
+        plain.faults.policy.jitter = 0.0;
+        let a = serve_cluster(&cost, &topo, &spec, flat);
+        let b = serve_cluster(&cost, &topo, &spec, plain);
+        assert_eq!(a.tracker.records(), b.tracker.records());
+        assert_eq!(a.report(), b.report());
     }
 }

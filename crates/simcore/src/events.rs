@@ -346,6 +346,27 @@ impl<T> EventQueue<T> {
             Backend::Calendar(c) => c.clear(),
         }
     }
+
+    /// Drops every pending event whose payload fails the predicate.
+    /// Surviving events keep their original insertion sequence, so pop
+    /// order (including ties) is unchanged.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        match &mut self.backend {
+            Backend::Heap(h) => h.retain(|e| keep(&e.payload)),
+            Backend::Calendar(c) => {
+                let mut removed = 0;
+                for b in &mut c.buckets {
+                    let before = b.len();
+                    b.retain(|e| keep(&e.payload));
+                    removed += before - b.len();
+                }
+                if removed > 0 {
+                    c.len -= removed;
+                    c.cached_min = None;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +430,24 @@ mod tests {
             assert_eq!(q.peek_time(), Some(t(7)));
             q.clear();
             assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn retain_preserves_order_of_survivors() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..10 {
+                q.push(t(5), i); // all tied on time: order is insertion seq
+            }
+            q.push(t(1), 100);
+            q.push(t(9), 101);
+            q.retain(|&p| p % 2 == 0);
+            let mut popped = Vec::new();
+            while let Some((_, p)) = q.pop() {
+                popped.push(p);
+            }
+            assert_eq!(popped, vec![100, 0, 2, 4, 6, 8], "{kind:?}");
         }
     }
 
